@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Fig. 2: latency and energy of PTL vs JTL vs CMOS wires as
+ * a function of length (0-200 um).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sfq/interconnect.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::sfq;
+
+    PtlModel ptl;
+    Table t({"length (um)", "PTL (ps)", "JTL (ps)", "CMOS (ps)",
+             "PTL (J)", "JTL (J)", "CMOS (J)"});
+    for (double len : {25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0,
+                       200.0}) {
+        t.row()
+            .num(len, 0)
+            .num(ptl.delayPs(len), 3)
+            .num(JtlModel::delayPs(len), 2)
+            .num(CmosWireModel::delayPs(len), 1)
+            .sci(ptl.energyPerPulseJ(len), 2)
+            .sci(JtlModel::energyPerPulseJ(len), 2)
+            .sci(CmosWireModel::energyPerBitJ(len), 2);
+    }
+
+    printBanner(std::cout,
+                "Fig. 2: SFQ vs CMOS wire latency and energy");
+    t.print(std::cout);
+    std::cout << "paper shape: PTL/JTL ~2 orders faster than CMOS; "
+                 "CMOS ~6 orders more energy than PTL; long JTL ~100x "
+                 "PTL energy\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 5: SuperNPU with SPMs built from each cryogenic
+ * memory technology, inferring AlexNet (single image): (a) latency
+ * normalized to SHIFT, (b) energy normalized to SHIFT, (c) area
+ * breakdown.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/random_array.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::accel;
+    using namespace smart::bench;
+    using cryo::MemTech;
+
+    setInformEnabled(false);
+    const std::string model = "AlexNet";
+
+    // SHIFT baseline = SuperNPU itself.
+    RunPoint shift = runModel(makeSuperNpu(), model, 1);
+
+    Table t({"SPM tech", "norm latency", "norm energy"});
+    t.row().cell("SHIFT").num(1.0, 2).num(1.0, 2);
+    for (MemTech m : {MemTech::JcsSram, MemTech::Mram, MemTech::Snm,
+                      MemTech::Vtm}) {
+        AcceleratorConfig cfg = makeSramScheme();
+        cfg.randomTech = m;
+        cfg.name = cryo::techParams(m).name;
+        RunPoint p = runModel(cfg, model, 1);
+        t.row()
+            .cell(cryo::techParams(m).name)
+            .num(shift.throughputTmacs / p.throughputTmacs, 2)
+            .num(p.energyPerImageJ / shift.energyPerImageJ, 2);
+    }
+
+    printBanner(std::cout,
+                "Fig. 5(a,b): SuperNPU latency/energy with various "
+                "cryogenic SPMs (AlexNet, single image; SHIFT = 1.0)");
+    t.print(std::cout);
+    std::cout << "paper shape: SRAM/MRAM/SNM >= 5x latency; only VTM "
+                 "close to SHIFT; all burn 1.3-2.5x energy\n";
+
+    // (c) Area breakdown of a 12 MB 64-bank SPM per technology.
+    Table a({"tech", "cells %", "SFQ dec %", "CMOS periph %",
+             "H-tree %", "other %", "total mm^2"});
+    for (MemTech m : {MemTech::JcsSram, MemTech::Mram, MemTech::Snm,
+                      MemTech::Vtm}) {
+        cryo::RandomArrayConfig rc;
+        rc.tech = m;
+        rc.capacityBytes = 12 * units::mib;
+        rc.banks = 64;
+        cryo::RandomArrayModel arr(rc);
+        const auto &b = arr.area();
+        const double tot = b.totalUm2();
+        a.row()
+            .cell(cryo::techParams(m).name)
+            .num(100 * b.cellsUm2 / tot, 1)
+            .num(100 * b.sfqDecoderUm2 / tot, 1)
+            .num(100 * b.cmosPeriphUm2 / tot, 1)
+            .num(100 * b.htreeUm2 / tot, 1)
+            .num(100 * b.otherUm2 / tot, 1)
+            .num(units::um2ToMm2(tot), 2);
+    }
+    printBanner(std::cout, "Fig. 5(c): SPM area breakdown (12 MB)");
+    a.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 7: heterogeneous SPM (32 KB SHIFT staging + RANDOM
+ * array) with the RANDOM array built from each technology, with and
+ * without prefetching, inferring AlexNet; latency normalized to the
+ * all-SHIFT SuperNPU.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::accel;
+    using namespace smart::bench;
+    using cryo::MemTech;
+
+    setInformEnabled(false);
+    const std::string model = "AlexNet";
+    RunPoint shift = runModel(makeSuperNpu(), model, 1);
+
+    Table t({"scheme", "norm latency"});
+    t.row().cell("SHIFT").num(1.0, 2);
+    for (MemTech m : {MemTech::JcsSram, MemTech::Mram, MemTech::Snm,
+                      MemTech::Vtm}) {
+        AcceleratorConfig cfg = makeHeterScheme();
+        cfg.randomTech = m;
+        RunPoint p = runModel(cfg, model, 1);
+        t.row()
+            .cell("h" + cryo::techParams(m).name)
+            .num(shift.throughputTmacs / p.throughputTmacs, 2);
+    }
+    // hVTM + prefetching (the paper's motivation for the compiler).
+    AcceleratorConfig vtm_p = makeHeterScheme();
+    vtm_p.randomTech = MemTech::Vtm;
+    vtm_p.prefetchIterations = 3;
+    RunPoint p = runModel(vtm_p, model, 1);
+    t.row()
+        .cell("hVTM+p")
+        .num(shift.throughputTmacs / p.throughputTmacs, 2);
+
+    printBanner(std::cout,
+                "Fig. 7: heterogeneous SPM latency (AlexNet, single "
+                "image; all-SHIFT = 1.0, lower is better)");
+    t.print(std::cout);
+    std::cout << "paper shape: hSRAM/hMRAM/hSNM longer than SHIFT "
+                 "(3.36x/2.59x/2.38x); hVTM shorter; prefetch (hVTM+p) "
+                 "shorter still\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 9: the CMOS H-tree's share of access latency and
+ * energy in a 256-bank 28 MB Josephson-CMOS SRAM array.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/random_array.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::JcsSram;
+    cfg.capacityBytes = 28 * units::mib;
+    cfg.banks = 256;
+    RandomArrayModel arr(cfg);
+
+    const double lat_total = arr.readLatencyNs();
+    const double e_total = arr.htreeEnergyJ() + arr.subbankEnergyJ();
+
+    Table t({"component", "latency (ns)", "latency %", "energy (pJ)",
+             "energy %"});
+    t.row()
+        .cell("CMOS H-tree")
+        .num(arr.htreeLatencyNs(), 3)
+        .num(100 * arr.htreeLatencyNs() / lat_total, 1)
+        .num(units::jToPj(arr.htreeEnergyJ()), 1)
+        .num(100 * arr.htreeEnergyJ() / e_total, 1);
+    t.row()
+        .cell("sub-bank (dec+WL+BL+SA)")
+        .num(arr.subbankLatencyNs(), 3)
+        .num(100 * arr.subbankLatencyNs() / lat_total, 1)
+        .num(units::jToPj(arr.subbankEnergyJ()), 1)
+        .num(100 * arr.subbankEnergyJ() / e_total, 1);
+    t.row()
+        .cell("SFQ decoder + conversion")
+        .num(arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs(), 3)
+        .num(100 *
+                 (arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs()) /
+                 lat_total,
+             1)
+        .cell("-")
+        .cell("-");
+    t.row()
+        .cell("total")
+        .num(lat_total, 3)
+        .num(100.0, 1)
+        .num(units::jToPj(e_total), 1)
+        .num(100.0, 1);
+
+    printBanner(std::cout,
+                "Fig. 9: H-tree share of a 28 MB Josephson-CMOS array");
+    t.print(std::cout);
+    std::cout << "paper: H-tree = 84 % of latency, 49 % of energy\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 12: the 4 K CMOS sub-bank model validated against the
+ * published 4 K SRAM chip demonstration (0.18 um; 8 KB / 128 KB / 2 MB
+ * sub-banks with 8 / 32 / 128 MATs). The paper reports the model 3-8 %
+ * above the chip latency and 8-12 % above its energy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/subbank.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    struct Point
+    {
+        const char *name;
+        std::uint64_t bytes;
+        int mats;
+        double chip_lat_ns;
+        double chip_e_pj;
+    };
+    const Point points[] = {
+        {"8KB", 8 * 1024, 8, 0.140, 474.0},
+        {"128KB", 128 * 1024, 32, 0.240, 889.0},
+        {"2MB", 2 * 1024 * 1024, 128, 0.425, 1719.0},
+    };
+
+    Table t({"sub-bank", "chip lat (ns)", "model lat (ns)", "lat err %",
+             "chip E (pJ)", "model E (pJ)", "E err %"});
+    for (const auto &p : points) {
+        SubbankConfig cfg;
+        cfg.capacityBytes = p.bytes;
+        cfg.mats = p.mats;
+        cfg.nodeNm = 180.0;
+        cfg.temperatureK = 4.0;
+        SubbankModel sub(cfg);
+        const double lat = sub.readLatencyNs();
+        const double e = units::jToPj(sub.energyPerAccessJ());
+        t.row()
+            .cell(p.name)
+            .num(p.chip_lat_ns, 3)
+            .num(lat, 3)
+            .num(100 * (lat - p.chip_lat_ns) / p.chip_lat_ns, 1)
+            .num(p.chip_e_pj, 0)
+            .num(e, 0)
+            .num(100 * (e - p.chip_e_pj) / p.chip_e_pj, 1);
+    }
+
+    printBanner(std::cout,
+                "Fig. 12: 4 K CMOS sub-bank model vs chip (0.18 um)");
+    t.print(std::cout);
+    std::cout << "paper bands: latency +3~8 %, energy +8~12 % "
+                 "(conservative parameters)\n";
+    return 0;
+}

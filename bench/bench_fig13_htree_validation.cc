@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the analytical SFQ H-tree model (PTL Eqs. 1-4 +
+ * Table 2 components) validated against the pulse-level event simulator
+ * (the repository's JoSIM substitute) on the Fig. 11(b) splitter-unit
+ * fixture across PTL lengths. The paper reports +/-6 % latency and
+ * +/-11 % energy agreement.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sfq/devices.hh"
+#include "sfq/pulse_sim.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::sfq;
+
+    PtlModel ptl;
+    Table t({"PTL len (mm)", "model f (GHz)", "sim f (GHz)", "f err %",
+             "model E (aJ)", "sim E (aJ)", "E err %"});
+
+    for (double len_mm :
+         {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0}) {
+        const double len_um = len_mm * 1000.0;
+
+        // Analytical model: resonance-limited operating frequency and
+        // the energy of one transfer (dynamic switching plus the bias
+        // networks' static dissipation over the nominal transfer
+        // window), through driver -> PTL -> splitter unit -> PTL ->
+        // receiver.
+        const double t0 =
+            driverParams().latencyPs + receiverParams().latencyPs;
+        const double model_f = ptl.maxOperatingFreqGhz(len_um);
+        const double window_ps =
+            2.0 * ptl.delayPs(len_um) + t0 + SplitterUnit::latencyPs();
+        const double static_w =
+            driverParams().leakageW + SplitterUnit::leakageW();
+        const double model_e =
+            (driverParams().energyPerOpJ() +
+             SplitterUnit::energyPerPulseJ() +
+             2 * receiverParams().energyPerOpJ() +
+             static_w * units::psToS(window_ps)) /
+            units::jPerAj;
+
+        // Pulse-level simulation of the same fixture.
+        PulseNetlist net(PtlGeometry(), 0.03, 7777);
+        auto fx = buildSplitterUnitFixture(net, len_um);
+        net.inject(fx.source, 0.0);
+        PulseSimResult res = net.run();
+        const double arrival = net.arrivals(fx.sinkRight)[0];
+        // Simulated resonance-limited frequency: 0.9 / (2T' + t0) with
+        // T' the simulated one-hop PTL time (includes dispersion and
+        // fabrication spread).
+        const double sim_ptl =
+            (arrival - t0 - SplitterUnit::latencyPs()) / 2.0;
+        const double sim_f = 0.9 * 1e3 / (2.0 * sim_ptl + t0);
+        const double sim_e = res.totalEnergyJ() / units::jPerAj;
+
+        t.row()
+            .num(len_mm, 2)
+            .num(model_f, 1)
+            .num(sim_f, 1)
+            .num(100 * (model_f - sim_f) / sim_f, 1)
+            .num(model_e, 1)
+            .num(sim_e, 1)
+            .num(100 * (model_e - sim_e) / sim_e, 1);
+    }
+
+    printBanner(std::cout,
+                "Fig. 13: SFQ H-tree model vs pulse-level simulation");
+    t.print(std::cout);
+    std::cout << "paper bands vs JoSIM: latency +/-6 %, energy "
+                 "+/-11 %\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig. 14: the pipeline design space exploration — target
+ * frequency vs peripheral leakage, access energy, and area, with the
+ * nTron capping the feasible region at ~9.6 GHz.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/dse.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    CmosSfqArrayConfig base;
+    const std::vector<double> freqs = {0.5, 1.0, 2.0, 3.0, 4.0, 6.0,
+                                       8.0, 9.0, 9.6, 12.0, 16.0};
+    auto points = sweepPipelineFrequency(base, freqs);
+
+    Table t({"target (GHz)", "feasible", "achieved (GHz)", "MATs/bank",
+             "repeaters", "periph leak (mW)", "E/access (nJ)",
+             "area (mm^2)"});
+    for (const auto &p : points) {
+        auto r = t.row();
+        r.num(p.targetFreqGhz, 1).cell(p.feasible ? "yes" : "no");
+        if (p.feasible) {
+            r.num(p.achievedFreqGhz, 2)
+                .integer(p.matsPerSubbank)
+                .integer(p.repeaters)
+                .num(p.leakageMw, 3)
+                .sci(p.energyPerAccessNj, 2)
+                .num(p.areaMm2, 1);
+        } else {
+            r.cell("-").cell("-").cell("-").cell("-").cell("-").cell(
+                "-");
+        }
+    }
+
+    printBanner(std::cout,
+                "Fig. 14: pipeline design space exploration (28 MB, "
+                "256 banks)");
+    t.print(std::cout);
+    std::cout << "paper: max pipeline frequency 9.6 GHz (nTron stage "
+                 "103.02 ps); leakage/energy/area grow toward it\n";
+    return 0;
+}

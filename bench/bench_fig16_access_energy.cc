@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 16: per-access dynamic energy of SuperNPU's 384 KB
+ * and 96 KB SHIFT bank lanes, SMART's 128 B SHIFT lanes, and the
+ * CMOS-SFQ RANDOM array (the paper's lane-step accounting).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/cmos_sfq_array.hh"
+#include "cryomem/shift_array.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    Table t({"array", "lane/bank", "energy per access (pJ)"});
+
+    ShiftArrayConfig npu_in;
+    npu_in.capacityBytes = 24 * units::mib;
+    npu_in.banks = 64;
+    t.row()
+        .cell("384KB-SHIFT (SuperNPU input)")
+        .cell("384 KB lane")
+        .num(units::jToPj(ShiftArray(npu_in).laneStepEnergyJ()), 1);
+
+    ShiftArrayConfig npu_out;
+    npu_out.capacityBytes = 24 * units::mib;
+    npu_out.banks = 256;
+    t.row()
+        .cell("96KB-SHIFT (SuperNPU output)")
+        .cell("96 KB lane")
+        .num(units::jToPj(ShiftArray(npu_out).laneStepEnergyJ()), 1);
+
+    ShiftArrayConfig smart_shift;
+    smart_shift.capacityBytes = 32 * units::kib;
+    smart_shift.banks = 256;
+    t.row()
+        .cell("128B-SHIFT (SMART staging)")
+        .cell("128 B lane")
+        .num(units::jToPj(ShiftArray(smart_shift).laneStepEnergyJ()),
+             3);
+
+    CmosSfqArrayConfig rnd;
+    CmosSfqArrayModel arr(rnd);
+    t.row()
+        .cell("RANDOM (CMOS-SFQ, 28 MB)")
+        .cell("112 KB sub-bank")
+        .num(units::jToPj(arr.readEnergyJ()), 1);
+
+    printBanner(std::cout, "Fig. 16: per-access dynamic energy");
+    t.print(std::cout);
+    std::cout << "paper shape: SMART's short lanes move 99 % less than "
+                 "SuperNPU banks; the RANDOM access costs ~50 % of the "
+                 "96 KB SHIFT bank step\n";
+    return 0;
+}

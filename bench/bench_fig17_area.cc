@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 17: chip area breakdown of SuperNPU vs SMART
+ * (SHIFT arrays, H-trees, decoders, cell arrays, matrix unit).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cryomem/cmos_sfq_array.hh"
+#include "cryomem/shift_array.hh"
+
+namespace
+{
+
+/** Matrix unit area: gate-level-pipelined SFQ MACs (~20K JJs each). */
+double
+matrixAreaUm2()
+{
+    const double jj_um2 = 30 * 0.028 * 0.028;
+    return 64.0 * 256.0 * 20000.0 * jj_um2;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    // SuperNPU: 24 MB + 24 MB + 128 KB SHIFT.
+    double npu_shift = 0.0;
+    for (auto [cap, banks] :
+         {std::pair<std::uint64_t, int>{24 * units::mib, 64},
+          {24 * units::mib, 256},
+          {128 * units::kib, 64}}) {
+        ShiftArrayConfig c;
+        c.capacityBytes = cap;
+        c.banks = banks;
+        npu_shift += ShiftArray(c).areaUm2();
+    }
+    const double npu_total = npu_shift + matrixAreaUm2();
+
+    // SMART: 3 x 32 KB SHIFT + the 28 MB CMOS-SFQ array.
+    ShiftArrayConfig sc;
+    sc.capacityBytes = 32 * units::kib;
+    sc.banks = 256;
+    const double smart_shift = 3.0 * ShiftArray(sc).areaUm2();
+    CmosSfqArrayConfig rc;
+    CmosSfqArrayModel arr(rc);
+    const auto &a = arr.area();
+    const double smart_total = smart_shift + a.totalUm2() +
+                               matrixAreaUm2();
+
+    Table t({"component", "SuperNPU (mm^2)", "SMART (mm^2)"});
+    t.row()
+        .cell("SHIFT arrays")
+        .num(units::um2ToMm2(npu_shift), 2)
+        .num(units::um2ToMm2(smart_shift), 3);
+    t.row().cell("RANDOM cells").cell("-").num(
+        units::um2ToMm2(a.cellsUm2), 2);
+    t.row().cell("CMOS decoders/SAs").cell("-").num(
+        units::um2ToMm2(a.cmosPeriphUm2), 2);
+    t.row().cell("SFQ H-trees").cell("-").num(
+        units::um2ToMm2(a.htreeUm2), 2);
+    t.row().cell("other (nTron/DCSFQ)").cell("-").num(
+        units::um2ToMm2(a.otherUm2), 2);
+    t.row()
+        .cell("matrix unit")
+        .num(units::um2ToMm2(matrixAreaUm2()), 2)
+        .num(units::um2ToMm2(matrixAreaUm2()), 2);
+    t.row()
+        .cell("total")
+        .num(units::um2ToMm2(npu_total), 2)
+        .num(units::um2ToMm2(smart_total), 2);
+
+    printBanner(std::cout, "Fig. 17: area breakdown");
+    t.print(std::cout);
+    std::cout << "SMART/SuperNPU total area ratio: "
+              << formatNum(smart_total / npu_total, 2)
+              << " (paper: ~1.03 with 41 % less SPM capacity)\n";
+    return 0;
+}

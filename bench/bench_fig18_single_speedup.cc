@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces Fig. 18: single-image inference throughput of the five
+ * SPM schemes across the six CNNs, normalized to the TPU baseline.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    smart::bench::printSpeedupFigure(
+        "Fig. 18: single-image speedup (norm. to TPU)", false);
+    std::cout << "paper shape: SRAM < Heter < SHIFT < Pipe < SMART; "
+                 "SMART ~3.9x SHIFT\n";
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Fig. 19: batch inference throughput of the five SPM
+ * schemes across the six CNNs, normalized to the TPU baseline, using
+ * the paper's per-model batch sizes.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    smart::bench::printSpeedupFigure(
+        "Fig. 19: batch speedup (norm. to TPU)", true);
+    std::cout << "paper shape: same ordering as Fig. 18; SMART ~2.2x "
+                 "SHIFT\n";
+    return 0;
+}

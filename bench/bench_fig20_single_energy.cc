@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Fig. 20: single-image inference energy of the five SPM
+ * schemes normalized to TPU (cooling included), with SMART's
+ * matrix/dynamic/static breakdown.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    smart::bench::printEnergyFigure(
+        "Fig. 20: single-image energy (norm. to TPU)", false);
+    std::cout << "paper: SMART cuts 86 % vs SHIFT and uses ~1.9 % of "
+                 "TPU energy; matrix ~48 %, SPM dynamic ~42 % of SMART\n";
+    return 0;
+}

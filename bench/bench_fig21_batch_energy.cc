@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces Fig. 21: batch inference energy of the five SPM schemes
+ * normalized to TPU (cooling included), using the paper's batch sizes.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    smart::bench::printEnergyFigure(
+        "Fig. 21: batch energy (norm. to TPU)", true);
+    std::cout << "paper: SMART cuts 71 % vs SHIFT and uses ~1.6 % of "
+                 "TPU energy per image\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Fig. 22: sensitivity of SMART's speedup over SuperNPU to
+ * the SHIFT staging array capacity (16/32/64/128 KB).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::bench;
+
+    Table t({"SHIFT capacity", "single speedup", "batch speedup"});
+    for (std::uint64_t kb : {16, 32, 64, 128}) {
+        auto [s, b] = smartSensitivity([&](accel::AcceleratorConfig &c) {
+            c.inputSpm.capacityBytes = kb * units::kib;
+            c.outputSpm.capacityBytes = kb * units::kib;
+            c.weightSpm.capacityBytes = kb * units::kib;
+        });
+        t.row()
+            .cell(std::to_string(kb) + " KB")
+            .num(s, 2)
+            .num(b, 2);
+    }
+
+    printBanner(std::cout,
+                "Fig. 22: SHIFT capacity sensitivity (speedup over "
+                "SuperNPU, gmean of 6 CNNs)");
+    t.print(std::cout);
+    std::cout << "paper shape: 16 KB loses substantially; >=32 KB "
+                 "saturates\n";
+    return 0;
+}

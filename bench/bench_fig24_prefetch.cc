@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Fig. 24: sensitivity of SMART's speedup over SuperNPU to
+ * the prefetching iteration count a = 1..5 (a = 1 disables
+ * prefetching).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::bench;
+
+    Table t({"a", "single speedup", "batch speedup"});
+    for (int a : {1, 2, 3, 4, 5}) {
+        auto [s, b] = smartSensitivity([&](accel::AcceleratorConfig &c) {
+            c.prefetchIterations = a;
+        });
+        t.row().integer(a).num(s, 2).num(b, 2);
+    }
+
+    printBanner(std::cout,
+                "Fig. 24: prefetch iteration sensitivity (speedup over "
+                "SuperNPU, gmean of 6 CNNs)");
+    t.print(std::cout);
+    std::cout << "paper shape: a=1 (no prefetch) loses substantially; "
+                 "a>=3 saturates\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Fig. 25: sensitivity of SMART's speedup over SuperNPU to
+ * the RANDOM array write latency (0.11 / 2 / 3 ns): denser-but-slower
+ * technologies (MRAM, SNM) are poor RANDOM candidates.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::bench;
+
+    Table t({"write latency", "single speedup", "batch speedup"});
+    for (double ns : {0.11, 2.0, 3.0}) {
+        auto [s, b] = smartSensitivity([&](accel::AcceleratorConfig &c) {
+            if (ns > 0.2)
+                c.randomWriteLatencyNsOverride = ns;
+        });
+        t.row().cell(formatNum(ns, 2) + " ns").num(s, 2).num(b, 2);
+    }
+
+    printBanner(std::cout,
+                "Fig. 25: RANDOM write latency sensitivity (speedup "
+                "over SuperNPU, gmean of 6 CNNs)");
+    t.print(std::cout);
+    std::cout << "paper shape: 2-3 ns writes collapse the speedup "
+                 "(outputs of one layer are the next layer's inputs)\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * simplex solver, the SHIFT replay, the pulse simulator, the sub-bank
+ * model, and a full SMART layer evaluation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+#include "common/logging.hh"
+#include "compiler/ilpsched.hh"
+#include "cryomem/subbank.hh"
+#include "ilp/solver.hh"
+#include "sfq/pulse_sim.hh"
+#include "systolic/trace.hh"
+
+namespace
+{
+
+using namespace smart;
+
+void
+BM_SimplexKnapsack(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ilp::Model m;
+        ilp::LinExpr w, obj;
+        for (int i = 0; i < n; ++i) {
+            ilp::Var v = m.addVar(0, 1, ilp::VarType::Continuous);
+            w.add(v, 1.0 + (i % 7));
+            obj.add(v, 2.0 + (i % 5));
+        }
+        m.addConstr(w, ilp::Sense::Le, n / 2.0);
+        m.setObjective(obj, true);
+        benchmark::DoNotOptimize(ilp::solveLp(m));
+    }
+}
+BENCHMARK(BM_SimplexKnapsack)->Arg(32)->Arg(128)->Arg(512);
+
+void
+BM_ShiftReplay(benchmark::State &state)
+{
+    auto layer = systolic::ConvLayer::conv("c", 27, 27, 96, 256, 5, 1,
+                                           2);
+    systolic::ShiftReplayParams p;
+    p.banks = 64;
+    p.laneBytes = 384 * 1024;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            systolic::replayInputShift(layer, {64, 256}, p));
+    }
+}
+BENCHMARK(BM_ShiftReplay);
+
+void
+BM_PulseSimSplitterUnit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sfq::PulseNetlist net;
+        auto fx = sfq::buildSplitterUnitFixture(net, 500.0);
+        for (int i = 0; i < 100; ++i)
+            net.inject(fx.source, i * 120.0);
+        benchmark::DoNotOptimize(net.run());
+    }
+}
+BENCHMARK(BM_PulseSimSplitterUnit);
+
+void
+BM_SubbankModel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        cryo::SubbankConfig cfg;
+        cfg.capacityBytes = 112 * 1024;
+        cfg.mats = 16;
+        cryo::SubbankModel sub(cfg);
+        benchmark::DoNotOptimize(sub.readLatencyNs());
+        benchmark::DoNotOptimize(sub.energyPerAccessJ());
+    }
+}
+BENCHMARK(BM_SubbankModel);
+
+void
+BM_IlpLayerSchedule(benchmark::State &state)
+{
+    auto layer = systolic::ConvLayer::conv("c", 13, 13, 256, 384, 3);
+    auto demand = systolic::analyzeDemand(layer, {64, 256});
+    compiler::LayerDag dag = compiler::buildLayerDag(layer, demand);
+    compiler::SchedParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler::scheduleIlp(dag, params));
+}
+BENCHMARK(BM_IlpLayerSchedule);
+
+void
+BM_SmartAlexNetInference(benchmark::State &state)
+{
+    setInformEnabled(false);
+    auto cfg = accel::makeSmart();
+    auto model = cnn::convLayersOnly(cnn::makeAlexNet());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel::runInference(cfg, model, 1));
+}
+BENCHMARK(BM_SmartAlexNetInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

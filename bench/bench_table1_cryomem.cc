@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Table 1: the cryogenic memory technology comparison.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+#include "cryomem/tech.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::cryo;
+
+    Table t({"Feature", "SHIFT", "VTM", "SRAM", "MRAM", "SNM"});
+    auto row = [&](const std::string &name, auto getter) {
+        auto r = t.row();
+        r.cell(name);
+        for (MemTech m : {MemTech::Shift, MemTech::Vtm, MemTech::JcsSram,
+                          MemTech::Mram, MemTech::Snm})
+            r.cell(getter(techParams(m)));
+    };
+
+    row("Read Latency (ns)", [](const TechParams &p) {
+        return p.tech == MemTech::JcsSram ? std::string("2~4")
+                                          : formatNum(p.readLatencyNs, 2);
+    });
+    row("Write Latency (ns)", [](const TechParams &p) {
+        return p.tech == MemTech::JcsSram
+                   ? std::string("2~4")
+                   : formatNum(p.writeLatencyNs, 2);
+    });
+    row("Cell Size (F^2)", [](const TechParams &p) {
+        return formatNum(p.cellSizeF2, 0);
+    });
+    row("Read Energy (J)", [](const TechParams &p) {
+        return formatSci(p.readEnergyJ, 1);
+    });
+    row("Write Energy (J)", [](const TechParams &p) {
+        return formatSci(p.writeEnergyJ, 1);
+    });
+    row("Leakage", [](const TechParams &p) {
+        return leakageClassName(p.leakage);
+    });
+    row("Random Access", [](const TechParams &p) {
+        return std::string(p.randomAccess ? "yes" : "no");
+    });
+
+    printBanner(std::cout, "Table 1: cryogenic memory comparison");
+    t.print(std::cout);
+    return 0;
+}

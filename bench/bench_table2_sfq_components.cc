@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Table 2: latency and power of the SFQ H-tree components.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+#include "sfq/devices.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::sfq;
+
+    Table t({"Component", "Latency (ps)", "Leakage Power (uW)",
+             "Dynamic Power (nW)", "JJs"});
+    for (const ComponentParams *p :
+         {&splitterParams(), &driverParams(), &receiverParams(),
+          &ntronParams()}) {
+        t.row()
+            .cell(p->name)
+            .num(p->latencyPs, 2)
+            .num(p->leakageW / units::wPerUw, 3)
+            .num(p->dynamicW / units::wPerNw, 3)
+            .integer(p->jjCount);
+    }
+
+    printBanner(std::cout,
+                "Table 2: SFQ H-tree component latency and power");
+    t.print(std::cout);
+
+    Table u({"Composite", "Latency (ps)", "Leakage (uW)",
+             "Energy/pulse (aJ)"});
+    u.row()
+        .cell("splitter unit")
+        .num(SplitterUnit::latencyPs(), 2)
+        .num(SplitterUnit::leakageW() / units::wPerUw, 3)
+        .num(SplitterUnit::energyPerPulseJ() / units::jPerAj, 2);
+    u.row()
+        .cell("repeater")
+        .num(Repeater::latencyPs(), 2)
+        .num(Repeater::leakageW() / units::wPerUw, 3)
+        .num(Repeater::energyPerPulseJ() / units::jPerAj, 2);
+    u.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 4: the baseline accelerator configurations.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smart;
+    using namespace smart::accel;
+
+    Table t({"Name", "Clock (GHz)", "Peak (TMAC/s)", "PE array",
+             "input SPM", "output/PSum SPM", "weight SPM", "RANDOM"});
+    for (Scheme s : {Scheme::Tpu, Scheme::SuperNpu, Scheme::Smart}) {
+        AcceleratorConfig c = makeScheme(s);
+        auto spm = [](const SpmSpec &x) {
+            if (x.capacityBytes == 0)
+                return std::string("-");
+            return std::to_string(x.capacityBytes / 1024) + " KB/" +
+                   std::to_string(x.banks) + "b";
+        };
+        t.row()
+            .cell(c.name)
+            .num(c.clockGhz, 1)
+            .num(c.peakTmacs(), 0)
+            .cell(std::to_string(c.pe.rows) + "x" +
+                  std::to_string(c.pe.cols))
+            .cell(spm(c.inputSpm))
+            .cell(spm(c.outputSpm))
+            .cell(spm(c.weightSpm))
+            .cell(spm(c.randomArray));
+    }
+
+    printBanner(std::cout, "Table 4: baseline configurations");
+    t.print(std::cout);
+    std::cout << "(memory bandwidth: 300 GB/s for all; SMART prefetch "
+                 "a = 3, ILP compiler on)\n";
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: scheme
+ * runners, normalization against TPU/SuperNPU baselines, and common
+ * printing.
+ */
+
+#ifndef SMART_BENCH_UTIL_HH
+#define SMART_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "accel/energy.hh"
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace smart::bench
+{
+
+/** One model's result under one scheme. */
+struct RunPoint
+{
+    double throughputTmacs = 0.0;
+    double utilization = 0.0;
+    double energyPerImageJ = 0.0; //!< Cooling included.
+    accel::EnergyBreakdown breakdown;
+    double seconds = 0.0;
+};
+
+/** Run one conv-trunk model on one configuration. */
+inline RunPoint
+runModel(const accel::AcceleratorConfig &cfg, const std::string &model,
+         int batch)
+{
+    auto net = cnn::convLayersOnly(cnn::makeModel(model));
+    auto r = accel::runInference(cfg, net, batch);
+    auto e = accel::computeEnergy(cfg, r);
+    RunPoint p;
+    p.throughputTmacs = r.throughputTmacs();
+    p.utilization = r.utilization(cfg);
+    p.energyPerImageJ = e.totalJ(cfg.coolingFactor) / batch;
+    p.breakdown = e;
+    p.seconds = r.seconds;
+    return p;
+}
+
+/** Paper batch size for a (model, scheme) pair; 1 if single-image. */
+inline int
+batchOf(const std::string &model, accel::Scheme s, bool batch_mode)
+{
+    if (!batch_mode)
+        return 1;
+    return cnn::paperBatchSize(model, s == accel::Scheme::SuperNpu);
+}
+
+/** The five SPM schemes of Figs. 18-21, in figure order. */
+inline const std::vector<accel::Scheme> &
+figureSchemes()
+{
+    static const std::vector<accel::Scheme> schemes = {
+        accel::Scheme::SuperNpu, accel::Scheme::Sram,
+        accel::Scheme::Heter, accel::Scheme::Pipe, accel::Scheme::Smart,
+    };
+    return schemes;
+}
+
+/**
+ * Print a Figs. 18/19-style speedup table: rows = models + gmean,
+ * columns = schemes, values normalized to the TPU baseline.
+ */
+inline void
+printSpeedupFigure(const std::string &title, bool batch_mode)
+{
+    setInformEnabled(false);
+    Table t({"model", "SHIFT", "SRAM", "Heter", "Pipe", "SMART"});
+    std::vector<std::vector<double>> cols(figureSchemes().size());
+
+    for (const auto &model : cnn::modelNames()) {
+        auto tpu_cfg = accel::makeTpu();
+        RunPoint tpu = runModel(
+            tpu_cfg, model, batchOf(model, accel::Scheme::Tpu,
+                                    batch_mode));
+        auto row = t.row();
+        row.cell(model);
+        for (std::size_t i = 0; i < figureSchemes().size(); ++i) {
+            auto s = figureSchemes()[i];
+            RunPoint p = runModel(accel::makeScheme(s), model,
+                                  batchOf(model, s, batch_mode));
+            const double norm =
+                p.throughputTmacs / tpu.throughputTmacs;
+            cols[i].push_back(norm);
+            row.num(norm, 2);
+        }
+    }
+    auto g = t.row();
+    g.cell("gmean");
+    for (auto &c : cols)
+        g.num(geomean(c), 2);
+
+    printBanner(std::cout, title);
+    std::cout << "normalized inference throughput (TPU = 1.0)\n";
+    t.print(std::cout);
+}
+
+/**
+ * Print a Figs. 20/21-style energy table: per-model energy normalized
+ * to TPU, plus the SMART breakdown shares.
+ */
+inline void
+printEnergyFigure(const std::string &title, bool batch_mode)
+{
+    setInformEnabled(false);
+    Table t({"model", "SHIFT", "SRAM", "Heter", "Pipe", "SMART",
+             "SMART mtx%", "SMART dyn%", "SMART sta%"});
+    std::vector<std::vector<double>> cols(figureSchemes().size());
+
+    for (const auto &model : cnn::modelNames()) {
+        auto tpu_cfg = accel::makeTpu();
+        RunPoint tpu = runModel(
+            tpu_cfg, model, batchOf(model, accel::Scheme::Tpu,
+                                    batch_mode));
+        auto row = t.row();
+        row.cell(model);
+        RunPoint smart_p;
+        for (std::size_t i = 0; i < figureSchemes().size(); ++i) {
+            auto s = figureSchemes()[i];
+            RunPoint p = runModel(accel::makeScheme(s), model,
+                                  batchOf(model, s, batch_mode));
+            if (s == accel::Scheme::Smart)
+                smart_p = p;
+            const double norm =
+                p.energyPerImageJ / tpu.energyPerImageJ;
+            cols[i].push_back(norm);
+            row.sci(norm, 2);
+        }
+        const double phys = smart_p.breakdown.physicalJ();
+        row.num(100.0 * smart_p.breakdown.matrixJ / phys, 0);
+        row.num(100.0 * smart_p.breakdown.spmDynamicJ / phys, 0);
+        row.num(100.0 * smart_p.breakdown.spmStaticJ / phys, 0);
+    }
+    auto g = t.row();
+    g.cell("gmean");
+    for (auto &c : cols)
+        g.sci(geomean(c), 2);
+    g.cell("-").cell("-").cell("-");
+
+    printBanner(std::cout, title);
+    std::cout << "normalized inference energy (TPU = 1.0, cooling "
+                 "included)\n";
+    t.print(std::cout);
+}
+
+/**
+ * Sensitivity helper (Figs. 22-25): gmean SMART speedup over SuperNPU
+ * across the six models for a configuration mutation.
+ */
+template <typename Mutate>
+inline std::pair<double, double>
+smartSensitivity(Mutate &&mutate)
+{
+    setInformEnabled(false);
+    std::vector<double> single, batch;
+    for (const auto &model : cnn::modelNames()) {
+        auto npu_cfg = accel::makeSuperNpu();
+        auto smart_cfg = accel::makeSmart();
+        mutate(smart_cfg);
+        const double n1 =
+            runModel(npu_cfg, model, 1).throughputTmacs;
+        const double nb =
+            runModel(npu_cfg, model,
+                     cnn::paperBatchSize(model, true)).throughputTmacs;
+        single.push_back(
+            runModel(smart_cfg, model, 1).throughputTmacs / n1);
+        batch.push_back(
+            runModel(smart_cfg, model,
+                     cnn::paperBatchSize(model, false)).throughputTmacs /
+            nb);
+    }
+    return {geomean(single), geomean(batch)};
+}
+
+} // namespace smart::bench
+
+#endif // SMART_BENCH_UTIL_HH

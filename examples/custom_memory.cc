@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Plugging a hypothetical future cryogenic memory into the framework:
+ * define its Table-1-style parameters, evaluate it both as a full SPM
+ * replacement and as SMART's RANDOM array via the write-latency /
+ * busy-time hooks, and compare against the shipped technologies.
+ */
+
+#include <iostream>
+
+#include "accel/perf.hh"
+#include "common/logging.hh"
+#include "cnn/models.hh"
+#include "common/table.hh"
+#include "cryomem/random_array.hh"
+
+int
+main()
+{
+    using namespace smart;
+
+    setInformEnabled(false);
+    auto model = cnn::convLayersOnly(cnn::makeModel("ResNet50"));
+
+    // A hypothetical "fast JJ memory": VTM-like latency with MRAM-like
+    // density. Until it has its own TechParams entry, evaluate it by
+    // overriding the RANDOM array timing hooks of a Heter-style scheme
+    // (the same hook Fig. 25 uses).
+    Table t({"RANDOM candidate", "write lat (ns)",
+             "single thr (TMAC/s)", "vs SMART"});
+
+    auto smart_cfg = accel::makeSmart();
+    const double smart_thr =
+        accel::runInference(smart_cfg, model, 1).throughputTmacs();
+
+    struct Candidate
+    {
+        const char *name;
+        double writeNs; //!< 0 = keep the CMOS-SFQ model.
+    };
+    const Candidate candidates[] = {
+        {"CMOS-SFQ (paper)", 0.0},
+        {"hypothetical fast-JJ (0.05 ns)", 0.05},
+        {"MRAM-class writes (2 ns)", 2.0},
+        {"SNM-class writes (3 ns)", 3.0},
+    };
+    for (const auto &c : candidates) {
+        accel::AcceleratorConfig cfg = accel::makeSmart();
+        cfg.randomWriteLatencyNsOverride = c.writeNs;
+        const double thr =
+            accel::runInference(cfg, model, 1).throughputTmacs();
+        t.row()
+            .cell(c.name)
+            .num(c.writeNs > 0 ? c.writeNs : 0.103, 3)
+            .num(thr, 1)
+            .num(thr / smart_thr, 2);
+    }
+
+    std::cout << "ResNet50 single-image with candidate RANDOM "
+                 "technologies:\n";
+    t.print(std::cout);
+
+    // The same candidate as a standalone array, via the cryomem layer.
+    cryo::RandomArrayConfig rc;
+    rc.tech = cryo::MemTech::Vtm;
+    rc.capacityBytes = 4 * units::mib;
+    cryo::RandomArrayModel arr(rc);
+    std::cout << "\nstandalone 4 MB VTM array: read "
+              << formatNum(arr.readLatencyNs(), 2) << " ns, area "
+              << formatNum(units::um2ToMm2(arr.area().totalUm2()), 2)
+              << " mm^2, leakage "
+              << formatSci(arr.leakageW(), 2) << " W\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Design-space exploration as an application: sweep the RANDOM array
+ * capacity and the SHIFT staging size under a chip-area budget and
+ * report the best configuration for batch GoogleNet serving — the kind
+ * of what-if a SMART adopter would run.
+ */
+
+#include <iostream>
+
+#include "accel/energy.hh"
+#include "accel/perf.hh"
+#include "common/logging.hh"
+#include "cnn/models.hh"
+#include "common/table.hh"
+#include "cryomem/cmos_sfq_array.hh"
+
+int
+main()
+{
+    using namespace smart;
+
+    setInformEnabled(false);
+    auto model = cnn::convLayersOnly(cnn::makeGoogleNet());
+    const double area_budget_mm2 = 60.0;
+
+    Table t({"RANDOM (MB)", "SHIFT (KB)", "area (mm^2)", "fits",
+             "batch thr (TMAC/s)", "energy/img (uJ)"});
+
+    double best_thr = 0.0;
+    std::string best;
+    for (std::uint64_t mb : {14, 28, 56}) {
+        for (std::uint64_t kb : {16, 32, 64}) {
+            accel::AcceleratorConfig cfg = accel::makeSmart();
+            cfg.randomArray.capacityBytes = mb * units::mib;
+            cfg.inputSpm.capacityBytes = kb * units::kib;
+            cfg.outputSpm.capacityBytes = kb * units::kib;
+            cfg.weightSpm.capacityBytes = kb * units::kib;
+
+            cryo::CmosSfqArrayConfig rc;
+            rc.capacityBytes = cfg.randomArray.capacityBytes;
+            rc.banks = cfg.randomArray.banks;
+            cryo::CmosSfqArrayModel arr(rc);
+            const double area_mm2 =
+                units::um2ToMm2(arr.area().totalUm2()) + 8.0;
+            const bool fits = area_mm2 <= area_budget_mm2;
+
+            auto r = accel::runInference(cfg, model, 20);
+            auto e = accel::computeEnergy(cfg, r);
+            const double thr = r.throughputTmacs();
+            t.row()
+                .integer(static_cast<long long>(mb))
+                .integer(static_cast<long long>(kb))
+                .num(area_mm2, 1)
+                .cell(fits ? "yes" : "no")
+                .num(thr, 1)
+                .num(e.totalJ(cfg.coolingFactor) / 20 * 1e6, 2);
+            if (fits && thr > best_thr) {
+                best_thr = thr;
+                best = std::to_string(mb) + " MB RANDOM / " +
+                       std::to_string(kb) + " KB SHIFT";
+            }
+        }
+    }
+
+    std::cout << "GoogleNet batch-20 serving under a "
+              << formatNum(area_budget_mm2, 0) << " mm^2 budget:\n";
+    t.print(std::cout);
+    std::cout << "\nbest in budget: " << best << " ("
+              << formatNum(best_thr, 1) << " TMAC/s)\n";
+    return 0;
+}

@@ -1,0 +1,313 @@
+#include "cnn/models.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smart::cnn
+{
+
+using systolic::ConvLayer;
+
+std::uint64_t
+CnnModel::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+std::uint64_t
+CnnModel::totalWeightBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.weightBytes();
+    return total;
+}
+
+std::uint64_t
+CnnModel::maxIfmapBytes() const
+{
+    std::uint64_t best = 0;
+    for (const auto &l : layers)
+        best = std::max(best, l.ifmapBytes());
+    return best;
+}
+
+std::uint64_t
+CnnModel::maxWeightBytes() const
+{
+    std::uint64_t best = 0;
+    for (const auto &l : layers)
+        best = std::max(best, l.weightBytes());
+    return best;
+}
+
+CnnModel
+makeAlexNet()
+{
+    CnnModel m;
+    m.name = "AlexNet";
+    m.layers = {
+        ConvLayer::conv("conv1", 227, 227, 3, 96, 11, 4, 0),
+        ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2),
+        ConvLayer::conv("conv3", 13, 13, 256, 384, 3),
+        ConvLayer::conv("conv4", 13, 13, 384, 384, 3),
+        ConvLayer::conv("conv5", 13, 13, 384, 256, 3),
+        ConvLayer::fc("fc6", 9216, 4096),
+        ConvLayer::fc("fc7", 4096, 4096),
+        ConvLayer::fc("fc8", 4096, 1000),
+    };
+    return m;
+}
+
+namespace
+{
+
+/** Append the 13 VGG16 convolution layers to @p layers. */
+void
+appendVgg16Convs(std::vector<ConvLayer> &layers)
+{
+    struct Stage { int size; int in; int out; int convs; };
+    const Stage stages[] = {
+        {224, 3, 64, 2},   {112, 64, 128, 2},  {56, 128, 256, 3},
+        {28, 256, 512, 3}, {14, 512, 512, 3},
+    };
+    int block = 1;
+    for (const auto &s : stages) {
+        int cin = s.in;
+        for (int i = 0; i < s.convs; ++i) {
+            layers.push_back(ConvLayer::conv(
+                "conv" + std::to_string(block) + "_" +
+                    std::to_string(i + 1),
+                s.size, s.size, cin, s.out, 3));
+            cin = s.out;
+        }
+        ++block;
+    }
+}
+
+} // namespace
+
+CnnModel
+makeVgg16()
+{
+    CnnModel m;
+    m.name = "VGG16";
+    appendVgg16Convs(m.layers);
+    m.layers.push_back(ConvLayer::fc("fc6", 25088, 4096));
+    m.layers.push_back(ConvLayer::fc("fc7", 4096, 4096));
+    m.layers.push_back(ConvLayer::fc("fc8", 4096, 1000));
+    return m;
+}
+
+namespace
+{
+
+/** Append one inception module's branch convolutions. */
+void
+appendInception(std::vector<ConvLayer> &layers, const std::string &name,
+                int size, int cin, int b1, int b2r, int b2, int b3r,
+                int b3, int b4)
+{
+    layers.push_back(
+        ConvLayer::conv(name + "/1x1", size, size, cin, b1, 1));
+    layers.push_back(
+        ConvLayer::conv(name + "/3x3_reduce", size, size, cin, b2r, 1));
+    layers.push_back(
+        ConvLayer::conv(name + "/3x3", size, size, b2r, b2, 3));
+    layers.push_back(
+        ConvLayer::conv(name + "/5x5_reduce", size, size, cin, b3r, 1));
+    layers.push_back(
+        ConvLayer::conv(name + "/5x5", size, size, b3r, b3, 5));
+    layers.push_back(
+        ConvLayer::conv(name + "/pool_proj", size, size, cin, b4, 1));
+}
+
+} // namespace
+
+CnnModel
+makeGoogleNet()
+{
+    CnnModel m;
+    m.name = "GoogleNet";
+    m.layers.push_back(ConvLayer::conv("conv1", 224, 224, 3, 64, 7, 2, 3));
+    m.layers.push_back(ConvLayer::conv("conv2_reduce", 56, 56, 64, 64, 1));
+    m.layers.push_back(ConvLayer::conv("conv2", 56, 56, 64, 192, 3));
+    appendInception(m.layers, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    appendInception(m.layers, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    appendInception(m.layers, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    appendInception(m.layers, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    appendInception(m.layers, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    appendInception(m.layers, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    appendInception(m.layers, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    appendInception(m.layers, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    appendInception(m.layers, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    m.layers.push_back(ConvLayer::fc("fc", 1024, 1000));
+    return m;
+}
+
+CnnModel
+makeMobileNet()
+{
+    CnnModel m;
+    m.name = "MobileNet";
+    m.layers.push_back(ConvLayer::conv("conv1", 224, 224, 3, 32, 3, 2));
+
+    struct Block { int size; int cin; int cout; int stride; };
+    const Block blocks[] = {
+        {112, 32, 64, 1},  {112, 64, 128, 2},  {56, 128, 128, 1},
+        {56, 128, 256, 2}, {28, 256, 256, 1},  {28, 256, 512, 2},
+        {14, 512, 512, 1}, {14, 512, 512, 1},  {14, 512, 512, 1},
+        {14, 512, 512, 1}, {14, 512, 512, 1},  {14, 512, 1024, 2},
+        {7, 1024, 1024, 1},
+    };
+    int idx = 2;
+    for (const auto &b : blocks) {
+        m.layers.push_back(ConvLayer::dwConv(
+            "dw" + std::to_string(idx), b.size, b.size, b.cin, 3,
+            b.stride));
+        const int out_size = b.stride == 2 ? b.size / 2 : b.size;
+        m.layers.push_back(ConvLayer::conv(
+            "pw" + std::to_string(idx), out_size, out_size, b.cin,
+            b.cout, 1));
+        ++idx;
+    }
+    m.layers.push_back(ConvLayer::fc("fc", 1024, 1000));
+    return m;
+}
+
+namespace
+{
+
+/** Append one ResNet bottleneck block (1x1 -> 3x3 -> 1x1). */
+void
+appendBottleneck(std::vector<ConvLayer> &layers, const std::string &name,
+                 int size, int cin, int mid, int out, int stride,
+                 bool projection)
+{
+    layers.push_back(
+        ConvLayer::conv(name + "/1x1a", size, size, cin, mid, 1, stride));
+    const int mid_size = size / stride;
+    layers.push_back(
+        ConvLayer::conv(name + "/3x3", mid_size, mid_size, mid, mid, 3));
+    layers.push_back(ConvLayer::conv(name + "/1x1b", mid_size, mid_size,
+                                     mid, out, 1));
+    if (projection) {
+        layers.push_back(ConvLayer::conv(name + "/proj", size, size, cin,
+                                         out, 1, stride));
+    }
+}
+
+} // namespace
+
+CnnModel
+makeResNet50()
+{
+    CnnModel m;
+    m.name = "ResNet50";
+    m.layers.push_back(ConvLayer::conv("conv1", 224, 224, 3, 64, 7, 2, 3));
+
+    struct Stage { int size; int mid; int out; int blocks; };
+    const Stage stages[] = {
+        {56, 64, 256, 3},
+        {56, 128, 512, 4},
+        {28, 256, 1024, 6},
+        {14, 512, 2048, 3},
+    };
+    int cin = 64;
+    int stage_idx = 2;
+    for (const auto &s : stages) {
+        int size = s.size;
+        for (int b = 0; b < s.blocks; ++b) {
+            const bool first = b == 0;
+            const int stride = (first && stage_idx > 2) ? 2 : 1;
+            appendBottleneck(m.layers,
+                             "res" + std::to_string(stage_idx) + "_" +
+                                 std::to_string(b + 1),
+                             size, cin, s.mid, s.out, stride, first);
+            if (first)
+                size /= stride;
+            cin = s.out;
+        }
+        ++stage_idx;
+    }
+    m.layers.push_back(ConvLayer::fc("fc", 2048, 1000));
+    return m;
+}
+
+CnnModel
+makeFasterRcnn()
+{
+    CnnModel m;
+    m.name = "FasterRCNN";
+    appendVgg16Convs(m.layers);
+    // Region proposal network over the conv5_3 feature map.
+    m.layers.push_back(ConvLayer::conv("rpn/conv", 14, 14, 512, 512, 3));
+    m.layers.push_back(ConvLayer::conv("rpn/cls", 14, 14, 512, 18, 1));
+    m.layers.push_back(ConvLayer::conv("rpn/bbox", 14, 14, 512, 36, 1));
+    // Detection head over pooled 7x7x512 regions.
+    m.layers.push_back(ConvLayer::fc("head/fc6", 25088, 4096));
+    m.layers.push_back(ConvLayer::fc("head/fc7", 4096, 4096));
+    m.layers.push_back(ConvLayer::fc("head/cls", 4096, 81));
+    m.layers.push_back(ConvLayer::fc("head/bbox", 4096, 324));
+    return m;
+}
+
+CnnModel
+convLayersOnly(const CnnModel &model)
+{
+    CnnModel out;
+    out.name = model.name;
+    for (const auto &l : model.layers) {
+        const bool is_fc = l.ifmapH == 1 && l.ifmapW == 1 &&
+                           l.kernelH == 1 && l.kernelW == 1;
+        if (!is_fc)
+            out.layers.push_back(l);
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+modelNames()
+{
+    static const std::vector<std::string> names = {
+        "AlexNet",  "FasterRCNN", "GoogleNet",
+        "MobileNet", "ResNet50",  "VGG16",
+    };
+    return names;
+}
+
+CnnModel
+makeModel(const std::string &name)
+{
+    if (name == "AlexNet")
+        return makeAlexNet();
+    if (name == "VGG16")
+        return makeVgg16();
+    if (name == "GoogleNet")
+        return makeGoogleNet();
+    if (name == "MobileNet")
+        return makeMobileNet();
+    if (name == "ResNet50")
+        return makeResNet50();
+    if (name == "FasterRCNN")
+        return makeFasterRcnn();
+    smart_fatal("unknown CNN model '", name, "'");
+}
+
+int
+paperBatchSize(const std::string &model, bool supernpu)
+{
+    if (supernpu)
+        return model == "VGG16" ? 7 : 30;
+    if (model == "AlexNet")
+        return 22;
+    if (model == "VGG16")
+        return 3;
+    return 20;
+}
+
+} // namespace smart::cnn

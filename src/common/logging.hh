@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 style.
+ *
+ * panic() is for conditions that indicate a bug in this library itself
+ * (it aborts, so a debugger can catch it); fatal() is for user errors such
+ * as invalid configurations (it exits cleanly with an error code). warn()
+ * and inform() report conditions without stopping the program.
+ */
+
+#ifndef SMART_COMMON_LOGGING_HH
+#define SMART_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace smart
+{
+
+/** Internal: print a tagged message and abort. Used by panic(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Internal: print a tagged message and exit(1). Used by fatal(). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Internal: print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Internal: print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+namespace logging_detail
+{
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace logging_detail
+
+} // namespace smart
+
+/** Report a library bug and abort. */
+#define smart_panic(...)                                                    \
+    ::smart::panicImpl(__FILE__, __LINE__,                                  \
+                       ::smart::logging_detail::concat(__VA_ARGS__))
+
+/** Report a user/configuration error and exit(1). */
+#define smart_fatal(...)                                                    \
+    ::smart::fatalImpl(__FILE__, __LINE__,                                  \
+                       ::smart::logging_detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define smart_warn(...)                                                     \
+    ::smart::warnImpl(::smart::logging_detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define smart_inform(...)                                                   \
+    ::smart::informImpl(::smart::logging_detail::concat(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define smart_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::smart::panicImpl(                                             \
+                __FILE__, __LINE__,                                         \
+                ::smart::logging_detail::concat(                            \
+                    "assertion '" #cond "' failed. ", ##__VA_ARGS__));      \
+        }                                                                   \
+    } while (0)
+
+#endif // SMART_COMMON_LOGGING_HH

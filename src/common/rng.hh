@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic xorshift random number generator. All stochastic pieces of
+ * the library (pulse-simulator jitter, property-test sweeps) use this so
+ * runs are reproducible without touching global std::rand state.
+ */
+
+#ifndef SMART_COMMON_RNG_HH
+#define SMART_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace smart
+{
+
+/** xorshift64* generator; tiny, fast, and deterministic per seed. */
+class Rng
+{
+  public:
+    /** Construct with a nonzero seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t
+    range(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace smart
+
+#endif // SMART_COMMON_RNG_HH

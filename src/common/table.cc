@@ -1,0 +1,123 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace smart
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    smart_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    smart_assert(cells.size() == headers_.size(),
+                 "row has ", cells.size(), " cells, expected ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder()
+{
+    table_.addRow(std::move(cells_));
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &s)
+{
+    cells_.push_back(s);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::num(double v, int precision)
+{
+    cells_.push_back(formatNum(v, precision));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::sci(double v, int precision)
+{
+    cells_.push_back(formatSci(v, precision));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::integer(long long v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatNum(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace smart

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Console table and CSV writers used by the bench harness to print the
+ * rows/series each paper figure reports.
+ */
+
+#ifndef SMART_COMMON_TABLE_HH
+#define SMART_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smart
+{
+
+/**
+ * A simple aligned-column text table. Headers are set once; rows are
+ * appended as strings or doubles and printed with aligned columns.
+ */
+class Table
+{
+  public:
+    /** Create a table with one column label per entry. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; size must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Builder for mixed string/numeric rows. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table &table) : table_(table) {}
+        ~RowBuilder();
+        RowBuilder(const RowBuilder &) = delete;
+        RowBuilder &operator=(const RowBuilder &) = delete;
+
+        /** Append a string cell. */
+        RowBuilder &cell(const std::string &s);
+        /** Append a numeric cell with the given precision. */
+        RowBuilder &num(double v, int precision = 3);
+        /** Append a numeric cell in scientific notation. */
+        RowBuilder &sci(double v, int precision = 2);
+        /** Append an integer cell. */
+        RowBuilder &integer(long long v);
+
+      private:
+        Table &table_;
+        std::vector<std::string> cells_;
+    };
+
+    /** Start building a row; the row commits when the builder dies. */
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of committed data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision into a string. */
+std::string formatNum(double v, int precision = 3);
+
+/** Format a double in scientific notation. */
+std::string formatSci(double v, int precision = 2);
+
+/** Print a section banner ("== title ==") used between bench sections. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace smart
+
+#endif // SMART_COMMON_TABLE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used throughout the library.
+ *
+ * Base units: time in picoseconds (double), energy in joules (double),
+ * power in watts (double), area in square micrometers (double), frequency
+ * in gigahertz (double), capacity in bytes (uint64_t). Cycle counts are
+ * uint64_t. These are plain doubles rather than strong types; the suffix
+ * conventions (latencyPs, energyJ, areaUm2, freqGhz) keep call sites
+ * readable without template overhead in hot simulator loops.
+ */
+
+#ifndef SMART_COMMON_UNITS_HH
+#define SMART_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace smart
+{
+
+/** Cycle count type used by all simulators. */
+using Cycles = std::uint64_t;
+
+namespace units
+{
+
+// Time conversions to picoseconds.
+constexpr double psPerNs = 1e3;
+constexpr double psPerUs = 1e6;
+constexpr double psPerMs = 1e9;
+constexpr double psPerS = 1e12;
+
+/** Nanoseconds to picoseconds. */
+constexpr double nsToPs(double ns) { return ns * psPerNs; }
+/** Picoseconds to nanoseconds. */
+constexpr double psToNs(double ps) { return ps / psPerNs; }
+/** Picoseconds to seconds. */
+constexpr double psToS(double ps) { return ps / psPerS; }
+/** Seconds to picoseconds. */
+constexpr double sToPs(double s) { return s * psPerS; }
+
+// Energy conversions to joules.
+constexpr double jPerFj = 1e-15;
+constexpr double jPerPj = 1e-12;
+constexpr double jPerNj = 1e-9;
+constexpr double jPerAj = 1e-18;
+
+/** Femtojoules to joules. */
+constexpr double fjToJ(double fj) { return fj * jPerFj; }
+/** Picojoules to joules. */
+constexpr double pjToJ(double pj) { return pj * jPerPj; }
+/** Joules to picojoules. */
+constexpr double jToPj(double j) { return j / jPerPj; }
+/** Joules to femtojoules. */
+constexpr double jToFj(double j) { return j / jPerFj; }
+
+// Power conversions to watts.
+constexpr double wPerUw = 1e-6;
+constexpr double wPerNw = 1e-9;
+constexpr double wPerMw = 1e-3;
+
+/** Microwatts to watts. */
+constexpr double uwToW(double uw) { return uw * wPerUw; }
+/** Nanowatts to watts. */
+constexpr double nwToW(double nw) { return nw * wPerNw; }
+/** Watts to milliwatts. */
+constexpr double wToMw(double w) { return w / wPerMw; }
+
+// Capacity.
+constexpr std::uint64_t kib = 1024ull;
+constexpr std::uint64_t mib = 1024ull * 1024ull;
+
+/** Frequency (GHz) to cycle time (ps). */
+constexpr double ghzToPs(double ghz) { return 1e3 / ghz; }
+/** Cycle time (ps) to frequency (GHz). */
+constexpr double psToGhz(double ps) { return 1e3 / ps; }
+
+// Area conversions.
+constexpr double um2PerMm2 = 1e6;
+
+/** Square millimeters to square micrometers. */
+constexpr double mm2ToUm2(double mm2) { return mm2 * um2PerMm2; }
+/** Square micrometers to square millimeters. */
+constexpr double um2ToMm2(double um2) { return um2 / um2PerMm2; }
+
+/**
+ * Feature-size-squared cell areas to um^2. The paper expresses cell sizes
+ * in F^2 where F is the JJ diameter (or CMOS node). @param f2 cell size in
+ * F^2, @param f_nm feature size in nanometers.
+ */
+constexpr double
+f2ToUm2(double f2, double f_nm)
+{
+    return f2 * (f_nm * 1e-3) * (f_nm * 1e-3);
+}
+
+} // namespace units
+
+namespace constants
+{
+
+/** Magnetic flux quantum (Wb). */
+constexpr double fluxQuantum = 2.067833848e-15;
+/** Vacuum permeability (H/m). */
+constexpr double mu0 = 1.25663706212e-6;
+/** Vacuum permittivity (F/m). */
+constexpr double eps0 = 8.8541878128e-12;
+/** Energy of a single JJ switching event (J), ~1e-19 J (paper Sec. 2.1). */
+constexpr double jjSwitchEnergyJ = 1e-19;
+/** Speed of light (m/s). */
+constexpr double c0 = 2.99792458e8;
+
+} // namespace constants
+
+} // namespace smart
+
+#endif // SMART_COMMON_UNITS_HH

@@ -1,0 +1,112 @@
+#include "compiler/greedy.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace smart::compiler
+{
+
+Schedule
+scheduleGreedy(const LayerDag &dag, const SchedParams &params)
+{
+    Schedule sched;
+    sched.decisions.assign(dag.objects.size(), ObjectDecision{});
+    sched.fromIlp = false;
+
+    // Savings density: saved cycles per byte when promoted from DRAM to
+    // SHIFT (the best case).
+    std::vector<std::size_t> order(dag.objects.size());
+    std::iota(order.begin(), order.end(), 0);
+    auto density = [&](std::size_t i) {
+        const auto &o = dag.objects[i];
+        if (o.bytes == 0)
+            return 0.0;
+        return static_cast<double>(o.accesses) *
+               (params.dramCyclesPerAccess -
+                params.shiftCyclesPerAccess) /
+               static_cast<double>(o.bytes);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return density(a) > density(b);
+              });
+
+    // Per-iteration, per-class SHIFT occupancy and per-iteration RANDOM
+    // occupancy (same accounting as validateSchedule()).
+    std::vector<std::vector<std::uint64_t>> shift_used(
+        dag.iterations,
+        std::vector<std::uint64_t>(numObjClasses, 0));
+    std::vector<std::uint64_t> random_used(dag.iterations, 0);
+
+    auto occupied_iters = [&](const MemoryObject &o, bool prefetched) {
+        std::vector<int> iters{o.iteration};
+        if (prefetched) {
+            for (int k = 1; k < params.prefetchIterations; ++k)
+                if (o.iteration - k >= 0)
+                    iters.push_back(o.iteration - k);
+        }
+        return iters;
+    };
+
+    for (std::size_t i : order) {
+        const auto &o = dag.objects[i];
+        auto &d = sched.decisions[i];
+        const bool can_prefetch =
+            params.prefetchIterations > 1 && o.iteration > 0;
+        const int cls = static_cast<int>(o.cls);
+
+        // Try SHIFT (with prefetch when possible).
+        bool fits_shift = true;
+        for (int n : occupied_iters(o, can_prefetch)) {
+            if (shift_used[n][cls] + o.bytes >
+                params.shiftCapacityBytes) {
+                fits_shift = false;
+                break;
+            }
+        }
+        if (fits_shift) {
+            d.placement = Placement::Shift;
+            d.prefetched = can_prefetch;
+            for (int n : occupied_iters(o, can_prefetch))
+                shift_used[n][cls] += o.bytes;
+            sched.objective +=
+                static_cast<double>(o.accesses) *
+                (params.dramCyclesPerAccess -
+                 params.shiftCyclesPerAccess);
+            continue;
+        }
+
+        // Try RANDOM.
+        if (params.hasRandomArray &&
+            random_used[o.iteration] + o.bytes <=
+                params.randomCapacityBytes) {
+            d.placement = Placement::Random;
+            d.prefetched = can_prefetch;
+            random_used[o.iteration] += o.bytes;
+            sched.objective +=
+                static_cast<double>(o.accesses) *
+                (params.dramCyclesPerAccess -
+                 params.randomCyclesPerAccess);
+            continue;
+        }
+
+        // DRAM fallback; PSums must never land here — squeeze them into
+        // RANDOM (or SHIFT) even if it overflows the greedy accounting,
+        // matching the hardware requirement that accumulators stay
+        // on-chip.
+        if (o.cls == ObjClass::Psum) {
+            d.placement = params.hasRandomArray ? Placement::Random
+                                                : Placement::Shift;
+            d.prefetched = false;
+        } else {
+            d.placement = Placement::Dram;
+        }
+    }
+
+    return sched;
+}
+
+} // namespace smart::compiler

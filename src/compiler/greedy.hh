@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Greedy SPM allocator: the ablation baseline for the ILP compiler.
+ * Objects are placed by descending latency-savings density (saved
+ * cycles per byte) into SHIFT, then RANDOM, then DRAM, honoring the
+ * same capacity constraints the ILP sees; prefetch is enabled for
+ * every eligible staged object.
+ */
+
+#ifndef SMART_COMPILER_GREEDY_HH
+#define SMART_COMPILER_GREEDY_HH
+
+#include "compiler/schedule.hh"
+
+namespace smart::compiler
+{
+
+/** Schedule one layer DAG greedily. */
+Schedule scheduleGreedy(const LayerDag &dag, const SchedParams &params);
+
+} // namespace smart::compiler
+
+#endif // SMART_COMPILER_GREEDY_HH

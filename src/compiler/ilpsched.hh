@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The ILP scheduling pass (Sec. 4.3, Eq. 5-6): binary placement and
+ * prefetch variables per memory object, latency-savings objective,
+ * consistency / capacity / bandwidth constraints, solved with the
+ * in-tree branch-and-bound solver. Falls back to the greedy allocator
+ * if the ILP is infeasible or hits its node limit without an incumbent.
+ */
+
+#ifndef SMART_COMPILER_ILPSCHED_HH
+#define SMART_COMPILER_ILPSCHED_HH
+
+#include "compiler/schedule.hh"
+
+namespace smart::compiler
+{
+
+/** Schedule one layer DAG with the ILP formulation. */
+Schedule scheduleIlp(const LayerDag &dag, const SchedParams &params);
+
+} // namespace smart::compiler
+
+#endif // SMART_COMPILER_ILPSCHED_HH

@@ -1,0 +1,31 @@
+#include "compiler/memobj.hh"
+
+#include "common/logging.hh"
+
+namespace smart::compiler
+{
+
+const char *
+objClassName(ObjClass c)
+{
+    switch (c) {
+      case ObjClass::Weight:
+        return "alpha";
+      case ObjClass::Input:
+        return "beta";
+      case ObjClass::Output:
+        return "gamma";
+      case ObjClass::Psum:
+        return "delta";
+    }
+    smart_panic("unknown object class");
+}
+
+std::string
+MemoryObject::id() const
+{
+    return std::string(objClassName(cls)) + "_" +
+           std::to_string(iteration);
+}
+
+} // namespace smart::compiler

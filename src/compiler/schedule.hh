@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SPM allocation schedule: the output of the ILP (or greedy) compiler
+ * pass, consumed by the accelerator performance model.
+ */
+
+#ifndef SMART_COMPILER_SCHEDULE_HH
+#define SMART_COMPILER_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/dag.hh"
+
+namespace smart::compiler
+{
+
+/** Where an object resides when its iteration consumes it (Table 3). */
+enum class Placement
+{
+    Shift,  //!< H: a private SHIFT array.
+    Random, //!< R: the shared RANDOM array.
+    Dram    //!< served directly from DRAM.
+};
+
+/** Human-readable placement name. */
+const char *placementName(Placement p);
+
+/** Decision for one memory object. */
+struct ObjectDecision
+{
+    Placement placement = Placement::Dram;
+    bool prefetched = false; //!< Staged >= 1 iteration in advance.
+};
+
+/** Resource/cost parameters the scheduler optimizes against. */
+struct SchedParams
+{
+    std::uint64_t shiftCapacityBytes = 32 * 1024;
+    std::uint64_t randomCapacityBytes = 28ull * 1024 * 1024;
+    /** Effective port cycles per access by placement. */
+    double shiftCyclesPerAccess = 1.0;
+    double randomCyclesPerAccess = 5.5;   //!< 0.103 ns / 0.019 ns.
+    double dramCyclesPerAccess = 16.0;    //!< 300 GB/s shared bus.
+    /** Staging bandwidth RANDOM -> SHIFT (bytes per accelerator cycle). */
+    double hrBandwidthBytesPerCycle = 47.0;
+    /** DRAM bandwidth (bytes per accelerator cycle). */
+    double dramBandwidthBytesPerCycle = 5.7;
+    /** Prefetch window a (Sec. 4.3); 1 disables prefetching. */
+    int prefetchIterations = 3;
+    /** Disable the RANDOM array entirely (SuperNPU-style SPMs). */
+    bool hasRandomArray = true;
+};
+
+/** A complete schedule for one layer DAG. */
+struct Schedule
+{
+    std::vector<ObjectDecision> decisions; //!< One per dag.objects.
+    double objective = 0.0;   //!< Scheduler objective (saved cycles).
+    bool fromIlp = false;     //!< Produced by the ILP (vs greedy).
+    int bnbNodes = 0;         //!< ILP search effort.
+
+    /** Fraction of class-c accesses served from @p placement. */
+    double servedFraction(const LayerDag &dag, ObjClass c,
+                          Placement p) const;
+    /** Bytes staged RANDOM -> SHIFT over the layer. */
+    std::uint64_t stagedBytes(const LayerDag &dag) const;
+    /** Bytes served straight from DRAM. */
+    std::uint64_t dramBytes(const LayerDag &dag) const;
+    /** Fraction of staged bytes hidden by prefetch. */
+    double prefetchedFraction(const LayerDag &dag) const;
+};
+
+/**
+ * Check a schedule against the capacity and consistency constraints;
+ * returns true when valid (used by tests and as a post-solve assert).
+ */
+bool validateSchedule(const LayerDag &dag, const SchedParams &params,
+                      const Schedule &schedule);
+
+} // namespace smart::compiler
+
+#endif // SMART_COMPILER_SCHEDULE_HH

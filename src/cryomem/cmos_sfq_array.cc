@@ -1,0 +1,171 @@
+#include "cryomem/cmos_sfq_array.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sfq/devices.hh"
+
+namespace smart::cryo
+{
+
+double
+PipelineBreakdown::totalPs() const
+{
+    return requestTreePs + ntronPs + subbankPs + dcSfqPs + replyTreePs;
+}
+
+SubbankModel
+CmosSfqArrayModel::makeSubbank(const CmosSfqArrayConfig &cfg, int mats)
+{
+    SubbankConfig sc;
+    sc.capacityBytes = cfg.capacityBytes / cfg.banks;
+    sc.mats = mats;
+    sc.nodeNm = cfg.featureNm;
+    sc.temperatureK = cfg.temperatureK;
+    sc.outputBits = cfg.outputBits;
+    return SubbankModel(sc);
+}
+
+int
+CmosSfqArrayModel::chooseMats(const CmosSfqArrayConfig &cfg)
+{
+    // Smallest power-of-two MAT count whose sub-bank access fits into
+    // one pipeline stage at the target frequency (Sec. 4.2.2: "limit the
+    // latency of each sub-bank within ~0.1 ns by adjusting the number of
+    // MATs inside a sub-bank").
+    const double stage_budget_ps =
+        std::max(units::ghzToPs(cfg.targetFreqGhz),
+                 sfq::ntronParams().latencyPs);
+    for (int mats = 1; mats <= 4096; mats *= 2) {
+        SubbankModel sub = makeSubbank(cfg, mats);
+        if (units::nsToPs(sub.readLatencyNs()) <= stage_budget_ps)
+            return mats;
+    }
+    smart_fatal("no MAT count lets a ",
+                cfg.capacityBytes / cfg.banks,
+                "-byte sub-bank meet the pipeline stage budget");
+}
+
+CmosSfqArrayModel::CmosSfqArrayModel(const CmosSfqArrayConfig &cfg)
+    : cfg_(cfg),
+      mats_(cfg.matsPerSubbank > 0 ? cfg.matsPerSubbank
+                                   : chooseMats(cfg)),
+      subbank_(makeSubbank(cfg, mats_))
+{
+    smart_assert(cfg_.banks >= 2, "pipelined array needs >= 2 banks");
+    smart_assert(cfg_.capacityBytes % cfg_.banks == 0,
+                 "capacity must divide across banks");
+
+    // --- Floorplan -------------------------------------------------
+    const double banks_area = subbank_.areaUm2() * cfg_.banks;
+    const double conv_area = units::f2ToUm2(
+        cfg_.banks * (4 * 30.0 + cfg_.outputBits * 90.0), cfg_.featureNm);
+    // Preliminary side estimate from sub-banks; the H-trees route over
+    // and beside the banks.
+    const double side_um = std::sqrt(banks_area * 1.1);
+
+    // --- H-trees ---------------------------------------------------
+    sfq::SfqHTreeConfig ht;
+    ht.leaves = cfg_.banks;
+    ht.arraySideUm = side_um;
+    ht.targetFreqGhz = cfg_.targetFreqGhz;
+    ht.stageBudgetPs = sfq::ntronParams().latencyPs;
+    // Request: address (log2 capacity) + write data + R/W strobe.
+    ht.requestBits =
+        static_cast<int>(std::ceil(std::log2(
+            static_cast<double>(cfg_.capacityBytes)))) +
+        cfg_.outputBits + 1;
+    ht.replyBits = cfg_.outputBits;
+    sfq::SfqHTree request(ht);
+    req_stats_ = request.stats();
+    req_energy_j_ = req_stats_.requestEnergyJ;
+
+    sfq::SfqHTree reply(ht);
+    reply_stats_ = reply.stats();
+    reply_energy_j_ = reply_stats_.replyEnergyJ;
+
+    tree_leakage_w_ = req_stats_.leakageW + reply_stats_.leakageW;
+
+    // --- Pipeline --------------------------------------------------
+    breakdown_.requestTreePs = req_stats_.rootToLeafLatencyPs;
+    breakdown_.ntronPs = sfq::ntronParams().latencyPs;
+    breakdown_.subbankPs = units::nsToPs(subbank_.readLatencyNs());
+    breakdown_.dcSfqPs = sfq::dcSfqParams().latencyPs;
+    breakdown_.replyTreePs = reply_stats_.rootToLeafLatencyPs;
+
+    // The achieved stage time is set by the slowest component; the
+    // target frequency only sizes the H-trees and sub-banks. With all
+    // components fitting the nTron stage the array runs at 9.7 GHz
+    // (Sec. 4.4).
+    stage_ps_ = std::max({sfq::ntronParams().latencyPs,
+                          sfq::dcSfqParams().latencyPs,
+                          breakdown_.subbankPs,
+                          req_stats_.maxStageLatencyPs,
+                          reply_stats_.maxStageLatencyPs});
+
+    // --- Area breakdown --------------------------------------------
+    const TechParams &tp = techParams(MemTech::JcsSram);
+    const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
+    area_.cellsUm2 = bits * tp.cellAreaUm2(cfg_.featureNm);
+    area_.cmosPeriphUm2 = banks_area - area_.cellsUm2;
+    area_.htreeUm2 = req_stats_.areaUm2 + reply_stats_.areaUm2;
+    area_.sfqDecoderUm2 = 0.0; // The whole point: no SFQ decoders.
+    area_.otherUm2 = conv_area;
+}
+
+double
+CmosSfqArrayModel::pipelineFreqGhz() const
+{
+    return units::psToGhz(stage_ps_);
+}
+
+double
+CmosSfqArrayModel::readLatencyNs() const
+{
+    return units::psToNs(breakdown_.totalPs());
+}
+
+double
+CmosSfqArrayModel::writeLatencyNs() const
+{
+    // Writes traverse the request tree, the nTron, and the sub-bank;
+    // no reply data returns.
+    return units::psToNs(breakdown_.requestTreePs + breakdown_.ntronPs +
+                         breakdown_.subbankPs);
+}
+
+double
+CmosSfqArrayModel::readEnergyJ() const
+{
+    return req_energy_j_ + sfq::ntronParams().energyPerOpJ() +
+           subbank_.energyPerAccessJ() +
+           cfg_.outputBits * sfq::dcSfqParams().energyPerOpJ() +
+           reply_energy_j_;
+}
+
+double
+CmosSfqArrayModel::writeEnergyJ() const
+{
+    return req_energy_j_ + sfq::ntronParams().energyPerOpJ() +
+           subbank_.energyPerAccessJ();
+}
+
+double
+CmosSfqArrayModel::leakageW() const
+{
+    const double conv_leak =
+        cfg_.banks * (sfq::ntronParams().leakageW +
+                      cfg_.outputBits * sfq::dcSfqParams().leakageW);
+    return subbank_.leakageW() * cfg_.banks + tree_leakage_w_ + conv_leak;
+}
+
+int
+CmosSfqArrayModel::pipelineDepth() const
+{
+    // Request tree stages + nTron + sub-bank + DC/SFQ + reply stages.
+    return req_stats_.pipelineStages + 1 + 1 + 1 +
+           reply_stats_.pipelineStages;
+}
+
+} // namespace smart::cryo

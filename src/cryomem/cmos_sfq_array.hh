@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The paper's primary memory contribution: the pipelined CMOS-SFQ
+ * random-access array (Sec. 4.2, Fig. 10/11).
+ *
+ * CMOS sub-banks (SRAM cells with CMOS row decoders, column muxes, and
+ * sense amplifiers) are connected by SFQ H-trees built from PTLs and
+ * splitter units. nTrons convert SFQ requests to CMOS levels; level-
+ * driven DC/SFQ converters turn read data back into pulses. The pipeline
+ * stage time is bounded below by the nTron (103.02 ps), capping the
+ * frequency at ~9.6 GHz (Sec. 4.2.4).
+ */
+
+#ifndef SMART_CRYOMEM_CMOS_SFQ_ARRAY_HH
+#define SMART_CRYOMEM_CMOS_SFQ_ARRAY_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "cryomem/random_array.hh"
+#include "cryomem/subbank.hh"
+#include "sfq/htree.hh"
+
+namespace smart::cryo
+{
+
+/** Configuration of a pipelined CMOS-SFQ array. */
+struct CmosSfqArrayConfig
+{
+    std::uint64_t capacityBytes = 28 * units::mib;
+    int banks = 256;
+    double featureNm = defaultFeatureNm;
+    double temperatureK = 4.0;
+    double targetFreqGhz = 9.6; //!< Desired pipeline frequency.
+    int matsPerSubbank = 0;     //!< 0 = choose automatically.
+    int outputBits = 8;         //!< 1 byte per bank per cycle (Sec. 4.4).
+};
+
+/** Pipeline stage breakdown of one access (Fig. 11c). */
+struct PipelineBreakdown
+{
+    double requestTreePs = 0.0; //!< Array edge to sub-bank (SFQ H-tree).
+    double ntronPs = 0.0;       //!< SFQ-to-CMOS conversion.
+    double subbankPs = 0.0;     //!< CMOS sub-bank access.
+    double dcSfqPs = 0.0;       //!< CMOS-to-SFQ conversion.
+    double replyTreePs = 0.0;   //!< Sub-bank to array edge.
+
+    /** End-to-end unloaded access latency (ps). */
+    double totalPs() const;
+};
+
+/**
+ * Analytical model of the pipelined CMOS-SFQ array: frequency, access
+ * latency, per-access energy, leakage, and area, composed mechanically
+ * from the sub-bank model and the SFQ H-tree builder.
+ */
+class CmosSfqArrayModel
+{
+  public:
+    /** Build the model; chooses MAT count if not pinned. */
+    explicit CmosSfqArrayModel(const CmosSfqArrayConfig &cfg);
+
+    /** Achieved pipeline frequency (GHz). */
+    double pipelineFreqGhz() const;
+    /** Pipeline stage (cycle) time (ps). */
+    double stageTimePs() const { return stage_ps_; }
+    /** Unloaded read latency breakdown. */
+    const PipelineBreakdown &breakdown() const { return breakdown_; }
+    /** Unloaded read latency (ns). */
+    double readLatencyNs() const;
+    /** Write latency (ns): same path, no reply data. */
+    double writeLatencyNs() const;
+
+    /** Dynamic energy of one read access (J). */
+    double readEnergyJ() const;
+    /** Dynamic energy of one write access (J). */
+    double writeEnergyJ() const;
+
+    /** Static leakage power of the whole array (W). */
+    double leakageW() const;
+
+    /** Area decomposition (um^2). */
+    const AreaBreakdown &area() const { return area_; }
+
+    /** Chosen MATs per sub-bank. */
+    int matsPerSubbank() const { return mats_; }
+    /** Pipeline depth of a read (stages through trees and conversion). */
+    int pipelineDepth() const;
+    /** Sub-bank model used per bank. */
+    const SubbankModel &subbank() const { return subbank_; }
+    /** Request H-tree statistics. */
+    const sfq::SfqHTreeStats &requestTree() const { return req_stats_; }
+
+    /** Configuration used to build the model. */
+    const CmosSfqArrayConfig &config() const { return cfg_; }
+
+  private:
+    static SubbankModel makeSubbank(const CmosSfqArrayConfig &cfg,
+                                    int mats);
+    static int chooseMats(const CmosSfqArrayConfig &cfg);
+
+    CmosSfqArrayConfig cfg_;
+    int mats_;
+    SubbankModel subbank_;
+    sfq::SfqHTreeStats req_stats_;
+    sfq::SfqHTreeStats reply_stats_;
+    PipelineBreakdown breakdown_;
+    AreaBreakdown area_;
+    double stage_ps_;
+    double req_energy_j_;
+    double reply_energy_j_;
+    double tree_leakage_w_;
+};
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_CMOS_SFQ_ARRAY_HH

@@ -1,0 +1,53 @@
+#include "cryomem/dse.hh"
+
+#include "common/units.hh"
+#include "sfq/devices.hh"
+
+namespace smart::cryo
+{
+
+double
+maxPipelineFreqGhz()
+{
+    // The nTron stage cannot be split further (Sec. 4.2.4).
+    return units::psToGhz(sfq::ntronParams().latencyPs);
+}
+
+std::vector<DsePoint>
+sweepPipelineFrequency(const CmosSfqArrayConfig &base,
+                       const std::vector<double> &freqs_ghz)
+{
+    std::vector<DsePoint> points;
+    points.reserve(freqs_ghz.size());
+
+    for (double f : freqs_ghz) {
+        DsePoint p;
+        p.targetFreqGhz = f;
+        if (f > maxPipelineFreqGhz() + 1e-9) {
+            points.push_back(p);
+            continue;
+        }
+        CmosSfqArrayConfig cfg = base;
+        cfg.targetFreqGhz = f;
+        cfg.matsPerSubbank = 0; // re-derive per point
+        CmosSfqArrayModel model(cfg);
+
+        p.feasible = true;
+        p.achievedFreqGhz = model.pipelineFreqGhz();
+        p.matsPerSubbank = model.matsPerSubbank();
+        p.repeaters = model.requestTree().repeaters;
+        // Fig. 14 plots the overheads that grow with frequency: per-MAT
+        // peripherals and H-tree bias power (cell leakage is constant
+        // across the sweep and excluded, as the Sec. 4.2.4 discussion
+        // attributes the growth to added peripherals).
+        p.leakageMw = units::wToMw(
+            model.subbank().peripheralLeakageW() * cfg.banks +
+            model.requestTree().leakageW * 2.0);
+        p.energyPerAccessNj = model.readEnergyJ() / units::jPerNj;
+        p.areaMm2 = units::um2ToMm2(model.area().totalUm2());
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace smart::cryo

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Pipeline design space exploration for the CMOS-SFQ array (Sec. 4.2.4,
+ * Fig. 14): sweep the target pipeline frequency, resize sub-banks and
+ * re-pipeline H-trees at each point, and report peripheral leakage,
+ * per-access energy, and area. The nTron bounds the feasible region at
+ * ~9.6 GHz.
+ */
+
+#ifndef SMART_CRYOMEM_DSE_HH
+#define SMART_CRYOMEM_DSE_HH
+
+#include <vector>
+
+#include "cryomem/cmos_sfq_array.hh"
+
+namespace smart::cryo
+{
+
+/** One point of the Fig. 14 design space sweep. */
+struct DsePoint
+{
+    double targetFreqGhz = 0.0;  //!< Requested pipeline frequency.
+    bool feasible = false;       //!< nTron allows this frequency.
+    double achievedFreqGhz = 0.0; //!< Frequency actually reached.
+    int matsPerSubbank = 0;      //!< MATs chosen to fit the stage.
+    int repeaters = 0;           //!< H-tree repeaters inserted.
+    double leakageMw = 0.0;      //!< Peripheral + tree leakage (mW).
+    double energyPerAccessNj = 0.0; //!< Read energy (nJ).
+    double areaMm2 = 0.0;        //!< Total array area (mm^2).
+};
+
+/** Maximum feasible pipeline frequency (GHz), set by the nTron. */
+double maxPipelineFreqGhz();
+
+/**
+ * Sweep the design space at the given frequencies. Infeasible points
+ * (beyond the nTron limit) are returned with feasible = false and no
+ * model evaluation.
+ */
+std::vector<DsePoint> sweepPipelineFrequency(
+    const CmosSfqArrayConfig &base, const std::vector<double> &freqs_ghz);
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_DSE_HH

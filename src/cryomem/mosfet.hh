@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cryogenic MOSFET scaling model (cryo-pgen substitute).
+ *
+ * The paper adapts CryoRAM's cryo-pgen from 77 K to 4 K by adjusting
+ * three temperature-dependent device parameters: carrier mobility,
+ * saturation velocity, and threshold voltage (Sec. 4.2.3, refs [2, 12]).
+ * This module produces the same derived quantities our CACTI-lite
+ * sub-bank model needs: an on-current (drive) factor, a leakage factor,
+ * and the shifted threshold voltage, each relative to the 300 K baseline.
+ */
+
+#ifndef SMART_CRYOMEM_MOSFET_HH
+#define SMART_CRYOMEM_MOSFET_HH
+
+namespace smart::cryo
+{
+
+/** Derived MOSFET characteristics at a given temperature. */
+struct MosfetParams
+{
+    double temperatureK;   //!< Operating temperature.
+    double mobilityFactor; //!< Carrier mobility relative to 300 K.
+    double vsatFactor;     //!< Saturation velocity relative to 300 K.
+    double vthV;           //!< Threshold voltage (V).
+    double vddV;           //!< Nominal supply (V), node dependent.
+    double ionFactor;      //!< Drive current relative to 300 K.
+    double leakageFactor;  //!< Subthreshold leakage relative to 300 K.
+};
+
+/**
+ * Evaluate the cryogenic MOSFET model.
+ *
+ * @param temperature_k operating temperature; 300, 77, and 4 K are the
+ *        calibrated points, intermediate values are interpolated.
+ * @param node_nm process node (sets Vdd and the 300 K Vth).
+ */
+MosfetParams cryoMosfet(double temperature_k, double node_nm);
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_MOSFET_HH

@@ -1,0 +1,167 @@
+#include "cryomem/random_array.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "cryomem/mosfet.hh"
+#include "cryomem/subbank.hh"
+#include "sfq/devices.hh"
+#include "sfq/htree.hh"
+
+namespace smart::cryo
+{
+
+double
+AreaBreakdown::totalUm2() const
+{
+    return cellsUm2 + sfqDecoderUm2 + cmosPeriphUm2 + htreeUm2 + otherUm2;
+}
+
+namespace
+{
+
+/**
+ * Leakage per bit (W) at the operating point for the Table 1 qualitative
+ * classes. "Tiny" covers superconducting selects (hTron bias), "medium"
+ * covers CMOS SRAM cells already reduced >90 % at 4 K (Sec. 3).
+ */
+double
+leakPerBitW(LeakageClass c)
+{
+    switch (c) {
+      case LeakageClass::None:
+        return 0.0;
+      case LeakageClass::Tiny:
+        return 4e-12;    // hTron/bias selects
+      case LeakageClass::Medium:
+        return 434e-12;  // 21.7 nW/bit at 300 K x 0.02 at 4 K
+    }
+    smart_panic("unknown leakage class");
+}
+
+} // namespace
+
+RandomArrayModel::RandomArrayModel(const RandomArrayConfig &cfg) : cfg_(cfg)
+{
+    smart_assert(cfg_.banks >= 1, "array needs at least one bank");
+    smart_assert(cfg_.capacityBytes >= 1024, "array too small");
+    const TechParams &tp = techParams(cfg_.tech);
+    smart_assert(tp.randomAccess, "technology ", tp.name,
+                 " has no random access capability");
+
+    const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
+    const double bank_bytes =
+        static_cast<double>(cfg_.capacityBytes) / cfg_.banks;
+
+    // --- Area ------------------------------------------------------
+    area_.cellsUm2 = bits * tp.cellAreaUm2(cfg_.featureNm);
+
+    // SFQ decoders: a bank-select decoder plus one row decoder per bank.
+    const double rows_per_bank = std::sqrt(bank_bytes * 8.0);
+    const double sfq_dec_f2 =
+        (cfg_.banks + cfg_.banks * rows_per_bank) * sfqDecoderF2PerOutput;
+    area_.sfqDecoderUm2 = units::f2ToUm2(sfq_dec_f2, cfg_.featureNm);
+
+    // Other periphery: hTron/nTron row+column drivers, DC/SFQ
+    // converters, bias distribution.
+    area_.otherUm2 = units::f2ToUm2(
+        2.0 * cfg_.banks * rows_per_bank * 120.0, cfg_.featureNm);
+
+    // --- Latency ---------------------------------------------------
+    sfq_dec_ns_ = units::psToNs(
+        std::ceil(std::log2(static_cast<double>(
+            std::max(2, cfg_.banks)))) *
+        (sfq::splitterParams().latencyPs + 4.0));
+
+    double cell_read_ns = tp.readLatencyNs;
+    double cell_write_ns = tp.writeLatencyNs;
+
+    if (cfg_.tech == MemTech::JcsSram) {
+        SubbankConfig sc;
+        sc.capacityBytes = static_cast<std::uint64_t>(bank_bytes);
+        sc.mats = 16;
+        sc.nodeNm = cfg_.featureNm;
+        sc.temperatureK = cfg_.temperatureK;
+        SubbankModel sub(sc);
+
+        const double cells_per_bank_um2 =
+            bank_bytes * 8.0 * tp.cellAreaUm2(cfg_.featureNm);
+        area_.cmosPeriphUm2 =
+            (sub.areaUm2() - cells_per_bank_um2) * cfg_.banks;
+
+        const double side_um = std::sqrt(
+            area_.cellsUm2 + area_.cmosPeriphUm2 + area_.sfqDecoderUm2);
+        const double path_um = sfq::CmosHTree::pathLengthUm(side_um);
+        area_.htreeUm2 =
+            sfq::CmosHTree::totalWireUm(side_um, cfg_.banks) * 1.2;
+
+        htree_lat_ns_ = units::psToNs(sfq::CmosHTree::latencyPs(path_um));
+        htree_energy_j_ =
+            sfq::CmosHTree::energyJ(path_um, 41 /* addr + data byte */);
+        subbank_lat_ns_ = sub.readLatencyNs();
+        subbank_energy_j_ = sub.energyPerAccessJ();
+        conv_ns_ = units::psToNs(sfq::ntronParams().latencyPs +
+                                 sfq::dcSfqParams().latencyPs);
+
+        cell_read_ns = subbank_lat_ns_ + htree_lat_ns_ + conv_ns_;
+        cell_write_ns = cell_read_ns;
+        leakage_w_ = sub.leakageW() * cfg_.banks;
+    } else {
+        leakage_w_ = leakPerBitW(tp.leakage) * bits;
+    }
+
+    read_latency_ns_ = sfq_dec_ns_ + cell_read_ns;
+    write_latency_ns_ = sfq_dec_ns_ + cell_write_ns;
+}
+
+double
+RandomArrayModel::bankBusyReadNs() const
+{
+    const TechParams &tp = techParams(cfg_.tech);
+    // Bank occupancy excludes the shared H-tree / decoder traversal,
+    // which overlaps across banks.
+    double busy = cfg_.tech == MemTech::JcsSram
+                      ? subbank_lat_ns_ + conv_ns_
+                      : tp.readLatencyNs;
+    if (tp.destructiveRead)
+        busy += tp.writeLatencyNs;
+    return busy;
+}
+
+double
+RandomArrayModel::bankBusyWriteNs() const
+{
+    const TechParams &tp = techParams(cfg_.tech);
+    return cfg_.tech == MemTech::JcsSram ? subbank_lat_ns_ + conv_ns_
+                                         : tp.writeLatencyNs;
+}
+
+double
+RandomArrayModel::readEnergyJ() const
+{
+    const TechParams &tp = techParams(cfg_.tech);
+    if (cfg_.tech == MemTech::JcsSram)
+        return subbank_energy_j_ + htree_energy_j_;
+    double e = tp.readEnergyJ;
+    if (tp.destructiveRead)
+        e += tp.writeEnergyJ; // restore after destructive read
+    return e;
+}
+
+double
+RandomArrayModel::writeEnergyJ() const
+{
+    const TechParams &tp = techParams(cfg_.tech);
+    if (cfg_.tech == MemTech::JcsSram)
+        return subbank_energy_j_ + htree_energy_j_;
+    return tp.writeEnergyJ;
+}
+
+double
+RandomArrayModel::arraySideUm() const
+{
+    return std::sqrt(area_.totalUm2());
+}
+
+} // namespace smart::cryo

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Random-access cryogenic memory array model for the prior technologies
+ * the paper compares against (VTM, Josephson-CMOS SRAM, SHE-MRAM, SNM;
+ * Sec. 2.3 and Sec. 3).
+ *
+ * All four share the structure of Fig. 3(b): SFQ decoders and
+ * multiplexers select a bank; the cell array supplies the Table 1 cell
+ * latency/energy. Josephson-CMOS SRAM additionally pays the CMOS H-tree
+ * (Fig. 9) and nTron / DC-SFQ conversion delays. The SFQ periphery costs
+ * area per decoded output (Sec. 2.1's 4-to-16 decoder data point).
+ */
+
+#ifndef SMART_CRYOMEM_RANDOM_ARRAY_HH
+#define SMART_CRYOMEM_RANDOM_ARRAY_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "cryomem/tech.hh"
+
+namespace smart::cryo
+{
+
+/** Configuration of a banked random-access array. */
+struct RandomArrayConfig
+{
+    MemTech tech = MemTech::JcsSram;
+    std::uint64_t capacityBytes = 28 * units::mib;
+    int banks = 256;
+    double featureNm = defaultFeatureNm;
+    double temperatureK = 4.0;
+};
+
+/** Area decomposition used by the Fig. 5(c) and Fig. 17 benches. */
+struct AreaBreakdown
+{
+    double cellsUm2 = 0.0;       //!< Storage cell array.
+    double sfqDecoderUm2 = 0.0;  //!< SFQ decoders + multiplexers.
+    double cmosPeriphUm2 = 0.0;  //!< CMOS decoders/SAs (SRAM only).
+    double htreeUm2 = 0.0;       //!< Interconnect tree.
+    double otherUm2 = 0.0;       //!< Drivers, converters, pads.
+
+    /** Sum of all components. */
+    double totalUm2() const;
+};
+
+/**
+ * Timing, energy, power, and area model of a banked random-access
+ * cryogenic memory array built from one of the prior technologies.
+ */
+class RandomArrayModel
+{
+  public:
+    /** Build the model for the given configuration. */
+    explicit RandomArrayModel(const RandomArrayConfig &cfg);
+
+    /** Read access latency (ns), including periphery. */
+    double readLatencyNs() const { return read_latency_ns_; }
+    /** Write access latency (ns), including periphery. */
+    double writeLatencyNs() const { return write_latency_ns_; }
+
+    /**
+     * Time the addressed bank stays busy on a read (ns): the cell/
+     * sub-bank occupancy, excluding the shared tree traversal. For SNM
+     * this includes the restore write forced by its destructive read.
+     */
+    double bankBusyReadNs() const;
+    /** Time the addressed bank stays busy on a write (ns). */
+    double bankBusyWriteNs() const;
+
+    /** Dynamic energy of one read (J); SNM includes the restore. */
+    double readEnergyJ() const;
+    /** Dynamic energy of one write (J). */
+    double writeEnergyJ() const;
+
+    /** Static leakage power of the whole array (W). */
+    double leakageW() const { return leakage_w_; }
+
+    /** Area decomposition (um^2). */
+    const AreaBreakdown &area() const { return area_; }
+
+    /** Physical side of the (square) array floorplan (um). */
+    double arraySideUm() const;
+
+    /** CMOS H-tree share of the read latency (J-CMOS SRAM only). */
+    double htreeLatencyNs() const { return htree_lat_ns_; }
+    /** CMOS H-tree share of the access energy (J-CMOS SRAM only). */
+    double htreeEnergyJ() const { return htree_energy_j_; }
+    /** Sub-bank share of the read latency (J-CMOS SRAM only). */
+    double subbankLatencyNs() const { return subbank_lat_ns_; }
+    /** Sub-bank share of the access energy (J-CMOS SRAM only). */
+    double subbankEnergyJ() const { return subbank_energy_j_; }
+    /** SFQ decoder share of the read latency (ns). */
+    double sfqDecoderLatencyNs() const { return sfq_dec_ns_; }
+    /** nTron + DC/SFQ conversion latency (J-CMOS SRAM only, ns). */
+    double conversionLatencyNs() const { return conv_ns_; }
+
+    /** Configuration used to build the model. */
+    const RandomArrayConfig &config() const { return cfg_; }
+
+  private:
+    RandomArrayConfig cfg_;
+    double read_latency_ns_ = 0.0;
+    double write_latency_ns_ = 0.0;
+    double leakage_w_ = 0.0;
+    double htree_lat_ns_ = 0.0;
+    double htree_energy_j_ = 0.0;
+    double subbank_lat_ns_ = 0.0;
+    double subbank_energy_j_ = 0.0;
+    double sfq_dec_ns_ = 0.0;
+    double conv_ns_ = 0.0;
+    AreaBreakdown area_;
+};
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_RANDOM_ARRAY_HH

@@ -1,0 +1,87 @@
+#include "cryomem/shift_array.hh"
+
+#include "common/logging.hh"
+#include "cryomem/tech.hh"
+
+namespace smart::cryo
+{
+
+ShiftLane::ShiftLane(std::uint64_t stages) : stages_(stages)
+{
+    smart_assert(stages_ > 0, "SHIFT lane needs at least one stage");
+}
+
+std::uint64_t
+ShiftLane::access(std::uint64_t pos)
+{
+    std::uint64_t cost = peekCost(pos);
+    head_ = pos % stages_;
+    return cost;
+}
+
+std::uint64_t
+ShiftLane::peekCost(std::uint64_t pos) const
+{
+    pos %= stages_;
+    return pos >= head_ ? pos - head_ : stages_ - head_ + pos;
+}
+
+ShiftArray::ShiftArray(const ShiftArrayConfig &cfg) : cfg_(cfg)
+{
+    smart_assert(cfg_.banks > 0, "SHIFT array needs at least one bank");
+    smart_assert(cfg_.capacityBytes % cfg_.banks == 0,
+                 "capacity ", cfg_.capacityBytes,
+                 " does not divide across ", cfg_.banks, " banks");
+    lane_bytes_ = cfg_.capacityBytes / cfg_.banks;
+    lanes_.assign(cfg_.banks, ShiftLane(lane_bytes_));
+}
+
+int
+ShiftArray::bankOf(std::uint64_t addr) const
+{
+    return static_cast<int>(addr % cfg_.banks);
+}
+
+std::uint64_t
+ShiftArray::lanePosOf(std::uint64_t addr) const
+{
+    return (addr / cfg_.banks) % lane_bytes_;
+}
+
+std::uint64_t
+ShiftArray::access(std::uint64_t addr)
+{
+    return lanes_[bankOf(addr)].access(lanePosOf(addr));
+}
+
+void
+ShiftArray::reset()
+{
+    for (auto &lane : lanes_)
+        lane.reset();
+}
+
+double
+ShiftArray::laneStepEnergyJ() const
+{
+    // laneBytes * 8 bit cells, 0.1 fJ each (Table 1), all of which
+    // transfer their flux quantum on one shift step.
+    return static_cast<double>(lane_bytes_) * 8.0 *
+           techParams(MemTech::Shift).readEnergyJ;
+}
+
+double
+ShiftArray::areaUm2() const
+{
+    const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
+    const double cells =
+        bits * units::f2ToUm2(techParams(MemTech::Shift).cellSizeF2,
+                              cfg_.featureNm);
+    // A few SFQ splitters/mergers select among banks; model one splitter
+    // unit worth of area per bank.
+    const double selects =
+        cfg_.banks * units::f2ToUm2(360.0, cfg_.featureNm);
+    return cells + selects;
+}
+
+} // namespace smart::cryo

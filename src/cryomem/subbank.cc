@@ -1,0 +1,120 @@
+#include "cryomem/subbank.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "cryomem/mosfet.hh"
+#include "cryomem/tech.hh"
+
+namespace smart::cryo
+{
+
+namespace
+{
+
+// Latency constants at the 180 nm / 300 K reference; scaled by
+// (node / 180 nm) and divided by the cryogenic drive factor. Calibrated
+// against the 4 K SRAM chip points (see file header).
+constexpr double decPerLevelPs180 = 10.2;  //!< Decoder delay per level.
+constexpr double fixedPs180 = 46.6;        //!< Wordline + SA + mux.
+constexpr double blPerRowPs180 = 2.41;     //!< Bitline delay per row.
+
+// Energy constants at the 28 nm / 4 K reference, anchored so the paper's
+// 112 KB / 16-MAT sub-bank costs ~39 pJ per access (half the 96 KB SHIFT
+// bank energy, Fig. 16). Scaled by node width and Vdd^2.
+constexpr double energyFixedPj28 = 2.2;    //!< Decoder + SA fixed energy.
+constexpr double energyPerColPj28 = 0.171; //!< Bitline swing per column.
+
+// Leakage constants at 28 nm / 300 K; the cell term assumes fast low-Vt
+// cryo-optimized cells and is tuned so the 256-bank 28 MB CMOS-SFQ array
+// leaks ~102 mW at 4 K (paper Sec. 4.4) after the >90 % cryogenic
+// leakage reduction.
+constexpr double leakPerBitW28 = 21.7e-9;  //!< Cell leakage per bit.
+constexpr double leakPerMatW28 = 120e-6;   //!< Peripheral leakage per MAT.
+
+// Area: 6T SRAM cell of 146 F^2 (Table 1) plus per-MAT peripherals.
+constexpr double saAreaF2PerCol = 200.0;
+
+} // namespace
+
+SubbankModel::SubbankModel(const SubbankConfig &cfg) : cfg_(cfg)
+{
+    smart_assert(cfg_.capacityBytes > 0, "sub-bank capacity must be > 0");
+    smart_assert(cfg_.mats >= 1, "sub-bank needs at least one MAT");
+    smart_assert(cfg_.outputBits >= 1, "output width must be >= 1 bit");
+
+    const double bits_per_mat =
+        static_cast<double>(cfg_.capacityBytes) * 8.0 / cfg_.mats;
+    smart_assert(bits_per_mat >= 64.0,
+                 "MATs too small: ", bits_per_mat, " bits per MAT");
+    rows_ = std::sqrt(bits_per_mat);
+
+    MosfetParams mos = cryoMosfet(cfg_.temperatureK, cfg_.nodeNm);
+    ionFactor_ = mos.ionFactor;
+    leakFactor_ = mos.leakageFactor;
+    vddV_ = mos.vddV;
+}
+
+double
+SubbankModel::readLatencyNs() const
+{
+    const double node_scale = cfg_.nodeNm / 180.0;
+    const double levels = std::log2(rows_);
+    const double ps = (decPerLevelPs180 * levels + fixedPs180 +
+                       blPerRowPs180 * rows_) *
+                      node_scale / ionFactor_;
+    return units::psToNs(ps);
+}
+
+double
+SubbankModel::energyPerAccessJ() const
+{
+    // Scale from the 28 nm anchor by wire width and Vdd^2; cryogenic
+    // operation improves bitline swing efficiency slightly (x0.9 at 4 K).
+    const double node_scale = cfg_.nodeNm / 28.0;
+    const double volt_scale = (vddV_ / 0.8) * (vddV_ / 0.8);
+    const double temp_scale = cfg_.temperatureK <= 80.0 ? 0.9 : 1.0;
+    const double pj = (energyFixedPj28 + energyPerColPj28 * rows_) *
+                      node_scale * volt_scale * temp_scale;
+    return units::pjToJ(pj);
+}
+
+double
+SubbankModel::cellLeakageW() const
+{
+    const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
+    const double node_scale = (cfg_.nodeNm / 28.0) * (vddV_ / 0.8);
+    return leakPerBitW28 * bits * node_scale * leakFactor_;
+}
+
+double
+SubbankModel::peripheralLeakageW() const
+{
+    const double node_scale = (cfg_.nodeNm / 28.0) * (vddV_ / 0.8);
+    return leakPerMatW28 * cfg_.mats * node_scale * leakFactor_;
+}
+
+double
+SubbankModel::leakageW() const
+{
+    return cellLeakageW() + peripheralLeakageW();
+}
+
+double
+SubbankModel::areaUm2() const
+{
+    const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
+    const double cell_um2 =
+        units::f2ToUm2(techParams(MemTech::JcsSram).cellSizeF2,
+                       cfg_.nodeNm);
+    const double cells = bits * cell_um2;
+
+    // Per-MAT peripherals: a CMOS row decoder (per decoded output) plus
+    // sense amplifiers per column.
+    const double periph_f2 =
+        cfg_.mats * rows_ * (cmosDecoderF2PerOutput + saAreaF2PerCol);
+    return cells + units::f2ToUm2(periph_f2, cfg_.nodeNm);
+}
+
+} // namespace smart::cryo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CACTI-lite analytical model of a CMOS SRAM sub-bank at cryogenic
+ * temperatures (the paper's modified cryo-mem, Sec. 4.2.3).
+ *
+ * The model decomposes access latency into decoder, wordline+fixed, and
+ * bitline terms, and access energy into a fixed term plus a per-active-
+ * column term. Constants are defined at the 180 nm / 300 K reference and
+ * scaled by process node and by the cryogenic MOSFET drive factor; they
+ * are calibrated so the 0.18 um / 4 K configuration lands 3-8 % above the
+ * published 4 K SRAM chip latencies and 8-12 % above its energies
+ * (conservative parameters, exactly as the paper reports in Fig. 12).
+ */
+
+#ifndef SMART_CRYOMEM_SUBBANK_HH
+#define SMART_CRYOMEM_SUBBANK_HH
+
+#include <cstdint>
+
+namespace smart::cryo
+{
+
+/** Configuration of one CMOS sub-bank. */
+struct SubbankConfig
+{
+    std::uint64_t capacityBytes = 112 * 1024; //!< Sub-bank capacity.
+    int mats = 16;            //!< Memory array tiles inside the sub-bank.
+    double nodeNm = 28.0;     //!< Process node.
+    double temperatureK = 4.0; //!< Operating temperature.
+    int outputBits = 8;       //!< Word width delivered per access.
+};
+
+/** Analytical latency/energy/area/leakage model of a CMOS sub-bank. */
+class SubbankModel
+{
+  public:
+    /** Build the model; validates the configuration. */
+    explicit SubbankModel(const SubbankConfig &cfg);
+
+    /** Rows (= columns) of one square MAT. */
+    double rows() const { return rows_; }
+
+    /** Read access latency (ns): decoder + wordline + bitline + sense. */
+    double readLatencyNs() const;
+    /** Write access latency (ns); equal to read for SRAM. */
+    double writeLatencyNs() const { return readLatencyNs(); }
+
+    /** Dynamic energy of one access (J). */
+    double energyPerAccessJ() const;
+
+    /** Static leakage power of the whole sub-bank (W). */
+    double leakageW() const;
+    /** Leakage of the cell array alone (W), for DSE breakdowns. */
+    double cellLeakageW() const;
+    /** Leakage of the per-MAT peripherals alone (W). */
+    double peripheralLeakageW() const;
+
+    /** Layout area (um^2) including peripherals. */
+    double areaUm2() const;
+
+    /** Configuration used to build the model. */
+    const SubbankConfig &config() const { return cfg_; }
+
+  private:
+    SubbankConfig cfg_;
+    double rows_;
+    double ionFactor_;
+    double leakFactor_;
+    double vddV_;
+};
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_SUBBANK_HH

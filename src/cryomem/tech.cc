@@ -1,0 +1,70 @@
+#include "cryomem/tech.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace smart::cryo
+{
+
+double
+TechParams::cellAreaUm2(double f_nm) const
+{
+    return units::f2ToUm2(cellSizeF2, f_nm);
+}
+
+namespace
+{
+
+using units::fjToJ;
+using units::pjToJ;
+
+// Paper Table 1. SRAM read/write latency is the 2-4 ns range for a large
+// (28 MB) array; the CACTI-lite sub-bank model refines it per capacity,
+// and 3 ns is the representative midpoint used for flat estimates.
+const std::vector<TechParams> tech_table = {
+    {MemTech::Shift, "SHIFT", 0.02, 0.02, 39.0, fjToJ(0.1), fjToJ(0.1),
+     LeakageClass::None, false, false},
+    {MemTech::Vtm, "VTM", 0.1, 0.1, 203.0, pjToJ(0.1), pjToJ(0.1),
+     LeakageClass::Tiny, true, false},
+    {MemTech::JcsSram, "SRAM", 3.0, 3.0, 146.0, pjToJ(0.1), pjToJ(0.1),
+     LeakageClass::Medium, true, false},
+    {MemTech::Mram, "MRAM", 0.1, 2.0, 89.0, pjToJ(1.0), pjToJ(8.0),
+     LeakageClass::Tiny, true, false},
+    {MemTech::Snm, "SNM", 0.1, 3.0, 54.0, fjToJ(10.0), fjToJ(10.0),
+     LeakageClass::Tiny, true, true},
+    {MemTech::CmosSfq, "CMOS-SFQ", 0.11, 0.11, 146.0, pjToJ(0.1),
+     pjToJ(0.1), LeakageClass::Medium, true, false},
+};
+
+} // namespace
+
+const TechParams &
+techParams(MemTech tech)
+{
+    for (const auto &t : tech_table)
+        if (t.tech == tech)
+            return t;
+    smart_panic("unknown memory technology");
+}
+
+const std::vector<TechParams> &
+allTechs()
+{
+    return tech_table;
+}
+
+std::string
+leakageClassName(LeakageClass c)
+{
+    switch (c) {
+      case LeakageClass::None:
+        return "no";
+      case LeakageClass::Tiny:
+        return "tiny";
+      case LeakageClass::Medium:
+        return "medium";
+    }
+    smart_panic("unknown leakage class");
+}
+
+} // namespace smart::cryo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cryogenic memory technology parameter table (paper Table 1) and the
+ * SFQ/CMOS decoder overhead constants of Sec. 2.1.
+ */
+
+#ifndef SMART_CRYOMEM_TECH_HH
+#define SMART_CRYOMEM_TECH_HH
+
+#include <string>
+#include <vector>
+
+namespace smart::cryo
+{
+
+/** Cryogenic memory technologies studied by the paper. */
+enum class MemTech
+{
+    Shift,   //!< SFQ shift-register memory (serial DFF lanes).
+    Vtm,     //!< Vortex transition memory.
+    JcsSram, //!< Josephson-CMOS SRAM (SFQ periphery + CMOS array).
+    Mram,    //!< Spin-hall-effect MRAM with hTron selects.
+    Snm,     //!< Superconducting nanowire memory.
+    CmosSfq  //!< This paper's pipelined CMOS-SFQ array.
+};
+
+/** Leakage class labels used in Table 1. */
+enum class LeakageClass
+{
+    None,
+    Tiny,
+    Medium
+};
+
+/** Per-cell technology parameters (paper Table 1). */
+struct TechParams
+{
+    MemTech tech;
+    std::string name;
+    double readLatencyNs;  //!< Cell/array read latency.
+    double writeLatencyNs; //!< Cell/array write latency.
+    double cellSizeF2;     //!< Cell area in F^2 (F = JJ diameter / node).
+    double readEnergyJ;    //!< Energy of one read access.
+    double writeEnergyJ;   //!< Energy of one write access.
+    LeakageClass leakage;  //!< Qualitative leakage class.
+    bool randomAccess;     //!< Supports random access.
+    bool destructiveRead;  //!< Reads destroy the cell contents (SNM).
+
+    /** Cell area in um^2 at feature size @p f_nm. */
+    double cellAreaUm2(double f_nm) const;
+};
+
+/** Look up the Table 1 parameters of one technology. */
+const TechParams &techParams(MemTech tech);
+
+/** All technologies in Table 1 order (SHIFT first, CMOS-SFQ last). */
+const std::vector<TechParams> &allTechs();
+
+/** Human-readable name of a leakage class. */
+std::string leakageClassName(LeakageClass c);
+
+/**
+ * Decoder area constants (Sec. 2.1): a SFQ 4-to-16 decoder occupies
+ * 77K F^2 (NEC Nb process) versus 23K F^2 for a synthesized 28 nm CMOS
+ * decoder; per decoded output line this is ~4.8K F^2 (SFQ) and
+ * ~1.44K F^2 (CMOS).
+ */
+constexpr double sfqDecoderF2PerOutput = 77e3 / 16.0;
+constexpr double cmosDecoderF2PerOutput = 23e3 / 16.0;
+
+/** The paper's JJ/CMOS scaling hypothesis: both scale to 28 nm. */
+constexpr double defaultFeatureNm = 28.0;
+
+} // namespace smart::cryo
+
+#endif // SMART_CRYOMEM_TECH_HH

@@ -1,0 +1,367 @@
+#include "ilp/simplex.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace smart::ilp
+{
+
+const char *
+statusName(SolveStatus s)
+{
+    switch (s) {
+      case SolveStatus::Optimal:
+        return "optimal";
+      case SolveStatus::Infeasible:
+        return "infeasible";
+      case SolveStatus::Unbounded:
+        return "unbounded";
+      case SolveStatus::IterLimit:
+        return "iteration-limit";
+      case SolveStatus::NodeLimit:
+        return "node-limit";
+    }
+    smart_panic("unknown status");
+}
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Accumulate duplicate terms of an expression into a coefficient map. */
+std::unordered_map<int, double>
+collectTerms(const LinExpr &expr)
+{
+    std::unordered_map<int, double> coeffs;
+    for (const auto &[id, c] : expr.terms())
+        coeffs[id] += c;
+    return coeffs;
+}
+
+/** Dense two-phase simplex working state. */
+class Tableau
+{
+  public:
+    Tableau(const Model &model, const SolverOptions &opts);
+
+    /** Run both phases; returns the LP status. */
+    SolveStatus solve();
+
+    /** Structural variable values (unshifted). */
+    std::vector<double> extractValues() const;
+    /** Objective value at the current basis. */
+    double objectiveValue(const std::vector<double> &values) const;
+    /** Total pivots performed. */
+    int iters() const { return iters_; }
+
+  private:
+    bool pivotLoop(const std::vector<double> &cost, bool phase1);
+    void pivot(int row, int col);
+    /** Recompute the full reduced-cost row for the given cost vector. */
+    std::vector<double> reducedRow(const std::vector<double> &cost) const;
+
+    const Model &model_;
+    const SolverOptions &opts_;
+    int n_;               //!< Structural variables.
+    int cols_ = 0;        //!< Total tableau columns (without rhs).
+    int first_artificial_ = 0;
+    std::vector<std::vector<double>> a_; //!< m x cols_ coefficients.
+    std::vector<double> rhs_;
+    std::vector<int> basis_;
+    std::vector<double> shift_; //!< Lower-bound shift per structural var.
+    int iters_ = 0;
+    bool unbounded_ = false;
+};
+
+Tableau::Tableau(const Model &model, const SolverOptions &opts)
+    : model_(model), opts_(opts), n_(model.numVars())
+{
+    shift_.resize(n_);
+    for (int j = 0; j < n_; ++j) {
+        smart_assert(std::isfinite(model.lb(j)),
+                     "variable ", model.varName(j),
+                     " needs a finite lower bound");
+        shift_[j] = model.lb(j);
+    }
+
+    // Gather rows: model constraints plus finite upper bounds.
+    struct Row
+    {
+        std::unordered_map<int, double> coeffs;
+        Sense sense;
+        double rhs;
+    };
+    std::vector<Row> rows;
+    for (const auto &c : model.constraints()) {
+        Row r;
+        r.coeffs = collectTerms(c.expr);
+        r.sense = c.sense;
+        r.rhs = c.rhs;
+        for (const auto &[id, coeff] : r.coeffs)
+            r.rhs -= coeff * shift_[id];
+        rows.push_back(std::move(r));
+    }
+    for (int j = 0; j < n_; ++j) {
+        if (std::isfinite(model.ub(j))) {
+            Row r;
+            r.coeffs[j] = 1.0;
+            r.sense = Sense::Le;
+            r.rhs = model.ub(j) - shift_[j];
+            rows.push_back(std::move(r));
+        }
+    }
+
+    // Normalize rhs >= 0.
+    for (auto &r : rows) {
+        if (r.rhs < 0) {
+            r.rhs = -r.rhs;
+            for (auto &[id, coeff] : r.coeffs)
+                coeff = -coeff;
+            r.sense = r.sense == Sense::Le
+                          ? Sense::Ge
+                          : (r.sense == Sense::Ge ? Sense::Le : Sense::Eq);
+        }
+    }
+
+    const int m = static_cast<int>(rows.size());
+    int slacks = 0;
+    int artificials = 0;
+    for (const auto &r : rows) {
+        if (r.sense != Sense::Eq)
+            ++slacks;
+        if (r.sense != Sense::Le)
+            ++artificials;
+    }
+    first_artificial_ = n_ + slacks;
+    cols_ = n_ + slacks + artificials;
+
+    a_.assign(m, std::vector<double>(cols_, 0.0));
+    rhs_.resize(m);
+    basis_.resize(m);
+
+    int slack_col = n_;
+    int art_col = first_artificial_;
+    for (int i = 0; i < m; ++i) {
+        for (const auto &[id, coeff] : rows[i].coeffs)
+            a_[i][id] = coeff;
+        rhs_[i] = rows[i].rhs;
+        switch (rows[i].sense) {
+          case Sense::Le:
+            a_[i][slack_col] = 1.0;
+            basis_[i] = slack_col++;
+            break;
+          case Sense::Ge:
+            a_[i][slack_col++] = -1.0;
+            a_[i][art_col] = 1.0;
+            basis_[i] = art_col++;
+            break;
+          case Sense::Eq:
+            a_[i][art_col] = 1.0;
+            basis_[i] = art_col++;
+            break;
+        }
+    }
+}
+
+std::vector<double>
+Tableau::reducedRow(const std::vector<double> &cost) const
+{
+    std::vector<double> red(cost.begin(), cost.begin() + cols_);
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+        const double cb = cost[basis_[i]];
+        if (cb == 0.0)
+            continue;
+        const auto &row = a_[i];
+        for (int j = 0; j < cols_; ++j)
+            red[j] -= cb * row[j];
+    }
+    return red;
+}
+
+void
+Tableau::pivot(int row, int col)
+{
+    const double p = a_[row][col];
+    for (double &v : a_[row])
+        v /= p;
+    rhs_[row] /= p;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+        if (static_cast<int>(i) == row)
+            continue;
+        const double f = a_[i][col];
+        if (f == 0.0)
+            continue;
+        for (int j = 0; j < cols_; ++j)
+            a_[i][j] -= f * a_[row][j];
+        rhs_[i] -= f * rhs_[row];
+        // Clamp tiny negative residues from cancellation.
+        if (rhs_[i] < 0 && rhs_[i] > -opts_.eps)
+            rhs_[i] = 0.0;
+    }
+    basis_[row] = col;
+}
+
+bool
+Tableau::pivotLoop(const std::vector<double> &cost, bool phase1)
+{
+    const int m = static_cast<int>(a_.size());
+    const int bland_threshold = 3 * (m + cols_);
+    int stall = 0;
+    double last_obj = -kInf;
+
+    // Reduced costs are maintained incrementally across pivots (the
+    // classic objective-row trick); recomputing per candidate would be
+    // O(m * n) per pricing pass.
+    std::vector<double> red = reducedRow(cost);
+    const int scan_end = phase1 ? cols_ : first_artificial_;
+
+    while (iters_ < opts_.maxIters) {
+        // Pricing: Dantzig unless stalling, then Bland.
+        const bool bland = stall > bland_threshold;
+        int enter = -1;
+        double best = opts_.eps;
+        for (int j = 0; j < scan_end; ++j) {
+            if (red[j] > best) {
+                enter = j;
+                if (bland)
+                    break;
+                best = red[j];
+            }
+        }
+        if (enter < 0)
+            return true; // optimal for this phase
+
+        // Ratio test (Bland tie-break on basis index).
+        int leave = -1;
+        double best_ratio = kInf;
+        for (int i = 0; i < m; ++i) {
+            if (a_[i][enter] > opts_.eps) {
+                const double ratio = rhs_[i] / a_[i][enter];
+                if (ratio < best_ratio - opts_.eps ||
+                    (ratio < best_ratio + opts_.eps && leave >= 0 &&
+                     basis_[i] < basis_[leave])) {
+                    best_ratio = ratio;
+                    leave = i;
+                }
+            }
+        }
+        if (leave < 0) {
+            unbounded_ = true;
+            return true;
+        }
+
+        pivot(leave, enter);
+        ++iters_;
+
+        // Update reduced costs against the normalized pivot row.
+        const double re = red[enter];
+        const auto &prow = a_[leave];
+        for (int j = 0; j < cols_; ++j)
+            red[j] -= re * prow[j];
+        red[enter] = 0.0;
+
+        // Stall detection for the Bland fallback.
+        double obj = 0.0;
+        for (int i = 0; i < m; ++i)
+            obj += cost[basis_[i]] * rhs_[i];
+        if (obj > last_obj + opts_.eps) {
+            last_obj = obj;
+            stall = 0;
+        } else {
+            ++stall;
+        }
+    }
+    return false; // iteration limit
+}
+
+SolveStatus
+Tableau::solve()
+{
+    const int m = static_cast<int>(a_.size());
+
+    // Phase 1: maximize -sum(artificials).
+    if (first_artificial_ < cols_) {
+        std::vector<double> cost(cols_, 0.0);
+        for (int j = first_artificial_; j < cols_; ++j)
+            cost[j] = -1.0;
+        if (!pivotLoop(cost, true))
+            return SolveStatus::IterLimit;
+        double infeas = 0.0;
+        for (int i = 0; i < m; ++i)
+            if (basis_[i] >= first_artificial_)
+                infeas += rhs_[i];
+        if (infeas > 1e-7)
+            return SolveStatus::Infeasible;
+        // Drive remaining zero-level artificials out of the basis.
+        for (int i = 0; i < m; ++i) {
+            if (basis_[i] < first_artificial_)
+                continue;
+            int repl = -1;
+            for (int j = 0; j < first_artificial_; ++j) {
+                if (std::fabs(a_[i][j]) > opts_.eps) {
+                    repl = j;
+                    break;
+                }
+            }
+            if (repl >= 0)
+                pivot(i, repl);
+            // else: redundant row; the artificial stays basic at zero.
+        }
+    }
+
+    // Phase 2: the real objective over structural columns.
+    std::vector<double> cost(cols_, 0.0);
+    const double dir = model_.maximize() ? 1.0 : -1.0;
+    for (const auto &[id, c] : model_.objective().terms())
+        cost[id] += dir * c;
+    unbounded_ = false;
+    if (!pivotLoop(cost, false))
+        return SolveStatus::IterLimit;
+    if (unbounded_)
+        return SolveStatus::Unbounded;
+    return SolveStatus::Optimal;
+}
+
+std::vector<double>
+Tableau::extractValues() const
+{
+    std::vector<double> y(cols_, 0.0);
+    for (std::size_t i = 0; i < a_.size(); ++i)
+        y[basis_[i]] = rhs_[i];
+    std::vector<double> x(n_);
+    for (int j = 0; j < n_; ++j)
+        x[j] = y[j] + shift_[j];
+    return x;
+}
+
+double
+Tableau::objectiveValue(const std::vector<double> &values) const
+{
+    double obj = 0.0;
+    for (const auto &[id, c] : model_.objective().terms())
+        obj += c * values[id];
+    return obj;
+}
+
+} // namespace
+
+Solution
+solveLp(const Model &model, const SolverOptions &opts)
+{
+    Tableau t(model, opts);
+    Solution sol;
+    sol.status = t.solve();
+    sol.simplexIters = t.iters();
+    if (sol.status == SolveStatus::Optimal) {
+        sol.values = t.extractValues();
+        sol.objective = t.objectiveValue(sol.values);
+    }
+    return sol;
+}
+
+} // namespace smart::ilp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dense two-phase primal simplex for the LP relaxations used by the
+ * branch-and-bound ILP solver. Dantzig pricing with a Bland's-rule
+ * fallback for anti-cycling; variable bounds are folded into the
+ * tableau (lower bounds by shifting, upper bounds as explicit rows).
+ */
+
+#ifndef SMART_ILP_SIMPLEX_HH
+#define SMART_ILP_SIMPLEX_HH
+
+#include <vector>
+
+#include "ilp/model.hh"
+
+namespace smart::ilp
+{
+
+/** Termination status of a solve. */
+enum class SolveStatus
+{
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterLimit,
+    NodeLimit
+};
+
+/** Human-readable status name. */
+const char *statusName(SolveStatus s);
+
+/** Solver tolerances and limits. */
+struct SolverOptions
+{
+    double eps = 1e-9;        //!< Pivot / feasibility tolerance.
+    double intTol = 1e-6;     //!< Integrality tolerance.
+    int maxIters = 50000;     //!< Simplex iteration cap per LP.
+    int maxBnbNodes = 20000;  //!< Branch & bound node cap.
+    /**
+     * Accept an incumbent within this relative gap of the root LP
+     * bound (0 demands proven optimality).
+     */
+    double gapTol = 0.0;
+};
+
+/** Result of an LP or ILP solve. */
+struct Solution
+{
+    SolveStatus status = SolveStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> values; //!< One entry per model variable.
+    int simplexIters = 0;       //!< Total simplex pivots.
+    int bnbNodes = 0;           //!< Branch & bound nodes explored.
+
+    /** Value of a variable in this solution. */
+    double value(Var v) const { return values[v.id]; }
+    /** True if the solve produced a usable assignment. */
+    bool feasible() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::NodeLimit;
+    }
+};
+
+/** Solve the LP relaxation of @p model (integrality ignored). */
+Solution solveLp(const Model &model, const SolverOptions &opts = {});
+
+} // namespace smart::ilp
+
+#endif // SMART_ILP_SIMPLEX_HH

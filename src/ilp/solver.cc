@@ -1,0 +1,209 @@
+#include "ilp/solver.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace smart::ilp
+{
+
+namespace
+{
+
+/** Indices of integer-constrained variables. */
+std::vector<int>
+integerVars(const Model &model)
+{
+    std::vector<int> ids;
+    for (int j = 0; j < model.numVars(); ++j)
+        if (model.type(j) != VarType::Continuous)
+            ids.push_back(j);
+    return ids;
+}
+
+/** Most-fractional integer variable in @p values, or -1 if integral. */
+int
+pickBranchVar(const std::vector<int> &int_vars,
+              const std::vector<double> &values, double tol)
+{
+    int best = -1;
+    double best_frac = tol;
+    for (int j : int_vars) {
+        const double f = values[j] - std::floor(values[j]);
+        const double frac = std::min(f, 1.0 - f);
+        if (frac > best_frac) {
+            best_frac = frac;
+            best = j;
+        }
+    }
+    return best;
+}
+
+/**
+ * Try rounding an LP solution to an integral assignment and verify
+ * feasibility; used to seed the incumbent early.
+ */
+bool
+roundedFeasible(const Model &model, std::vector<double> &values,
+                double eps)
+{
+    for (int j = 0; j < model.numVars(); ++j) {
+        if (model.type(j) == VarType::Continuous)
+            continue;
+        values[j] = std::round(values[j]);
+        if (values[j] < model.lb(j) || values[j] > model.ub(j))
+            return false;
+    }
+    for (const auto &c : model.constraints()) {
+        double lhs = 0.0;
+        for (const auto &[id, coeff] : c.expr.terms())
+            lhs += coeff * values[id];
+        switch (c.sense) {
+          case Sense::Le:
+            if (lhs > c.rhs + eps)
+                return false;
+            break;
+          case Sense::Ge:
+            if (lhs < c.rhs - eps)
+                return false;
+            break;
+          case Sense::Eq:
+            if (std::fabs(lhs - c.rhs) > eps)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+double
+objectiveOf(const Model &model, const std::vector<double> &values)
+{
+    double obj = 0.0;
+    for (const auto &[id, c] : model.objective().terms())
+        obj += c * values[id];
+    return obj;
+}
+
+/** DFS node: variable bound overrides relative to the root model. */
+struct Node
+{
+    std::vector<std::pair<int, std::pair<double, double>>> bounds;
+};
+
+} // namespace
+
+Solution
+solve(const Model &model, const SolverOptions &opts)
+{
+    const std::vector<int> int_vars = integerVars(model);
+    if (int_vars.empty())
+        return solveLp(model, opts);
+
+    Model work = model; // mutable copy for bound overrides
+
+    Solution best;
+    best.status = SolveStatus::Infeasible;
+    bool have_incumbent = false;
+    const double dir = model.maximize() ? 1.0 : -1.0;
+
+    int nodes = 0;
+    int total_iters = 0;
+    std::vector<Node> stack;
+    stack.push_back(Node{});
+    bool node_limit_hit = false;
+    double root_bound = 0.0;
+    bool have_root_bound = false;
+
+    while (!stack.empty()) {
+        if (nodes >= opts.maxBnbNodes) {
+            node_limit_hit = true;
+            break;
+        }
+        // Gap-based early acceptance against the root relaxation.
+        if (have_incumbent && have_root_bound && opts.gapTol > 0.0) {
+            const double gap =
+                std::fabs(root_bound - dir * best.objective) /
+                (std::fabs(root_bound) + 1e-12);
+            if (gap <= opts.gapTol)
+                break;
+        }
+        Node node = std::move(stack.back());
+        stack.pop_back();
+        ++nodes;
+
+        // Apply this node's bound overrides.
+        std::vector<std::pair<int, std::pair<double, double>>> saved;
+        for (const auto &[id, b] : node.bounds) {
+            saved.push_back({id, {work.lb(id), work.ub(id)}});
+            work.setBounds(id, b.first, b.second);
+        }
+
+        Solution relax = solveLp(work, opts);
+        total_iters += relax.simplexIters;
+        if (!have_root_bound && relax.status == SolveStatus::Optimal) {
+            root_bound = dir * relax.objective;
+            have_root_bound = true;
+        }
+
+        bool prune = relax.status != SolveStatus::Optimal;
+        if (!prune && have_incumbent &&
+            dir * relax.objective <= dir * best.objective + 1e-9)
+            prune = true; // bound: cannot beat the incumbent
+
+        if (!prune) {
+            const int branch =
+                pickBranchVar(int_vars, relax.values, opts.intTol);
+            if (branch < 0) {
+                // Integral solution: new incumbent.
+                if (!have_incumbent ||
+                    dir * relax.objective > dir * best.objective) {
+                    best = relax;
+                    have_incumbent = true;
+                }
+            } else {
+                // Incumbent heuristic: rounded LP solution.
+                std::vector<double> rounded = relax.values;
+                if (roundedFeasible(work, rounded, 1e-6)) {
+                    const double obj = objectiveOf(model, rounded);
+                    if (!have_incumbent ||
+                        dir * obj > dir * best.objective) {
+                        best.status = SolveStatus::Optimal;
+                        best.objective = obj;
+                        best.values = rounded;
+                        have_incumbent = true;
+                    }
+                }
+                const double v = relax.values[branch];
+                Node down = node;
+                down.bounds.push_back(
+                    {branch, {work.lb(branch), std::floor(v)}});
+                Node up = node;
+                up.bounds.push_back(
+                    {branch, {std::ceil(v), work.ub(branch)}});
+                // Explore the rounding-closest side first.
+                if (v - std::floor(v) < 0.5) {
+                    stack.push_back(std::move(up));
+                    stack.push_back(std::move(down));
+                } else {
+                    stack.push_back(std::move(down));
+                    stack.push_back(std::move(up));
+                }
+            }
+        }
+
+        // Restore bounds for the next node.
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it)
+            work.setBounds(it->first, it->second.first,
+                           it->second.second);
+    }
+
+    best.bnbNodes = nodes;
+    best.simplexIters = total_iters;
+    if (have_incumbent && node_limit_hit)
+        best.status = SolveStatus::NodeLimit;
+    return best;
+}
+
+} // namespace smart::ilp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SFQ circuit component models: splitter, PTL driver, PTL receiver, nTron,
+ * and level-driven DC/SFQ converter. Latency and power numbers follow
+ * Table 2 of the SMART paper (MICRO'21); JJ counts follow Fig. 11(e-g).
+ *
+ * Energy-per-operation is derived from the Table 2 dynamic power at the
+ * paper's pipeline reference frequency (9.6 GHz), plus the JJ switching
+ * energy for components whose JJ count is given by the schematics.
+ */
+
+#ifndef SMART_SFQ_DEVICES_HH
+#define SMART_SFQ_DEVICES_HH
+
+#include <string>
+
+namespace smart::sfq
+{
+
+/** Reference pipeline frequency used to convert dynamic power to energy. */
+constexpr double refPipelineFreqGhz = 9.6;
+
+/**
+ * Static description of one SFQ component type. All components are
+ * value-type parameter bundles; circuit composition happens in the H-tree
+ * builder and the pulse simulator.
+ */
+struct ComponentParams
+{
+    std::string name;     //!< Component name for reports.
+    double latencyPs;     //!< Propagation latency (ps), Table 2.
+    double leakageW;      //!< Static (bias) power (W), Table 2.
+    double dynamicW;      //!< Dynamic power at 9.6 GHz (W), Table 2.
+    int jjCount;          //!< Josephson junctions in the component.
+    double areaUm2;       //!< Layout area (um^2) at 28 nm-equivalent JJs.
+
+    /** Dynamic switching energy of one operation (J). */
+    double energyPerOpJ() const;
+};
+
+/** Splitter: 3 JJs, 7 ps, no bias resistors (Table 2, Fig. 11g). */
+const ComponentParams &splitterParams();
+
+/** PTL driver: 2-stage JTL + resistor, 3.5 ps (Table 2, Fig. 11f). */
+const ComponentParams &driverParams();
+
+/** PTL receiver: 3-stage JTL, 5.25 ps (Table 2, Fig. 11e). */
+const ComponentParams &receiverParams();
+
+/** nTron SFQ-to-CMOS converter: 103.02 ps (Table 2). */
+const ComponentParams &ntronParams();
+
+/** Level-driven DC/SFQ converter: ~0.1 ns conversion (Sec. 4.2.2). */
+const ComponentParams &dcSfqParams();
+
+/** SFQ delay flip-flop: one superconductor ring, 2 JJs (Fig. 1b). */
+const ComponentParams &dffParams();
+
+/**
+ * A splitter unit (Fig. 11b): a receiver at the input, a splitter, and two
+ * drivers at the outputs. Used at every fan-out point of a SFQ H-tree.
+ */
+struct SplitterUnit
+{
+    /** Latency through the unit, input receiver to one output driver. */
+    static double latencyPs();
+    /** Static power of the unit (two biased drivers). */
+    static double leakageW();
+    /** Dynamic energy of passing one pulse (both outputs fire). */
+    static double energyPerPulseJ();
+    /** Total JJ count of the unit. */
+    static int jjCount();
+    /** Layout area of the unit (um^2). */
+    static double areaUm2();
+};
+
+/**
+ * A repeater (Sec. 4.2.2): a driver plus a receiver, inserted into a long
+ * PTL to raise its resonance frequency and add a pipeline stage.
+ */
+struct Repeater
+{
+    /** Latency through driver + receiver. */
+    static double latencyPs();
+    /** Static power (the driver's bias network). */
+    static double leakageW();
+    /** Dynamic energy of forwarding one pulse. */
+    static double energyPerPulseJ();
+    /** Total JJ count. */
+    static int jjCount();
+};
+
+} // namespace smart::sfq
+
+#endif // SMART_SFQ_DEVICES_HH

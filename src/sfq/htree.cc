@@ -1,0 +1,158 @@
+#include "sfq/htree.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sfq/devices.hh"
+
+namespace smart::sfq
+{
+
+SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
+{
+    smart_assert(cfg_.leaves >= 2, "H-tree needs at least two leaves");
+    smart_assert(cfg_.arraySideUm > 0, "array side must be positive");
+    smart_assert(cfg_.targetFreqGhz > 0, "target frequency must be > 0");
+
+    const PtlModel ptl(cfg_.geom);
+    const int levels =
+        static_cast<int>(std::ceil(std::log2(cfg_.leaves)));
+
+    stats_.levels = levels;
+    stats_.splitterUnits = cfg_.leaves - 1;
+
+    // Longest PTL a single driver/receiver link may span at the target
+    // frequency: max operating frequency (90 % of resonance) >= target.
+    // Solve 0.9 / (2T + t0) >= f  =>  T <= (0.9/f - t0) / 2.
+    const double t0 = driverParams().latencyPs + receiverParams().latencyPs;
+    const double period_ps = 1e3 / cfg_.targetFreqGhz;
+    double max_link_delay_ps = (0.9 * period_ps - t0) / 2.0;
+    smart_assert(max_link_delay_ps > 0,
+                 "target frequency unreachable with this PTL process");
+    // The stage budget also caps the link delay.
+    max_link_delay_ps =
+        std::min(max_link_delay_ps,
+                 cfg_.stageBudgetPs - Repeater::latencyPs());
+    const double max_link_um =
+        max_link_delay_ps / ptl.delayPs(1.0);
+
+    double path_latency = 0.0;
+    double max_stage = 0.0;
+    int path_stages = 0;
+
+    for (int level = 0; level < levels; ++level) {
+        const double seg_um = segmentLengthUm(level);
+        // Edges at this binary level: 2^(level+1), truncated so the total
+        // never exceeds the 2*leaves - 2 edges of a binary tree.
+        const int edges = static_cast<int>(
+            std::min<double>(std::pow(2.0, level + 1),
+                             2.0 * cfg_.leaves - 2 - stats_.segments));
+
+        // Repeaters split the segment into links meeting both limits.
+        const int links = std::max(
+            1, static_cast<int>(std::ceil(seg_um / max_link_um)));
+        const int seg_repeaters = links - 1;
+        const double link_um = seg_um / links;
+        const double link_delay =
+            ptl.delayPs(link_um) + Repeater::latencyPs();
+        const double seg_delay =
+            links * ptl.delayPs(link_um) +
+            seg_repeaters * Repeater::latencyPs();
+
+        stats_.segments += edges;
+        stats_.repeaters += seg_repeaters * edges;
+        stats_.totalWireUm += seg_um * edges;
+
+        // Path accounting (one edge per level on a root-to-leaf walk).
+        path_latency += seg_delay + SplitterUnit::latencyPs();
+        path_stages += links; // Each repeated link is one pipeline stage.
+        max_stage = std::max(
+            {max_stage, link_delay, SplitterUnit::latencyPs()});
+    }
+
+    stats_.rootToLeafLatencyPs = path_latency;
+    stats_.pipelineStages = path_stages;
+    stats_.maxStageLatencyPs = max_stage;
+
+    // Static power: every splitter unit and every repeater carries biased
+    // drivers. PTLs themselves have no bias.
+    stats_.leakageW = stats_.splitterUnits * SplitterUnit::leakageW() +
+                      stats_.repeaters * Repeater::leakageW();
+
+    // Request network: a pulse entering the root is broadcast by the
+    // splitters, so every segment and unit in the tree fires once per
+    // request bit.
+    const double per_bit_broadcast =
+        stats_.splitterUnits * SplitterUnit::energyPerPulseJ() +
+        stats_.repeaters * Repeater::energyPerPulseJ();
+    stats_.requestEnergyJ = cfg_.requestBits * per_bit_broadcast;
+
+    // Reply network: only the selected bank's root-to-leaf path fires.
+    double per_bit_path = 0.0;
+    for (int level = 0; level < levels; ++level) {
+        const double seg_um = segmentLengthUm(level);
+        const int links = std::max(
+            1, static_cast<int>(std::ceil(seg_um / max_link_um)));
+        per_bit_path += SplitterUnit::energyPerPulseJ() +
+                        (links - 1) * Repeater::energyPerPulseJ() +
+                        ptl.energyPerPulseJ(seg_um);
+    }
+    stats_.replyEnergyJ = cfg_.replyBits * per_bit_path;
+
+    stats_.areaUm2 = stats_.totalWireUm * cfg_.geom.pitchUm +
+                     stats_.splitterUnits * SplitterUnit::areaUm2() +
+                     stats_.repeaters *
+                         (driverParams().areaUm2 +
+                          receiverParams().areaUm2);
+}
+
+double
+SfqHTree::segmentLengthUm(int level) const
+{
+    smart_assert(level >= 0 && level < stats_.levels,
+                 "level out of range");
+    // Classic H-tree: the root edge spans half the array side; lengths
+    // halve every two binary levels (horizontal then vertical split).
+    return cfg_.arraySideUm / std::pow(2.0, 1.0 + level / 2.0);
+}
+
+double
+CmosHTree::pathLengthUm(double array_side_um)
+{
+    smart_assert(array_side_um > 0, "array side must be positive");
+    // Sum of the geometric H-tree segment series ~ 0.85 * side.
+    return 0.85 * array_side_um;
+}
+
+double
+CmosHTree::latencyPs(double path_um)
+{
+    return delayPsPerMm * path_um * 1e-3;
+}
+
+double
+CmosHTree::energyJ(double path_um, int bits)
+{
+    return energyPerBitMmJ * path_um * 1e-3 * bits;
+}
+
+double
+CmosHTree::totalWireUm(double array_side_um, int leaves)
+{
+    smart_assert(leaves >= 2, "H-tree needs at least two leaves");
+    // Each binary level l has 2^(l+1) edges of length side / 2^(1+l/2).
+    double total = 0.0;
+    int edges_so_far = 0;
+    const int levels = static_cast<int>(std::ceil(std::log2(leaves)));
+    for (int level = 0; level < levels; ++level) {
+        int edges = static_cast<int>(
+            std::min<double>(std::pow(2.0, level + 1),
+                             2.0 * leaves - 2 - edges_so_far));
+        total += edges * array_side_um / std::pow(2.0, 1.0 + level / 2.0);
+        edges_so_far += edges;
+    }
+    return total;
+}
+
+} // namespace smart::sfq

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * H-tree network models.
+ *
+ * SfqHTree builds the paper's pipelined SFQ H-tree (Sec. 4.2.2): a binary
+ * tree of PTL segments joined by splitter units, with repeaters inserted
+ * until (a) every PTL link can run at the target pipeline frequency
+ * (resonance limit, Sec. 4.2.3) and (b) every pipeline stage fits the
+ * stage budget set by the nTron bottleneck (103.02 ps).
+ *
+ * CmosHTree models the conventional repeated-RC H-tree inside a large
+ * Josephson-CMOS SRAM array, which the paper identifies as dominating
+ * access latency (84 %) and energy (49 %) of a 256-bank 28 MB array
+ * (Fig. 9).
+ */
+
+#ifndef SMART_SFQ_HTREE_HH
+#define SMART_SFQ_HTREE_HH
+
+#include "sfq/interconnect.hh"
+
+namespace smart::sfq
+{
+
+/** Configuration of a SFQ H-tree spanning a square bank array. */
+struct SfqHTreeConfig
+{
+    int leaves = 256;            //!< Number of sub-banks (tree leaves).
+    double arraySideUm = 5000.0; //!< Physical side of the bank array.
+    double targetFreqGhz = 9.6;  //!< Pipeline frequency to sustain.
+    double stageBudgetPs = 103.02; //!< Per-stage latency budget (nTron).
+    int requestBits = 149;       //!< Address + data + R/W pulses down.
+    int replyBits = 128;         //!< Data pulses up.
+    PtlGeometry geom;            //!< PTL process parameters.
+};
+
+/** Derived structural and electrical statistics of a SFQ H-tree. */
+struct SfqHTreeStats
+{
+    int levels = 0;              //!< Binary tree depth.
+    int splitterUnits = 0;       //!< Fan-out points (leaves - 1).
+    int repeaters = 0;           //!< Driver+receiver pairs inserted.
+    int segments = 0;            //!< PTL tree edges.
+    double totalWireUm = 0.0;    //!< Total PTL length in the tree.
+    double rootToLeafLatencyPs = 0.0; //!< One-way propagation latency.
+    int pipelineStages = 0;      //!< Stages along a root-to-leaf path.
+    double maxStageLatencyPs = 0.0; //!< Slowest stage on the path.
+    double leakageW = 0.0;       //!< Bias power of all drivers.
+    double requestEnergyJ = 0.0; //!< Broadcast energy of one request.
+    double replyEnergyJ = 0.0;   //!< One-path energy of one reply.
+    double areaUm2 = 0.0;        //!< Wire + component layout area.
+};
+
+/**
+ * A pipelined SFQ H-tree (request or reply network; the two are mirror
+ * images and share this model, with mergers costed as splitters).
+ */
+class SfqHTree
+{
+  public:
+    /** Build the tree and compute all statistics. */
+    explicit SfqHTree(const SfqHTreeConfig &cfg);
+
+    /** Structural and electrical statistics. */
+    const SfqHTreeStats &stats() const { return stats_; }
+    /** Configuration used to build the tree. */
+    const SfqHTreeConfig &config() const { return cfg_; }
+
+    /**
+     * PTL segment length at binary tree level @p level (0 = root edge).
+     * Follows the classic H-tree recursion: lengths halve every two
+     * binary levels.
+     */
+    double segmentLengthUm(int level) const;
+
+  private:
+    SfqHTreeConfig cfg_;
+    SfqHTreeStats stats_;
+};
+
+/**
+ * Conventional CMOS H-tree inside a large SRAM array. Constants are
+ * calibrated against the paper's Fig. 9 breakdown (84 % of latency, 49 %
+ * of energy for the 256-bank 28 MB array); see the .cc for the
+ * calibration notes.
+ */
+class CmosHTree
+{
+  public:
+    /** Delay per millimeter of repeated wire at 4 K (ps/mm). */
+    static constexpr double delayPsPerMm = 420.0;
+    /**
+     * Switching energy per bit per millimeter (J). Calibrated together
+     * with delayPsPerMm so the 256-bank 28 MB Josephson-CMOS array
+     * reproduces the paper's Fig. 9 breakdown: H-tree = 84 % of access
+     * latency and 49 % of access energy.
+     */
+    static constexpr double energyPerBitMmJ = 1.8e-13;
+    /** Leakage of repeater banks per millimeter of tree wire (W/mm). */
+    static constexpr double leakagePerMmW = 1.2e-4;
+
+    /** Root-to-leaf path length for a square array (um). */
+    static double pathLengthUm(double array_side_um);
+    /** One-way latency over the given path (ps). */
+    static double latencyPs(double path_um);
+    /** Energy of moving @p bits over the given path (J). */
+    static double energyJ(double path_um, int bits);
+    /** Total tree wire length for @p leaves over the array (um). */
+    static double totalWireUm(double array_side_um, int leaves);
+};
+
+} // namespace smart::sfq
+
+#endif // SMART_SFQ_HTREE_HH

@@ -1,0 +1,131 @@
+#include "sfq/interconnect.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "sfq/devices.hh"
+
+namespace smart::sfq
+{
+
+namespace
+{
+
+/** coth(x) for positive x. */
+double
+coth(double x)
+{
+    smart_assert(x > 0.0, "coth domain error");
+    return 1.0 / std::tanh(x);
+}
+
+} // namespace
+
+PtlModel::PtlModel(const PtlGeometry &geom) : geom_(geom)
+{
+    smart_assert(geom_.widthUm > 0 && geom_.dielectricUm > 0,
+                 "PTL geometry must be positive");
+
+    // Eq. 1: inductance per unit length, magnetic plus kinetic terms.
+    const double h = geom_.dielectricUm * 1e-6;
+    const double w = geom_.widthUm * 1e-6;
+    const double l1 = geom_.lambda1Um * 1e-6;
+    const double l2 = geom_.lambda2Um * 1e-6;
+    const double t1 = geom_.lineThickUm * 1e-6;
+    const double t2 = geom_.groundThickUm * 1e-6;
+
+    l_per_m_ = constants::mu0 * h / (geom_.fringeFactor * w) *
+               (1.0 + (l1 / h) * coth(t1 / l1) + (l2 / h) * coth(t2 / l2));
+
+    // Eq. 2: parallel-plate capacitance per unit length.
+    c_per_m_ = geom_.epsilonR * constants::eps0 * w / h;
+}
+
+double
+PtlModel::impedanceOhm() const
+{
+    // Eq. 3.
+    return std::sqrt(l_per_m_ / c_per_m_);
+}
+
+double
+PtlModel::velocityMps() const
+{
+    return 1.0 / std::sqrt(l_per_m_ * c_per_m_);
+}
+
+double
+PtlModel::delayPs(double length_um) const
+{
+    smart_assert(length_um >= 0.0, "negative PTL length");
+    // Eq. 4: T = N * sqrt(L*C) with N LC sections; in the continuum limit
+    // this is length / velocity.
+    const double length_m = length_um * 1e-6;
+    return length_m / velocityMps() * 1e12;
+}
+
+double
+PtlModel::resonanceFreqGhz(double length_um) const
+{
+    const double t_ps = delayPs(length_um);
+    const double t0_ps = driverParams().latencyPs +
+                         receiverParams().latencyPs;
+    return 1e3 / (2.0 * t_ps + t0_ps);
+}
+
+double
+PtlModel::maxOperatingFreqGhz(double length_um) const
+{
+    return 0.9 * resonanceFreqGhz(length_um);
+}
+
+double
+PtlModel::energyPerPulseJ(double length_um) const
+{
+    (void)length_um; // The PTL itself is lossless (no DC resistance).
+    return driverParams().energyPerOpJ() + receiverParams().energyPerOpJ();
+}
+
+double
+PtlModel::areaUm2(double length_um) const
+{
+    return length_um * geom_.pitchUm;
+}
+
+int
+JtlModel::stages(double length_um)
+{
+    smart_assert(length_um >= 0.0, "negative JTL length");
+    return static_cast<int>(std::ceil(length_um / stagePitchUm));
+}
+
+double
+JtlModel::delayPs(double length_um)
+{
+    return stages(length_um) * stageDelayPs;
+}
+
+double
+JtlModel::energyPerPulseJ(double length_um)
+{
+    return stages(length_um) * stageEnergyJ;
+}
+
+double
+CmosWireModel::delayPs(double length_um)
+{
+    smart_assert(length_um >= 0.0, "negative wire length");
+    // Distributed Elmore delay: 0.38 * R_total * C_total.
+    const double r = resistancePerUm * length_um;
+    const double c = capacitancePerUm * length_um;
+    return 0.38 * r * c * 1e12;
+}
+
+double
+CmosWireModel::energyPerBitJ(double length_um)
+{
+    return 0.5 * capacitancePerUm * length_um * supplyV * supplyV;
+}
+
+} // namespace smart::sfq

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Interconnect models: superconducting micro-strip passive transmission
+ * lines (PTL, Eq. 1-4 of the paper), active Josephson transmission lines
+ * (JTL), and a conventional CMOS repeated-RC wire for the Fig. 2
+ * comparison.
+ */
+
+#ifndef SMART_SFQ_INTERCONNECT_HH
+#define SMART_SFQ_INTERCONNECT_HH
+
+namespace smart::sfq
+{
+
+/**
+ * Geometry and material parameters of a micro-strip PTL (Sec. 4.2.3).
+ * Defaults follow a Nb process with SiO2 dielectric and reproduce a
+ * propagation velocity of roughly c/2.7.
+ */
+struct PtlGeometry
+{
+    double widthUm = 2.0;        //!< Line width w (um).
+    double dielectricUm = 0.2;   //!< Dielectric thickness h (um).
+    double lineThickUm = 0.2;    //!< Strip thickness t1 (um).
+    double groundThickUm = 0.2;  //!< Ground plane thickness t2 (um).
+    double lambda1Um = 0.09;     //!< Strip penetration depth (um).
+    double lambda2Um = 0.09;     //!< Ground penetration depth (um).
+    double fringeFactor = 1.0;   //!< Fringing field factor K.
+    double epsilonR = 3.9;       //!< Relative dielectric constant.
+    double pitchUm = 6.0;        //!< Routing pitch for area estimates.
+};
+
+/**
+ * Micro-strip passive transmission line. Implements Eq. 1 (inductance per
+ * unit length), Eq. 2 (capacitance per unit length), Eq. 3 (impedance),
+ * and Eq. 4 (delay), plus the resonance-frequency limit of Sec. 4.2.3.
+ */
+class PtlModel
+{
+  public:
+    /** Build a PTL model for the given geometry. */
+    explicit PtlModel(const PtlGeometry &geom = PtlGeometry());
+
+    /** Inductance per unit length (H/m), Eq. 1. */
+    double inductancePerM() const { return l_per_m_; }
+    /** Capacitance per unit length (F/m), Eq. 2. */
+    double capacitancePerM() const { return c_per_m_; }
+    /** Characteristic impedance (Ohm), Eq. 3. */
+    double impedanceOhm() const;
+    /** Propagation velocity (m/s). */
+    double velocityMps() const;
+
+    /** Delay of a line of the given length (ps), Eq. 4. */
+    double delayPs(double length_um) const;
+
+    /**
+     * Resonance frequency of a driver + PTL + receiver link (GHz):
+     * f = 1 / (2T + t0) with T the PTL delay and t0 the driver+receiver
+     * delay (Sec. 4.2.3).
+     */
+    double resonanceFreqGhz(double length_um) const;
+
+    /**
+     * Maximum safe operating frequency (GHz): 90 % of the resonance
+     * frequency, past which reflections cause timing jitter.
+     */
+    double maxOperatingFreqGhz(double length_um) const;
+
+    /**
+     * Dynamic energy of sending one pulse across the line (J): the line
+     * itself is lossless; the cost is the driver and receiver switching.
+     */
+    double energyPerPulseJ(double length_um) const;
+
+    /** Layout area of a line of the given length (um^2). */
+    double areaUm2(double length_um) const;
+
+    /** Geometry this model was built from. */
+    const PtlGeometry &geometry() const { return geom_; }
+
+  private:
+    PtlGeometry geom_;
+    double l_per_m_;
+    double c_per_m_;
+};
+
+/**
+ * Active Josephson transmission line: a chain of biased JJ stages. Both
+ * delay and energy grow linearly with length; the per-stage energy is
+ * fitted so a long JTL costs ~100x a PTL, as the paper reports (Sec. 2.1).
+ */
+class JtlModel
+{
+  public:
+    /** Physical pitch of one JTL stage (um). */
+    static constexpr double stagePitchUm = 10.0;
+    /** Delay of one JTL stage (ps); matches driver = 2 stages = 3.5 ps. */
+    static constexpr double stageDelayPs = 1.75;
+    /**
+     * Energy of one stage forwarding a pulse (J), dominated by the bias
+     * network dissipation; fitted to the 100x PTL ratio at 200 um.
+     */
+    static constexpr double stageEnergyJ = 2.5e-18;
+
+    /** Number of stages needed to span the given length. */
+    static int stages(double length_um);
+    /** Delay of a JTL of the given length (ps). */
+    static double delayPs(double length_um);
+    /** Energy of one pulse traversing the given length (J). */
+    static double energyPerPulseJ(double length_um);
+};
+
+/**
+ * Conventional CMOS wire with distributed RC, evaluated at a deep-submicron
+ * node where wire resistance dominates (Fig. 2 comparison; Sec. 4.2.1
+ * quotes exponentially rising copper resistance below 10 nm).
+ */
+class CmosWireModel
+{
+  public:
+    /** Resistance per unit length (Ohm/um) of a thin local wire. */
+    static constexpr double resistancePerUm = 100.0;
+    /** Capacitance per unit length (F/um). */
+    static constexpr double capacitancePerUm = 0.2e-15;
+    /** Logic supply voltage (V). */
+    static constexpr double supplyV = 0.8;
+
+    /** Elmore delay of an unrepeated distributed RC line (ps). */
+    static double delayPs(double length_um);
+    /** Switching energy of one full-swing transition (J). */
+    static double energyPerBitJ(double length_um);
+};
+
+} // namespace smart::sfq
+
+#endif // SMART_SFQ_INTERCONNECT_HH

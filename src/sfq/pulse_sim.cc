@@ -1,0 +1,336 @@
+#include "sfq/pulse_sim.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "sfq/devices.hh"
+
+namespace smart::sfq
+{
+
+double
+PulseSimResult::totalEnergyJ() const
+{
+    return dynamicEnergyJ + staticPowerW * units::psToS(endTimePs);
+}
+
+PulseNetlist::PulseNetlist(const PtlGeometry &geom, double spread,
+                           std::uint64_t seed)
+    : ptl_(geom), spread_(spread), rng_(seed)
+{
+    smart_assert(spread >= 0.0 && spread < 0.5,
+                 "unphysical fabrication spread ", spread);
+}
+
+NodeId
+PulseNetlist::addNode(NodeKind kind, const std::string &name,
+                      double length_um, int out_ports)
+{
+    Node n;
+    n.kind = kind;
+    n.name = name;
+    n.lengthUm = length_um;
+    // Deterministic per-instance fabrication spread.
+    n.delayFactor = 1.0 + rng_.uniform(-spread_, spread_);
+    n.outputs.assign(out_ports, -1);
+    nodes_.push_back(std::move(n));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId
+PulseNetlist::addSource(const std::string &name)
+{
+    return addNode(NodeKind::Source, name, 0.0, 1);
+}
+
+NodeId
+PulseNetlist::addJtl(double length_um)
+{
+    smart_assert(length_um > 0.0, "JTL length must be positive");
+    return addNode(NodeKind::Jtl, "jtl", length_um, 1);
+}
+
+NodeId
+PulseNetlist::addPtl(double length_um)
+{
+    smart_assert(length_um > 0.0, "PTL length must be positive");
+    return addNode(NodeKind::Ptl, "ptl", length_um, 1);
+}
+
+NodeId
+PulseNetlist::addSplitter()
+{
+    return addNode(NodeKind::Splitter, "split", 0.0, 2);
+}
+
+NodeId
+PulseNetlist::addDriver()
+{
+    return addNode(NodeKind::Driver, "drv", 0.0, 1);
+}
+
+NodeId
+PulseNetlist::addReceiver()
+{
+    return addNode(NodeKind::Receiver, "rec", 0.0, 1);
+}
+
+NodeId
+PulseNetlist::addDff()
+{
+    return addNode(NodeKind::Dff, "dff", 0.0, 1);
+}
+
+NodeId
+PulseNetlist::addMerger()
+{
+    return addNode(NodeKind::Merger, "merge", 0.0, 1);
+}
+
+NodeId
+PulseNetlist::addSink(const std::string &name)
+{
+    return addNode(NodeKind::Sink, name, 0.0, 0);
+}
+
+void
+PulseNetlist::connect(NodeId from, NodeId to, int out_port, int in_port)
+{
+    smart_assert(from >= 0 && from < static_cast<NodeId>(nodes_.size()),
+                 "bad 'from' node ", from);
+    smart_assert(to >= 0 && to < static_cast<NodeId>(nodes_.size()),
+                 "bad 'to' node ", to);
+    Node &src = nodes_[from];
+    smart_assert(out_port >= 0 &&
+                 out_port < static_cast<int>(src.outputs.size()),
+                 "node ", src.name, " has no output port ", out_port,
+                 " (SFQ fan-out limit)");
+    smart_assert(src.outputs[out_port] < 0,
+                 "output port already connected (SFQ fan-out limit); "
+                 "insert a splitter");
+    const Node &dst = nodes_[to];
+    if (dst.kind == NodeKind::Dff) {
+        smart_assert(in_port == 0 || in_port == 1,
+                     "DFF input ports are 0 (data) and 1 (clock)");
+    } else if (dst.kind == NodeKind::Merger) {
+        smart_assert(in_port == 0 || in_port == 1,
+                     "merger input ports are 0 and 1");
+    } else {
+        smart_assert(in_port == 0, "node kind has a single input port");
+    }
+    // Encode the destination input port in the high bits so DFF clock
+    // edges can be distinguished at event time.
+    src.outputs[out_port] = to | (in_port << 28);
+}
+
+void
+PulseNetlist::inject(NodeId source, double time_ps)
+{
+    smart_assert(source >= 0 &&
+                 source < static_cast<NodeId>(nodes_.size()) &&
+                 nodes_[source].kind == NodeKind::Source,
+                 "inject target must be a source node");
+    injections_.emplace_back(time_ps, source);
+}
+
+double
+PulseNetlist::nodeDelayPs(const Node &n) const
+{
+    switch (n.kind) {
+      case NodeKind::Source:
+      case NodeKind::Sink:
+        return 0.0;
+      case NodeKind::Jtl:
+        return JtlModel::delayPs(n.lengthUm) * n.delayFactor;
+      case NodeKind::Ptl: {
+        // Analytical delay plus a small dispersion term: finite LC
+        // sections slightly slow the pulse edge on long lines.
+        double t = ptl_.delayPs(n.lengthUm);
+        double dispersion = 0.015 * t * t / (t + 20.0);
+        return (t + dispersion) * n.delayFactor;
+      }
+      case NodeKind::Splitter:
+        return splitterParams().latencyPs * n.delayFactor;
+      case NodeKind::Driver:
+        return driverParams().latencyPs * n.delayFactor;
+      case NodeKind::Receiver:
+        return receiverParams().latencyPs * n.delayFactor;
+      case NodeKind::Dff:
+        return dffParams().latencyPs * n.delayFactor;
+      case NodeKind::Merger:
+        return splitterParams().latencyPs * n.delayFactor;
+    }
+    smart_panic("unhandled node kind");
+}
+
+double
+PulseNetlist::nodeEnergyJ(const Node &n) const
+{
+    switch (n.kind) {
+      case NodeKind::Source:
+      case NodeKind::Sink:
+        return 0.0;
+      case NodeKind::Jtl:
+        return JtlModel::energyPerPulseJ(n.lengthUm);
+      case NodeKind::Ptl:
+        return 0.0; // Lossless; drivers/receivers pay the cost.
+      case NodeKind::Splitter:
+        return splitterParams().energyPerOpJ();
+      case NodeKind::Driver:
+        return driverParams().energyPerOpJ();
+      case NodeKind::Receiver:
+        return receiverParams().energyPerOpJ();
+      case NodeKind::Dff:
+        return dffParams().energyPerOpJ();
+      case NodeKind::Merger:
+        return splitterParams().energyPerOpJ();
+    }
+    smart_panic("unhandled node kind");
+}
+
+double
+PulseNetlist::nodeLeakageW(const Node &n) const
+{
+    switch (n.kind) {
+      case NodeKind::Driver:
+        return driverParams().leakageW;
+      default:
+        return 0.0;
+    }
+}
+
+PulseSimResult
+PulseNetlist::run(double until_ps)
+{
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+
+    for (auto &[t, src] : injections_)
+        queue.push(Event{t, src, 0});
+
+    PulseSimResult res;
+    for (const Node &n : nodes_)
+        res.staticPowerW += nodeLeakageW(n);
+
+    for (Node &n : nodes_) {
+        n.dffArmed = false;
+        n.arrivalLog.clear();
+    }
+
+    while (!queue.empty()) {
+        Event ev = queue.top();
+        queue.pop();
+        if (ev.timePs > until_ps)
+            break;
+        res.endTimePs = std::max(res.endTimePs, ev.timePs);
+
+        Node &n = nodes_[ev.node];
+        ++res.pulseCount;
+        res.dynamicEnergyJ += nodeEnergyJ(n);
+
+        double out_time = ev.timePs + nodeDelayPs(n);
+
+        switch (n.kind) {
+          case NodeKind::Sink:
+            n.arrivalLog.push_back(ev.timePs);
+            break;
+          case NodeKind::Dff:
+            if (ev.inPort == 0) {
+                // Data pulse: store the flux quantum.
+                n.dffArmed = true;
+            } else if (n.dffArmed) {
+                // Clock pulse with a stored quantum: emit.
+                n.dffArmed = false;
+                for (std::size_t p = 0; p < n.outputs.size(); ++p) {
+                    if (n.outputs[p] >= 0) {
+                        NodeId enc = n.outputs[p];
+                        queue.push(Event{out_time, enc & 0x0fffffff,
+                                         enc >> 28});
+                    }
+                }
+            }
+            break;
+          default:
+            for (std::size_t p = 0; p < n.outputs.size(); ++p) {
+                if (n.outputs[p] >= 0) {
+                    NodeId enc = n.outputs[p];
+                    queue.push(Event{out_time, enc & 0x0fffffff,
+                                     enc >> 28});
+                }
+            }
+            break;
+        }
+    }
+
+    return res;
+}
+
+const std::vector<double> &
+PulseNetlist::arrivals(NodeId sink) const
+{
+    smart_assert(sink >= 0 && sink < static_cast<NodeId>(nodes_.size()) &&
+                 nodes_[sink].kind == NodeKind::Sink,
+                 "arrivals() target must be a sink");
+    return nodes_[sink].arrivalLog;
+}
+
+SplitterUnitFixture
+buildSplitterUnitFixture(PulseNetlist &net, double length_um)
+{
+    // Fig. 11(b): top driver -> PTL -> splitter unit (receiver, splitter,
+    // two drivers) -> two PTLs -> receivers -> sinks.
+    SplitterUnitFixture fx;
+    fx.source = net.addSource("pulse-in");
+
+    NodeId top_drv = net.addDriver();
+    NodeId ptl_in = net.addPtl(length_um);
+    NodeId unit_rec = net.addReceiver();
+    NodeId split = net.addSplitter();
+    NodeId drv_l = net.addDriver();
+    NodeId drv_r = net.addDriver();
+    NodeId ptl_l = net.addPtl(length_um);
+    NodeId ptl_r = net.addPtl(length_um);
+    NodeId rec_l = net.addReceiver();
+    NodeId rec_r = net.addReceiver();
+    fx.sinkLeft = net.addSink("left");
+    fx.sinkRight = net.addSink("right");
+
+    net.connect(fx.source, top_drv);
+    net.connect(top_drv, ptl_in);
+    net.connect(ptl_in, unit_rec);
+    net.connect(unit_rec, split);
+    net.connect(split, drv_l, 0);
+    net.connect(split, drv_r, 1);
+    net.connect(drv_l, ptl_l);
+    net.connect(drv_r, ptl_r);
+    net.connect(ptl_l, rec_l);
+    net.connect(ptl_r, rec_r);
+    net.connect(rec_l, fx.sinkLeft);
+    net.connect(rec_r, fx.sinkRight);
+    return fx;
+}
+
+ShiftRegisterFixture
+buildShiftRegister(PulseNetlist &net, int cells)
+{
+    smart_assert(cells > 0, "shift register needs at least one cell");
+    ShiftRegisterFixture fx;
+    fx.dataSource = net.addSource("data");
+    fx.sink = net.addSink("out");
+
+    NodeId prev = fx.dataSource;
+    for (int i = 0; i < cells; ++i) {
+        NodeId dff = net.addDff();
+        net.connect(prev, dff, 0, 0);
+        NodeId clk = net.addSource("clk" + std::to_string(i));
+        net.connect(clk, dff, 0, 1);
+        fx.clockSources.push_back(clk);
+        prev = dff;
+    }
+    net.connect(prev, fx.sink);
+    return fx;
+}
+
+} // namespace smart::sfq

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Event-driven pulse-level simulator for SFQ netlists.
+ *
+ * This is the repository's substitute for the JoSIM superconductor SPICE
+ * simulator used in the paper's Fig. 13 validation: instead of solving
+ * junction phase dynamics, it propagates discrete flux-quantum pulses
+ * through a netlist of calibrated components (JTL stages, PTLs, splitters,
+ * drivers, receivers, DFFs, mergers). Per-instance fabrication spread and
+ * a PTL dispersion term give it physically motivated deviations from the
+ * analytical models, so validating the analytical H-tree model against it
+ * is a non-trivial cross-check, exactly as the paper validates cryo-mem
+ * against JoSIM.
+ */
+
+#ifndef SMART_SFQ_PULSE_SIM_HH
+#define SMART_SFQ_PULSE_SIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sfq/interconnect.hh"
+
+namespace smart::sfq
+{
+
+/** Identifier of a netlist node. */
+using NodeId = int;
+
+/** Kinds of netlist nodes the pulse simulator understands. */
+enum class NodeKind
+{
+    Source,   //!< Injects externally scheduled pulses.
+    Jtl,      //!< Active JTL of some length.
+    Ptl,      //!< Passive transmission line of some length.
+    Splitter, //!< 1-to-2 pulse splitter (3 JJs).
+    Driver,   //!< PTL driver.
+    Receiver, //!< PTL receiver.
+    Dff,      //!< Delay flip-flop: data port 0, clock port 1.
+    Merger,   //!< 2-to-1 confluence buffer.
+    Sink      //!< Records pulse arrival times.
+};
+
+/** Result of a pulse simulation run. */
+struct PulseSimResult
+{
+    double dynamicEnergyJ = 0.0;   //!< Total switching energy.
+    double staticPowerW = 0.0;     //!< Sum of bias (leakage) power.
+    double endTimePs = 0.0;        //!< Time of the last processed event.
+    std::uint64_t pulseCount = 0;  //!< Total component activations.
+
+    /** Static energy over the simulated window plus dynamic energy. */
+    double totalEnergyJ() const;
+};
+
+/**
+ * A netlist of SFQ components plus an event-driven simulation kernel.
+ *
+ * Usage: add nodes, connect them (each non-sink node drives exactly one
+ * downstream input per output port, reflecting the SFQ fan-out limit),
+ * inject pulses at sources, then run().
+ */
+class PulseNetlist
+{
+  public:
+    /**
+     * @param geom PTL geometry shared by all PTL nodes.
+     * @param spread per-instance fabrication delay spread (fraction;
+     *        0.03 means each instance is up to +/-3 % off nominal).
+     * @param seed RNG seed for the deterministic spread assignment.
+     */
+    explicit PulseNetlist(const PtlGeometry &geom = PtlGeometry(),
+                          double spread = 0.03,
+                          std::uint64_t seed = 12345);
+
+    /** Add a pulse source. */
+    NodeId addSource(const std::string &name = "src");
+    /** Add a JTL segment of the given length. */
+    NodeId addJtl(double length_um);
+    /** Add a PTL segment of the given length. */
+    NodeId addPtl(double length_um);
+    /** Add a splitter (two output ports). */
+    NodeId addSplitter();
+    /** Add a PTL driver. */
+    NodeId addDriver();
+    /** Add a PTL receiver. */
+    NodeId addReceiver();
+    /** Add a DFF (input port 0 = data, input port 1 = clock). */
+    NodeId addDff();
+    /** Add a 2-to-1 merger. */
+    NodeId addMerger();
+    /** Add a measurement sink. */
+    NodeId addSink(const std::string &name = "sink");
+
+    /**
+     * Connect @p from's output port @p out_port to @p to's input port
+     * @p in_port. Fan-out beyond the component's port count is rejected:
+     * SFQ gates drive exactly one node per port (Sec. 2.1).
+     */
+    void connect(NodeId from, NodeId to, int out_port = 0, int in_port = 0);
+
+    /** Schedule a pulse at a source node. */
+    void inject(NodeId source, double time_ps);
+
+    /** Run until the event queue drains or @p until_ps elapses. */
+    PulseSimResult run(double until_ps = 1e9);
+
+    /** Arrival times recorded at a sink, sorted ascending. */
+    const std::vector<double> &arrivals(NodeId sink) const;
+
+    /** Number of nodes in the netlist. */
+    std::size_t size() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        NodeKind kind;
+        std::string name;
+        double lengthUm = 0.0;       //!< For JTL/PTL nodes.
+        double delayFactor = 1.0;    //!< Fabrication spread multiplier.
+        std::vector<NodeId> outputs; //!< Downstream node per output port.
+        bool dffArmed = false;       //!< DFF holds a flux quantum.
+        std::vector<double> arrivalLog; //!< Sink only.
+    };
+
+    struct Event
+    {
+        double timePs;
+        NodeId node;
+        int inPort;
+        bool operator>(const Event &o) const { return timePs > o.timePs; }
+    };
+
+    NodeId addNode(NodeKind kind, const std::string &name,
+                   double length_um, int out_ports);
+    /** Propagation delay through a node (ps). */
+    double nodeDelayPs(const Node &n) const;
+    /** Dynamic energy of one activation (J). */
+    double nodeEnergyJ(const Node &n) const;
+    /** Static power contribution (W). */
+    double nodeLeakageW(const Node &n) const;
+    void scheduleOutputs(const Node &n, double now_ps,
+                         std::vector<Event> &heap);
+
+    PtlModel ptl_;
+    double spread_;
+    Rng rng_;
+    std::vector<Node> nodes_;
+    std::vector<std::pair<double, NodeId>> injections_;
+};
+
+/**
+ * Build the Fig. 11(b) splitter-unit validation fixture: a source feeding
+ * a driver, a PTL of @p length_um, then a splitter unit whose two outputs
+ * drive PTLs of the same length into receivers and sinks. Returns
+ * {source, left sink, right sink}.
+ */
+struct SplitterUnitFixture
+{
+    NodeId source;
+    NodeId sinkLeft;
+    NodeId sinkRight;
+};
+
+SplitterUnitFixture buildSplitterUnitFixture(PulseNetlist &net,
+                                             double length_um);
+
+/**
+ * Build an n-cell SFQ shift register: a chain of DFFs whose clock inputs
+ * are driven port-by-port from injected clock pulses (an ideal clock
+ * network; the real clock tree is modeled in the H-tree builder). Returns
+ * the data source, per-cell clock sources, and the output sink.
+ */
+struct ShiftRegisterFixture
+{
+    NodeId dataSource;
+    std::vector<NodeId> clockSources;
+    NodeId sink;
+};
+
+ShiftRegisterFixture buildShiftRegister(PulseNetlist &net, int cells);
+
+} // namespace smart::sfq
+
+#endif // SMART_SFQ_PULSE_SIM_HH

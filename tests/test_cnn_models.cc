@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the CNN model zoo: layer-count and MAC sanity against
+ * published values, paper batch sizes, and dimension chaining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cnn/models.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::cnn;
+
+TEST(Models, AlexNetShape)
+{
+    CnnModel m = makeAlexNet();
+    EXPECT_EQ(m.layers.size(), 8u); // 5 conv + 3 fc
+    // Published AlexNet forward pass is ~0.7-0.75 GMACs (ungrouped
+    // conv2 raises it above the grouped original).
+    EXPECT_GT(m.totalMacs(), 0.6e9);
+    EXPECT_LT(m.totalMacs(), 1.5e9);
+    // ~61 M parameters (Sec. 1 of the paper).
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 61e6,
+                8e6);
+}
+
+TEST(Models, Vgg16Macs)
+{
+    CnnModel m = makeVgg16();
+    EXPECT_EQ(m.layers.size(), 16u);
+    // Published: ~15.5 GMACs.
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 15.5e9, 1.0e9);
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 138e6,
+                10e6);
+}
+
+TEST(Models, ResNet50Macs)
+{
+    CnnModel m = makeResNet50();
+    // Published: ~4.1 GMACs, ~25.5 M parameters.
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 4.1e9, 0.6e9);
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 25.5e6,
+                4e6);
+}
+
+TEST(Models, GoogleNetMacs)
+{
+    CnnModel m = makeGoogleNet();
+    // Published: ~1.5 GMACs for Inception v1.
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 1.5e9, 0.4e9);
+}
+
+TEST(Models, MobileNetMacs)
+{
+    CnnModel m = makeMobileNet();
+    // Published MobileNet v1: ~569 MMACs.
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 569e6, 120e6);
+    // Depthwise layers present.
+    int dw = 0;
+    for (const auto &l : m.layers)
+        dw += l.depthwise ? 1 : 0;
+    EXPECT_EQ(dw, 13);
+}
+
+TEST(Models, FasterRcnnExtendsVgg)
+{
+    CnnModel m = makeFasterRcnn();
+    EXPECT_GT(m.totalMacs(), makeVgg16().totalMacs() * 8 / 10);
+    EXPECT_GT(m.layers.size(), 16u);
+}
+
+TEST(Models, DimensionChaining)
+{
+    // Within VGG16 stages, each conv's ofmap feeds the next conv.
+    CnnModel m = makeVgg16();
+    EXPECT_EQ(m.layers[0].ofmapH(), m.layers[1].ifmapH);
+    EXPECT_EQ(m.layers[0].filters, m.layers[1].inChannels);
+}
+
+TEST(Models, RegistryRoundTrip)
+{
+    for (const auto &name : modelNames()) {
+        CnnModel m = makeModel(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_FALSE(m.layers.empty());
+        for (const auto &l : m.layers)
+            l.check();
+    }
+}
+
+TEST(Models, ConvOnlyDropsFcLayers)
+{
+    CnnModel full = makeAlexNet();
+    CnnModel conv = convLayersOnly(full);
+    EXPECT_EQ(conv.layers.size(), 5u);
+    for (const auto &l : conv.layers)
+        EXPECT_GT(l.ifmapH * l.ifmapW, 1);
+}
+
+TEST(Models, PaperBatchSizes)
+{
+    // Sec. 5: TPU/SMART run AlexNet at 22 and VGG16 at 3; SuperNPU runs
+    // VGG16 at 7 and everything else at 30; all others at 20.
+    EXPECT_EQ(paperBatchSize("AlexNet", false), 22);
+    EXPECT_EQ(paperBatchSize("VGG16", false), 3);
+    EXPECT_EQ(paperBatchSize("ResNet50", false), 20);
+    EXPECT_EQ(paperBatchSize("VGG16", true), 7);
+    EXPECT_EQ(paperBatchSize("AlexNet", true), 30);
+}
+
+TEST(Models, MaxFootprintsPositive)
+{
+    for (const auto &name : modelNames()) {
+        CnnModel m = makeModel(name);
+        EXPECT_GT(m.maxIfmapBytes(), 0u);
+        EXPECT_GT(m.maxWeightBytes(), 0u);
+        EXPECT_GE(m.totalWeightBytes(), m.maxWeightBytes());
+    }
+}
+
+/** Per-model parameterized sanity sweep. */
+class ModelSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelSweep, LayersValidAndMacsStable)
+{
+    CnnModel m = makeModel(GetParam());
+    std::uint64_t sum = 0;
+    for (const auto &l : m.layers) {
+        l.check();
+        sum += l.macs();
+    }
+    EXPECT_EQ(sum, m.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ModelSweep,
+    ::testing::Values("AlexNet", "VGG16", "GoogleNet", "MobileNet",
+                      "ResNet50", "FasterRCNN"));
+
+} // namespace

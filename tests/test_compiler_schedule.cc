@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the ILP and greedy schedulers: validity of produced
+ * schedules, ILP >= greedy objective, prefetch behaviour, and capacity
+ * stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/greedy.hh"
+#include "compiler/ilpsched.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::compiler;
+using systolic::ConvLayer;
+
+LayerDag
+dagOf(const ConvLayer &layer)
+{
+    auto demand = systolic::analyzeDemand(layer, {64, 256});
+    return buildLayerDag(layer, demand);
+}
+
+SchedParams
+smartParams()
+{
+    SchedParams p;
+    p.shiftCapacityBytes = 32 * 1024;
+    p.randomCapacityBytes = 28ull * 1024 * 1024;
+    p.prefetchIterations = 3;
+    return p;
+}
+
+TEST(Greedy, ProducesValidSchedule)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleGreedy(dag, p);
+    EXPECT_TRUE(validateSchedule(dag, p, s));
+    EXPECT_FALSE(s.fromIlp);
+}
+
+TEST(Greedy, PsumsNeverInDram)
+{
+    ConvLayer l = ConvLayer::conv("c", 13, 13, 256, 384, 3);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleGreedy(dag, p);
+    for (std::size_t i = 0; i < dag.objects.size(); ++i) {
+        if (dag.objects[i].cls == ObjClass::Psum)
+            EXPECT_NE(s.decisions[i].placement, Placement::Dram);
+    }
+}
+
+TEST(Greedy, NoRandomPlacementsWithoutArray)
+{
+    ConvLayer l = ConvLayer::conv("c", 14, 14, 64, 128, 1);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    p.hasRandomArray = false;
+    Schedule s = scheduleGreedy(dag, p);
+    for (const auto &d : s.decisions)
+        EXPECT_NE(d.placement, Placement::Random);
+}
+
+TEST(Ilp, ProducesValidSchedule)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleIlp(dag, p);
+    EXPECT_TRUE(validateSchedule(dag, p, s));
+}
+
+TEST(Ilp, ObjectiveAtLeastGreedy)
+{
+    // The ILP optimizes what the greedy approximates; on the same cost
+    // model it must never be worse (the Sec. 4.3 ablation claim).
+    for (int k : {1, 3, 5}) {
+        ConvLayer l = ConvLayer::conv("c", 14, 14, 128, 256, k);
+        LayerDag dag = dagOf(l);
+        SchedParams p = smartParams();
+        Schedule ilp = scheduleIlp(dag, p);
+        Schedule greedy = scheduleGreedy(dag, p);
+        if (ilp.fromIlp) {
+            EXPECT_GE(ilp.objective, greedy.objective * 0.99 - 1e-6)
+                << "kernel " << k;
+        }
+    }
+}
+
+TEST(Ilp, PrefetchesWhenWindowOpen)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleIlp(dag, p);
+    EXPECT_GT(s.prefetchedFraction(dag), 0.5);
+}
+
+TEST(Ilp, NoPrefetchWhenWindowClosed)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    p.prefetchIterations = 1; // a = 1 disables prefetching (Fig. 24)
+    Schedule s = scheduleIlp(dag, p);
+    EXPECT_DOUBLE_EQ(s.prefetchedFraction(dag), 0.0);
+    for (const auto &d : s.decisions)
+        EXPECT_FALSE(d.prefetched);
+}
+
+TEST(Ilp, TinyCapacityPushesDataOffChip)
+{
+    // With pathological capacities the scheduler must push weight and
+    // input objects toward DRAM (PSums are exempt: the hardware always
+    // keeps accumulators on chip, so the tight schedule may exceed the
+    // nominal RANDOM capacity for them and fail strict validation).
+    ConvLayer l = ConvLayer::conv("c", 56, 56, 256, 512, 3);
+    LayerDag dag = dagOf(l);
+    SchedParams roomy = smartParams();
+    SchedParams tight = smartParams();
+    tight.shiftCapacityBytes = 512;
+    tight.randomCapacityBytes = 64 * 1024;
+    Schedule s_roomy = scheduleIlp(dag, roomy);
+    Schedule s_tight = scheduleIlp(dag, tight);
+    EXPECT_GE(s_tight.dramBytes(dag), s_roomy.dramBytes(dag));
+    EXPECT_TRUE(validateSchedule(dag, roomy, s_roomy));
+}
+
+TEST(Schedule, ServedFractionsPartition)
+{
+    ConvLayer l = ConvLayer::conv("c", 13, 13, 256, 384, 3);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleIlp(dag, p);
+    for (ObjClass c : {ObjClass::Weight, ObjClass::Input,
+                       ObjClass::Output, ObjClass::Psum}) {
+        const double total = s.servedFraction(dag, c, Placement::Shift) +
+                             s.servedFraction(dag, c, Placement::Random) +
+                             s.servedFraction(dag, c, Placement::Dram);
+        EXPECT_NEAR(total, 1.0, 1e-9) << objClassName(c);
+    }
+}
+
+TEST(Schedule, ValidateCatchesOverflow)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    Schedule s = scheduleGreedy(dag, p);
+    // Corrupt: force everything into SHIFT.
+    SchedParams tiny = p;
+    tiny.shiftCapacityBytes = 1;
+    for (auto &d : s.decisions)
+        d.placement = Placement::Shift;
+    EXPECT_FALSE(validateSchedule(dag, tiny, s));
+}
+
+TEST(Schedule, PlacementNames)
+{
+    EXPECT_STREQ(placementName(Placement::Shift), "SHIFT");
+    EXPECT_STREQ(placementName(Placement::Random), "RANDOM");
+    EXPECT_STREQ(placementName(Placement::Dram), "DRAM");
+}
+
+/** Prefetch window sweep (Fig. 24's knob). */
+class WindowSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WindowSweep, ValidAtEveryWindow)
+{
+    ConvLayer l = ConvLayer::conv("c", 13, 13, 256, 384, 3);
+    LayerDag dag = dagOf(l);
+    SchedParams p = smartParams();
+    p.prefetchIterations = GetParam();
+    Schedule s = scheduleIlp(dag, p);
+    EXPECT_TRUE(validateSchedule(dag, p, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cross-module consistency properties: quantities that two independent
+ * code paths must agree on (analytical vs replay, array models vs
+ * scheme timing, compiler costs vs perf-model costs), plus randomized
+ * stress sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/energy.hh"
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+#include "common/rng.hh"
+#include "cryomem/cmos_sfq_array.hh"
+#include "cryomem/random_array.hh"
+#include "sfq/devices.hh"
+#include "sfq/htree.hh"
+#include "systolic/trace.hh"
+
+namespace
+{
+
+using namespace smart;
+
+TEST(CrossModule, HtreeLatencyConsistentWithPtlPhysics)
+{
+    // The H-tree's root-to-leaf latency must be at least the raw PTL
+    // flight time over the path plus the splitter-unit latencies.
+    sfq::SfqHTreeConfig cfg;
+    cfg.leaves = 256;
+    cfg.arraySideUm = 6000.0;
+    sfq::SfqHTree tree(cfg);
+    sfq::PtlModel ptl(cfg.geom);
+
+    double path_um = 0.0;
+    for (int l = 0; l < tree.stats().levels; ++l)
+        path_um += tree.segmentLengthUm(l);
+    const double floor_ps =
+        ptl.delayPs(path_um) +
+        tree.stats().levels * sfq::SplitterUnit::latencyPs();
+    EXPECT_GE(tree.stats().rootToLeafLatencyPs, floor_ps - 1e-6);
+}
+
+TEST(CrossModule, CmosSfqThroughputMatchesSchemeTiming)
+{
+    // The perf model's per-byte bank busy time for the SMART RANDOM
+    // array must equal the array model's stage time.
+    cryo::CmosSfqArrayConfig ac;
+    cryo::CmosSfqArrayModel arr(ac);
+    auto cfg = accel::makeSmart();
+    const double stage_cycles =
+        arr.stageTimePs() / cfg.cyclePs();
+    EXPECT_GT(stage_cycles, 5.0);
+    EXPECT_LT(stage_cycles, 6.0); // 103.02 ps over 19.01 ps cycles
+}
+
+TEST(CrossModule, ReplayAccessesEqualDemandForAllModels)
+{
+    // Analytical demand and mechanistic replay must agree on access
+    // counts for every conv layer of every model (the two independent
+    // implementations of the im2col walk).
+    for (const auto &name : {"AlexNet", "MobileNet"}) {
+        auto model = cnn::convLayersOnly(cnn::makeModel(name));
+        for (const auto &layer : model.layers) {
+            auto d = systolic::analyzeDemand(layer, {64, 256});
+            systolic::ShiftReplayParams p;
+            p.banks = 64;
+            p.laneBytes = 384 * 1024;
+            auto r = systolic::replayInputShift(layer, {64, 256}, p);
+            EXPECT_EQ(r.portAccesses, d.inputPortReads)
+                << name << "/" << layer.name;
+        }
+    }
+}
+
+TEST(CrossModule, MacsConservedThroughPerfModel)
+{
+    // The perf model must execute exactly the MACs the model zoo
+    // declares, for every scheme.
+    auto model = cnn::convLayersOnly(cnn::makeGoogleNet());
+    const double expected =
+        static_cast<double>(model.totalMacs()) * 3.0;
+    for (auto s : {accel::Scheme::Tpu, accel::Scheme::SuperNpu,
+                   accel::Scheme::Smart}) {
+        auto r = accel::runInference(accel::makeScheme(s), model, 3);
+        EXPECT_NEAR(r.totalMacs, expected, expected * 1e-9)
+            << accel::schemeName(s);
+    }
+}
+
+TEST(CrossModule, SnmBusyMatchesTechTable)
+{
+    // The random-array model's destructive-read busy time must equal
+    // read + restore from Table 1.
+    cryo::RandomArrayConfig rc;
+    rc.tech = cryo::MemTech::Snm;
+    cryo::RandomArrayModel arr(rc);
+    const auto &tp = cryo::techParams(cryo::MemTech::Snm);
+    EXPECT_NEAR(arr.bankBusyReadNs(),
+                tp.readLatencyNs + tp.writeLatencyNs, 1e-9);
+}
+
+TEST(CrossModule, EnergyScalesWithBatch)
+{
+    // Physical inference energy must grow with batch size but less
+    // than linearly per image for amortizing schemes.
+    auto cfg = accel::makeSuperNpu();
+    auto model = cnn::convLayersOnly(cnn::makeAlexNet());
+    auto r1 = accel::runInference(cfg, model, 1);
+    auto r8 = accel::runInference(cfg, model, 8);
+    auto e1 = accel::computeEnergy(cfg, r1);
+    auto e8 = accel::computeEnergy(cfg, r8);
+    EXPECT_GT(e8.physicalJ(), e1.physicalJ());
+    EXPECT_LT(e8.physicalJ(), 8.0 * e1.physicalJ() * 1.01);
+}
+
+/** Randomized layer stress: the whole pipeline stays sane. */
+class RandomLayerStress : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomLayerStress, PipelineInvariantsHold)
+{
+    Rng rng(31337 + GetParam());
+    const int sizes[] = {7, 13, 14, 27, 28, 56};
+    const int channels[] = {3, 16, 64, 128, 256};
+    const int kernels[] = {1, 3, 5};
+
+    const int hw = sizes[rng.range(6)];
+    const int cin = channels[rng.range(5)];
+    const int k = kernels[rng.range(3)];
+    const int m = 32 << rng.range(4);
+    if (k > hw)
+        GTEST_SKIP();
+
+    auto layer = systolic::ConvLayer::conv(
+        "rand", hw, hw, cin, m, k, 1 + static_cast<int>(rng.range(2)));
+    for (auto s : {accel::Scheme::SuperNpu, accel::Scheme::Smart}) {
+        auto cfg = accel::makeScheme(s);
+        auto lr = accel::runLayer(cfg, layer, 2);
+        EXPECT_GE(lr.totalCycles, lr.computeCycles)
+            << accel::schemeName(s);
+        EXPECT_GT(lr.counters.macs, 0.0);
+        EXPECT_TRUE(std::isfinite(
+            static_cast<double>(lr.totalCycles)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayerStress,
+                         ::testing::Range(0, 20));
+
+} // namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the Table 1 technology table, the circular SHIFT lane
+ * mechanics, and the random-access array models (VTM, J-CMOS SRAM,
+ * MRAM, SNM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "cryomem/random_array.hh"
+#include "cryomem/shift_array.hh"
+#include "cryomem/tech.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::cryo;
+
+TEST(Tech, Table1Values)
+{
+    const TechParams &shift = techParams(MemTech::Shift);
+    EXPECT_DOUBLE_EQ(shift.readLatencyNs, 0.02);
+    EXPECT_DOUBLE_EQ(shift.cellSizeF2, 39.0);
+    EXPECT_FALSE(shift.randomAccess);
+
+    const TechParams &vtm = techParams(MemTech::Vtm);
+    EXPECT_DOUBLE_EQ(vtm.readLatencyNs, 0.1);
+    EXPECT_DOUBLE_EQ(vtm.cellSizeF2, 203.0);
+
+    const TechParams &mram = techParams(MemTech::Mram);
+    EXPECT_DOUBLE_EQ(mram.readLatencyNs, 0.1);
+    EXPECT_DOUBLE_EQ(mram.writeLatencyNs, 2.0);
+    EXPECT_DOUBLE_EQ(mram.cellSizeF2, 89.0);
+
+    const TechParams &snm = techParams(MemTech::Snm);
+    EXPECT_DOUBLE_EQ(snm.writeLatencyNs, 3.0);
+    EXPECT_TRUE(snm.destructiveRead);
+    EXPECT_DOUBLE_EQ(snm.cellSizeF2, 54.0);
+}
+
+TEST(Tech, AllSixTechnologiesListed)
+{
+    EXPECT_EQ(allTechs().size(), 6u);
+    EXPECT_EQ(allTechs().front().name, "SHIFT");
+    EXPECT_EQ(allTechs().back().name, "CMOS-SFQ");
+}
+
+TEST(Tech, DecoderAreaRatioFromPaper)
+{
+    // Sec. 2.1: a SFQ 4-to-16 decoder is 77K F^2 vs 23K F^2 for CMOS.
+    EXPECT_NEAR(sfqDecoderF2PerOutput / cmosDecoderF2PerOutput,
+                77.0 / 23.0, 1e-9);
+}
+
+TEST(ShiftLane, SequentialAccessCostsOneStep)
+{
+    ShiftLane lane(100);
+    EXPECT_EQ(lane.access(0), 0u);
+    EXPECT_EQ(lane.access(1), 1u);
+    EXPECT_EQ(lane.access(2), 1u);
+}
+
+TEST(ShiftLane, BackwardAccessWrapsTheRing)
+{
+    ShiftLane lane(100);
+    lane.access(50);
+    // Going back one position costs nearly a full rotation.
+    EXPECT_EQ(lane.access(49), 99u);
+}
+
+TEST(ShiftLane, PeekDoesNotMoveHead)
+{
+    ShiftLane lane(64);
+    lane.access(10);
+    EXPECT_EQ(lane.peekCost(20), 10u);
+    EXPECT_EQ(lane.head(), 10u);
+}
+
+TEST(ShiftLane, PositionsWrapModuloStages)
+{
+    ShiftLane lane(16);
+    EXPECT_EQ(lane.access(16), 0u); // same as position 0
+    EXPECT_EQ(lane.head(), 0u);
+}
+
+TEST(ShiftArray, ByteInterleavingAcrossBanks)
+{
+    ShiftArrayConfig cfg;
+    cfg.capacityBytes = 1024;
+    cfg.banks = 4;
+    ShiftArray arr(cfg);
+    EXPECT_EQ(arr.laneBytes(), 256u);
+    EXPECT_EQ(arr.bankOf(0), 0);
+    EXPECT_EQ(arr.bankOf(5), 1);
+    EXPECT_EQ(arr.lanePosOf(8), 2u);
+}
+
+TEST(ShiftArray, SequentialStreamCostsOneStepPerBankVisit)
+{
+    ShiftArrayConfig cfg;
+    cfg.capacityBytes = 1024;
+    cfg.banks = 4;
+    ShiftArray arr(cfg);
+    // Addresses 0..7 round-robin the 4 banks; the second visit to each
+    // bank advances its lane by one.
+    std::uint64_t total = 0;
+    for (std::uint64_t a = 0; a < 8; ++a)
+        total += arr.access(a);
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(ShiftArray, LaneStepEnergyMatchesFig16)
+{
+    // Fig. 16: a 384 KB SuperNPU input bank moves ~315 pJ per step, a
+    // 96 KB output bank ~79 pJ, SMART's 128 B lanes ~0.1 pJ.
+    ShiftArrayConfig in;
+    in.capacityBytes = 24 * units::mib;
+    in.banks = 64;
+    EXPECT_NEAR(units::jToPj(ShiftArray(in).laneStepEnergyJ()), 314.6,
+                2.0);
+
+    ShiftArrayConfig out;
+    out.capacityBytes = 24 * units::mib;
+    out.banks = 256;
+    EXPECT_NEAR(units::jToPj(ShiftArray(out).laneStepEnergyJ()), 78.6,
+                1.0);
+
+    ShiftArrayConfig smart_cfg;
+    smart_cfg.capacityBytes = 32 * units::kib;
+    smart_cfg.banks = 256;
+    EXPECT_NEAR(units::jToPj(ShiftArray(smart_cfg).laneStepEnergyJ()),
+                0.102, 0.01);
+}
+
+TEST(ShiftArray, NoLeakage)
+{
+    ShiftArrayConfig cfg;
+    EXPECT_DOUBLE_EQ(ShiftArray(cfg).leakageW(), 0.0);
+}
+
+TEST(RandomArray, ShiftHasNoRandomAccess)
+{
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::Shift;
+    EXPECT_DEATH(RandomArrayModel model(cfg), "random access");
+}
+
+TEST(RandomArray, JcsSramLatencyInPaperRange)
+{
+    // Sec. 2.3 / Table 1: accessing a 28 MB SRAM array at 4 K costs
+    // 2-4 ns.
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::JcsSram;
+    RandomArrayModel arr(cfg);
+    EXPECT_GE(arr.readLatencyNs(), 2.0);
+    EXPECT_LE(arr.readLatencyNs(), 4.0);
+}
+
+TEST(RandomArray, Fig9HtreeDominance)
+{
+    // Fig. 9: the CMOS H-tree is ~84 % of the access latency and ~49 %
+    // of the access energy of the 256-bank 28 MB array.
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::JcsSram;
+    RandomArrayModel arr(cfg);
+    const double lat_frac = arr.htreeLatencyNs() / arr.readLatencyNs();
+    EXPECT_NEAR(lat_frac, 0.84, 0.06);
+    const double e_frac =
+        arr.htreeEnergyJ() / (arr.htreeEnergyJ() + arr.subbankEnergyJ());
+    EXPECT_NEAR(e_frac, 0.49, 0.06);
+}
+
+TEST(RandomArray, SnmReadsAreDestructive)
+{
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::Snm;
+    RandomArrayModel arr(cfg);
+    // Bank busy on read includes the 3 ns restore write.
+    EXPECT_GE(arr.bankBusyReadNs(), 3.0);
+    // Energy includes the restore.
+    EXPECT_GT(arr.readEnergyJ(),
+              techParams(MemTech::Snm).readEnergyJ);
+}
+
+TEST(RandomArray, MramWritesSlowerThanReads)
+{
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::Mram;
+    RandomArrayModel arr(cfg);
+    EXPECT_GT(arr.bankBusyWriteNs(), arr.bankBusyReadNs());
+    EXPECT_GT(arr.writeEnergyJ(), arr.readEnergyJ());
+}
+
+TEST(RandomArray, VtmLargestCells)
+{
+    RandomArrayConfig vtm;
+    vtm.tech = MemTech::Vtm;
+    vtm.capacityBytes = 4 * units::mib;
+    RandomArrayConfig mram = vtm;
+    mram.tech = MemTech::Mram;
+    EXPECT_GT(RandomArrayModel(vtm).area().cellsUm2,
+              RandomArrayModel(mram).area().cellsUm2);
+}
+
+TEST(RandomArray, SfqDecoderAreaIsVisible)
+{
+    // Fig. 5(c): SFQ decoders cost 16-28 % of non-SHIFT array area.
+    RandomArrayConfig cfg;
+    cfg.tech = MemTech::Mram;
+    cfg.capacityBytes = 12 * units::mib;
+    cfg.banks = 64;
+    RandomArrayModel arr(cfg);
+    const double frac =
+        arr.area().sfqDecoderUm2 / arr.area().totalUm2();
+    EXPECT_GT(frac, 0.02);
+    EXPECT_LT(frac, 0.40);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the pipelined CMOS-SFQ array (the paper's Sec. 4.2
+ * contribution) and the Fig. 14 design space exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "cryomem/cmos_sfq_array.hh"
+#include "cryomem/dse.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::cryo;
+
+TEST(CmosSfq, PipelineFrequencyNearPaper)
+{
+    // Sec. 4.2.4: the nTron bounds the pipeline at ~9.6 GHz; Sec. 4.4
+    // quotes 9.7 GHz operation and 0.11 ns per byte per bank.
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_NEAR(arr.pipelineFreqGhz(), 9.7, 0.2);
+    EXPECT_NEAR(arr.stageTimePs(), 103.02, 1.0);
+}
+
+TEST(CmosSfq, NtronIsTheBottleneck)
+{
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_LE(units::nsToPs(arr.subbank().readLatencyNs()),
+              arr.stageTimePs() + 1e-9);
+    EXPECT_LE(arr.requestTree().maxStageLatencyPs,
+              arr.stageTimePs() + 1e-9);
+}
+
+TEST(CmosSfq, ReadLatencyCoversWholePipe)
+{
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    const auto &b = arr.breakdown();
+    EXPECT_GT(b.requestTreePs, 0.0);
+    EXPECT_DOUBLE_EQ(b.ntronPs, 103.02);
+    EXPECT_GT(b.subbankPs, 0.0);
+    EXPECT_GT(b.replyTreePs, 0.0);
+    EXPECT_NEAR(units::nsToPs(arr.readLatencyNs()), b.totalPs(), 1e-9);
+    EXPECT_LT(arr.writeLatencyNs(), arr.readLatencyNs());
+}
+
+TEST(CmosSfq, NoSfqDecoders)
+{
+    // The design's whole point: CMOS decoders inside sub-banks, no SFQ
+    // decoder area.
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_DOUBLE_EQ(arr.area().sfqDecoderUm2, 0.0);
+    EXPECT_GT(arr.area().htreeUm2, 0.0);
+}
+
+TEST(CmosSfq, LeakageNearPaperValue)
+{
+    // Sec. 4.4: the 28 MB pipelined array leaks ~102 mW.
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_NEAR(units::wToMw(arr.leakageW()), 102.0, 25.0);
+}
+
+TEST(CmosSfq, ReadCostsMoreThanWrite)
+{
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_GT(arr.readEnergyJ(), arr.writeEnergyJ());
+}
+
+TEST(CmosSfq, PipelineDepthCoversLatency)
+{
+    CmosSfqArrayConfig cfg;
+    CmosSfqArrayModel arr(cfg);
+    EXPECT_GE(arr.pipelineDepth() * arr.stageTimePs(),
+              units::nsToPs(arr.readLatencyNs()) * 0.8);
+}
+
+TEST(Dse, MaxFrequencySetByNtron)
+{
+    EXPECT_NEAR(maxPipelineFreqGhz(), 9.707, 0.01);
+}
+
+TEST(Dse, SweepShapesMatchFig14)
+{
+    CmosSfqArrayConfig base;
+    auto points = sweepPipelineFrequency(
+        base, {1.0, 2.0, 4.0, 8.0, 9.6, 12.0, 20.0});
+    ASSERT_EQ(points.size(), 7u);
+
+    // Feasible up to the nTron limit, infeasible beyond.
+    for (const auto &p : points) {
+        if (p.targetFreqGhz <= maxPipelineFreqGhz())
+            EXPECT_TRUE(p.feasible) << p.targetFreqGhz;
+        else
+            EXPECT_FALSE(p.feasible) << p.targetFreqGhz;
+    }
+
+    // Overheads grow monotonically with frequency (Fig. 14): more MATs
+    // and repeaters mean more leakage and area.
+    const auto &lo = points[0];
+    const auto &hi = points[4];
+    EXPECT_GE(hi.matsPerSubbank, lo.matsPerSubbank);
+    EXPECT_GE(hi.leakageMw, lo.leakageMw);
+    EXPECT_GE(hi.areaMm2, lo.areaMm2 * 0.99);
+}
+
+/** Capacity sweep: structure scales sanely. */
+class CapacitySweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CapacitySweep, BiggerArraysSlowerAndLeakier)
+{
+    CmosSfqArrayConfig small;
+    small.capacityBytes = GetParam();
+    CmosSfqArrayConfig big;
+    big.capacityBytes = GetParam() * 4;
+    CmosSfqArrayModel a(small), b(big);
+    EXPECT_GE(b.readLatencyNs(), a.readLatencyNs() * 0.99);
+    EXPECT_GT(b.leakageW(), a.leakageW());
+    EXPECT_GT(b.area().totalUm2(), a.area().totalUm2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweep,
+                         ::testing::Values(7 * units::mib,
+                                           14 * units::mib,
+                                           28 * units::mib));
+
+} // namespace

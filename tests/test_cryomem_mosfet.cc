@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the cryogenic MOSFET scaling model (cryo-pgen substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cryomem/mosfet.hh"
+
+namespace
+{
+
+using namespace smart::cryo;
+
+TEST(Mosfet, RoomTemperatureIsIdentity)
+{
+    MosfetParams p = cryoMosfet(300.0, 28.0);
+    EXPECT_NEAR(p.mobilityFactor, 1.0, 1e-9);
+    EXPECT_NEAR(p.ionFactor, 1.0, 0.05);
+    EXPECT_DOUBLE_EQ(p.leakageFactor, 1.0);
+}
+
+TEST(Mosfet, MobilityRisesAndSaturates)
+{
+    const double m77 = cryoMosfet(77.0, 28.0).mobilityFactor;
+    const double m4 = cryoMosfet(4.0, 28.0).mobilityFactor;
+    EXPECT_GT(m77, 2.0);
+    EXPECT_LT(m77, 3.5);
+    EXPECT_GT(m4, m77);
+    EXPECT_LT(m4, 4.5); // impurity scattering caps the gain
+}
+
+TEST(Mosfet, ThresholdShiftsUpAtCryo)
+{
+    const double v300 = cryoMosfet(300.0, 28.0).vthV;
+    const double v4 = cryoMosfet(4.0, 28.0).vthV;
+    EXPECT_GT(v4, v300);
+    EXPECT_NEAR(v4 - v300, 0.00075 * 296.0, 1e-6);
+}
+
+TEST(Mosfet, LeakageCollapsesMoreThan90Percent)
+{
+    // The paper quotes >90 % SRAM leakage reduction at cryo [28].
+    EXPECT_LT(cryoMosfet(77.0, 28.0).leakageFactor, 0.1);
+    EXPECT_LE(cryoMosfet(4.0, 28.0).leakageFactor, 0.02 + 1e-12);
+    EXPECT_GT(cryoMosfet(4.0, 28.0).leakageFactor, 0.0);
+}
+
+TEST(Mosfet, DriveImprovesAtCryoForThickOxide)
+{
+    // At 180 nm (Vdd 1.8 V) the overdrive loss is small, so the
+    // mobility gain wins clearly.
+    EXPECT_GT(cryoMosfet(4.0, 180.0).ionFactor, 1.5);
+    // At 28 nm (Vdd 0.8 V) the Vth shift eats most of it but the net
+    // must remain >= 1 (the paper: SRAM at 4 K is faster than 300 K).
+    EXPECT_GE(cryoMosfet(4.0, 28.0).ionFactor, 1.0);
+}
+
+TEST(Mosfet, NodeSetsSupply)
+{
+    EXPECT_DOUBLE_EQ(cryoMosfet(300.0, 180.0).vddV, 1.8);
+    EXPECT_DOUBLE_EQ(cryoMosfet(300.0, 65.0).vddV, 1.1);
+    EXPECT_DOUBLE_EQ(cryoMosfet(300.0, 28.0).vddV, 0.8);
+}
+
+TEST(Mosfet, RejectsNonsense)
+{
+    EXPECT_DEATH(cryoMosfet(-1.0, 28.0), "temperature");
+    EXPECT_DEATH(cryoMosfet(300.0, 1.0), "node");
+}
+
+/** Monotonicity sweep: colder is never leakier. */
+class TempSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TempSweep, LeakageMonotone)
+{
+    const double t = GetParam();
+    EXPECT_LE(cryoMosfet(t, 28.0).leakageFactor,
+              cryoMosfet(t + 50.0 <= 400 ? t + 50.0 : 400.0, 28.0)
+                  .leakageFactor + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, TempSweep,
+                         ::testing::Values(4.0, 20.0, 50.0, 77.0, 150.0,
+                                           250.0));
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the CACTI-lite sub-bank model, including the paper's Fig. 12
+ * validation bands: the model must sit 3-8 % above the published 4 K
+ * SRAM chip latencies and 8-12 % above its energies (0.18 um process,
+ * 8 KB / 128 KB / 2 MB sub-banks with 8 / 32 / 128 MATs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "cryomem/subbank.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::cryo;
+
+/** Fig. 12 chip reference points (see EXPERIMENTS.md for provenance). */
+struct ChipPoint
+{
+    std::uint64_t capacityBytes;
+    int mats;
+    double latencyNs;
+    double energyPj;
+};
+
+const ChipPoint chip_points[] = {
+    {8 * 1024, 8, 0.140, 474.0},
+    {128 * 1024, 32, 0.240, 889.0},
+    {2 * 1024 * 1024, 128, 0.425, 1719.0},
+};
+
+SubbankModel
+chipModel(const ChipPoint &p)
+{
+    SubbankConfig cfg;
+    cfg.capacityBytes = p.capacityBytes;
+    cfg.mats = p.mats;
+    cfg.nodeNm = 180.0;
+    cfg.temperatureK = 4.0;
+    return SubbankModel(cfg);
+}
+
+class Fig12Validation : public ::testing::TestWithParam<ChipPoint>
+{
+};
+
+TEST_P(Fig12Validation, LatencyWithin3To8PercentAboveChip)
+{
+    const ChipPoint p = GetParam();
+    const double model_ns = chipModel(p).readLatencyNs();
+    const double err = (model_ns - p.latencyNs) / p.latencyNs;
+    EXPECT_GE(err, 0.02) << "model " << model_ns << " vs chip "
+                         << p.latencyNs;
+    EXPECT_LE(err, 0.09);
+}
+
+TEST_P(Fig12Validation, EnergyWithin8To12PercentAboveChip)
+{
+    const ChipPoint p = GetParam();
+    const double model_pj = units::jToPj(chipModel(p).energyPerAccessJ());
+    const double err = (model_pj - p.energyPj) / p.energyPj;
+    EXPECT_GE(err, 0.06) << "model " << model_pj << " vs chip "
+                         << p.energyPj;
+    EXPECT_LE(err, 0.13);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipPoints, Fig12Validation,
+                         ::testing::ValuesIn(chip_points));
+
+TEST(Subbank, LatencyGrowsWithCapacityAtFixedMats)
+{
+    SubbankConfig a;
+    a.capacityBytes = 16 * 1024;
+    a.mats = 4;
+    SubbankConfig b = a;
+    b.capacityBytes = 256 * 1024;
+    EXPECT_GT(SubbankModel(b).readLatencyNs(),
+              SubbankModel(a).readLatencyNs());
+}
+
+TEST(Subbank, MoreMatsReduceLatencyButAddLeakage)
+{
+    SubbankConfig few;
+    few.capacityBytes = 112 * 1024;
+    few.mats = 4;
+    SubbankConfig many = few;
+    many.mats = 64;
+    EXPECT_LT(SubbankModel(many).readLatencyNs(),
+              SubbankModel(few).readLatencyNs());
+    EXPECT_GT(SubbankModel(many).peripheralLeakageW(),
+              SubbankModel(few).peripheralLeakageW());
+}
+
+TEST(Subbank, SmartSubbankFitsPipelineStage)
+{
+    // The paper's 112 KB sub-bank (28 MB / 256 banks) must fit the
+    // 103.02 ps nTron stage at 28 nm / 4 K with a reasonable MAT count.
+    SubbankConfig cfg;
+    cfg.capacityBytes = 112 * 1024;
+    cfg.mats = 16;
+    SubbankModel sub(cfg);
+    EXPECT_LE(units::nsToPs(sub.readLatencyNs()), 103.02);
+}
+
+TEST(Subbank, SmartSubbankEnergyAnchor)
+{
+    // Fig. 16 anchor: ~39 pJ per access for the 112 KB sub-bank, half
+    // the 96 KB SHIFT bank's 78 pJ lane-step energy.
+    SubbankConfig cfg;
+    cfg.capacityBytes = 112 * 1024;
+    cfg.mats = 16;
+    SubbankModel sub(cfg);
+    EXPECT_NEAR(units::jToPj(sub.energyPerAccessJ()), 39.0, 6.0);
+}
+
+TEST(Subbank, CryoFasterAndLessLeakyThan300K)
+{
+    SubbankConfig warm;
+    warm.capacityBytes = 64 * 1024;
+    warm.mats = 16;
+    warm.temperatureK = 300.0;
+    SubbankConfig cold = warm;
+    cold.temperatureK = 4.0;
+    EXPECT_LT(SubbankModel(cold).readLatencyNs(),
+              SubbankModel(warm).readLatencyNs());
+    EXPECT_LT(SubbankModel(cold).leakageW(),
+              0.1 * SubbankModel(warm).leakageW());
+}
+
+TEST(Subbank, WriteEqualsReadForSram)
+{
+    SubbankConfig cfg;
+    SubbankModel sub(cfg);
+    EXPECT_DOUBLE_EQ(sub.readLatencyNs(), sub.writeLatencyNs());
+}
+
+TEST(Subbank, AreaExceedsPureCellArea)
+{
+    SubbankConfig cfg;
+    cfg.capacityBytes = 112 * 1024;
+    cfg.mats = 16;
+    SubbankModel sub(cfg);
+    const double cells =
+        112.0 * 1024 * 8 * units::f2ToUm2(146.0, 28.0);
+    EXPECT_GT(sub.areaUm2(), cells);
+    EXPECT_LT(sub.areaUm2(), cells * 2.0);
+}
+
+TEST(Subbank, RejectsDegenerateConfigs)
+{
+    SubbankConfig cfg;
+    cfg.capacityBytes = 0;
+    EXPECT_DEATH(SubbankModel model(cfg), "capacity");
+    SubbankConfig cfg2;
+    cfg2.mats = 0;
+    EXPECT_DEATH(SubbankModel model(cfg2), "MAT");
+}
+
+} // namespace

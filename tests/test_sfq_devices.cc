@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the SFQ component models against the paper's Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sfq/devices.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::sfq;
+
+TEST(Devices, Table2Latencies)
+{
+    EXPECT_DOUBLE_EQ(splitterParams().latencyPs, 7.0);
+    EXPECT_DOUBLE_EQ(driverParams().latencyPs, 3.5);
+    EXPECT_DOUBLE_EQ(receiverParams().latencyPs, 5.25);
+    EXPECT_DOUBLE_EQ(ntronParams().latencyPs, 103.02);
+}
+
+TEST(Devices, Table2Leakage)
+{
+    EXPECT_DOUBLE_EQ(splitterParams().leakageW, 0.0);
+    EXPECT_NEAR(driverParams().leakageW, 0.874e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(receiverParams().leakageW, 0.0);
+    EXPECT_NEAR(ntronParams().leakageW, 8.8e-6, 1e-12);
+}
+
+TEST(Devices, JjCountsFollowSchematics)
+{
+    // Fig. 11: splitter has 3 JJs, driver is a 2-stage JTL, receiver a
+    // 3-stage JTL.
+    EXPECT_EQ(splitterParams().jjCount, 3);
+    EXPECT_EQ(driverParams().jjCount, 2);
+    EXPECT_EQ(receiverParams().jjCount, 3);
+}
+
+TEST(Devices, EnergyPerOpAtLeastJjFloor)
+{
+    // Energy per operation can never drop below the physical JJ
+    // switching energy of the component.
+    for (const auto *p : {&splitterParams(), &driverParams(),
+                          &receiverParams()}) {
+        EXPECT_GE(p->energyPerOpJ(),
+                  p->jjCount * constants::jjSwitchEnergyJ);
+    }
+}
+
+TEST(Devices, EnergyPerOpFromDynamicPower)
+{
+    // The nTron quote (13 nW at 9.6 GHz) dominates its JJ floor.
+    const double expected = 13e-9 / (refPipelineFreqGhz * 1e9);
+    EXPECT_NEAR(ntronParams().energyPerOpJ(), expected, 1e-22);
+}
+
+TEST(SplitterUnit, ComposesReceiverSplitterTwoDrivers)
+{
+    EXPECT_DOUBLE_EQ(SplitterUnit::latencyPs(), 5.25 + 7.0 + 3.5);
+    EXPECT_EQ(SplitterUnit::jjCount(), 3 + 3 + 2 * 2);
+    // Two biased drivers dominate the unit's static power.
+    EXPECT_NEAR(SplitterUnit::leakageW(), 2 * 0.874e-6, 1e-12);
+    EXPECT_GT(SplitterUnit::energyPerPulseJ(), 0.0);
+    EXPECT_GT(SplitterUnit::areaUm2(), 0.0);
+}
+
+TEST(Repeater, ComposesDriverReceiver)
+{
+    EXPECT_DOUBLE_EQ(Repeater::latencyPs(), 3.5 + 5.25);
+    EXPECT_EQ(Repeater::jjCount(), 5);
+    EXPECT_NEAR(Repeater::leakageW(), 0.874e-6, 1e-12);
+}
+
+TEST(Devices, DffIsASingleRing)
+{
+    EXPECT_EQ(dffParams().jjCount, 2);
+    EXPECT_GT(dffParams().latencyPs, 0.0);
+}
+
+} // namespace

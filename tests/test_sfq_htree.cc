@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the SFQ H-tree builder (structure, repeater insertion,
+ * pipeline stage budget) and the CMOS H-tree model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfq/devices.hh"
+#include "sfq/htree.hh"
+
+namespace
+{
+
+using namespace smart::sfq;
+
+TEST(SfqHTree, BinaryTreeStructure)
+{
+    SfqHTreeConfig cfg;
+    cfg.leaves = 256;
+    SfqHTree tree(cfg);
+    const auto &s = tree.stats();
+    EXPECT_EQ(s.levels, 8);
+    EXPECT_EQ(s.splitterUnits, 255);
+    EXPECT_EQ(s.segments, 2 * 256 - 2);
+}
+
+TEST(SfqHTree, SegmentLengthsHalveEveryTwoLevels)
+{
+    SfqHTreeConfig cfg;
+    cfg.leaves = 64;
+    cfg.arraySideUm = 4000.0;
+    SfqHTree tree(cfg);
+    EXPECT_DOUBLE_EQ(tree.segmentLengthUm(0), 2000.0);
+    EXPECT_NEAR(tree.segmentLengthUm(2) / tree.segmentLengthUm(0), 0.5,
+                1e-12);
+    EXPECT_NEAR(tree.segmentLengthUm(4) / tree.segmentLengthUm(2), 0.5,
+                1e-12);
+}
+
+TEST(SfqHTree, StageFitsNtronBudget)
+{
+    SfqHTreeConfig cfg;
+    cfg.leaves = 256;
+    cfg.arraySideUm = 6000.0;
+    SfqHTree tree(cfg);
+    EXPECT_LE(tree.stats().maxStageLatencyPs,
+              ntronParams().latencyPs + 1e-9);
+}
+
+TEST(SfqHTree, HigherFrequencyNeedsMoreRepeaters)
+{
+    SfqHTreeConfig slow;
+    slow.leaves = 256;
+    slow.arraySideUm = 8000.0;
+    slow.targetFreqGhz = 2.0;
+    SfqHTreeConfig fast = slow;
+    fast.targetFreqGhz = 9.6;
+    EXPECT_GE(SfqHTree(fast).stats().repeaters,
+              SfqHTree(slow).stats().repeaters);
+    EXPECT_GE(SfqHTree(fast).stats().leakageW,
+              SfqHTree(slow).stats().leakageW);
+}
+
+TEST(SfqHTree, BroadcastEnergyExceedsPathEnergy)
+{
+    // A request floods the whole tree; a reply fires one path. With
+    // equal bit counts the request must cost more.
+    SfqHTreeConfig cfg;
+    cfg.leaves = 256;
+    cfg.requestBits = 64;
+    cfg.replyBits = 64;
+    SfqHTree tree(cfg);
+    EXPECT_GT(tree.stats().requestEnergyJ, tree.stats().replyEnergyJ);
+}
+
+TEST(SfqHTree, LeakageFromBiasedDrivers)
+{
+    SfqHTreeConfig cfg;
+    cfg.leaves = 16;
+    SfqHTree tree(cfg);
+    const auto &s = tree.stats();
+    const double expected =
+        s.splitterUnits * SplitterUnit::leakageW() +
+        s.repeaters * Repeater::leakageW();
+    EXPECT_DOUBLE_EQ(s.leakageW, expected);
+}
+
+TEST(SfqHTree, LatencyGrowsWithArraySide)
+{
+    SfqHTreeConfig small;
+    small.leaves = 256;
+    small.arraySideUm = 2000.0;
+    SfqHTreeConfig big = small;
+    big.arraySideUm = 8000.0;
+    EXPECT_GT(SfqHTree(big).stats().rootToLeafLatencyPs,
+              SfqHTree(small).stats().rootToLeafLatencyPs);
+}
+
+TEST(SfqHTree, RejectsUnreachableFrequency)
+{
+    SfqHTreeConfig cfg;
+    cfg.targetFreqGhz = 500.0; // beyond any PTL link resonance
+    EXPECT_DEATH(SfqHTree tree(cfg), "unreachable");
+}
+
+TEST(CmosHTree, PathShorterThanSide)
+{
+    EXPECT_LT(CmosHTree::pathLengthUm(5000.0), 5000.0);
+    EXPECT_GT(CmosHTree::pathLengthUm(5000.0), 2500.0);
+}
+
+TEST(CmosHTree, LatencyAndEnergyLinear)
+{
+    EXPECT_NEAR(CmosHTree::latencyPs(2000.0),
+                2.0 * CmosHTree::latencyPs(1000.0), 1e-9);
+    EXPECT_NEAR(CmosHTree::energyJ(1000.0, 64),
+                2.0 * CmosHTree::energyJ(1000.0, 32), 1e-24);
+}
+
+TEST(CmosHTree, TotalWireExceedsOnePath)
+{
+    const double side = 4000.0;
+    EXPECT_GT(CmosHTree::totalWireUm(side, 256),
+              CmosHTree::pathLengthUm(side));
+}
+
+/** Parameterized sweep over leaf counts: structural invariants. */
+class LeafSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LeafSweep, SplittersAreLeavesMinusOne)
+{
+    SfqHTreeConfig cfg;
+    cfg.leaves = GetParam();
+    SfqHTree tree(cfg);
+    EXPECT_EQ(tree.stats().splitterUnits, GetParam() - 1);
+    EXPECT_EQ(tree.stats().segments, 2 * GetParam() - 2);
+    EXPECT_GT(tree.stats().areaUm2, 0.0);
+    EXPECT_GT(tree.stats().pipelineStages, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Leaves, LeafSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the PTL (Eq. 1-4), JTL, and CMOS wire models, including the
+ * Fig. 2 ordering properties (PTL << JTL << CMOS latency; six orders of
+ * magnitude energy gap between CMOS and PTL; ~100x JTL/PTL energy).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sfq/interconnect.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::sfq;
+
+TEST(Ptl, VelocityIsFractionOfLightSpeed)
+{
+    PtlModel ptl;
+    const double v = ptl.velocityMps();
+    EXPECT_GT(v, constants::c0 / 10.0);
+    EXPECT_LT(v, constants::c0);
+}
+
+TEST(Ptl, DelayLinearInLength)
+{
+    PtlModel ptl;
+    const double d1 = ptl.delayPs(100.0);
+    const double d2 = ptl.delayPs(200.0);
+    EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+    EXPECT_DOUBLE_EQ(ptl.delayPs(0.0), 0.0);
+}
+
+TEST(Ptl, ImpedanceFromLC)
+{
+    PtlModel ptl;
+    const double z = std::sqrt(ptl.inductancePerM() /
+                               ptl.capacitancePerM());
+    EXPECT_DOUBLE_EQ(ptl.impedanceOhm(), z);
+    // Superconducting micro-strips sit in the ohms-to-tens-of-ohms
+    // range.
+    EXPECT_GT(z, 1.0);
+    EXPECT_LT(z, 100.0);
+}
+
+TEST(Ptl, KineticInductanceRaisesL)
+{
+    PtlGeometry thick;
+    PtlGeometry thin = thick;
+    thin.lineThickUm = 0.05; // thinner strip -> more kinetic inductance
+    EXPECT_GT(PtlModel(thin).inductancePerM(),
+              PtlModel(thick).inductancePerM());
+}
+
+TEST(Ptl, ResonanceFrequencyFallsWithLength)
+{
+    PtlModel ptl;
+    const double f_short = ptl.resonanceFreqGhz(10.0);
+    const double f_long = ptl.resonanceFreqGhz(1000.0);
+    EXPECT_GT(f_short, f_long);
+    // Max operating frequency is 90 % of resonance (Sec. 4.2.3).
+    EXPECT_NEAR(ptl.maxOperatingFreqGhz(500.0),
+                0.9 * ptl.resonanceFreqGhz(500.0), 1e-12);
+}
+
+TEST(Ptl, EnergyIndependentOfLength)
+{
+    PtlModel ptl;
+    EXPECT_DOUBLE_EQ(ptl.energyPerPulseJ(10.0),
+                     ptl.energyPerPulseJ(1000.0));
+}
+
+TEST(Jtl, StagesCoverLength)
+{
+    EXPECT_EQ(JtlModel::stages(10.0), 1);
+    EXPECT_EQ(JtlModel::stages(10.1), 2);
+    EXPECT_EQ(JtlModel::stages(95.0), 10);
+}
+
+TEST(Jtl, DelayAndEnergyGrowWithLength)
+{
+    EXPECT_GT(JtlModel::delayPs(200.0), JtlModel::delayPs(50.0));
+    EXPECT_GT(JtlModel::energyPerPulseJ(200.0),
+              JtlModel::energyPerPulseJ(50.0));
+}
+
+TEST(Fig2, LatencyOrderingPtlJtlCmos)
+{
+    // Fig. 2(a): at every length PTL < JTL < CMOS; JTL and PTL are
+    // about two orders of magnitude faster than the CMOS wire.
+    PtlModel ptl;
+    for (double len : {50.0, 100.0, 150.0, 200.0}) {
+        const double t_ptl = ptl.delayPs(len);
+        const double t_jtl = JtlModel::delayPs(len);
+        const double t_cmos = CmosWireModel::delayPs(len);
+        EXPECT_LT(t_ptl, t_jtl) << "at " << len << " um";
+        EXPECT_LT(t_jtl, t_cmos) << "at " << len << " um";
+    }
+    EXPECT_GT(CmosWireModel::delayPs(200.0) / JtlModel::delayPs(200.0),
+              5.0);
+    EXPECT_GT(CmosWireModel::delayPs(200.0) / ptl.delayPs(200.0), 100.0);
+}
+
+TEST(Fig2, EnergyOrderingSixOrders)
+{
+    // Fig. 2(b): CMOS wire energy ~six orders above PTL; a long JTL
+    // costs ~100x a PTL.
+    PtlModel ptl;
+    const double e_cmos = CmosWireModel::energyPerBitJ(200.0);
+    const double e_ptl = ptl.energyPerPulseJ(200.0);
+    const double e_jtl = JtlModel::energyPerPulseJ(200.0);
+    EXPECT_GT(e_cmos / e_ptl, 1e4);
+    EXPECT_NEAR(e_jtl / e_ptl, 100.0, 60.0);
+}
+
+TEST(CmosWire, QuadraticDelay)
+{
+    const double d1 = CmosWireModel::delayPs(100.0);
+    const double d2 = CmosWireModel::delayPs(200.0);
+    EXPECT_NEAR(d2 / d1, 4.0, 1e-9); // unrepeated RC is quadratic
+}
+
+/** Property sweep: resonance monotonically decreasing in length. */
+class PtlLengthSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PtlLengthSweep, MaxFreqBelowResonance)
+{
+    PtlModel ptl;
+    const double len = GetParam();
+    EXPECT_LT(ptl.maxOperatingFreqGhz(len), ptl.resonanceFreqGhz(len));
+    EXPECT_GT(ptl.delayPs(len), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PtlLengthSweep,
+                         ::testing::Values(1.0, 10.0, 50.0, 100.0, 250.0,
+                                           500.0, 1000.0, 2000.0));
+
+} // namespace

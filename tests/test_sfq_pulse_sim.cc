@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the event-driven pulse simulator: propagation, DFF
+ * semantics, fan-out enforcement, energy accounting, and the splitter-
+ * unit / shift-register fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfq/devices.hh"
+#include "sfq/pulse_sim.hh"
+
+namespace
+{
+
+using namespace smart::sfq;
+
+TEST(PulseSim, PulsePropagatesThroughChain)
+{
+    PulseNetlist net(PtlGeometry(), 0.0); // no fabrication spread
+    NodeId src = net.addSource();
+    NodeId drv = net.addDriver();
+    NodeId ptl = net.addPtl(100.0);
+    NodeId rec = net.addReceiver();
+    NodeId sink = net.addSink();
+    net.connect(src, drv);
+    net.connect(drv, ptl);
+    net.connect(ptl, rec);
+    net.connect(rec, sink);
+    net.inject(src, 0.0);
+
+    net.run();
+    const auto &arr = net.arrivals(sink);
+    ASSERT_EQ(arr.size(), 1u);
+
+    PtlModel model;
+    const double expected = driverParams().latencyPs +
+                            model.delayPs(100.0) * 1.000 +
+                            receiverParams().latencyPs;
+    // Dispersion adds a small positive term.
+    EXPECT_GE(arr[0], expected);
+    EXPECT_LT(arr[0], expected * 1.10);
+}
+
+TEST(PulseSim, SplitterDuplicatesPulses)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    NodeId src = net.addSource();
+    NodeId split = net.addSplitter();
+    NodeId s1 = net.addSink("a");
+    NodeId s2 = net.addSink("b");
+    net.connect(src, split);
+    net.connect(split, s1, 0);
+    net.connect(split, s2, 1);
+    net.inject(src, 0.0);
+    net.run();
+    EXPECT_EQ(net.arrivals(s1).size(), 1u);
+    EXPECT_EQ(net.arrivals(s2).size(), 1u);
+}
+
+TEST(PulseSim, FanOutLimitEnforced)
+{
+    PulseNetlist net;
+    NodeId src = net.addSource();
+    NodeId a = net.addSink();
+    net.connect(src, a);
+    NodeId b = net.addSink();
+    // A second connection from the same output port violates the SFQ
+    // fan-out constraint and must abort.
+    EXPECT_DEATH(net.connect(src, b), "fan-out");
+}
+
+TEST(PulseSim, DffHoldsUntilClock)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    NodeId data = net.addSource("d");
+    NodeId clk = net.addSource("c");
+    NodeId dff = net.addDff();
+    NodeId sink = net.addSink();
+    net.connect(data, dff, 0, 0);
+    net.connect(clk, dff, 0, 1);
+    net.connect(dff, sink);
+
+    net.inject(data, 10.0);
+    net.inject(clk, 50.0);
+    net.inject(clk, 80.0); // second clock: ring is empty, no output
+    net.run();
+    ASSERT_EQ(net.arrivals(sink).size(), 1u);
+    EXPECT_GT(net.arrivals(sink)[0], 50.0);
+}
+
+TEST(PulseSim, DffClockWithoutDataEmitsNothing)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    NodeId clk = net.addSource("c");
+    NodeId dff = net.addDff();
+    NodeId sink = net.addSink();
+    net.connect(clk, dff, 0, 1);
+    net.connect(dff, sink);
+    net.inject(clk, 5.0);
+    net.run();
+    EXPECT_TRUE(net.arrivals(sink).empty());
+}
+
+TEST(PulseSim, EnergyGrowsWithActivity)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    auto fx = buildSplitterUnitFixture(net, 200.0);
+    net.inject(fx.source, 0.0);
+    PulseSimResult one = net.run();
+
+    PulseNetlist net2(PtlGeometry(), 0.0);
+    auto fx2 = buildSplitterUnitFixture(net2, 200.0);
+    for (int i = 0; i < 10; ++i)
+        net2.inject(fx2.source, i * 100.0);
+    PulseSimResult ten = net2.run();
+
+    EXPECT_GT(ten.dynamicEnergyJ, one.dynamicEnergyJ * 5);
+    EXPECT_GT(one.staticPowerW, 0.0);
+    EXPECT_GT(one.pulseCount, 0u);
+}
+
+TEST(PulseSim, SplitterUnitFixtureBothArmsArrive)
+{
+    PulseNetlist net;
+    auto fx = buildSplitterUnitFixture(net, 500.0);
+    net.inject(fx.source, 0.0);
+    net.run();
+    ASSERT_EQ(net.arrivals(fx.sinkLeft).size(), 1u);
+    ASSERT_EQ(net.arrivals(fx.sinkRight).size(), 1u);
+    // The two arms differ only by fabrication spread (a few percent).
+    const double l = net.arrivals(fx.sinkLeft)[0];
+    const double r = net.arrivals(fx.sinkRight)[0];
+    EXPECT_NEAR(l, r, 0.2 * std::max(l, r));
+}
+
+TEST(PulseSim, ShiftRegisterMovesOneCellPerClock)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    const int cells = 8;
+    auto fx = buildShiftRegister(net, cells);
+    net.inject(fx.dataSource, 0.0);
+    // Clock all cells in reverse order per tick (classic counter-flow
+    // clocking), once per 100 ps; the datum needs `cells` ticks.
+    for (int tick = 0; tick < cells; ++tick) {
+        for (int c = cells - 1; c >= 0; --c)
+            net.inject(fx.clockSources[c], 100.0 * (tick + 1) + c * 0.1);
+    }
+    net.run();
+    ASSERT_EQ(net.arrivals(fx.sink).size(), 1u);
+    EXPECT_GT(net.arrivals(fx.sink)[0], 100.0 * cells);
+}
+
+TEST(PulseSim, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        PulseNetlist net(PtlGeometry(), 0.03, 999);
+        auto fx = buildSplitterUnitFixture(net, 300.0);
+        net.inject(fx.source, 0.0);
+        net.run();
+        return net.arrivals(fx.sinkLeft)[0];
+    };
+    EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+/** Parameterized: latency grows monotonically with PTL length. */
+class FixtureLengthSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FixtureLengthSweep, ArrivalAfterInjection)
+{
+    PulseNetlist net(PtlGeometry(), 0.0);
+    auto fx = buildSplitterUnitFixture(net, GetParam());
+    net.inject(fx.source, 0.0);
+    net.run();
+    ASSERT_EQ(net.arrivals(fx.sinkLeft).size(), 1u);
+    EXPECT_GT(net.arrivals(fx.sinkLeft)[0],
+              2 * PtlModel().delayPs(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FixtureLengthSweep,
+                         ::testing::Values(10.0, 100.0, 400.0, 1000.0,
+                                           2000.0));
+
+} // namespace

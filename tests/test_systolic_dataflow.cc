@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for layer descriptors and the weight-stationary mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "systolic/dataflow.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::systolic;
+
+TEST(Layer, ConvDimensions)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    EXPECT_EQ(l.ofmapH(), 27);
+    EXPECT_EQ(l.ofmapW(), 27);
+    EXPECT_EQ(l.ofmapPixels(), 729u);
+    EXPECT_EQ(l.windowSize(), 96u * 25);
+    EXPECT_EQ(l.macs(), 729ull * 2400 * 256);
+}
+
+TEST(Layer, StridedConv)
+{
+    ConvLayer l = ConvLayer::conv("c1", 227, 227, 3, 96, 11, 4, 0);
+    EXPECT_EQ(l.ofmapH(), 55);
+    EXPECT_EQ(l.weightBytes(), 3ull * 11 * 11 * 96);
+}
+
+TEST(Layer, FcAsOneByOneConv)
+{
+    ConvLayer l = ConvLayer::fc("fc", 4096, 1000);
+    EXPECT_EQ(l.ofmapPixels(), 1u);
+    EXPECT_EQ(l.macs(), 4096ull * 1000);
+    EXPECT_EQ(l.weightBytes(), 4096ull * 1000);
+}
+
+TEST(Layer, DepthwiseWindowIsKernelOnly)
+{
+    ConvLayer l = ConvLayer::dwConv("dw", 112, 112, 64, 3, 1);
+    EXPECT_EQ(l.windowSize(), 9u);
+    EXPECT_EQ(l.macs(), 112ull * 112 * 9 * 64);
+    EXPECT_EQ(l.ofmapBytes(), 112ull * 112 * 64);
+}
+
+TEST(Layer, ChecksRejectMalformed)
+{
+    ConvLayer l;
+    EXPECT_DEATH(l.check(), "ifmap");
+    // Kernel larger than padded input.
+    EXPECT_DEATH(ConvLayer::conv("bad", 2, 2, 3, 8, 7, 1, 0), "fit");
+}
+
+TEST(Mapping, FoldArithmetic)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerMapping m = mapLayer(l, {64, 256});
+    EXPECT_EQ(m.rowFolds, 38u); // ceil(2400 / 64)
+    EXPECT_EQ(m.colFolds, 1u);
+    EXPECT_EQ(m.activeRows, 64u);
+    EXPECT_EQ(m.activeCols, 256u);
+    EXPECT_EQ(m.folds(), 38u);
+}
+
+TEST(Mapping, SmallLayerPartialOccupancy)
+{
+    ConvLayer l = ConvLayer::conv("s", 14, 14, 16, 32, 1);
+    LayerMapping m = mapLayer(l, {64, 256});
+    EXPECT_EQ(m.rowFolds, 1u);
+    EXPECT_EQ(m.activeRows, 16u);
+    EXPECT_EQ(m.activeCols, 32u);
+}
+
+TEST(Mapping, IdealCyclesFormula)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerMapping m = mapLayer(l, {64, 256});
+    // Per fold: 64 weight-load + (E + rows + cols - 1) stream cycles.
+    const Cycles expected = 38ull * (64 + 729 + 64 + 256 - 1);
+    EXPECT_EQ(m.idealCycles(1), expected);
+}
+
+TEST(Mapping, BatchAmortizesFillAndLoad)
+{
+    ConvLayer l = ConvLayer::conv("c", 27, 27, 96, 256, 5, 1, 2);
+    LayerMapping m = mapLayer(l, {64, 256});
+    const double u1 = m.idealUtilization(1);
+    const double u30 = m.idealUtilization(30);
+    EXPECT_GT(u30, u1);
+    EXPECT_LT(u30, 1.0);
+}
+
+TEST(Mapping, UtilizationNeverExceedsOne)
+{
+    for (int batch : {1, 4, 32, 256}) {
+        ConvLayer l = ConvLayer::conv("c", 56, 56, 64, 256, 1);
+        LayerMapping m = mapLayer(l, {64, 256});
+        EXPECT_LE(m.idealUtilization(batch), 1.0);
+        EXPECT_GT(m.idealUtilization(batch), 0.0);
+    }
+}
+
+TEST(Mapping, DepthwiseMapsOneChannelPerFold)
+{
+    ConvLayer l = ConvLayer::dwConv("dw", 14, 14, 512, 3, 1);
+    LayerMapping m = mapLayer(l, {64, 256});
+    EXPECT_EQ(m.colFolds, 512u);
+    EXPECT_EQ(m.activeCols, 1u);
+    // Depthwise utilization on a systolic array is terrible — that is
+    // the point (MobileNet's low bars in Figs. 18/19).
+    EXPECT_LT(m.idealUtilization(1), 0.01);
+}
+
+/** Parameterized sweep: MAC conservation across array shapes. */
+struct ArrayCase
+{
+    int rows;
+    int cols;
+};
+
+class ArrayShapeSweep : public ::testing::TestWithParam<ArrayCase>
+{
+};
+
+TEST_P(ArrayShapeSweep, MacsIndependentOfMapping)
+{
+    ConvLayer l = ConvLayer::conv("c", 28, 28, 128, 256, 3);
+    LayerMapping m = mapLayer(l, {GetParam().rows, GetParam().cols});
+    EXPECT_EQ(m.macsPerImage, l.macs());
+    // Folds cover the full problem.
+    EXPECT_GE(m.rowFolds * GetParam().rows, l.windowSize());
+    EXPECT_GE(m.colFolds * GetParam().cols,
+              static_cast<std::uint64_t>(l.filters));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ArrayShapeSweep,
+                         ::testing::Values(ArrayCase{8, 8},
+                                           ArrayCase{64, 256},
+                                           ArrayCase{256, 256},
+                                           ArrayCase{32, 64},
+                                           ArrayCase{128, 16}));
+
+} // namespace
