@@ -3,14 +3,22 @@
  * google-benchmark microbenchmarks of the library's hot paths: the
  * simplex solver, the SHIFT replay, the pulse simulator, the sub-bank
  * model, and a full SMART layer evaluation.
+ *
+ * With --json [--out PATH], instead runs the end-to-end evaluation
+ * sweep (figure grid via runBatch, the Fig. 14 DSE sweep, and a B&B
+ * ILP batch) on the parallel engine and writes wall-clock timings to
+ * BENCH_micro.json, seeding the perf trajectory. SMART_THREADS
+ * controls the worker count in both modes.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "accel/perf.hh"
+#include "bench_util.hh"
 #include "cnn/models.hh"
 #include "common/logging.hh"
 #include "compiler/ilpsched.hh"
+#include "cryomem/dse.hh"
 #include "cryomem/subbank.hh"
 #include "ilp/solver.hh"
 #include "sfq/pulse_sim.hh"
@@ -105,6 +113,101 @@ BM_SmartAlexNetInference(benchmark::State &state)
 }
 BENCHMARK(BM_SmartAlexNetInference);
 
+/**
+ * A batch of structurally distinct 0/1 knapsack ILPs; the summed
+ * objectives feed the checksum so wrong-but-fast solves are visible.
+ */
+double
+ilpBnbBatchMs(double &objective_sum)
+{
+    bench::Timer timer;
+    std::vector<double> objectives(24);
+    parallelFor(objectives.size(), [&](std::size_t t) {
+        ilp::Model m;
+        ilp::LinExpr w1, w2, obj;
+        for (int i = 0; i < 16; ++i) {
+            ilp::Var v = m.addBinary();
+            w1.add(v, 1.0 + ((i + t) % 7));
+            w2.add(v, 1.0 + ((i + 3 * t) % 5));
+            obj.add(v, 2.0 + ((i + 2 * t) % 9));
+        }
+        m.addConstr(w1, ilp::Sense::Le, 20.0);
+        m.addConstr(w2, ilp::Sense::Le, 16.0);
+        m.setObjective(obj, true);
+        objectives[t] = ilp::solve(m).objective;
+    });
+    const double ms = timer.ms();
+    objective_sum = 0.0;
+    for (double o : objectives)
+        objective_sum += o;
+    return ms;
+}
+
+/** The end-to-end sweep: figure grids, DSE points, ILP batch. */
+int
+jsonMain(int argc, char **argv)
+{
+    setInformEnabled(false);
+    std::string out = "BENCH_micro.json";
+    for (int i = 1; i < argc - 1; ++i)
+        if (std::string(argv[i]) == "--out")
+            out = argv[i + 1];
+
+    std::vector<bench::JsonMetric> metrics;
+    bench::Timer total;
+
+    // Each section starts from cold memo caches so its metric measures
+    // the named workload, not hits warmed by the previous section.
+    accel::clearReplayCache();
+    accel::clearIlpCache();
+    bench::Timer timer;
+    auto single = accel::runBatch(bench::figureGrid(false));
+    metrics.push_back({"figure_grid_single_ms", timer.ms()});
+
+    accel::clearReplayCache();
+    accel::clearIlpCache();
+    timer.reset();
+    auto batch = accel::runBatch(bench::figureGrid(true));
+    metrics.push_back({"figure_grid_batch_ms", timer.ms()});
+
+    timer.reset();
+    cryo::CmosSfqArrayConfig base;
+    std::vector<double> freqs;
+    for (double f = 0.5; f <= 9.6; f += 0.25)
+        freqs.push_back(f);
+    auto points = cryo::sweepPipelineFrequency(base, freqs);
+    metrics.push_back({"dse_sweep_ms", timer.ms()});
+
+    double ilp_objective_sum = 0.0;
+    metrics.push_back(
+        {"ilp_bnb_batch_ms", ilpBnbBatchMs(ilp_objective_sum)});
+    metrics.push_back({"total_ms", total.ms()});
+
+    // Keep the evaluated results observable (and un-optimizable).
+    double checksum = ilp_objective_sum;
+    for (const auto &r : single)
+        checksum += r.throughputTmacs();
+    for (const auto &r : batch)
+        checksum += r.throughputTmacs();
+    for (const auto &p : points)
+        checksum += p.feasible ? p.leakageMw : 0.0;
+    metrics.push_back({"checksum", checksum});
+
+    bench::writeBenchJson(out, "bench_micro", metrics);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (bench::jsonMode(argc, argv))
+        return jsonMain(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

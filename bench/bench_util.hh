@@ -1,26 +1,96 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction benches: scheme
- * runners, normalization against TPU/SuperNPU baselines, and common
- * printing.
+ * runners, normalization against TPU/SuperNPU baselines, common
+ * printing, a wall-clock Timer, and a minimal JSON emitter for perf
+ * trajectories. The figure helpers evaluate their (model, scheme)
+ * grids through accel::runBatch, so every bench is a multi-core batch
+ * workload (serial under SMART_THREADS=1, bit-identical results).
  */
 
 #ifndef SMART_BENCH_UTIL_HH
 #define SMART_BENCH_UTIL_HH
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "accel/batch.hh"
 #include "accel/energy.hh"
 #include "accel/perf.hh"
 #include "cnn/models.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 
 namespace smart::bench
 {
+
+/** Wall-clock stopwatch for bench timing. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed wall-clock milliseconds since construction/reset. */
+    double ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** One named measurement of a JSON bench report. */
+struct JsonMetric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * Write a flat bench report ({"bench": ..., "threads": N,
+ * "metrics": {...}}) to @p path; metric values are milliseconds unless
+ * the metric name says otherwise.
+ */
+inline void
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::vector<JsonMetric> &metrics)
+{
+    std::ofstream os(path);
+    if (!os) {
+        smart_warn("cannot write bench JSON to ", path);
+        return;
+    }
+    os.precision(17); // full double resolution for trajectory diffs
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"threads\": "
+       << ThreadPool::global().size() << ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        os << (i ? "," : "") << "\n    \"" << metrics[i].name
+           << "\": " << metrics[i].value;
+    }
+    os << "\n  }\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+/** True when the command line requests JSON output (--json). */
+inline bool
+jsonMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            return true;
+    return false;
+}
 
 /** One model's result under one scheme. */
 struct RunPoint
@@ -70,6 +140,48 @@ figureSchemes()
 }
 
 /**
+ * The full (model x [TPU + schemes]) evaluation grid of Figs. 18-21:
+ * per model, the TPU baseline followed by the five schemes. Evaluated
+ * in one runBatch call so the grid fans out across the thread pool.
+ */
+inline std::vector<accel::BatchItem>
+figureGrid(bool batch_mode)
+{
+    std::vector<accel::BatchItem> items;
+    for (const auto &model : cnn::modelNames()) {
+        auto net = cnn::convLayersOnly(cnn::makeModel(model));
+        accel::BatchItem tpu;
+        tpu.cfg = accel::makeTpu();
+        tpu.model = net;
+        tpu.batch = batchOf(model, accel::Scheme::Tpu, batch_mode);
+        items.push_back(std::move(tpu));
+        for (auto s : figureSchemes()) {
+            accel::BatchItem item;
+            item.cfg = accel::makeScheme(s);
+            item.model = net;
+            item.batch = batchOf(model, s, batch_mode);
+            items.push_back(std::move(item));
+        }
+    }
+    return items;
+}
+
+/** Derive a RunPoint from one evaluated grid item. */
+inline RunPoint
+toRunPoint(const accel::BatchItem &item,
+           const accel::InferenceResult &r)
+{
+    auto e = accel::computeEnergy(item.cfg, r);
+    RunPoint p;
+    p.throughputTmacs = r.throughputTmacs();
+    p.utilization = r.utilization(item.cfg);
+    p.energyPerImageJ = e.totalJ(item.cfg.coolingFactor) / item.batch;
+    p.breakdown = e;
+    p.seconds = r.seconds;
+    return p;
+}
+
+/**
  * Print a Figs. 18/19-style speedup table: rows = models + gmean,
  * columns = schemes, values normalized to the TPU baseline.
  */
@@ -80,17 +192,18 @@ printSpeedupFigure(const std::string &title, bool batch_mode)
     Table t({"model", "SHIFT", "SRAM", "Heter", "Pipe", "SMART"});
     std::vector<std::vector<double>> cols(figureSchemes().size());
 
-    for (const auto &model : cnn::modelNames()) {
-        auto tpu_cfg = accel::makeTpu();
-        RunPoint tpu = runModel(
-            tpu_cfg, model, batchOf(model, accel::Scheme::Tpu,
-                                    batch_mode));
+    const auto items = figureGrid(batch_mode);
+    const auto results = accel::runBatch(items);
+    const std::size_t stride = 1 + figureSchemes().size();
+
+    for (std::size_t mi = 0; mi < cnn::modelNames().size(); ++mi) {
+        const std::size_t base = mi * stride;
+        RunPoint tpu = toRunPoint(items[base], results[base]);
         auto row = t.row();
-        row.cell(model);
+        row.cell(cnn::modelNames()[mi]);
         for (std::size_t i = 0; i < figureSchemes().size(); ++i) {
-            auto s = figureSchemes()[i];
-            RunPoint p = runModel(accel::makeScheme(s), model,
-                                  batchOf(model, s, batch_mode));
+            RunPoint p =
+                toRunPoint(items[base + 1 + i], results[base + 1 + i]);
             const double norm =
                 p.throughputTmacs / tpu.throughputTmacs;
             cols[i].push_back(norm);
@@ -119,19 +232,20 @@ printEnergyFigure(const std::string &title, bool batch_mode)
              "SMART mtx%", "SMART dyn%", "SMART sta%"});
     std::vector<std::vector<double>> cols(figureSchemes().size());
 
-    for (const auto &model : cnn::modelNames()) {
-        auto tpu_cfg = accel::makeTpu();
-        RunPoint tpu = runModel(
-            tpu_cfg, model, batchOf(model, accel::Scheme::Tpu,
-                                    batch_mode));
+    const auto items = figureGrid(batch_mode);
+    const auto results = accel::runBatch(items);
+    const std::size_t stride = 1 + figureSchemes().size();
+
+    for (std::size_t mi = 0; mi < cnn::modelNames().size(); ++mi) {
+        const std::size_t base = mi * stride;
+        RunPoint tpu = toRunPoint(items[base], results[base]);
         auto row = t.row();
-        row.cell(model);
+        row.cell(cnn::modelNames()[mi]);
         RunPoint smart_p;
         for (std::size_t i = 0; i < figureSchemes().size(); ++i) {
-            auto s = figureSchemes()[i];
-            RunPoint p = runModel(accel::makeScheme(s), model,
-                                  batchOf(model, s, batch_mode));
-            if (s == accel::Scheme::Smart)
+            RunPoint p =
+                toRunPoint(items[base + 1 + i], results[base + 1 + i]);
+            if (figureSchemes()[i] == accel::Scheme::Smart)
                 smart_p = p;
             const double norm =
                 p.energyPerImageJ / tpu.energyPerImageJ;
@@ -164,22 +278,28 @@ inline std::pair<double, double>
 smartSensitivity(Mutate &&mutate)
 {
     setInformEnabled(false);
-    std::vector<double> single, batch;
+    std::vector<accel::BatchItem> items;
     for (const auto &model : cnn::modelNames()) {
+        auto net = cnn::convLayersOnly(cnn::makeModel(model));
         auto npu_cfg = accel::makeSuperNpu();
         auto smart_cfg = accel::makeSmart();
         mutate(smart_cfg);
-        const double n1 =
-            runModel(npu_cfg, model, 1).throughputTmacs;
-        const double nb =
-            runModel(npu_cfg, model,
-                     cnn::paperBatchSize(model, true)).throughputTmacs;
-        single.push_back(
-            runModel(smart_cfg, model, 1).throughputTmacs / n1);
-        batch.push_back(
-            runModel(smart_cfg, model,
-                     cnn::paperBatchSize(model, false)).throughputTmacs /
-            nb);
+        items.push_back({npu_cfg, net, 1});
+        items.push_back(
+            {npu_cfg, net, cnn::paperBatchSize(model, true)});
+        items.push_back({smart_cfg, net, 1});
+        items.push_back(
+            {smart_cfg, net, cnn::paperBatchSize(model, false)});
+    }
+    const auto results = accel::runBatch(items);
+
+    std::vector<double> single, batch;
+    for (std::size_t mi = 0; mi < cnn::modelNames().size(); ++mi) {
+        const auto *r = &results[mi * 4];
+        single.push_back(r[2].throughputTmacs() /
+                         r[0].throughputTmacs());
+        batch.push_back(r[3].throughputTmacs() /
+                        r[1].throughputTmacs());
     }
     return {geomean(single), geomean(batch)};
 }

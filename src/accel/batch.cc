@@ -1,0 +1,19 @@
+#include "accel/batch.hh"
+
+#include "common/parallel.hh"
+
+namespace smart::accel
+{
+
+std::vector<InferenceResult>
+runBatch(const std::vector<BatchItem> &items)
+{
+    std::vector<InferenceResult> results(items.size());
+    parallelFor(items.size(), [&](std::size_t i) {
+        results[i] =
+            runInference(items[i].cfg, items[i].model, items[i].batch);
+    });
+    return results;
+}
+
+} // namespace smart::accel

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Concurrent evaluation of many (configuration, model, batch) points:
+ * the workload shape behind every figure-reproduction bench (Figs.
+ * 18-21 iterate models x schemes) and behind design-space studies.
+ * Points are distributed across the global thread pool; results come
+ * back in input order and are bit-identical to a serial loop over
+ * runInference.
+ */
+
+#ifndef SMART_ACCEL_BATCH_HH
+#define SMART_ACCEL_BATCH_HH
+
+#include <vector>
+
+#include "accel/perf.hh"
+
+namespace smart::accel
+{
+
+/** One evaluation point of a batch run. */
+struct BatchItem
+{
+    AcceleratorConfig cfg;
+    cnn::CnnModel model;
+    int batch = 1;
+};
+
+/**
+ * Evaluate every item concurrently on the global thread pool (serial
+ * when SMART_THREADS=1). results[i] corresponds to items[i].
+ */
+std::vector<InferenceResult> runBatch(const std::vector<BatchItem> &items);
+
+} // namespace smart::accel
+
+#endif // SMART_ACCEL_BATCH_HH

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "compiler/greedy.hh"
 #include "compiler/ilpsched.hh"
 #include "cryomem/cmos_sfq_array.hh"
@@ -50,9 +50,23 @@ namespace
 // ----------------------------------------------------------------
 // SHIFT replay memoization: the replay walks every im2col element, so
 // sensitivity sweeps reuse results across schemes and batch settings.
+// Sharded-mutex caches are shared by all evaluation workers (parallel
+// sweeps and runBatch hit them concurrently).
 // ----------------------------------------------------------------
 
-std::map<std::string, systolic::ShiftReplayResult> replay_cache;
+/** Every layer-shape field the demand/replay/schedule models read. */
+std::string
+layerKey(const systolic::ConvLayer &layer)
+{
+    std::ostringstream key;
+    key << layer.ifmapH << 'x' << layer.ifmapW << 'x' << layer.inChannels
+        << 'f' << layer.filters << 'k' << layer.kernelH << 'x'
+        << layer.kernelW << 's' << layer.stride << 'p' << layer.pad
+        << 'd' << layer.depthwise;
+    return key.str();
+}
+
+ShardedCache<systolic::ShiftReplayResult> replay_cache;
 
 systolic::ShiftReplayResult
 cachedReplay(const systolic::ConvLayer &layer,
@@ -60,18 +74,13 @@ cachedReplay(const systolic::ConvLayer &layer,
              const systolic::ShiftReplayParams &params)
 {
     std::ostringstream key;
-    key << layer.ifmapH << 'x' << layer.ifmapW << 'x' << layer.inChannels
-        << 'f' << layer.filters << 'k' << layer.kernelH << 's'
-        << layer.stride << 'p' << layer.pad << 'd' << layer.depthwise
-        << '|' << pe.rows << 'x' << pe.cols << '|' << params.banks << ','
-        << params.laneBytes << ',' << params.dauWindowBytes << ','
-        << params.imageInterleave;
-    auto it = replay_cache.find(key.str());
-    if (it != replay_cache.end())
-        return it->second;
-    auto result = systolic::replayInputShift(layer, pe, params);
-    replay_cache.emplace(key.str(), result);
-    return result;
+    key << layerKey(layer) << '|' << pe.rows << 'x' << pe.cols << '|'
+        << params.banks << ',' << params.laneBytes << ','
+        << params.dauWindowBytes << ',' << params.imageInterleave << ','
+        << params.dataBytes;
+    return replay_cache.getOrCompute(key.str(), [&]() {
+        return systolic::replayInputShift(layer, pe, params);
+    });
 }
 
 // ----------------------------------------------------------------
@@ -158,30 +167,30 @@ randomTiming(const AcceleratorConfig &cfg, const SpmSpec &spec,
 // variants reuse solved layers.
 // ----------------------------------------------------------------
 
-std::map<std::string, std::pair<double, bool>> ilp_cache;
+ShardedCache<std::pair<double, bool>> ilp_cache;
 
 double
 cachedIlpHiddenFraction(const systolic::ConvLayer &layer,
+                        const systolic::ArrayDims &pe,
                         const LayerDemand &d,
                         const compiler::SchedParams &sp, bool &used_ilp)
 {
-    std::ostringstream key;
-    key << layer.ifmapH << 'x' << layer.ifmapW << 'x' << layer.inChannels
-        << 'f' << layer.filters << 'k' << layer.kernelH << 's'
-        << layer.stride << 'd' << layer.depthwise << '|'
-        << sp.shiftCapacityBytes << ',' << sp.randomCapacityBytes << ','
-        << sp.prefetchIterations << ','
-        << static_cast<int>(sp.randomCyclesPerAccess * 1000);
-    auto it = ilp_cache.find(key.str());
-    if (it != ilp_cache.end()) {
-        used_ilp = it->second.second;
-        return it->second.first;
-    }
-    compiler::LayerDag dag = compiler::buildLayerDag(layer, d);
-    compiler::Schedule sched = compiler::scheduleIlp(dag, sp);
-    const double hidden = sched.prefetchedFraction(dag);
-    used_ilp = sched.fromIlp;
-    ilp_cache.emplace(key.str(), std::make_pair(hidden, used_ilp));
+    // The key must cover the full layer shape, the PE array the demand
+    // was analyzed against, and every SchedParams field: the
+    // scheduler's costs read all of them, and a sweep that mutates
+    // e.g. the staging bandwidth must not alias a cached entry.
+    const std::string key = layerKey(layer) + '|' +
+                            std::to_string(pe.rows) + 'x' +
+                            std::to_string(pe.cols) + '|' +
+                            sp.cacheKey();
+    const auto [hidden, from_ilp] =
+        ilp_cache.getOrCompute(key, [&]() {
+            compiler::LayerDag dag = compiler::buildLayerDag(layer, d);
+            compiler::Schedule sched = compiler::scheduleIlp(dag, sp);
+            return std::make_pair(sched.prefetchedFraction(dag),
+                                  sched.fromIlp);
+        });
+    used_ilp = from_ilp;
     return hidden;
 }
 
@@ -237,6 +246,12 @@ void
 clearReplayCache()
 {
     replay_cache.clear();
+}
+
+void
+clearIlpCache()
+{
+    ilp_cache.clear();
 }
 
 LayerResult
@@ -388,7 +403,8 @@ runLayer(const AcceleratorConfig &cfg, const systolic::ConvLayer &layer,
             sp.dramBandwidthBytesPerCycle = cfg.dramBytesPerCycle();
             sp.prefetchIterations = cfg.prefetchIterations;
             sp.hasRandomArray = true;
-            hidden = cachedIlpHiddenFraction(layer, d, sp, r.usedIlp);
+            hidden = cachedIlpHiddenFraction(layer, cfg.pe, d, sp,
+                                             r.usedIlp);
         } else if (cfg.prefetchIterations > 1) {
             hidden = 1.0; // idealized "+p" prefetching (Fig. 7)
         }
@@ -489,12 +505,18 @@ runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     res.scheme = schemeName(cfg.scheme);
     res.batch = batch;
 
-    for (const auto &layer : model.layers) {
-        LayerResult lr = runLayer(cfg, layer, batch);
+    // Layers are independent in this model, so they evaluate in
+    // parallel (the per-layer ILP scheduling dominates the cost) and
+    // accumulate serially in layer order afterwards — parallel results
+    // are bit-identical to a serial loop.
+    res.layers.resize(model.layers.size());
+    parallelFor(model.layers.size(), [&](std::size_t i) {
+        res.layers[i] = runLayer(cfg, model.layers[i], batch);
+    });
+    for (const auto &lr : res.layers) {
         res.totalCycles += lr.totalCycles;
         res.weightDramCycles += lr.weightDramCycles;
         res.totalMacs += lr.counters.macs;
-        res.layers.push_back(std::move(lr));
     }
     // Oversized weights stream from DRAM while earlier layers compute;
     // the inference is bound by whichever finishes last.

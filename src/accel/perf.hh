@@ -88,6 +88,9 @@ LayerResult runLayer(const AcceleratorConfig &cfg,
 /** Clear the internal SHIFT-replay memo cache (tests). */
 void clearReplayCache();
 
+/** Clear the internal ILP-schedule memo cache (tests). */
+void clearIlpCache();
+
 } // namespace smart::accel
 
 #endif // SMART_ACCEL_PERF_HH

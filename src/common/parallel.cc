@@ -1,0 +1,94 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace smart
+{
+
+namespace
+{
+
+/** Pool the current thread belongs to, if any. */
+thread_local const ThreadPool *current_pool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return current_pool == this;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    current_pool = this;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+int
+ThreadPool::configuredThreads()
+{
+    if (const char *env = std::getenv("SMART_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(std::min<long>(v, 256));
+        smart_warn("ignoring invalid SMART_THREADS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreads());
+    return pool;
+}
+
+} // namespace smart

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Parallel evaluation engine: a fixed-size thread pool with task
+ * futures and a parallelFor primitive, plus a sharded-mutex memo cache
+ * shared by concurrent evaluation workers.
+ *
+ * The pool powers the batch/sweep workloads (design-space points,
+ * per-layer ILP scheduling, multi-model benches). Determinism contract:
+ * parallelFor partitions work by index and callers write results into
+ * pre-sized slots, so parallel and serial execution produce bit-identical
+ * output. Tasks submitted from inside a pool worker execute inline in
+ * the caller (no re-queueing), which makes nested submission and nested
+ * parallelFor deadlock-free by construction.
+ *
+ * The global pool size defaults to std::thread::hardware_concurrency()
+ * and can be overridden with the SMART_THREADS environment variable
+ * (SMART_THREADS=1 forces fully serial evaluation).
+ */
+
+#ifndef SMART_COMMON_PARALLEL_HH
+#define SMART_COMMON_PARALLEL_HH
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace smart
+{
+
+/** Fixed-size worker pool with future-returning task submission. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (values < 1 are clamped to 1). */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (>= 1). */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+    /**
+     * Submit a nullary task; the future carries its return value or
+     * exception. Called from a worker of this same pool, the task runs
+     * inline (the returned future is already ready), so waiting on it
+     * cannot deadlock the pool.
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn &>>
+    {
+        using Ret = std::invoke_result_t<Fn &>;
+        auto task = std::make_shared<std::packaged_task<Ret()>>(
+            std::forward<Fn>(fn));
+        std::future<Ret> fut = task->get_future();
+        if (onWorkerThread() || size() <= 1) {
+            (*task)();
+            return fut;
+        }
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across the
+     * workers (the caller participates). Blocks until all indices are
+     * done; the first exception thrown by any fn(i) is rethrown in the
+     * caller after remaining work is abandoned. Nested calls (from
+     * inside a worker) run serially inline.
+     */
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn &&fn)
+    {
+        if (n == 0)
+            return;
+        if (n == 1 || size() <= 1 || onWorkerThread()) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mu;
+
+        auto body = [&]() {
+            while (!failed.load(std::memory_order_relaxed)) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+            }
+        };
+
+        const std::size_t helpers =
+            std::min<std::size_t>(static_cast<std::size_t>(size()), n) -
+            1;
+        std::vector<std::future<void>> futures;
+        futures.reserve(helpers);
+        for (std::size_t w = 0; w < helpers; ++w)
+            futures.push_back(submit(body));
+        body();
+        for (auto &f : futures)
+            f.get();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    /**
+     * The process-wide pool, created on first use. Its size comes from
+     * SMART_THREADS when set (clamped to [1, 256]), otherwise from
+     * std::thread::hardware_concurrency().
+     */
+    static ThreadPool &global();
+
+    /** The thread count global() uses (env parsing exposed for tests). */
+    static int configuredThreads();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/** parallelFor on the global pool. */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn &&fn)
+{
+    ThreadPool::global().parallelFor(n, std::forward<Fn>(fn));
+}
+
+/**
+ * String-keyed memo cache with sharded mutexes, shared by all
+ * evaluation workers. Values are computed outside the shard lock, so a
+ * slow miss never serializes unrelated lookups. Each key is computed
+ * exactly once: a miss publishes an in-flight future under the lock,
+ * and concurrent readers of the same key block on that future instead
+ * of redoing the (expensive, pure) evaluation. The computing thread
+ * runs make() on its own stack — never through the thread pool — so
+ * waiting cannot deadlock pool workers.
+ */
+template <typename Value>
+class ShardedCache
+{
+  public:
+    /** Return the cached value for @p key, computing it on a miss. */
+    template <typename Make>
+    Value getOrCompute(const std::string &key, Make &&make)
+    {
+        Shard &shard = shardOf(key);
+        std::promise<Value> promise;
+        std::shared_future<Value> fut;
+        bool compute = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it == shard.map.end()) {
+                fut = promise.get_future().share();
+                shard.map.emplace(key, fut);
+                compute = true;
+            } else {
+                fut = it->second;
+            }
+        }
+        if (compute) {
+            try {
+                promise.set_value(make());
+            } catch (...) {
+                // Drop the failed entry so later calls retry, then
+                // deliver the error to anyone already waiting.
+                {
+                    std::lock_guard<std::mutex> lock(shard.mu);
+                    shard.map.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return fut.get();
+    }
+
+    /** Drop every entry (tests and memory pressure). */
+    void clear()
+    {
+        for (auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.map.clear();
+        }
+    }
+
+    /** Total entries across shards (approximate under concurrency). */
+    std::size_t size()
+    {
+        std::size_t n = 0;
+        for (auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n += shard.map.size();
+        }
+        return n;
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<std::string, std::shared_future<Value>> map;
+    };
+
+    Shard &shardOf(const std::string &key)
+    {
+        return shards_[std::hash<std::string>{}(key) % kShards];
+    }
+
+    std::array<Shard, kShards> shards_;
+};
+
+} // namespace smart
+
+#endif // SMART_COMMON_PARALLEL_HH

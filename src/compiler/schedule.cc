@@ -1,9 +1,24 @@
 #include "compiler/schedule.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace smart::compiler
 {
+
+std::string
+SchedParams::cacheKey() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << shiftCapacityBytes << ',' << randomCapacityBytes << ','
+       << shiftCyclesPerAccess << ',' << randomCyclesPerAccess << ','
+       << dramCyclesPerAccess << ',' << hrBandwidthBytesPerCycle << ','
+       << dramBandwidthBytesPerCycle << ',' << prefetchIterations << ','
+       << hasRandomArray;
+    return os.str();
+}
 
 const char *
 placementName(Placement p)

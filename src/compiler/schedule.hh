@@ -8,6 +8,7 @@
 #define SMART_COMPILER_SCHEDULE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "compiler/dag.hh"
@@ -50,6 +51,14 @@ struct SchedParams
     int prefetchIterations = 3;
     /** Disable the RANDOM array entirely (SuperNPU-style SPMs). */
     bool hasRandomArray = true;
+
+    /**
+     * Canonical memo-cache key covering every field the scheduler's
+     * output depends on, at full float precision. Two parameter sets
+     * with equal keys produce identical schedules; sweeps that mutate
+     * any field get distinct keys and cannot alias.
+     */
+    std::string cacheKey() const;
 };
 
 /** A complete schedule for one layer DAG. */

@@ -1,5 +1,6 @@
 #include "cryomem/dse.hh"
 
+#include "common/parallel.hh"
 #include "common/units.hh"
 #include "sfq/devices.hh"
 
@@ -17,16 +18,16 @@ std::vector<DsePoint>
 sweepPipelineFrequency(const CmosSfqArrayConfig &base,
                        const std::vector<double> &freqs_ghz)
 {
-    std::vector<DsePoint> points;
-    points.reserve(freqs_ghz.size());
-
-    for (double f : freqs_ghz) {
-        DsePoint p;
+    // Design-space points are independent: evaluate them across the
+    // global thread pool, each writing its own pre-sized slot so the
+    // result order (and every bit of it) matches a serial sweep.
+    std::vector<DsePoint> points(freqs_ghz.size());
+    parallelFor(freqs_ghz.size(), [&](std::size_t i) {
+        const double f = freqs_ghz[i];
+        DsePoint &p = points[i];
         p.targetFreqGhz = f;
-        if (f > maxPipelineFreqGhz() + 1e-9) {
-            points.push_back(p);
-            continue;
-        }
+        if (f > maxPipelineFreqGhz() + 1e-9)
+            return;
         CmosSfqArrayConfig cfg = base;
         cfg.targetFreqGhz = f;
         cfg.matsPerSubbank = 0; // re-derive per point
@@ -45,8 +46,7 @@ sweepPipelineFrequency(const CmosSfqArrayConfig &base,
             model.requestTree().leakageW * 2.0);
         p.energyPerAccessNj = model.readEnergyJ() / units::jPerNj;
         p.areaMm2 = units::um2ToMm2(model.area().totalUm2());
-        points.push_back(p);
-    }
+    });
     return points;
 }
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -33,21 +32,16 @@ namespace
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/** Accumulate duplicate terms of an expression into a coefficient map. */
-std::unordered_map<int, double>
-collectTerms(const LinExpr &expr)
-{
-    std::unordered_map<int, double> coeffs;
-    for (const auto &[id, c] : expr.terms())
-        coeffs[id] += c;
-    return coeffs;
-}
-
-/** Dense two-phase simplex working state. */
+/**
+ * Dense two-phase simplex over buffers owned by an LpWorkspace. All
+ * per-solve state lives in the workspace so repeated solves (the B&B
+ * node loop) touch the allocator only when the model grows.
+ */
 class Tableau
 {
   public:
-    Tableau(const Model &model, const SolverOptions &opts);
+    Tableau(const Model &model, const SolverOptions &opts,
+            LpWorkspace &ws);
 
     /** Run both phases; returns the LP status. */
     SolveStatus solve();
@@ -63,161 +57,185 @@ class Tableau
     bool pivotLoop(const std::vector<double> &cost, bool phase1);
     void pivot(int row, int col);
     /** Recompute the full reduced-cost row for the given cost vector. */
-    std::vector<double> reducedRow(const std::vector<double> &cost) const;
+    void computeReducedRow(const std::vector<double> &cost);
+
+    double *row(int i) { return ws_.a.data() + i * cols_; }
+    const double *row(int i) const { return ws_.a.data() + i * cols_; }
 
     const Model &model_;
     const SolverOptions &opts_;
+    LpWorkspace &ws_;
     int n_;               //!< Structural variables.
+    int m_ = 0;           //!< Tableau rows.
     int cols_ = 0;        //!< Total tableau columns (without rhs).
     int first_artificial_ = 0;
-    std::vector<std::vector<double>> a_; //!< m x cols_ coefficients.
-    std::vector<double> rhs_;
-    std::vector<int> basis_;
-    std::vector<double> shift_; //!< Lower-bound shift per structural var.
     int iters_ = 0;
     bool unbounded_ = false;
 };
 
-Tableau::Tableau(const Model &model, const SolverOptions &opts)
-    : model_(model), opts_(opts), n_(model.numVars())
+Tableau::Tableau(const Model &model, const SolverOptions &opts,
+                 LpWorkspace &ws)
+    : model_(model), opts_(opts), ws_(ws), n_(model.numVars())
 {
-    shift_.resize(n_);
+    ws_.shift.assign(n_, 0.0);
     for (int j = 0; j < n_; ++j) {
         smart_assert(std::isfinite(model.lb(j)),
                      "variable ", model.varName(j),
                      " needs a finite lower bound");
-        shift_[j] = model.lb(j);
+        ws_.shift[j] = model.lb(j);
     }
 
-    // Gather rows: model constraints plus finite upper bounds.
-    struct Row
-    {
-        std::unordered_map<int, double> coeffs;
-        Sense sense;
-        double rhs;
+    // Assemble normalized rows (rhs >= 0) into the workspace CSR:
+    // model constraints first, then finite-upper-bound rows. Duplicate
+    // terms accumulate through the dense scratch.
+    ws_.csrVals.clear();
+    ws_.csrCols.clear();
+    ws_.csrRowPtr.clear();
+    ws_.rowRhs.clear();
+    ws_.rowSense.clear();
+    ws_.csrRowPtr.push_back(0);
+    ws_.accum.assign(n_, 0.0);
+    ws_.inRow.assign(n_, 0);
+    ws_.touched.clear();
+
+    int slacks = 0;
+    int artificials = 0;
+    auto sealRow = [&](Sense sense, double rhs) {
+        if (rhs < 0) {
+            rhs = -rhs;
+            for (int j : ws_.touched)
+                ws_.accum[j] = -ws_.accum[j];
+            sense = sense == Sense::Le
+                        ? Sense::Ge
+                        : (sense == Sense::Ge ? Sense::Le : Sense::Eq);
+        }
+        for (int j : ws_.touched) {
+            ws_.csrVals.push_back(ws_.accum[j]);
+            ws_.csrCols.push_back(j);
+            ws_.accum[j] = 0.0;
+            ws_.inRow[j] = 0;
+        }
+        ws_.touched.clear();
+        ws_.csrRowPtr.push_back(static_cast<int>(ws_.csrCols.size()));
+        ws_.rowRhs.push_back(rhs);
+        ws_.rowSense.push_back(static_cast<signed char>(sense));
+        if (sense != Sense::Eq)
+            ++slacks;
+        if (sense != Sense::Le)
+            ++artificials;
     };
-    std::vector<Row> rows;
+
     for (const auto &c : model.constraints()) {
-        Row r;
-        r.coeffs = collectTerms(c.expr);
-        r.sense = c.sense;
-        r.rhs = c.rhs;
-        for (const auto &[id, coeff] : r.coeffs)
-            r.rhs -= coeff * shift_[id];
-        rows.push_back(std::move(r));
+        double rhs = c.rhs;
+        for (const auto &[id, coeff] : c.expr.terms()) {
+            // Membership is tracked explicitly: duplicate terms whose
+            // running sum transits exactly 0.0 must not re-enter
+            // touched, or the CSR would emit the column twice.
+            if (!ws_.inRow[id]) {
+                ws_.inRow[id] = 1;
+                ws_.touched.push_back(id);
+            }
+            ws_.accum[id] += coeff;
+        }
+        for (int j : ws_.touched)
+            rhs -= ws_.accum[j] * ws_.shift[j];
+        sealRow(c.sense, rhs);
     }
     for (int j = 0; j < n_; ++j) {
         if (std::isfinite(model.ub(j))) {
-            Row r;
-            r.coeffs[j] = 1.0;
-            r.sense = Sense::Le;
-            r.rhs = model.ub(j) - shift_[j];
-            rows.push_back(std::move(r));
+            ws_.accum[j] = 1.0;
+            ws_.inRow[j] = 1;
+            ws_.touched.push_back(j);
+            sealRow(Sense::Le, model.ub(j) - ws_.shift[j]);
         }
     }
 
-    // Normalize rhs >= 0.
-    for (auto &r : rows) {
-        if (r.rhs < 0) {
-            r.rhs = -r.rhs;
-            for (auto &[id, coeff] : r.coeffs)
-                coeff = -coeff;
-            r.sense = r.sense == Sense::Le
-                          ? Sense::Ge
-                          : (r.sense == Sense::Ge ? Sense::Le : Sense::Eq);
-        }
-    }
-
-    const int m = static_cast<int>(rows.size());
-    int slacks = 0;
-    int artificials = 0;
-    for (const auto &r : rows) {
-        if (r.sense != Sense::Eq)
-            ++slacks;
-        if (r.sense != Sense::Le)
-            ++artificials;
-    }
+    m_ = static_cast<int>(ws_.rowRhs.size());
     first_artificial_ = n_ + slacks;
     cols_ = n_ + slacks + artificials;
 
-    a_.assign(m, std::vector<double>(cols_, 0.0));
-    rhs_.resize(m);
-    basis_.resize(m);
+    // Fill the flat tableau from the CSR plus slack/artificial columns.
+    ws_.a.assign(static_cast<std::size_t>(m_) * cols_, 0.0);
+    ws_.rhs.assign(m_, 0.0);
+    ws_.basis.assign(m_, 0);
 
     int slack_col = n_;
     int art_col = first_artificial_;
-    for (int i = 0; i < m; ++i) {
-        for (const auto &[id, coeff] : rows[i].coeffs)
-            a_[i][id] = coeff;
-        rhs_[i] = rows[i].rhs;
-        switch (rows[i].sense) {
+    for (int i = 0; i < m_; ++i) {
+        double *r = row(i);
+        for (int k = ws_.csrRowPtr[i]; k < ws_.csrRowPtr[i + 1]; ++k)
+            r[ws_.csrCols[k]] = ws_.csrVals[k];
+        ws_.rhs[i] = ws_.rowRhs[i];
+        switch (static_cast<Sense>(ws_.rowSense[i])) {
           case Sense::Le:
-            a_[i][slack_col] = 1.0;
-            basis_[i] = slack_col++;
+            r[slack_col] = 1.0;
+            ws_.basis[i] = slack_col++;
             break;
           case Sense::Ge:
-            a_[i][slack_col++] = -1.0;
-            a_[i][art_col] = 1.0;
-            basis_[i] = art_col++;
+            r[slack_col++] = -1.0;
+            r[art_col] = 1.0;
+            ws_.basis[i] = art_col++;
             break;
           case Sense::Eq:
-            a_[i][art_col] = 1.0;
-            basis_[i] = art_col++;
+            r[art_col] = 1.0;
+            ws_.basis[i] = art_col++;
             break;
         }
     }
 }
 
-std::vector<double>
-Tableau::reducedRow(const std::vector<double> &cost) const
+void
+Tableau::computeReducedRow(const std::vector<double> &cost)
 {
-    std::vector<double> red(cost.begin(), cost.begin() + cols_);
-    for (std::size_t i = 0; i < a_.size(); ++i) {
-        const double cb = cost[basis_[i]];
+    ws_.red.assign(cost.begin(), cost.begin() + cols_);
+    double *red = ws_.red.data();
+    for (int i = 0; i < m_; ++i) {
+        const double cb = cost[ws_.basis[i]];
         if (cb == 0.0)
             continue;
-        const auto &row = a_[i];
+        const double *r = row(i);
         for (int j = 0; j < cols_; ++j)
-            red[j] -= cb * row[j];
+            red[j] -= cb * r[j];
     }
-    return red;
 }
 
 void
-Tableau::pivot(int row, int col)
+Tableau::pivot(int prow_idx, int col)
 {
-    const double p = a_[row][col];
-    for (double &v : a_[row])
-        v /= p;
-    rhs_[row] /= p;
-    for (std::size_t i = 0; i < a_.size(); ++i) {
-        if (static_cast<int>(i) == row)
+    double *prow = row(prow_idx);
+    const double p = prow[col];
+    for (int j = 0; j < cols_; ++j)
+        prow[j] /= p;
+    ws_.rhs[prow_idx] /= p;
+    for (int i = 0; i < m_; ++i) {
+        if (i == prow_idx)
             continue;
-        const double f = a_[i][col];
+        double *r = row(i);
+        const double f = r[col];
         if (f == 0.0)
             continue;
         for (int j = 0; j < cols_; ++j)
-            a_[i][j] -= f * a_[row][j];
-        rhs_[i] -= f * rhs_[row];
+            r[j] -= f * prow[j];
+        ws_.rhs[i] -= f * ws_.rhs[prow_idx];
         // Clamp tiny negative residues from cancellation.
-        if (rhs_[i] < 0 && rhs_[i] > -opts_.eps)
-            rhs_[i] = 0.0;
+        if (ws_.rhs[i] < 0 && ws_.rhs[i] > -opts_.eps)
+            ws_.rhs[i] = 0.0;
     }
-    basis_[row] = col;
+    ws_.basis[prow_idx] = col;
 }
 
 bool
 Tableau::pivotLoop(const std::vector<double> &cost, bool phase1)
 {
-    const int m = static_cast<int>(a_.size());
-    const int bland_threshold = 3 * (m + cols_);
+    const int bland_threshold = 3 * (m_ + cols_);
     int stall = 0;
     double last_obj = -kInf;
 
     // Reduced costs are maintained incrementally across pivots (the
     // classic objective-row trick); recomputing per candidate would be
     // O(m * n) per pricing pass.
-    std::vector<double> red = reducedRow(cost);
+    computeReducedRow(cost);
+    double *red = ws_.red.data();
     const int scan_end = phase1 ? cols_ : first_artificial_;
 
     while (iters_ < opts_.maxIters) {
@@ -239,12 +257,13 @@ Tableau::pivotLoop(const std::vector<double> &cost, bool phase1)
         // Ratio test (Bland tie-break on basis index).
         int leave = -1;
         double best_ratio = kInf;
-        for (int i = 0; i < m; ++i) {
-            if (a_[i][enter] > opts_.eps) {
-                const double ratio = rhs_[i] / a_[i][enter];
+        for (int i = 0; i < m_; ++i) {
+            const double aie = row(i)[enter];
+            if (aie > opts_.eps) {
+                const double ratio = ws_.rhs[i] / aie;
                 if (ratio < best_ratio - opts_.eps ||
                     (ratio < best_ratio + opts_.eps && leave >= 0 &&
-                     basis_[i] < basis_[leave])) {
+                     ws_.basis[i] < ws_.basis[leave])) {
                     best_ratio = ratio;
                     leave = i;
                 }
@@ -260,15 +279,15 @@ Tableau::pivotLoop(const std::vector<double> &cost, bool phase1)
 
         // Update reduced costs against the normalized pivot row.
         const double re = red[enter];
-        const auto &prow = a_[leave];
+        const double *prow = row(leave);
         for (int j = 0; j < cols_; ++j)
             red[j] -= re * prow[j];
         red[enter] = 0.0;
 
         // Stall detection for the Bland fallback.
         double obj = 0.0;
-        for (int i = 0; i < m; ++i)
-            obj += cost[basis_[i]] * rhs_[i];
+        for (int i = 0; i < m_; ++i)
+            obj += cost[ws_.basis[i]] * ws_.rhs[i];
         if (obj > last_obj + opts_.eps) {
             last_obj = obj;
             stall = 0;
@@ -282,28 +301,27 @@ Tableau::pivotLoop(const std::vector<double> &cost, bool phase1)
 SolveStatus
 Tableau::solve()
 {
-    const int m = static_cast<int>(a_.size());
-
     // Phase 1: maximize -sum(artificials).
     if (first_artificial_ < cols_) {
-        std::vector<double> cost(cols_, 0.0);
+        ws_.cost.assign(cols_, 0.0);
         for (int j = first_artificial_; j < cols_; ++j)
-            cost[j] = -1.0;
-        if (!pivotLoop(cost, true))
+            ws_.cost[j] = -1.0;
+        if (!pivotLoop(ws_.cost, true))
             return SolveStatus::IterLimit;
         double infeas = 0.0;
-        for (int i = 0; i < m; ++i)
-            if (basis_[i] >= first_artificial_)
-                infeas += rhs_[i];
+        for (int i = 0; i < m_; ++i)
+            if (ws_.basis[i] >= first_artificial_)
+                infeas += ws_.rhs[i];
         if (infeas > 1e-7)
             return SolveStatus::Infeasible;
         // Drive remaining zero-level artificials out of the basis.
-        for (int i = 0; i < m; ++i) {
-            if (basis_[i] < first_artificial_)
+        for (int i = 0; i < m_; ++i) {
+            if (ws_.basis[i] < first_artificial_)
                 continue;
             int repl = -1;
+            const double *r = row(i);
             for (int j = 0; j < first_artificial_; ++j) {
-                if (std::fabs(a_[i][j]) > opts_.eps) {
+                if (std::fabs(r[j]) > opts_.eps) {
                     repl = j;
                     break;
                 }
@@ -315,12 +333,12 @@ Tableau::solve()
     }
 
     // Phase 2: the real objective over structural columns.
-    std::vector<double> cost(cols_, 0.0);
+    ws_.cost.assign(cols_, 0.0);
     const double dir = model_.maximize() ? 1.0 : -1.0;
     for (const auto &[id, c] : model_.objective().terms())
-        cost[id] += dir * c;
+        ws_.cost[id] += dir * c;
     unbounded_ = false;
-    if (!pivotLoop(cost, false))
+    if (!pivotLoop(ws_.cost, false))
         return SolveStatus::IterLimit;
     if (unbounded_)
         return SolveStatus::Unbounded;
@@ -331,11 +349,11 @@ std::vector<double>
 Tableau::extractValues() const
 {
     std::vector<double> y(cols_, 0.0);
-    for (std::size_t i = 0; i < a_.size(); ++i)
-        y[basis_[i]] = rhs_[i];
+    for (int i = 0; i < m_; ++i)
+        y[ws_.basis[i]] = ws_.rhs[i];
     std::vector<double> x(n_);
     for (int j = 0; j < n_; ++j)
-        x[j] = y[j] + shift_[j];
+        x[j] = y[j] + ws_.shift[j];
     return x;
 }
 
@@ -351,9 +369,9 @@ Tableau::objectiveValue(const std::vector<double> &values) const
 } // namespace
 
 Solution
-solveLp(const Model &model, const SolverOptions &opts)
+solveLp(const Model &model, const SolverOptions &opts, LpWorkspace &ws)
 {
-    Tableau t(model, opts);
+    Tableau t(model, opts, ws);
     Solution sol;
     sol.status = t.solve();
     sol.simplexIters = t.iters();
@@ -362,6 +380,13 @@ solveLp(const Model &model, const SolverOptions &opts)
         sol.objective = t.objectiveValue(sol.values);
     }
     return sol;
+}
+
+Solution
+solveLp(const Model &model, const SolverOptions &opts)
+{
+    LpWorkspace ws;
+    return solveLp(model, opts, ws);
 }
 
 } // namespace smart::ilp

@@ -62,8 +62,44 @@ struct Solution
     }
 };
 
+/**
+ * Reusable dense-solve buffers. The branch-and-bound driver solves
+ * thousands of structurally identical LPs that differ only in variable
+ * bounds; routing them through one workspace reuses every row/column
+ * allocation (tableau, rhs, basis, pricing vectors, assembly scratch)
+ * instead of reallocating per node. A workspace may be reused across
+ * models of any size; it must not be shared between threads.
+ */
+struct LpWorkspace
+{
+    // Dense tableau state (m x cols, row-major).
+    std::vector<double> a;
+    std::vector<double> rhs;
+    std::vector<int> basis;
+    std::vector<double> shift;
+    // Pricing buffers.
+    std::vector<double> cost;
+    std::vector<double> red;
+    // Row assembly: CSR of normalized rows + dense accumulation scratch.
+    std::vector<double> csrVals;
+    std::vector<int> csrCols;
+    std::vector<int> csrRowPtr;
+    std::vector<double> rowRhs;
+    std::vector<signed char> rowSense;
+    std::vector<double> accum;
+    std::vector<signed char> inRow; //!< Membership marker for accum.
+    std::vector<int> touched;
+};
+
 /** Solve the LP relaxation of @p model (integrality ignored). */
 Solution solveLp(const Model &model, const SolverOptions &opts = {});
+
+/**
+ * Solve the LP relaxation reusing @p ws across calls (the B&B hot
+ * path). Results are identical to the workspace-free overload.
+ */
+Solution solveLp(const Model &model, const SolverOptions &opts,
+                 LpWorkspace &ws);
 
 } // namespace smart::ilp
 

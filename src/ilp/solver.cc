@@ -1,6 +1,9 @@
 #include "ilp/solver.hh"
 
 #include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -86,14 +89,55 @@ objectiveOf(const Model &model, const std::vector<double> &values)
     return obj;
 }
 
-/** DFS node: variable bound overrides relative to the root model. */
+/** One bound override relative to the root model. */
+struct BoundOverride
+{
+    int var;
+    double lb;
+    double ub;
+};
+
+/**
+ * Open node: its bound overrides vs the root, the parent's LP bound
+ * (in maximize direction, an upper bound on anything below it), and a
+ * creation sequence number for deterministic ordering.
+ */
 struct Node
 {
-    std::vector<std::pair<int, std::pair<double, double>>> bounds;
+    std::vector<BoundOverride> bounds;
+    double parentBound;
+    long seq;
+};
+
+/**
+ * Best-bound ordering for the improvement phase: pop the node with the
+ * most promising parent relaxation first; ties break toward the most
+ * recently created (deepest) node.
+ */
+struct NodeOrder
+{
+    bool operator()(const Node &a, const Node &b) const
+    {
+        if (a.parentBound != b.parentBound)
+            return a.parentBound < b.parentBound;
+        return a.seq < b.seq;
+    }
 };
 
 } // namespace
 
+/*
+ * Two-phase search. Until the first incumbent exists, nodes follow
+ * depth-first order diving into the rounding-closest child — the
+ * fastest route to an integral leaf on the near-symmetric scheduling
+ * models. Once an incumbent is known, remaining open nodes are drawn
+ * in best-bound order, so the search proves optimality (or closes the
+ * gap) with the fewest LP solves, and the heap top doubles as a global
+ * bound: when it cannot beat the incumbent, the search is done. All
+ * node LPs run through one reusable workspace; each node stores only
+ * its bound overrides vs the root model, applied and rolled back
+ * incrementally.
+ */
 Solution
 solve(const Model &model, const SolverOptions &opts)
 {
@@ -102,21 +146,26 @@ solve(const Model &model, const SolverOptions &opts)
         return solveLp(model, opts);
 
     Model work = model; // mutable copy for bound overrides
+    LpWorkspace ws;     // reused across every node's LP solve
 
     Solution best;
     best.status = SolveStatus::Infeasible;
     bool have_incumbent = false;
     const double dir = model.maximize() ? 1.0 : -1.0;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
 
     int nodes = 0;
     int total_iters = 0;
-    std::vector<Node> stack;
-    stack.push_back(Node{});
+    long next_seq = 0;
+    std::vector<Node> stack;                                // DFS phase
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    stack.push_back(Node{{}, kInf, next_seq++});
     bool node_limit_hit = false;
     double root_bound = 0.0;
     bool have_root_bound = false;
+    std::vector<BoundOverride> saved;
 
-    while (!stack.empty()) {
+    while (!stack.empty() || !open.empty()) {
         if (nodes >= opts.maxBnbNodes) {
             node_limit_hit = true;
             break;
@@ -129,18 +178,34 @@ solve(const Model &model, const SolverOptions &opts)
             if (gap <= opts.gapTol)
                 break;
         }
-        Node node = std::move(stack.back());
-        stack.pop_back();
+        Node node{{}, kInf, 0};
+        if (!stack.empty()) {
+            node = std::move(stack.back());
+            stack.pop_back();
+            // Dive leftovers that cannot beat the incumbent are
+            // skipped without an LP solve.
+            if (have_incumbent &&
+                node.parentBound <= dir * best.objective + 1e-9)
+                continue;
+        } else {
+            node = open.top();
+            open.pop();
+            // Best-bound ordering: once the top of the heap cannot
+            // beat the incumbent, no open node can — proven optimal.
+            if (have_incumbent &&
+                node.parentBound <= dir * best.objective + 1e-9)
+                break;
+        }
         ++nodes;
 
-        // Apply this node's bound overrides.
-        std::vector<std::pair<int, std::pair<double, double>>> saved;
-        for (const auto &[id, b] : node.bounds) {
-            saved.push_back({id, {work.lb(id), work.ub(id)}});
-            work.setBounds(id, b.first, b.second);
+        // Apply this node's bound overrides (incremental vs the root).
+        saved.clear();
+        for (const auto &b : node.bounds) {
+            saved.push_back({b.var, work.lb(b.var), work.ub(b.var)});
+            work.setBounds(b.var, b.lb, b.ub);
         }
 
-        Solution relax = solveLp(work, opts);
+        Solution relax = solveLp(work, opts, ws);
         total_iters += relax.simplexIters;
         if (!have_root_bound && relax.status == SolveStatus::Optimal) {
             root_bound = dir * relax.objective;
@@ -175,28 +240,35 @@ solve(const Model &model, const SolverOptions &opts)
                         have_incumbent = true;
                     }
                 }
+                const double bound = dir * relax.objective;
                 const double v = relax.values[branch];
-                Node down = node;
+                Node down{node.bounds, bound, next_seq++};
                 down.bounds.push_back(
-                    {branch, {work.lb(branch), std::floor(v)}});
-                Node up = node;
+                    {branch, work.lb(branch), std::floor(v)});
+                Node up{std::move(node.bounds), bound, next_seq++};
                 up.bounds.push_back(
-                    {branch, {std::ceil(v), work.ub(branch)}});
-                // Explore the rounding-closest side first.
-                if (v - std::floor(v) < 0.5) {
-                    stack.push_back(std::move(up));
-                    stack.push_back(std::move(down));
+                    {branch, std::ceil(v), work.ub(branch)});
+                const bool down_first = v - std::floor(v) < 0.5;
+                if (!have_incumbent) {
+                    // DFS: push the rounding-closest side last so it
+                    // is explored first.
+                    if (down_first) {
+                        stack.push_back(std::move(up));
+                        stack.push_back(std::move(down));
+                    } else {
+                        stack.push_back(std::move(down));
+                        stack.push_back(std::move(up));
+                    }
                 } else {
-                    stack.push_back(std::move(down));
-                    stack.push_back(std::move(up));
+                    open.push(std::move(down));
+                    open.push(std::move(up));
                 }
             }
         }
 
         // Restore bounds for the next node.
         for (auto it = saved.rbegin(); it != saved.rend(); ++it)
-            work.setBounds(it->first, it->second.first,
-                           it->second.second);
+            work.setBounds(it->var, it->lb, it->ub);
     }
 
     best.bnbNodes = nodes;

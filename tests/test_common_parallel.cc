@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Thread pool tests: parallelFor correctness, exception propagation,
+ * nested submission/parallelFor from worker threads, future-returning
+ * submit, SMART_THREADS parsing, and the sharded memo cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace
+{
+
+using namespace smart;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForResultsMatchSerial)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 257;
+    std::vector<double> serial(n), parallel(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = static_cast<double>(i) * 1.5 + 2.0;
+    pool.parallelFor(n, [&](std::size_t i) {
+        parallel[i] = static_cast<double>(i) * 1.5 + 2.0;
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    try {
+        pool.parallelFor(100000, [&](std::size_t) {
+            done.fetch_add(1);
+            throw std::runtime_error("first");
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &) {
+    }
+    // Every worker stops after at most one more grab.
+    EXPECT_LT(done.load(), 100000);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::logic_error("bad"); });
+    EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerRunsInline)
+{
+    ThreadPool pool(2);
+    auto outer = pool.submit([&]() {
+        EXPECT_TRUE(pool.onWorkerThread());
+        // A nested submit must not deadlock even with every other
+        // worker busy: it executes inline and its future is ready.
+        auto inner = pool.submit([&]() {
+            EXPECT_TRUE(pool.onWorkerThread());
+            return 99;
+        });
+        return inner.get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially)
+{
+    ThreadPool pool(4);
+    std::vector<std::vector<int>> grid(8, std::vector<int>(8, 0));
+    pool.parallelFor(8, [&](std::size_t i) {
+        pool.parallelFor(8, [&](std::size_t j) { grid[i][j] = 1; });
+    });
+    for (const auto &row : grid)
+        for (int v : row)
+            EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, ConfiguredThreadsParsesEnv)
+{
+    const char *old = std::getenv("SMART_THREADS");
+    std::string saved = old ? old : "";
+
+    setenv("SMART_THREADS", "7", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 7);
+    setenv("SMART_THREADS", "1", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 1);
+    setenv("SMART_THREADS", "bogus", 1);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1);
+
+    if (old)
+        setenv("SMART_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("SMART_THREADS");
+}
+
+TEST(ShardedCache, ComputesOncePerKey)
+{
+    ShardedCache<int> cache;
+    std::atomic<int> computes{0};
+    auto make = [&]() {
+        computes.fetch_add(1);
+        return 5;
+    };
+    EXPECT_EQ(cache.getOrCompute("k", make), 5);
+    EXPECT_EQ(cache.getOrCompute("k", make), 5);
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.getOrCompute("k", make), 5);
+    EXPECT_EQ(computes.load(), 2);
+}
+
+TEST(ShardedCache, ConcurrentMixedKeysAgree)
+{
+    ShardedCache<std::size_t> cache;
+    ThreadPool pool(4);
+    std::vector<std::size_t> got(512);
+    pool.parallelFor(got.size(), [&](std::size_t i) {
+        const std::string key = "key" + std::to_string(i % 32);
+        got[i] = cache.getOrCompute(key, [&]() { return (i % 32) * 10; });
+    });
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], (i % 32) * 10);
+    EXPECT_EQ(cache.size(), 32u);
+}
+
+} // namespace

@@ -153,4 +153,35 @@ TEST(Simplex, DegenerateProblemTerminates)
     EXPECT_NEAR(s.objective, 1.0, 1e-6);
 }
 
+TEST(Simplex, DuplicateTermsCancellingToZeroMidExpression)
+{
+    // Regression: 2x - 2x + 3x <= 6 accumulates through exactly 0.0;
+    // the row assembly must still record the net 3.0 coefficient
+    // rather than dropping the constraint.
+    Model m;
+    Var x = m.addVar(0, 100, VarType::Continuous, "x");
+    LinExpr e;
+    e.add(x, 2.0).add(x, -2.0).add(x, 3.0);
+    m.addConstr(e, Sense::Le, 6.0);
+    m.setObjective(LinExpr(x), true);
+    Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsWithShiftedLowerBound)
+{
+    // Same cancellation pattern with a nonzero lower bound: the rhs
+    // shift adjustment must use the net coefficient exactly once.
+    Model m;
+    Var x = m.addVar(1, 100, VarType::Continuous, "x");
+    LinExpr e;
+    e.add(x, 5.0).add(x, -5.0).add(x, 2.0);
+    m.addConstr(e, Sense::Le, 10.0);
+    m.setObjective(LinExpr(x), true);
+    Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
 } // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Parallel-vs-serial equivalence: the engine's contract is that
+ * evaluating on N workers produces bit-identical results to a serial
+ * loop. Checked for runBatch vs runInference, the DSE sweep, and the
+ * B&B ILP solver under concurrent solves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "accel/batch.hh"
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "cryomem/dse.hh"
+#include "ilp/solver.hh"
+
+namespace
+{
+
+using namespace smart;
+
+// Force a multi-threaded global pool before its first use (unless the
+// caller pinned SMART_THREADS explicitly, e.g. the serial CI leg).
+const bool force_threads = []() {
+    setenv("SMART_THREADS", "4", /*overwrite=*/0);
+    return true;
+}();
+
+void
+expectIdentical(const accel::LayerResult &a, const accel::LayerResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.inputService, b.inputService);
+    EXPECT_EQ(a.weightService, b.weightService);
+    EXPECT_EQ(a.outputService, b.outputService);
+    EXPECT_EQ(a.serialOverhead, b.serialOverhead);
+    EXPECT_EQ(a.weightDramCycles, b.weightDramCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.usedIlp, b.usedIlp);
+    EXPECT_EQ(a.counters.shiftSteps, b.counters.shiftSteps);
+    EXPECT_EQ(a.counters.randomReadBytes, b.counters.randomReadBytes);
+    EXPECT_EQ(a.counters.randomWriteBytes, b.counters.randomWriteBytes);
+    EXPECT_EQ(a.counters.dramBytes, b.counters.dramBytes);
+    EXPECT_EQ(a.counters.macs, b.counters.macs);
+}
+
+void
+expectIdentical(const accel::InferenceResult &a,
+                const accel::InferenceResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.weightDramCycles, b.weightDramCycles);
+    EXPECT_EQ(a.seconds, b.seconds); // bitwise: same double
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i)
+        expectIdentical(a.layers[i], b.layers[i]);
+}
+
+TEST(ParallelEquivalence, RunBatchMatchesSerialRunInference)
+{
+    setInformEnabled(false);
+    std::vector<accel::BatchItem> items;
+    for (const char *name : {"AlexNet", "MobileNet"}) {
+        auto net = cnn::convLayersOnly(cnn::makeModel(name));
+        for (auto s :
+             {accel::Scheme::Tpu, accel::Scheme::SuperNpu,
+              accel::Scheme::Sram, accel::Scheme::Smart}) {
+            accel::BatchItem item;
+            item.cfg = accel::makeScheme(s);
+            item.model = net;
+            item.batch = s == accel::Scheme::Smart ? 4 : 1;
+            items.push_back(std::move(item));
+        }
+    }
+
+    // Serial reference first, from cold caches.
+    accel::clearReplayCache();
+    accel::clearIlpCache();
+    std::vector<accel::InferenceResult> serial;
+    for (const auto &item : items)
+        serial.push_back(
+            accel::runInference(item.cfg, item.model, item.batch));
+
+    // Parallel run, also from cold caches.
+    accel::clearReplayCache();
+    accel::clearIlpCache();
+    const auto parallel = accel::runBatch(items);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(ParallelEquivalence, DseSweepMatchesPointwiseEvaluation)
+{
+    cryo::CmosSfqArrayConfig base;
+    std::vector<double> freqs;
+    for (double f = 0.5; f <= 12.0; f += 0.5)
+        freqs.push_back(f);
+
+    // The full sweep fans out across the pool; single-point sweeps are
+    // serial by construction (n == 1 runs inline).
+    const auto swept = cryo::sweepPipelineFrequency(base, freqs);
+    ASSERT_EQ(swept.size(), freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const auto one =
+            cryo::sweepPipelineFrequency(base, {freqs[i]});
+        ASSERT_EQ(one.size(), 1u);
+        EXPECT_EQ(swept[i].feasible, one[0].feasible);
+        EXPECT_EQ(swept[i].achievedFreqGhz, one[0].achievedFreqGhz);
+        EXPECT_EQ(swept[i].matsPerSubbank, one[0].matsPerSubbank);
+        EXPECT_EQ(swept[i].repeaters, one[0].repeaters);
+        EXPECT_EQ(swept[i].leakageMw, one[0].leakageMw);
+        EXPECT_EQ(swept[i].energyPerAccessNj, one[0].energyPerAccessNj);
+        EXPECT_EQ(swept[i].areaMm2, one[0].areaMm2);
+    }
+}
+
+ilp::Model
+knapsack(int seed)
+{
+    ilp::Model m;
+    ilp::LinExpr w1, w2, obj;
+    for (int i = 0; i < 14; ++i) {
+        ilp::Var v = m.addBinary();
+        w1.add(v, 1.0 + ((i + seed) % 7));
+        w2.add(v, 1.0 + ((i + 3 * seed) % 5));
+        obj.add(v, 2.0 + ((i + 2 * seed) % 9));
+    }
+    m.addConstr(w1, ilp::Sense::Le, 18.0);
+    m.addConstr(w2, ilp::Sense::Le, 14.0);
+    m.setObjective(obj, true);
+    return m;
+}
+
+TEST(ParallelEquivalence, ConcurrentIlpSolvesMatchSerialObjectives)
+{
+    const int n = 16;
+    std::vector<double> serial(n), parallel(n);
+    std::vector<int> serial_status(n), parallel_status(n);
+
+    for (int t = 0; t < n; ++t) {
+        auto s = ilp::solve(knapsack(t));
+        serial[t] = s.objective;
+        serial_status[t] = static_cast<int>(s.status);
+    }
+    parallelFor(n, [&](std::size_t t) {
+        auto s = ilp::solve(knapsack(static_cast<int>(t)));
+        parallel[t] = s.objective;
+        parallel_status[t] = static_cast<int>(s.status);
+    });
+
+    EXPECT_EQ(serial, parallel); // bitwise-equal objectives
+    EXPECT_EQ(serial_status, parallel_status);
+}
+
+TEST(ParallelEquivalence, RepeatedSolvesAreDeterministic)
+{
+    auto a = ilp::solve(knapsack(3));
+    auto b = ilp::solve(knapsack(3));
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.values, b.values);
+    EXPECT_EQ(a.bnbNodes, b.bnbNodes);
+    EXPECT_EQ(a.simplexIters, b.simplexIters);
+}
+
+} // namespace
