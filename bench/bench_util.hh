@@ -17,10 +17,15 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "accel/batch.hh"
 #include "accel/energy.hh"
 #include "accel/perf.hh"
 #include "cnn/models.hh"
+#include "common/jsonreport.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/stats.hh"
@@ -51,16 +56,37 @@ class Timer
 };
 
 /** One named measurement of a JSON bench report. */
-struct JsonMetric
+using JsonMetric = std::pair<std::string, double>;
+
+/**
+ * Peak resident set size of this process in MB (0 on platforms
+ * without getrusage). Part of the tracked perf trajectory: a PR that
+ * bloats working memory shows up in BENCH_micro.json history even if
+ * its timings hold steady.
+ */
+inline double
+peakRssMb()
 {
-    std::string name;
-    double value = 0.0;
-};
+#if defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+    struct rusage ru; // ru_maxrss is KB on Linux
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#else
+    return 0.0;
+#endif
+}
 
 /**
  * Write a flat bench report ({"bench": ..., "threads": N,
  * "metrics": {...}}) to @p path; metric values are milliseconds unless
- * the metric name says otherwise.
+ * the metric name says otherwise. A peak_rss_mb metric (measured at
+ * write time) is appended to every report.
  */
 inline void
 writeBenchJson(const std::string &path, const std::string &bench,
@@ -71,14 +97,9 @@ writeBenchJson(const std::string &path, const std::string &bench,
         smart_warn("cannot write bench JSON to ", path);
         return;
     }
-    os.precision(17); // full double resolution for trajectory diffs
-    os << "{\n  \"bench\": \"" << bench << "\",\n  \"threads\": "
-       << ThreadPool::global().size() << ",\n  \"metrics\": {";
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        os << (i ? "," : "") << "\n    \"" << metrics[i].name
-           << "\": " << metrics[i].value;
-    }
-    os << "\n  }\n}\n";
+    std::vector<JsonMetric> flat = metrics;
+    flat.emplace_back("peak_rss_mb", peakRssMb());
+    writeFlatMetricsJson(os, bench, flat);
     std::cout << "wrote " << path << "\n";
 }
 

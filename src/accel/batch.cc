@@ -8,10 +8,18 @@ namespace smart::accel
 std::vector<InferenceResult>
 runBatch(const std::vector<BatchItem> &items)
 {
+    return runBatch(items, nullptr);
+}
+
+std::vector<InferenceResult>
+runBatch(const std::vector<BatchItem> &items, const BatchItemHook &onItem)
+{
     std::vector<InferenceResult> results(items.size());
     parallelFor(items.size(), [&](std::size_t i) {
         results[i] =
             runInference(items[i].cfg, items[i].model, items[i].batch);
+        if (onItem)
+            onItem(i, results[i]);
     });
     return results;
 }

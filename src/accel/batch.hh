@@ -11,6 +11,8 @@
 #ifndef SMART_ACCEL_BATCH_HH
 #define SMART_ACCEL_BATCH_HH
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "accel/perf.hh"
@@ -27,10 +29,25 @@ struct BatchItem
 };
 
 /**
+ * Per-item completion hook: called once per item, as soon as that
+ * item's evaluation finishes and before the whole batch returns.
+ * Invocations for distinct items may run concurrently on different
+ * pool workers, so the hook must be thread-safe; each index is passed
+ * exactly once. The serving layer uses this to fulfill request
+ * futures without waiting for the slowest item of a wave.
+ */
+using BatchItemHook =
+    std::function<void(std::size_t, const InferenceResult &)>;
+
+/**
  * Evaluate every item concurrently on the global thread pool (serial
  * when SMART_THREADS=1). results[i] corresponds to items[i].
  */
 std::vector<InferenceResult> runBatch(const std::vector<BatchItem> &items);
+
+/** runBatch with a per-item completion hook (null hook allowed). */
+std::vector<InferenceResult> runBatch(const std::vector<BatchItem> &items,
+                                      const BatchItemHook &onItem);
 
 } // namespace smart::accel
 

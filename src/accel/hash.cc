@@ -1,0 +1,94 @@
+#include "accel/hash.hh"
+
+#include <ios>
+#include <sstream>
+
+namespace smart::accel
+{
+
+namespace
+{
+
+/** Serialize a double with full bit fidelity. */
+void
+putD(std::ostringstream &os, double v)
+{
+    os << std::hexfloat << v << ',';
+}
+
+void
+putSpm(std::ostringstream &os, const SpmSpec &s)
+{
+    os << s.capacityBytes << ',' << s.banks << ',';
+}
+
+/**
+ * Serialize a string length-prefixed, so a name containing the key's
+ * separator characters cannot make two distinct requests serialize to
+ * the same bytes.
+ */
+void
+putS(std::ostringstream &os, const std::string &s)
+{
+    os << s.size() << ':' << s << ',';
+}
+
+} // namespace
+
+std::string
+requestKey(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
+           int batch)
+{
+    std::ostringstream os;
+
+    // Configuration. cfg.name is display-only (never read by the
+    // model), so it is deliberately excluded: configs differing only
+    // in label evaluate bit-identically and should share a cache line.
+    os << "cfg{" << static_cast<int>(cfg.scheme) << ',' << cfg.pe.rows
+       << 'x' << cfg.pe.cols << ',';
+    putD(os, cfg.clockGhz);
+    putD(os, cfg.temperatureK);
+    putD(os, cfg.coolingFactor);
+    putSpm(os, cfg.inputSpm);
+    putSpm(os, cfg.outputSpm);
+    putSpm(os, cfg.weightSpm);
+    os << cfg.spmsAreShift << ',';
+    putSpm(os, cfg.randomArray);
+    os << static_cast<int>(cfg.randomTech) << ',';
+    putD(os, cfg.randomWriteLatencyNsOverride);
+    os << cfg.prefetchIterations << ',' << cfg.useIlpCompiler << ',';
+    putD(os, cfg.dramBandwidthGBs);
+    putD(os, cfg.knobs.dauWindowBytes);
+    putD(os, cfg.knobs.interLayerReorderFactor);
+    putD(os, cfg.knobs.tpuEfficiency);
+    putD(os, cfg.knobs.shiftSegmentBytes);
+    putD(os, cfg.knobs.leakageActivityFactor);
+    putD(os, cfg.knobs.randomOutstanding);
+
+    // Model: the name and layer names flow into InferenceResult, so
+    // they are result-relevant and part of the key.
+    os << "}model{";
+    putS(os, model.name);
+    for (const auto &l : model.layers) {
+        putS(os, l.name);
+        os << l.ifmapH << ',' << l.ifmapW << ','
+           << l.inChannels << ',' << l.filters << ',' << l.kernelH
+           << ',' << l.kernelW << ',' << l.stride << ',' << l.pad
+           << ',' << l.depthwise << ';';
+    }
+    os << "}batch{" << batch << '}';
+    return os.str();
+}
+
+std::uint64_t
+requestDigest(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace smart::accel

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Canonical request hashing for (configuration, model, batch)
+ * evaluation points. The serving layer's result cache and any
+ * cross-run memoization key on requestKey(): a byte-exact
+ * serialization of every field the performance/energy model reads, so
+ * two requests share a key if and only if runInference is guaranteed
+ * to produce bit-identical results for both. Distinct configurations
+ * can therefore never alias (the PR 1 ilp_cache under-keying bug class
+ * is structurally excluded: the key is the full input, not a digest of
+ * a subset).
+ *
+ * Doubles are serialized in hexfloat so the key round-trips every bit
+ * of the value; requestDigest() folds the key to 64 bits (FNV-1a) for
+ * logging and shard selection only — never use the digest alone as a
+ * cache key.
+ */
+
+#ifndef SMART_ACCEL_HASH_HH
+#define SMART_ACCEL_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "accel/config.hh"
+#include "cnn/models.hh"
+
+namespace smart::accel
+{
+
+/**
+ * Canonical cache key of one evaluation request: covers the complete
+ * AcceleratorConfig (scheme, PE array, clocks, all SPM specs, RANDOM
+ * array + tech + overrides, prefetch/ILP flags, DRAM bandwidth, every
+ * calibration knob), the full per-layer model description, and the
+ * batch size. Deterministic across threads and processes.
+ */
+std::string requestKey(const AcceleratorConfig &cfg,
+                       const cnn::CnnModel &model, int batch);
+
+/** 64-bit FNV-1a digest of a canonical key (display/sharding only). */
+std::uint64_t requestDigest(const std::string &key);
+
+} // namespace smart::accel
+
+#endif // SMART_ACCEL_HASH_HH

@@ -1,0 +1,88 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smart
+{
+
+Histogram::Histogram(double lo, double hi, double growth)
+    : lo_(lo), hi_(hi), logGrowth_(std::log(growth))
+{
+    smart_assert(lo > 0.0 && hi > lo && growth > 1.0,
+                 "invalid histogram shape: lo=", lo, " hi=", hi,
+                 " growth=", growth);
+    const auto spans = static_cast<std::size_t>(
+        std::ceil(std::log(hi / lo) / logGrowth_));
+    buckets_.assign(spans + 2, 0); // + underflow and overflow
+}
+
+std::size_t
+Histogram::bucketOf(double x) const
+{
+    if (!(x > lo_))
+        return 0;
+    if (x > hi_)
+        return buckets_.size() - 1;
+    const auto b = static_cast<std::size_t>(
+        std::floor(std::log(x / lo_) / logGrowth_));
+    return std::min(b + 1, buckets_.size() - 2);
+}
+
+double
+Histogram::bucketValue(std::size_t b) const
+{
+    if (b == 0)
+        return lo_;
+    if (b == buckets_.size() - 1)
+        return hi_;
+    const double low_edge = lo_ * std::exp(logGrowth_ * (b - 1));
+    const double high_edge = low_edge * std::exp(logGrowth_);
+    return std::sqrt(low_edge * high_edge);
+}
+
+void
+Histogram::add(double x)
+{
+    ++buckets_[bucketOf(x)];
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * count_)));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        cum += buckets_[b];
+        if (cum >= target)
+            return std::clamp(bucketValue(b), min_, max_);
+    }
+    return max_; // unreachable: cum == count_ after the loop
+}
+
+} // namespace smart

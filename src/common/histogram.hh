@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Geometric-bucket histogram for latency distributions: fixed memory,
+ * O(1) insertion, and quantile estimates (p50/p95/p99) with bounded
+ * relative error set by the bucket growth factor. Used by the serving
+ * layer's per-request latency metrics; not thread-safe (callers hold
+ * their own lock, see serve/metrics.hh).
+ */
+
+#ifndef SMART_COMMON_HISTOGRAM_HH
+#define SMART_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smart
+{
+
+/**
+ * Histogram over (0, inf) with geometrically growing buckets. Bucket b
+ * (1-based) covers (lo * growth^(b-1), lo * growth^b]; values at or
+ * below @p lo land in an underflow bucket and values above @p hi in an
+ * overflow bucket, so no sample is ever dropped. Exact min/max/sum are
+ * tracked alongside the buckets, and quantile() clamps to the observed
+ * range, so single-sample and tail queries stay sensible.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @p lo / @p hi bound the bucketed range, @p growth > 1 sets the
+     * per-bucket width and thus the quantile resolution (1.25 gives
+     * ~12% worst-case relative error).
+     */
+    explicit Histogram(double lo = 1e-3, double hi = 1e7,
+                       double growth = 1.25);
+
+    /** Fold one sample in; non-positive samples count as underflow. */
+    void add(double x);
+
+    /** Drop all samples. */
+    void clear();
+
+    /** Number of samples folded in. */
+    std::uint64_t count() const { return count_; }
+    /** Sum of samples (0 if empty). */
+    double sum() const { return sum_; }
+    /** Mean of samples (0 if empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Minimum sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Maximum sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) by nearest rank: the
+     * geometric midpoint of the bucket holding the rank-ceil(q*count)
+     * sample, clamped to [min(), max()]. Returns 0 if empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    std::size_t bucketOf(double x) const;
+    /** Representative value for bucket @p b (geometric midpoint). */
+    double bucketValue(std::size_t b) const;
+
+    double lo_;
+    double hi_;
+    double logGrowth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace smart
+
+#endif // SMART_COMMON_HISTOGRAM_HH

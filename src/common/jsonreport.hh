@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The one emitter for the repo's flat JSON metric reports
+ * ({"bench": ..., "threads": N, "metrics": {...}}), shared by the
+ * bench drivers (BENCH_micro.json) and the serving layer's metrics
+ * snapshot so the schema cannot drift between producers. Values are
+ * written at full double precision for trajectory diffs; the threads
+ * field records the global pool size.
+ */
+
+#ifndef SMART_COMMON_JSONREPORT_HH
+#define SMART_COMMON_JSONREPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace smart
+{
+
+/** Write one flat (name, value) metric report to @p os. */
+inline void
+writeFlatMetricsJson(std::ostream &os, const std::string &bench,
+                     const std::vector<std::pair<std::string, double>>
+                         &metrics)
+{
+    os.precision(17); // full double resolution for trajectory diffs
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"threads\": "
+       << ThreadPool::global().size() << ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        os << (i ? "," : "") << "\n    \"" << metrics[i].first
+           << "\": " << metrics[i].second;
+    }
+    os << "\n  }\n}\n";
+}
+
+} // namespace smart
+
+#endif // SMART_COMMON_JSONREPORT_HH

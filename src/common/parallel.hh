@@ -22,6 +22,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -204,6 +205,41 @@ class ShardedCache
             }
         }
         return fut.get();
+    }
+
+    /**
+     * Non-blocking lookup: copies the value into @p out and returns
+     * true only when @p key maps to a *ready* entry. An entry still
+     * being computed by another thread reads as a miss, so callers
+     * that batch their own miss evaluation (the serving layer) never
+     * block here.
+     */
+    bool tryGet(const std::string &key, Value &out)
+    {
+        Shard &shard = shardOf(key);
+        std::shared_future<Value> fut;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it == shard.map.end())
+                return false;
+            fut = it->second;
+        }
+        if (fut.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            return false;
+        out = fut.get();
+        return true;
+    }
+
+    /** Insert (or overwrite) a ready value computed by the caller. */
+    void put(const std::string &key, Value value)
+    {
+        std::promise<Value> promise;
+        promise.set_value(std::move(value));
+        Shard &shard = shardOf(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map[key] = promise.get_future().share();
     }
 
     /** Drop every entry (tests and memory pressure). */

@@ -1,0 +1,156 @@
+#include "serve/metrics.hh"
+
+#include <sstream>
+
+#include "common/jsonreport.hh"
+
+namespace smart::serve
+{
+
+std::vector<std::pair<std::string, double>>
+MetricsSnapshot::toMetrics() const
+{
+    return {
+        {"submitted", static_cast<double>(submitted)},
+        {"admitted", static_cast<double>(admitted)},
+        {"rejected", static_cast<double>(rejected)},
+        {"shed", static_cast<double>(shed)},
+        {"expired", static_cast<double>(expired)},
+        {"completed", static_cast<double>(completed)},
+        {"failed", static_cast<double>(failed)},
+        {"cache_hits", static_cast<double>(cacheHits)},
+        {"cache_misses", static_cast<double>(cacheMisses)},
+        {"cache_hit_rate", cacheHitRate},
+        {"coalesced", static_cast<double>(coalesced)},
+        {"waves", static_cast<double>(waves)},
+        {"wave_items", static_cast<double>(waveItems)},
+        {"mean_wave_size", meanWaveSize},
+        {"latency_p50_ms", latencyP50Ms},
+        {"latency_p95_ms", latencyP95Ms},
+        {"latency_p99_ms", latencyP99Ms},
+        {"latency_mean_ms", latencyMeanMs},
+        {"latency_max_ms", latencyMaxMs},
+        {"elapsed_ms", elapsedMs},
+        {"throughput_rps", throughputRps},
+        {"queue_depth", static_cast<double>(queueDepth)},
+        {"queue_high_water", static_cast<double>(queueHighWater)},
+    };
+}
+
+std::string
+MetricsSnapshot::toJson(const std::string &bench) const
+{
+    std::ostringstream os;
+    writeFlatMetricsJson(os, bench, toMetrics());
+    return os.str();
+}
+
+ServiceMetrics::ServiceMetrics()
+    : latency_(1e-3, 1e7, 1.25), start_(std::chrono::steady_clock::now())
+{}
+
+void
+ServiceMetrics::recordSubmitted()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+}
+
+void
+ServiceMetrics::recordAdmitted()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++admitted_;
+}
+
+void
+ServiceMetrics::rollbackAdmittedToRejected()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    --admitted_;
+    ++rejected_;
+}
+
+void
+ServiceMetrics::recordShed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++shed_;
+}
+
+void
+ServiceMetrics::recordExpired()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++expired_;
+}
+
+void
+ServiceMetrics::recordFailed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+}
+
+void
+ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
+                                bool coalesced)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    if (cacheHit)
+        ++cacheHits_;
+    else
+        ++cacheMisses_;
+    if (coalesced)
+        ++coalesced_;
+    latency_.add(totalMs);
+}
+
+void
+ServiceMetrics::recordWave(std::size_t uniqueItems)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++waves_;
+    waveItems_ += uniqueItems;
+}
+
+MetricsSnapshot
+ServiceMetrics::snapshot(std::size_t queueDepth,
+                         std::size_t queueHighWater) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot s;
+    s.submitted = submitted_;
+    s.admitted = admitted_;
+    s.rejected = rejected_;
+    s.shed = shed_;
+    s.expired = expired_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cacheHits = cacheHits_;
+    s.cacheMisses = cacheMisses_;
+    s.coalesced = coalesced_;
+    s.waves = waves_;
+    s.waveItems = waveItems_;
+    const std::uint64_t looked = cacheHits_ + cacheMisses_;
+    s.cacheHitRate =
+        looked ? static_cast<double>(cacheHits_) / looked : 0.0;
+    s.meanWaveSize =
+        waves_ ? static_cast<double>(waveItems_) / waves_ : 0.0;
+    s.latencyP50Ms = latency_.quantile(0.50);
+    s.latencyP95Ms = latency_.quantile(0.95);
+    s.latencyP99Ms = latency_.quantile(0.99);
+    s.latencyMeanMs = latency_.mean();
+    s.latencyMaxMs = latency_.max();
+    s.elapsedMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    s.throughputRps =
+        s.elapsedMs > 0.0 ? completed_ * 1e3 / s.elapsedMs : 0.0;
+    s.queueDepth = queueDepth;
+    s.queueHighWater = queueHighWater;
+    return s;
+}
+
+} // namespace smart::serve

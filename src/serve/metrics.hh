@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Serving-layer metrics: per-request latency distribution, admission
+ * and cache counters, wave/coalescing statistics, and queue-depth
+ * tracking, exportable as a point-in-time snapshot and as a JSON
+ * report with the same flat shape as BENCH_micro.json ({"bench": ...,
+ * "threads": N, "metrics": {...}}), so serving metrics slot into the
+ * same perf-trajectory tooling as the bench timings.
+ */
+
+#ifndef SMART_SERVE_METRICS_HH
+#define SMART_SERVE_METRICS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace smart::serve
+{
+
+/** Point-in-time copy of every service metric. */
+struct MetricsSnapshot
+{
+    // Admission accounting: submitted == admitted + rejected, and once
+    // drained, admitted == completed + shed + expired + failed.
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t completed = 0;
+    /** Wave evaluation threw; futures carry the exception. */
+    std::uint64_t failed = 0;
+
+    std::uint64_t cacheHits = 0;   //!< Requests served from cache.
+    std::uint64_t cacheMisses = 0; //!< Requests that needed evaluation.
+    std::uint64_t coalesced = 0;   //!< Misses that shared a wave item.
+    std::uint64_t waves = 0;       //!< runBatch waves dispatched.
+    std::uint64_t waveItems = 0;   //!< Unique items across all waves.
+
+    double cacheHitRate = 0.0; //!< hits / (hits + misses); 0 if none.
+    double meanWaveSize = 0.0; //!< waveItems / waves; 0 if none.
+
+    // End-to-end latency of completed requests (submit -> response).
+    double latencyP50Ms = 0.0;
+    double latencyP95Ms = 0.0;
+    double latencyP99Ms = 0.0;
+    double latencyMeanMs = 0.0;
+    double latencyMaxMs = 0.0;
+
+    double elapsedMs = 0.0;      //!< Since service start.
+    double throughputRps = 0.0;  //!< completed / elapsed seconds.
+    std::size_t queueDepth = 0;  //!< At snapshot time.
+    std::size_t queueHighWater = 0;
+
+    /** Flat (name, value) list, in stable order, for JSON emitters. */
+    std::vector<std::pair<std::string, double>> toMetrics() const;
+
+    /**
+     * BENCH_micro.json-shaped report: {"bench": name, "threads": N,
+     * "metrics": {...}} with full double precision.
+     */
+    std::string toJson(const std::string &bench) const;
+};
+
+/** Thread-safe metrics registry owned by the service. */
+class ServiceMetrics
+{
+  public:
+    ServiceMetrics();
+
+    void recordSubmitted();
+    /**
+     * Count an admission. Called optimistically before the request is
+     * published to the dispatcher, so a concurrently-taken snapshot
+     * can never show a completed request that was not yet admitted.
+     */
+    void recordAdmitted();
+    /** Convert an optimistic admission into a rejection. */
+    void rollbackAdmittedToRejected();
+    void recordShed();
+    void recordExpired();
+    void recordFailed();
+    /** One request completed Ok after @p totalMs end to end. */
+    void recordCompleted(double totalMs, bool cacheHit, bool coalesced);
+    /** One runBatch wave of @p uniqueItems evaluations dispatched. */
+    void recordWave(std::size_t uniqueItems);
+
+    /** Copy every counter; queue figures are passed in by the owner. */
+    MetricsSnapshot snapshot(std::size_t queueDepth,
+                             std::size_t queueHighWater) const;
+
+  private:
+    mutable std::mutex mu_;
+    Histogram latency_; //!< Milliseconds, 1 us .. ~3 h buckets.
+    std::uint64_t submitted_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t waves_ = 0;
+    std::uint64_t waveItems_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_METRICS_HH

@@ -1,0 +1,133 @@
+#include "serve/queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smart::serve
+{
+
+RequestQueue::RequestQueue(QueueConfig cfg) : cfg_(cfg)
+{
+    smart_assert(cfg_.maxDepth > 0, "queue depth must be positive");
+}
+
+void
+RequestQueue::insertSorted(Pending &&p)
+{
+    // Highest priority first; FIFO (ascending seq) within a priority.
+    auto pos = std::upper_bound(
+        q_.begin(), q_.end(), p, [](const Pending &a, const Pending &b) {
+            if (a.req.priority != b.req.priority)
+                return a.req.priority > b.req.priority;
+            return a.seq < b.seq;
+        });
+    q_.insert(pos, std::move(p));
+    highWater_ = std::max(highWater_, q_.size());
+}
+
+RequestQueue::PushResult
+RequestQueue::push(Pending &&p)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cfg_.policy == AdmissionPolicy::Block) {
+        spaceCv_.wait(lock, [&]() {
+            return closed_ || q_.size() < cfg_.maxDepth;
+        });
+    }
+    if (closed_)
+        return {Admission::RejectedClosed, std::nullopt};
+
+    PushResult res;
+    if (q_.size() >= cfg_.maxDepth) {
+        // Full (Reject or Shed; Block waited for space above).
+        if (cfg_.policy != AdmissionPolicy::Shed ||
+            q_.back().req.priority >= p.req.priority) {
+            return {Admission::RejectedFull, std::nullopt};
+        }
+        // The back entry is the lowest-priority, newest one; the
+        // newcomer strictly outranks it, so it is the victim.
+        res.shed = std::move(q_.back());
+        q_.pop_back();
+    }
+    insertSorted(std::move(p));
+    lock.unlock();
+    workCv_.notify_one();
+    return res;
+}
+
+RequestQueue::Wave
+RequestQueue::popWave(std::size_t maxWave, std::chrono::milliseconds linger)
+{
+    smart_assert(maxWave > 0, "wave size must be positive");
+    Wave wave;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        workCv_.wait(lock, [&]() { return closed_ || !q_.empty(); });
+        if (q_.empty())
+            return wave; // closed and drained
+
+        if (linger.count() > 0 && q_.size() < maxWave && !closed_) {
+            workCv_.wait_for(lock, linger, [&]() {
+                return closed_ || q_.size() >= maxWave;
+            });
+        }
+
+        // Deadline sweep: expired entries never reach a wave.
+        const auto now = std::chrono::steady_clock::now();
+        for (auto it = q_.begin(); it != q_.end();) {
+            if (it->deadline <= now) {
+                wave.expired.push_back(std::move(*it));
+                it = q_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (q_.empty() && wave.expired.empty())
+            continue; // defensive: nothing dispatchable, re-wait
+        break;
+    }
+
+    const std::size_t n = std::min(maxWave, q_.size());
+    wave.items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        wave.items.push_back(std::move(q_[i]));
+    q_.erase(q_.begin(), q_.begin() + static_cast<std::ptrdiff_t>(n));
+    lock.unlock();
+    spaceCv_.notify_all();
+    return wave;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    workCv_.notify_all();
+    spaceCv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+}
+
+std::size_t
+RequestQueue::highWater() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return highWater_;
+}
+
+} // namespace smart::serve

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounded, priority-ordered request queue with admission control — the
+ * buffer between client submissions and the dispatcher's evaluation
+ * waves. Entries are held sorted by (priority desc, submission order),
+ * deadlines are swept at pop time, and a configurable policy decides
+ * what happens when the queue is full: reject the newcomer, shed the
+ * lowest-priority queued entry, or block the submitter
+ * (backpressure). Thread-safe; admitted entries are never silently
+ * dropped — every push/pop outcome surfaces the affected entry so the
+ * service can resolve its promise.
+ */
+
+#ifndef SMART_SERVE_QUEUE_HH
+#define SMART_SERVE_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace smart::serve
+{
+
+/** What a full queue does with a new submission. */
+enum class AdmissionPolicy
+{
+    Reject, //!< Refuse the newcomer (RejectedFull).
+    Shed,   //!< Evict the lowest-priority queued entry if the newcomer
+            //!< outranks it; otherwise refuse the newcomer.
+    Block   //!< Block the submitting thread until space frees up.
+};
+
+/** AdmissionPolicy name for logs and tables. */
+inline const char *
+admissionPolicyName(AdmissionPolicy p)
+{
+    switch (p) {
+      case AdmissionPolicy::Reject:
+        return "reject";
+      case AdmissionPolicy::Shed:
+        return "shed";
+      case AdmissionPolicy::Block:
+        return "block";
+    }
+    return "?";
+}
+
+/** Queue shape and admission behavior. */
+struct QueueConfig
+{
+    std::size_t maxDepth = 64;
+    AdmissionPolicy policy = AdmissionPolicy::Reject;
+};
+
+/** One queued request: the client's request plus service bookkeeping. */
+struct Pending
+{
+    EvalRequest req;
+    std::promise<EvalResponse> promise;
+    std::uint64_t seq = 0; //!< Submission order (FIFO within priority).
+    std::chrono::steady_clock::time_point submitTime;
+    /** Absolute queue deadline; time_point::max() when none. */
+    std::chrono::steady_clock::time_point deadline;
+    /** Canonical accel::requestKey; filled at dispatch, not submit. */
+    std::string key;
+    std::uint64_t digest = 0; //!< accel::requestDigest of key.
+};
+
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueueConfig cfg);
+
+    /** push() outcome; shed carries the evicted entry, if any. */
+    struct PushResult
+    {
+        Admission admission = Admission::Admitted;
+        std::optional<Pending> shed;
+    };
+
+    /**
+     * Admit @p p under the configured policy. Under Block this waits
+     * for space (or close()); the returned shed entry, when present,
+     * must have its promise resolved by the caller.
+     */
+    PushResult push(Pending &&p);
+
+    /** popWave() result: dispatchable entries + deadline casualties. */
+    struct Wave
+    {
+        std::vector<Pending> items;
+        std::vector<Pending> expired;
+    };
+
+    /**
+     * Block until the queue has work (or is closed and empty), then
+     * collect up to @p maxWave entries in priority order. With a
+     * nonzero @p linger and fewer than maxWave entries queued, waits
+     * up to that long for more arrivals before popping, so bursts
+     * coalesce into fuller waves. Entries whose deadline has passed
+     * are returned in Wave::expired instead. An empty wave (both
+     * vectors) means the queue is closed and drained.
+     */
+    Wave popWave(std::size_t maxWave, std::chrono::milliseconds linger);
+
+    /**
+     * Stop admitting: subsequent pushes return RejectedClosed, blocked
+     * pushers wake with RejectedClosed, and poppers drain what remains.
+     */
+    void close();
+
+    /** True once close() has been called. */
+    bool closed() const;
+
+    /** Current number of queued entries. */
+    std::size_t depth() const;
+
+    /** Maximum depth ever observed. */
+    std::size_t highWater() const;
+
+  private:
+    /** Insert preserving (priority desc, seq asc) order. mu_ held. */
+    void insertSorted(Pending &&p);
+
+    QueueConfig cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;  //!< Signaled on push/close.
+    std::condition_variable spaceCv_; //!< Signaled on pop/close.
+    std::vector<Pending> q_;
+    std::size_t highWater_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_QUEUE_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Request/response types of the async evaluation service: what a
+ * client submits (configuration, model, batch, priority, deadline),
+ * what the admission controller decides, and what the request's future
+ * eventually carries. See serve/service.hh for the service itself.
+ */
+
+#ifndef SMART_SERVE_REQUEST_HH
+#define SMART_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "accel/config.hh"
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+
+namespace smart::serve
+{
+
+/** Scheduling priority; higher values dispatch first. */
+enum class Priority
+{
+    Low = 0,
+    Normal = 1,
+    High = 2
+};
+
+/** Priority name for logs and tables. */
+inline const char *
+priorityName(Priority p)
+{
+    switch (p) {
+      case Priority::Low:
+        return "low";
+      case Priority::Normal:
+        return "normal";
+      case Priority::High:
+        return "high";
+    }
+    return "?";
+}
+
+/** One client request: an evaluation point plus scheduling intent. */
+struct EvalRequest
+{
+    accel::AcceleratorConfig cfg;
+    cnn::CnnModel model;
+    int batch = 1;
+    Priority priority = Priority::Normal;
+    /**
+     * Queue-time budget in milliseconds: a request still queued this
+     * long after submission is expired (its future reports Expired)
+     * instead of dispatched. 0 means no deadline. A request already
+     * handed to an evaluation wave always runs to completion.
+     */
+    double deadlineMs = 0.0;
+    std::string tag; //!< Caller label, echoed in the response.
+};
+
+/** Terminal state of an admitted request. */
+enum class ResponseStatus
+{
+    Ok,      //!< Evaluated (or served from cache); result is valid.
+    Shed,    //!< Evicted while queued to admit a higher-priority request.
+    Expired  //!< Deadline passed before dispatch.
+};
+
+/** ResponseStatus name for logs and tables. */
+inline const char *
+responseStatusName(ResponseStatus s)
+{
+    switch (s) {
+      case ResponseStatus::Ok:
+        return "ok";
+      case ResponseStatus::Shed:
+        return "shed";
+      case ResponseStatus::Expired:
+        return "expired";
+    }
+    return "?";
+}
+
+/** What an admitted request's future resolves to. */
+struct EvalResponse
+{
+    ResponseStatus status = ResponseStatus::Ok;
+    accel::InferenceResult result; //!< Valid only when status == Ok.
+    bool cacheHit = false;   //!< Served from the result cache.
+    bool coalesced = false;  //!< Shared another request's evaluation.
+    double queueMs = 0.0;   //!< Submission -> wave dispatch.
+    /** Wave dispatch -> completion (near-zero on a cache hit). */
+    double serviceMs = 0.0;
+    double totalMs = 0.0;    //!< Submission -> completion.
+    /**
+     * requestDigest of the canonical key; 0 when the request never
+     * reached dispatch (shed / expired), since the key is only
+     * computed on the dispatch path.
+     */
+    std::uint64_t digest = 0;
+    std::string tag; //!< Echo of EvalRequest::tag.
+};
+
+/** Admission decision, reported synchronously by submit(). */
+enum class Admission
+{
+    Admitted,
+    RejectedFull,  //!< Queue at capacity under the Reject policy.
+    RejectedClosed //!< Service closed (draining or destroyed).
+};
+
+/** Admission name for logs and tables. */
+inline const char *
+admissionName(Admission a)
+{
+    switch (a) {
+      case Admission::Admitted:
+        return "admitted";
+      case Admission::RejectedFull:
+        return "rejected-full";
+      case Admission::RejectedClosed:
+        return "rejected-closed";
+    }
+    return "?";
+}
+
+/**
+ * submit()'s synchronous result. Rejections are always reported here
+ * (never via a dangling future): response is valid only when admitted.
+ */
+struct Submission
+{
+    Admission admission = Admission::Admitted;
+    std::future<EvalResponse> response;
+
+    bool admitted() const { return admission == Admission::Admitted; }
+};
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_REQUEST_HH

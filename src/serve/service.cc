@@ -1,0 +1,252 @@
+#include "serve/service.hh"
+
+#include <unordered_map>
+#include <utility>
+
+#include "accel/hash.hh"
+#include "common/logging.hh"
+
+namespace smart::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+EvalService::EvalService(ServiceConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue),
+      dispatcher_([this]() { dispatcherLoop(); })
+{}
+
+EvalService::~EvalService()
+{
+    close();
+    dispatcher_.join();
+}
+
+void
+EvalService::close()
+{
+    queue_.close();
+}
+
+void
+EvalService::drain()
+{
+    std::unique_lock<std::mutex> lock(drainMu_);
+    drainCv_.wait(lock, [&]() { return unresolved_ == 0; });
+}
+
+MetricsSnapshot
+EvalService::metrics() const
+{
+    return metrics_.snapshot(queue_.depth(), queue_.highWater());
+}
+
+Submission
+EvalService::submit(EvalRequest req)
+{
+    metrics_.recordSubmitted();
+
+    Pending p;
+    p.submitTime = Clock::now();
+    p.deadline =
+        req.deadlineMs > 0.0
+            ? p.submitTime +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          req.deadlineMs))
+            : Clock::time_point::max();
+    p.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    // The canonical key is deliberately NOT computed here: it is the
+    // expensive part of submission and only dispatch needs it, so a
+    // rejected request costs almost nothing (see serveWave).
+    p.req = std::move(req);
+    std::future<EvalResponse> fut = p.promise.get_future();
+
+    // Admission is counted (and the drain slot taken) before the push
+    // publishes the request: once the dispatcher can resolve it, it is
+    // already admitted in the metrics, so a concurrent snapshot never
+    // shows completed > admitted. Both are rolled back on rejection.
+    metrics_.recordAdmitted();
+    {
+        std::lock_guard<std::mutex> lock(drainMu_);
+        ++unresolved_;
+    }
+    auto pushed = queue_.push(std::move(p));
+    if (pushed.admission != Admission::Admitted) {
+        metrics_.rollbackAdmittedToRejected();
+        releaseDrainSlot();
+        return {pushed.admission, std::future<EvalResponse>()};
+    }
+    if (pushed.shed)
+        finish(std::move(*pushed.shed), ResponseStatus::Shed);
+    return {Admission::Admitted, std::move(fut)};
+}
+
+void
+EvalService::resolve(Pending &&p, EvalResponse &&r)
+{
+    switch (r.status) {
+      case ResponseStatus::Ok:
+        metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced);
+        break;
+      case ResponseStatus::Shed:
+        metrics_.recordShed();
+        break;
+      case ResponseStatus::Expired:
+        metrics_.recordExpired();
+        break;
+    }
+    p.promise.set_value(std::move(r));
+    releaseDrainSlot();
+}
+
+void
+EvalService::releaseDrainSlot()
+{
+    {
+        std::lock_guard<std::mutex> lock(drainMu_);
+        --unresolved_;
+    }
+    drainCv_.notify_all();
+}
+
+void
+EvalService::finish(Pending &&p, ResponseStatus status)
+{
+    smart_assert(status != ResponseStatus::Ok,
+                 "finish() is for terminal non-Ok states");
+    const auto now = Clock::now();
+    EvalResponse r;
+    r.status = status;
+    r.queueMs = r.totalMs = msBetween(p.submitTime, now);
+    r.digest = p.digest;
+    r.tag = std::move(p.req.tag);
+    resolve(std::move(p), std::move(r));
+}
+
+void
+EvalService::dispatcherLoop()
+{
+    while (true) {
+        auto wave = queue_.popWave(cfg_.maxWave, cfg_.linger);
+        for (auto &p : wave.expired)
+            finish(std::move(p), ResponseStatus::Expired);
+        if (!wave.items.empty())
+            serveWave(std::move(wave.items));
+        else if (wave.expired.empty())
+            break; // closed and drained
+    }
+}
+
+void
+EvalService::serveWave(std::vector<Pending> &&wave)
+{
+    const auto dispatch = Clock::now();
+
+    // Requests whose key already has a ready cache entry complete
+    // immediately; the rest are grouped by key so identical requests
+    // in one wave share a single evaluation (coalescing).
+    struct Group
+    {
+        std::vector<Pending> members;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, std::size_t> group_of;
+
+    auto resolveOk = [&](Pending &&p, const accel::InferenceResult &res,
+                         bool cache_hit, bool coalesced) {
+        const auto now = Clock::now();
+        EvalResponse r;
+        r.status = ResponseStatus::Ok;
+        r.result = res;
+        r.cacheHit = cache_hit;
+        r.coalesced = coalesced;
+        r.queueMs = msBetween(p.submitTime, dispatch);
+        r.serviceMs = msBetween(dispatch, now);
+        r.totalMs = msBetween(p.submitTime, now);
+        r.digest = p.digest;
+        r.tag = std::move(p.req.tag);
+        resolve(std::move(p), std::move(r));
+    };
+
+    for (auto &p : wave) {
+        p.key = accel::requestKey(p.req.cfg, p.req.model, p.req.batch);
+        p.digest = accel::requestDigest(p.key);
+        accel::InferenceResult cached;
+        if (cfg_.cacheEnabled && cache_.tryGet(p.key, cached)) {
+            resolveOk(std::move(p), cached, /*cache_hit=*/true,
+                      /*coalesced=*/false);
+            continue;
+        }
+        auto [it, fresh] = group_of.emplace(p.key, groups.size());
+        if (fresh)
+            groups.emplace_back();
+        groups[it->second].members.push_back(std::move(p));
+    }
+    if (groups.empty())
+        return;
+
+    std::vector<accel::BatchItem> items;
+    items.reserve(groups.size());
+    for (const auto &g : groups) {
+        const Pending &head = g.members.front();
+        items.push_back({head.req.cfg, head.req.model, head.req.batch});
+    }
+    metrics_.recordWave(items.size());
+
+    // Enforce the cache bound once per wave, off the per-item hot
+    // path (ShardedCache::size() takes every shard lock) and with a
+    // single clear, so concurrent workers can't wipe each other's
+    // fresh inserts at capacity.
+    if (cfg_.cacheEnabled && cfg_.cacheMaxEntries > 0 &&
+        cache_.size() + items.size() > cfg_.cacheMaxEntries)
+        cache_.clear();
+
+    try {
+        // The hook runs on pool workers as each item finishes; group
+        // membership is disjoint per index, so fulfillment is
+        // race-free without extra locking.
+        accel::runBatch(
+            items, [&](std::size_t i, const accel::InferenceResult &res) {
+                Group &g = groups[i];
+                if (cfg_.cacheEnabled)
+                    cache_.put(g.members.front().key, res);
+                bool first = true;
+                for (auto &p : g.members) {
+                    resolveOk(std::move(p), res, /*cache_hit=*/false,
+                              /*coalesced=*/!first);
+                    first = false;
+                }
+            });
+    } catch (...) {
+        // A failed wave must still resolve every future: promises the
+        // hook already satisfied throw future_error and are skipped.
+        // Each exception-resolved request is counted as failed so the
+        // admitted == completed + shed + expired + failed accounting
+        // stays closed.
+        for (auto &g : groups) {
+            for (auto &p : g.members) {
+                try {
+                    p.promise.set_exception(std::current_exception());
+                } catch (const std::future_error &) {
+                    continue;
+                }
+                metrics_.recordFailed();
+                releaseDrainSlot();
+            }
+        }
+    }
+}
+
+} // namespace smart::serve

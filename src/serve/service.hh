@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Async evaluation service over accel::runBatch — the serving layer of
+ * the ROADMAP's north star. Clients submit (configuration, model,
+ * batch) requests with priorities and deadlines and get back futures;
+ * a dispatcher thread coalesces queued requests into runBatch waves
+ * sized by a configurable policy, so concurrent callers share the
+ * thread pool the way the figure benches do.
+ *
+ * Three production behaviors sit between submission and evaluation:
+ *
+ *  - Admission control: a bounded queue with Reject / Shed / Block
+ *    policies (serve/queue.hh). Rejections are reported synchronously
+ *    from submit(); shed and expired requests resolve their futures
+ *    with the corresponding status — nothing is silently dropped.
+ *  - Result caching: a sharded cache keyed on the canonical
+ *    accel::requestKey, so repeated sweep points (figure grids, DSE
+ *    re-runs) are served without re-evaluation. Identical requests in
+ *    the same wave are coalesced into a single evaluation.
+ *  - Metrics: per-request latency (p50/p95/p99), throughput, queue
+ *    depth, and cache hit rate (serve/metrics.hh), exportable as a
+ *    BENCH_micro.json-compatible snapshot.
+ *
+ * Determinism contract: an admitted request's result is bit-identical
+ * to a direct runInference(cfg, model, batch) call — evaluation goes
+ * through the same runBatch path, and the cache key covers every
+ * result-relevant input byte (see accel/hash.hh).
+ */
+
+#ifndef SMART_SERVE_SERVICE_HH
+#define SMART_SERVE_SERVICE_HH
+
+#include <chrono>
+#include <thread>
+
+#include "accel/batch.hh"
+#include "common/parallel.hh"
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace smart::serve
+{
+
+/** Service shape: queue bounds, wave policy, cache policy. */
+struct ServiceConfig
+{
+    QueueConfig queue; //!< Depth bound + admission policy.
+    /** Most requests one runBatch wave may carry (coalescing cap). */
+    std::size_t maxWave = 16;
+    /**
+     * How long the dispatcher lingers for more arrivals when fewer
+     * than maxWave requests are queued, so bursts amortize into full
+     * waves. 0 dispatches immediately (lowest latency).
+     */
+    std::chrono::milliseconds linger{0};
+    bool cacheEnabled = true;
+    /**
+     * Result-cache entry bound; when an insertion would exceed it the
+     * whole cache is dropped (coarse but O(1) and allocation-free —
+     * a real LRU is future work). 0 means unbounded.
+     */
+    std::size_t cacheMaxEntries = 4096;
+};
+
+class EvalService
+{
+  public:
+    explicit EvalService(ServiceConfig cfg = {});
+
+    /** Closes the queue and drains every admitted request. */
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    /**
+     * Submit one request. The admission decision is synchronous; when
+     * admitted, the returned future resolves once the request is
+     * evaluated (status Ok), shed, or expired.
+     */
+    Submission submit(EvalRequest req);
+
+    /**
+     * Stop admitting new requests (submit returns RejectedClosed).
+     * Already-admitted requests still run to completion.
+     */
+    void close();
+
+    /**
+     * Block until every admitted request has resolved. Does not close
+     * the queue; new submissions after drain() are served normally.
+     */
+    void drain();
+
+    /** Point-in-time metrics. */
+    MetricsSnapshot metrics() const;
+
+    /** The configuration the service was built with. */
+    const ServiceConfig &config() const { return cfg_; }
+
+  private:
+    void dispatcherLoop();
+    /**
+     * The one place that retires an admitted request: records the
+     * terminal metric for @p r's status, fulfills the promise, then
+     * releases the drain count — in that order, so a client that sees
+     * the future ready also sees it counted, and drain() returning
+     * implies every future is ready.
+     */
+    void resolve(Pending &&p, EvalResponse &&r);
+    /** Resolve a non-Ok terminal state (shed / expired). */
+    void finish(Pending &&p, ResponseStatus status);
+    /** Drop one request from the drain count (after its promise is set). */
+    void releaseDrainSlot();
+    /** Evaluate one wave: cache lookups, coalescing, runBatch. */
+    void serveWave(std::vector<Pending> &&wave);
+
+    ServiceConfig cfg_;
+    RequestQueue queue_;
+    ShardedCache<accel::InferenceResult> cache_;
+    ServiceMetrics metrics_;
+
+    std::mutex drainMu_;
+    std::condition_variable drainCv_;
+    std::uint64_t unresolved_ = 0; //!< Admitted, future not yet set.
+    std::atomic<std::uint64_t> seq_{0};
+
+    std::thread dispatcher_; //!< Last member: starts fully-constructed.
+};
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_SERVICE_HH

@@ -1,0 +1,136 @@
+#include "serve/trace.hh"
+
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace smart::serve
+{
+
+std::vector<TraceRequest>
+makeSyntheticTrace(const TraceConfig &cfg)
+{
+    smart_assert(!cfg.models.empty(), "trace needs at least one model");
+    Rng rng(cfg.seed);
+
+    // The sweep working set: every (model, scheme) pair at single and
+    // paper batch sizes, materialized once so repeats are byte-equal.
+    struct Point
+    {
+        cnn::CnnModel model;
+        accel::Scheme scheme;
+        int batch;
+    };
+    std::vector<Point> points;
+    for (const auto &name : cfg.models) {
+        auto net = cnn::convLayersOnly(cnn::makeModel(name));
+        for (auto s : {accel::Scheme::Tpu, accel::Scheme::SuperNpu,
+                       accel::Scheme::Sram, accel::Scheme::Smart}) {
+            points.push_back({net, s, 1});
+            points.push_back(
+                {net, s,
+                 cnn::paperBatchSize(name,
+                                     s == accel::Scheme::SuperNpu)});
+        }
+    }
+
+    std::vector<TraceRequest> trace;
+    trace.reserve(static_cast<std::size_t>(cfg.bursts) *
+                  cfg.requestsPerBurst);
+    std::vector<std::size_t> seen; // indices already requested once
+    double clock_ms = 0.0;
+    int serial = 0;
+    for (int b = 0; b < cfg.bursts; ++b) {
+        for (int i = 0; i < cfg.requestsPerBurst; ++i) {
+            std::size_t pi;
+            if (!seen.empty() && rng.uniform() < cfg.repeatFraction)
+                pi = seen[rng.range(seen.size())];
+            else
+                pi = rng.range(points.size());
+            seen.push_back(pi);
+
+            TraceRequest tr;
+            tr.arrivalMs = clock_ms;
+            tr.req.cfg = accel::makeScheme(points[pi].scheme);
+            tr.req.model = points[pi].model;
+            tr.req.batch = points[pi].batch;
+            const double u = rng.uniform();
+            tr.req.priority = u < cfg.highPriorityFraction
+                                  ? Priority::High
+                                  : (u < 0.5 ? Priority::Normal
+                                             : Priority::Low);
+            if (rng.uniform() < cfg.deadlineFraction)
+                tr.req.deadlineMs = cfg.deadlineMs;
+            tr.req.tag = "t" + std::to_string(serial++);
+            trace.push_back(std::move(tr));
+            clock_ms += cfg.intraGapMs;
+        }
+        clock_ms += cfg.burstGapMs;
+    }
+    return trace;
+}
+
+ReplayReport
+replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
+            double timeScale)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+
+    ReplayReport rep;
+    rep.total = trace.size();
+    std::vector<std::future<EvalResponse>> futures;
+    futures.reserve(trace.size());
+
+    for (const auto &tr : trace) {
+        if (timeScale > 0.0) {
+            const auto due =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                tr.arrivalMs * timeScale));
+            std::this_thread::sleep_until(due);
+        }
+        auto sub = svc.submit(tr.req);
+        if (sub.admitted())
+            futures.push_back(std::move(sub.response));
+        else
+            ++rep.rejected;
+    }
+
+    for (auto &f : futures) {
+        EvalResponse r;
+        try {
+            r = f.get();
+        } catch (...) {
+            // A failed wave resolves its futures with the exception;
+            // the replay report still accounts for every request.
+            ++rep.failed;
+            continue;
+        }
+        switch (r.status) {
+          case ResponseStatus::Ok:
+            ++rep.completed;
+            if (r.cacheHit)
+                ++rep.cacheHits;
+            if (r.coalesced)
+                ++rep.coalesced;
+            break;
+          case ResponseStatus::Shed:
+            ++rep.shed;
+            break;
+          case ResponseStatus::Expired:
+            ++rep.expired;
+            break;
+        }
+        rep.responses.push_back(std::move(r));
+    }
+
+    rep.metrics = svc.metrics();
+    rep.wallMs = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           start)
+                     .count();
+    return rep;
+}
+
+} // namespace smart::serve

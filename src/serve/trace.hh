@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synthetic request traces for the evaluation service: bursty arrivals
+ * over a mixed (model, scheme, batch) working set with a configurable
+ * repeat fraction, so replays exercise admission control, wave
+ * coalescing, and the result cache the way figure-sweep traffic does.
+ * Deterministic per seed (common/rng.hh). replayTrace() drives a
+ * service with a trace and reports full accounting — every submitted
+ * request ends up in exactly one bucket, nothing is silently dropped.
+ */
+
+#ifndef SMART_SERVE_TRACE_HH
+#define SMART_SERVE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hh"
+#include "serve/request.hh"
+#include "serve/service.hh"
+
+namespace smart::serve
+{
+
+/** One trace event: a request plus its arrival offset. */
+struct TraceRequest
+{
+    double arrivalMs = 0.0; //!< Offset from replay start.
+    EvalRequest req;
+};
+
+/** Shape of the synthetic workload. */
+struct TraceConfig
+{
+    int bursts = 4;
+    int requestsPerBurst = 24;
+    double burstGapMs = 10.0;  //!< Idle time between bursts.
+    double intraGapMs = 0.05;  //!< Arrival spacing inside a burst.
+    /**
+     * Probability that a request repeats an earlier sweep point
+     * instead of drawing a fresh one — the figure-sweep redundancy the
+     * result cache exists for.
+     */
+    double repeatFraction = 0.7;
+    std::uint64_t seed = 1;
+    /** Models drawn from (zoo names); keep small for test runtimes. */
+    std::vector<std::string> models = {"AlexNet", "MobileNet"};
+    /** Fraction of requests tagged High priority (rest Normal/Low). */
+    double highPriorityFraction = 0.15;
+    /** Fraction of requests given a (generous) queue deadline. */
+    double deadlineFraction = 0.1;
+    double deadlineMs = 10e3;
+};
+
+/** Deterministically generate a trace for @p cfg. */
+std::vector<TraceRequest> makeSyntheticTrace(const TraceConfig &cfg);
+
+/** Everything a replay observed, with full accounting. */
+struct ReplayReport
+{
+    std::size_t total = 0;     //!< Trace length.
+    std::size_t completed = 0; //!< Futures that resolved Ok.
+    std::size_t cacheHits = 0;
+    std::size_t coalesced = 0;
+    std::size_t rejected = 0; //!< Refused at submit().
+    std::size_t shed = 0;     //!< Admitted, then evicted.
+    std::size_t expired = 0;  //!< Admitted, deadline passed.
+    std::size_t failed = 0;   //!< Future carried an exception.
+    /**
+     * Responses of admitted, non-failed requests in submission order
+     * (aligned 1:1 with the trace when rejected == failed == 0).
+     */
+    std::vector<EvalResponse> responses;
+    MetricsSnapshot metrics;             //!< Service snapshot at end.
+    double wallMs = 0.0;
+
+    /** True when every request is accounted for in exactly one bucket. */
+    bool consistent() const
+    {
+        return completed + rejected + shed + expired + failed == total;
+    }
+};
+
+/**
+ * Replay @p trace against @p svc: submit each request at its arrival
+ * time scaled by @p timeScale (0 submits back-to-back with no
+ * sleeping), wait for every admitted future, and tally. The service
+ * is left running (callers may replay again to measure cache reuse).
+ */
+ReplayReport replayTrace(EvalService &svc,
+                         const std::vector<TraceRequest> &trace,
+                         double timeScale = 1.0);
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_TRACE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * accel::runBatch edge cases the grid benches never hit — empty and
+ * single-item batches — plus the per-item completion hook contract
+ * (every index delivered exactly once, hook results match the returned
+ * vector).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "accel/batch.hh"
+#include "cnn/models.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace smart;
+
+// Force a multi-threaded global pool before its first use (unless the
+// caller pinned SMART_THREADS explicitly, e.g. the serial CI leg).
+const bool force_threads = []() {
+    setenv("SMART_THREADS", "4", /*overwrite=*/0);
+    return true;
+}();
+
+TEST(RunBatch, EmptyBatchReturnsEmpty)
+{
+    setInformEnabled(false);
+    EXPECT_TRUE(accel::runBatch({}).empty());
+
+    // The hook overload with an empty batch never calls the hook.
+    std::atomic<int> calls{0};
+    auto results = accel::runBatch(
+        {}, [&](std::size_t, const accel::InferenceResult &) {
+            ++calls;
+        });
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(RunBatch, SingleItemMatchesRunInference)
+{
+    setInformEnabled(false);
+    accel::BatchItem item;
+    item.cfg = accel::makeSmart();
+    item.model = cnn::convLayersOnly(cnn::makeAlexNet());
+    item.batch = 2;
+
+    const auto direct =
+        accel::runInference(item.cfg, item.model, item.batch);
+    const auto batched = accel::runBatch({item});
+
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0].model, direct.model);
+    EXPECT_EQ(batched[0].scheme, direct.scheme);
+    EXPECT_EQ(batched[0].batch, direct.batch);
+    EXPECT_EQ(batched[0].totalCycles, direct.totalCycles);
+    EXPECT_EQ(batched[0].weightDramCycles, direct.weightDramCycles);
+    EXPECT_EQ(batched[0].seconds, direct.seconds); // bitwise
+    EXPECT_EQ(batched[0].totalMacs, direct.totalMacs);
+    ASSERT_EQ(batched[0].layers.size(), direct.layers.size());
+    for (std::size_t i = 0; i < direct.layers.size(); ++i) {
+        EXPECT_EQ(batched[0].layers[i].totalCycles,
+                  direct.layers[i].totalCycles);
+    }
+}
+
+TEST(RunBatch, HookSeesEveryItemExactlyOnce)
+{
+    setInformEnabled(false);
+    std::vector<accel::BatchItem> items;
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    for (auto s : {accel::Scheme::Tpu, accel::Scheme::SuperNpu,
+                   accel::Scheme::Sram, accel::Scheme::Heter,
+                   accel::Scheme::Pipe, accel::Scheme::Smart}) {
+        accel::BatchItem item;
+        item.cfg = accel::makeScheme(s);
+        item.model = net;
+        item.batch = 1;
+        items.push_back(std::move(item));
+    }
+
+    std::vector<std::atomic<int>> seen(items.size());
+    std::vector<Cycles> hook_cycles(items.size());
+    const auto results = accel::runBatch(
+        items, [&](std::size_t i, const accel::InferenceResult &r) {
+            ++seen[i];
+            hook_cycles[i] = r.totalCycles;
+        });
+
+    ASSERT_EQ(results.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+        EXPECT_EQ(hook_cycles[i], results[i].totalCycles) << "item " << i;
+    }
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Histogram unit tests: exact count/sum/min/max bookkeeping, quantile
+ * accuracy within the geometric-bucket error bound, range clamping,
+ * and underflow/overflow handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace
+{
+
+using smart::Histogram;
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ExactStatsAreExact)
+{
+    Histogram h;
+    double sum = 0.0;
+    for (int i = 1; i <= 100; ++i) {
+        h.add(i);
+        sum += i;
+    }
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), sum / 100.0);
+}
+
+TEST(Histogram, QuantilesWithinBucketError)
+{
+    // growth 1.25 -> worst-case relative error ~sqrt(1.25)-1 = 11.8%.
+    Histogram h(1e-3, 1e7, 1.25);
+    for (int i = 1; i <= 1000; ++i)
+        h.add(i);
+    EXPECT_NEAR(h.quantile(0.50), 500.0, 500.0 * 0.13);
+    EXPECT_NEAR(h.quantile(0.95), 950.0, 950.0 * 0.13);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.13);
+}
+
+TEST(Histogram, QuantileIsMonotoneAndClamped)
+{
+    Histogram h;
+    for (double x : {0.5, 2.0, 8.0, 32.0, 128.0})
+        h.add(x);
+    double prev = h.quantile(0.0);
+    EXPECT_EQ(prev, 0.5); // q=0 -> exact min
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        EXPECT_GE(v, h.min());
+        EXPECT_LE(v, h.max());
+        prev = v;
+    }
+    EXPECT_EQ(h.quantile(1.0), 128.0); // q=1 -> exact max
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapse)
+{
+    Histogram h;
+    h.add(42.0);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 42.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreKept)
+{
+    Histogram h(1.0, 100.0, 2.0);
+    h.add(-5.0);  // non-positive -> underflow bucket
+    h.add(0.25);  // below lo -> underflow bucket
+    h.add(1e9);   // above hi -> overflow bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), -5.0);
+    EXPECT_EQ(h.max(), 1e9);
+    // Quantiles stay inside the observed range even for out-of-band
+    // samples.
+    EXPECT_GE(h.quantile(0.5), h.min());
+    EXPECT_LE(h.quantile(0.5), h.max());
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(3.0);
+    h.add(4.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.add(7.0);
+    EXPECT_EQ(h.quantile(0.5), 7.0);
+}
+
+} // namespace

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Serving-layer tests: deterministic RequestQueue admission semantics
+ * (priority order, reject/shed/deadline handling), and EvalService
+ * end-to-end behavior — admitted results bit-identical to direct
+ * runInference, repeated sweeps served from cache, rejections and
+ * sheds always reported, metrics accounting closed under drain, and
+ * the synthetic trace replay acceptance criteria.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/perf.hh"
+#include "cnn/models.hh"
+#include "common/logging.hh"
+#include "serve/service.hh"
+#include "serve/trace.hh"
+
+namespace
+{
+
+using namespace smart;
+using Clock = std::chrono::steady_clock;
+
+const bool force_threads = []() {
+    setenv("SMART_THREADS", "4", /*overwrite=*/0);
+    return true;
+}();
+
+// ------------------------------------------------------------------
+// RequestQueue (no dispatcher thread: fully deterministic)
+// ------------------------------------------------------------------
+
+serve::Pending
+makePending(serve::Priority pr, std::uint64_t seq,
+            double deadline_in_ms = 0.0)
+{
+    serve::Pending p;
+    p.req.priority = pr;
+    p.seq = seq;
+    p.submitTime = Clock::now();
+    p.deadline = deadline_in_ms != 0.0
+                     ? p.submitTime +
+                           std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   deadline_in_ms))
+                     : Clock::time_point::max();
+    p.key = "k" + std::to_string(seq);
+    return p;
+}
+
+TEST(RequestQueue, PopsPriorityOrderFifoWithinPriority)
+{
+    serve::RequestQueue q({/*maxDepth=*/16,
+                           serve::AdmissionPolicy::Reject});
+    using P = serve::Priority;
+    for (auto [pr, seq] :
+         std::vector<std::pair<P, std::uint64_t>>{
+             {P::Low, 0}, {P::High, 1}, {P::Normal, 2}, {P::High, 3}}) {
+        auto res = q.push(makePending(pr, seq));
+        EXPECT_EQ(res.admission, serve::Admission::Admitted);
+    }
+    auto wave = q.popWave(10, std::chrono::milliseconds(0));
+    ASSERT_EQ(wave.items.size(), 4u);
+    EXPECT_TRUE(wave.expired.empty());
+    EXPECT_EQ(wave.items[0].seq, 1u); // High, oldest first
+    EXPECT_EQ(wave.items[1].seq, 3u);
+    EXPECT_EQ(wave.items[2].seq, 2u); // Normal
+    EXPECT_EQ(wave.items[3].seq, 0u); // Low
+}
+
+TEST(RequestQueue, RejectPolicyRefusesWhenFull)
+{
+    serve::RequestQueue q({2, serve::AdmissionPolicy::Reject});
+    EXPECT_EQ(q.push(makePending(serve::Priority::Normal, 0)).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(serve::Priority::Normal, 1)).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(serve::Priority::High, 2)).admission,
+              serve::Admission::RejectedFull);
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_EQ(q.highWater(), 2u);
+}
+
+TEST(RequestQueue, ShedPolicyEvictsLowestPriorityNewest)
+{
+    serve::RequestQueue q({2, serve::AdmissionPolicy::Shed});
+    q.push(makePending(serve::Priority::Low, 0));
+    q.push(makePending(serve::Priority::Low, 1));
+
+    // A High newcomer evicts the newest Low (seq 1).
+    auto res = q.push(makePending(serve::Priority::High, 2));
+    EXPECT_EQ(res.admission, serve::Admission::Admitted);
+    ASSERT_TRUE(res.shed.has_value());
+    EXPECT_EQ(res.shed->seq, 1u);
+
+    // An equal-priority newcomer does not shed: strict outranking only.
+    auto res2 = q.push(makePending(serve::Priority::Low, 3));
+    EXPECT_EQ(res2.admission, serve::Admission::RejectedFull);
+    EXPECT_FALSE(res2.shed.has_value());
+
+    auto wave = q.popWave(10, std::chrono::milliseconds(0));
+    ASSERT_EQ(wave.items.size(), 2u);
+    EXPECT_EQ(wave.items[0].seq, 2u); // High
+    EXPECT_EQ(wave.items[1].seq, 0u); // surviving Low
+}
+
+TEST(RequestQueue, ExpiredEntriesAreSweptNotDispatched)
+{
+    serve::RequestQueue q({8, serve::AdmissionPolicy::Reject});
+    q.push(makePending(serve::Priority::Normal, 0, /*deadline=*/-1.0));
+    q.push(makePending(serve::Priority::Normal, 1));
+    auto wave = q.popWave(10, std::chrono::milliseconds(0));
+    ASSERT_EQ(wave.expired.size(), 1u);
+    EXPECT_EQ(wave.expired[0].seq, 0u);
+    ASSERT_EQ(wave.items.size(), 1u);
+    EXPECT_EQ(wave.items[0].seq, 1u);
+}
+
+TEST(RequestQueue, BlockPolicyWaitsForSpaceAndCloseUnblocks)
+{
+    serve::RequestQueue q({1, serve::AdmissionPolicy::Block});
+    EXPECT_EQ(q.push(makePending(serve::Priority::Normal, 0)).admission,
+              serve::Admission::Admitted);
+
+    // A second push blocks on the full queue until a pop frees space.
+    std::thread pusher([&]() {
+        auto res = q.push(makePending(serve::Priority::Normal, 1));
+        EXPECT_EQ(res.admission, serve::Admission::Admitted);
+    });
+    auto wave = q.popWave(1, std::chrono::milliseconds(0));
+    ASSERT_EQ(wave.items.size(), 1u);
+    EXPECT_EQ(wave.items[0].seq, 0u);
+    pusher.join();
+    EXPECT_EQ(q.depth(), 1u); // the unblocked push landed
+
+    // A pusher blocked on a full queue wakes with RejectedClosed when
+    // the queue closes underneath it.
+    std::thread blocked([&]() {
+        auto res = q.push(makePending(serve::Priority::Normal, 2));
+        EXPECT_EQ(res.admission, serve::Admission::RejectedClosed);
+    });
+    // Give the pusher a moment to reach the wait before closing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    blocked.join();
+}
+
+TEST(RequestQueue, CloseRejectsAndDrains)
+{
+    serve::RequestQueue q({8, serve::AdmissionPolicy::Reject});
+    q.push(makePending(serve::Priority::Normal, 0));
+    q.close();
+    EXPECT_EQ(q.push(makePending(serve::Priority::Normal, 1)).admission,
+              serve::Admission::RejectedClosed);
+    // Remaining entries still drain...
+    auto wave = q.popWave(10, std::chrono::milliseconds(0));
+    EXPECT_EQ(wave.items.size(), 1u);
+    // ... and a drained closed queue pops empty (never blocks).
+    auto empty = q.popWave(10, std::chrono::milliseconds(0));
+    EXPECT_TRUE(empty.items.empty());
+    EXPECT_TRUE(empty.expired.empty());
+}
+
+// ------------------------------------------------------------------
+// EvalService end-to-end
+// ------------------------------------------------------------------
+
+serve::EvalRequest
+makeRequest(accel::Scheme s, const cnn::CnnModel &model, int batch)
+{
+    serve::EvalRequest r;
+    r.cfg = accel::makeScheme(s);
+    r.model = model;
+    r.batch = batch;
+    return r;
+}
+
+void
+expectIdentical(const accel::InferenceResult &a,
+                const accel::InferenceResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.weightDramCycles, b.weightDramCycles);
+    EXPECT_EQ(a.seconds, b.seconds); // bitwise: same double
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].totalCycles, b.layers[i].totalCycles);
+        EXPECT_EQ(a.layers[i].counters.macs, b.layers[i].counters.macs);
+    }
+}
+
+TEST(EvalService, AdmittedResultsBitIdenticalToDirectRunInference)
+{
+    setInformEnabled(false);
+    auto alex = cnn::convLayersOnly(cnn::makeAlexNet());
+    auto mobile = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    std::vector<serve::EvalRequest> reqs;
+    for (const auto *m : {&alex, &mobile})
+        for (auto s : {accel::Scheme::Tpu, accel::Scheme::SuperNpu,
+                       accel::Scheme::Smart})
+            for (int b : {1, 2})
+                reqs.push_back(makeRequest(s, *m, b));
+
+    serve::EvalService svc;
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (auto &r : reqs) {
+        auto sub = svc.submit(r);
+        ASSERT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        auto resp = futures[i].get();
+        ASSERT_EQ(resp.status, serve::ResponseStatus::Ok);
+        const auto direct = accel::runInference(
+            reqs[i].cfg, reqs[i].model, reqs[i].batch);
+        expectIdentical(resp.result, direct);
+    }
+}
+
+TEST(EvalService, RepeatedSweepServedFromCache)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeAlexNet());
+    std::vector<serve::EvalRequest> sweep;
+    for (auto s : {accel::Scheme::SuperNpu, accel::Scheme::Sram,
+                   accel::Scheme::Smart})
+        for (int b : {1, 4})
+            sweep.push_back(makeRequest(s, net, b));
+
+    serve::EvalService svc;
+    std::vector<serve::EvalResponse> first, third;
+    for (int pass = 0; pass < 3; ++pass) {
+        std::vector<std::future<serve::EvalResponse>> futures;
+        for (auto &r : sweep) {
+            auto sub = svc.submit(r);
+            ASSERT_TRUE(sub.admitted());
+            futures.push_back(std::move(sub.response));
+        }
+        for (auto &f : futures) {
+            auto resp = f.get();
+            ASSERT_EQ(resp.status, serve::ResponseStatus::Ok);
+            // Later passes must be pure hits: pass 0 resolved every
+            // future, so every key is cached (hits or coalesced
+            // within-wave shares notwithstanding).
+            if (pass > 0)
+                EXPECT_TRUE(resp.cacheHit);
+            (pass == 0 ? first : third).push_back(std::move(resp));
+        }
+    }
+
+    const auto m = svc.metrics();
+    EXPECT_GT(m.cacheHitRate, 0.5); // acceptance: repeated sweep > 50%
+    EXPECT_EQ(m.completed, 3 * sweep.size());
+    EXPECT_GT(m.latencyP99Ms, 0.0); // p99 present in the snapshot
+
+    // Cached responses carry bit-identical results.
+    ASSERT_EQ(first.size(), sweep.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        expectIdentical(third[third.size() - sweep.size() + i].result,
+                        first[i].result);
+}
+
+TEST(EvalService, RejectionsAreReportedNeverSilent)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 2;
+    cfg.queue.policy = serve::AdmissionPolicy::Reject;
+    cfg.maxWave = 64;
+    // A long linger pins queued requests while we over-submit, making
+    // the rejection count immune to dispatcher timing.
+    cfg.linger = std::chrono::milliseconds(800);
+    serve::EvalService svc(cfg);
+
+    const int n = 8;
+    int admitted = 0, rejected = 0;
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (int i = 0; i < n; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        if (sub.admitted()) {
+            ++admitted;
+            futures.push_back(std::move(sub.response));
+        } else {
+            EXPECT_EQ(sub.admission, serve::Admission::RejectedFull);
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(admitted + rejected, n); // every request accounted for
+    EXPECT_GE(rejected, 1);
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.submitted, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(m.admitted, static_cast<std::uint64_t>(admitted));
+    EXPECT_EQ(m.rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(EvalService, ShedRequestsResolveWithShedStatus)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 2;
+    cfg.queue.policy = serve::AdmissionPolicy::Shed;
+    cfg.maxWave = 64;
+    cfg.linger = std::chrono::milliseconds(800);
+    serve::EvalService svc(cfg);
+
+    auto low = makeRequest(accel::Scheme::Sram, net, 1);
+    low.priority = serve::Priority::Low;
+    auto high = makeRequest(accel::Scheme::Sram, net, 1);
+    high.priority = serve::Priority::High;
+
+    auto l1 = svc.submit(low);
+    auto l2 = svc.submit(low);
+    auto h1 = svc.submit(high);
+    auto h2 = svc.submit(high);
+    ASSERT_TRUE(l1.admitted() && l2.admitted());
+    ASSERT_TRUE(h1.admitted() && h2.admitted());
+
+    // Both lows were evicted by the highs; their futures say so.
+    EXPECT_EQ(l2.response.get().status, serve::ResponseStatus::Shed);
+    EXPECT_EQ(l1.response.get().status, serve::ResponseStatus::Shed);
+    EXPECT_EQ(h1.response.get().status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(h2.response.get().status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(svc.metrics().shed, 2u);
+}
+
+TEST(EvalService, BlockPolicyBackpressuresInsteadOfRejecting)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 1;
+    cfg.queue.policy = serve::AdmissionPolicy::Block;
+    serve::EvalService svc(cfg);
+
+    // Over-submitting a depth-1 queue never rejects under Block: each
+    // submit waits for the dispatcher to free space instead.
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (int i = 0; i < 6; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        ASSERT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.rejected, 0u);
+    EXPECT_EQ(m.completed, 6u);
+}
+
+TEST(EvalService, QueueDeadlineExpiresBeforeDispatch)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.maxWave = 4;
+    cfg.linger = std::chrono::milliseconds(300);
+    serve::EvalService svc(cfg);
+
+    auto req = makeRequest(accel::Scheme::Sram, net, 1);
+    req.deadlineMs = 0.5; // expires long before the linger elapses
+    auto sub = svc.submit(req);
+    ASSERT_TRUE(sub.admitted());
+    auto resp = sub.response.get();
+    EXPECT_EQ(resp.status, serve::ResponseStatus::Expired);
+    EXPECT_EQ(svc.metrics().expired, 1u);
+}
+
+TEST(EvalService, DrainResolvesEverythingAndAccountingCloses)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeAlexNet());
+    serve::EvalService svc;
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (int i = 0; i < 6; ++i) {
+        auto sub = svc.submit(makeRequest(
+            i % 2 ? accel::Scheme::Smart : accel::Scheme::SuperNpu, net,
+            1 + i % 3));
+        ASSERT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    svc.drain();
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    }
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.submitted, m.admitted + m.rejected);
+    EXPECT_EQ(m.admitted, m.completed + m.shed + m.expired + m.failed);
+    EXPECT_EQ(m.failed, 0u);
+    EXPECT_EQ(m.queueDepth, 0u);
+}
+
+TEST(EvalService, CloseRejectsNewSubmissions)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    serve::EvalService svc;
+    svc.close();
+    auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+    EXPECT_EQ(sub.admission, serve::Admission::RejectedClosed);
+}
+
+TEST(EvalService, MetricsJsonMatchesBenchSchema)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    serve::EvalService svc;
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1)).response.get();
+
+    const std::string json = svc.metrics().toJson("smart_serve");
+    EXPECT_NE(json.find("\"bench\": \"smart_serve\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": "), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit_rate\": "), std::string::npos);
+    EXPECT_NE(json.find("\"latency_p99_ms\": "), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\": "), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Trace replay (the PR's acceptance scenario)
+// ------------------------------------------------------------------
+
+TEST(TraceReplay, AccountingClosesAndResultsMatchDirect)
+{
+    setInformEnabled(false);
+    serve::TraceConfig tcfg;
+    tcfg.bursts = 2;
+    tcfg.requestsPerBurst = 12;
+    tcfg.intraGapMs = 0.0;
+    tcfg.burstGapMs = 0.0;
+    tcfg.models = {"AlexNet"};
+    auto trace = serve::makeSyntheticTrace(tcfg);
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 256; // generous: nothing rejected
+    serve::EvalService svc(cfg);
+    auto rep = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+
+    EXPECT_TRUE(rep.consistent());
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_EQ(rep.failed, 0u);
+    EXPECT_EQ(rep.completed + rep.expired, trace.size());
+
+    // With no rejections, responses[i] answers trace[i]; every Ok
+    // result must be bit-identical to a direct evaluation.
+    ASSERT_EQ(rep.responses.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (rep.responses[i].status != serve::ResponseStatus::Ok)
+            continue;
+        const auto &req = trace[i].req;
+        expectIdentical(
+            rep.responses[i].result,
+            accel::runInference(req.cfg, req.model, req.batch));
+    }
+
+    // A repeated sweep is cache-dominated: replays after the first are
+    // pure hits (every key was cached by the time pass 1 drained), so
+    // two more passes push the aggregate hit rate past 50% even if
+    // pass 1 was all coalesced misses.
+    auto rep2 = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    EXPECT_TRUE(rep2.consistent());
+    EXPECT_EQ(rep2.cacheHits, rep2.completed);
+    auto rep3 = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    EXPECT_TRUE(rep3.consistent());
+    EXPECT_GT(rep3.metrics.cacheHitRate, 0.5);
+    EXPECT_GT(rep3.metrics.latencyP99Ms, 0.0);
+}
+
+} // namespace
