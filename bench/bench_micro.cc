@@ -202,6 +202,50 @@ jsonMain(int argc, char **argv)
     metrics.push_back({"serve_cache_hit_rate", sm.cacheHitRate});
     metrics.push_back({"serve_latency_p99_ms", sm.latencyP99Ms});
 
+    // Adversarial serving: a two-tenant bursty trace (one tenant takes
+    // ~85% of the traffic) against a service with an LRU result cache
+    // too small for the working set and a p95 SLO driving the wave
+    // sizing. The eviction counter replacing full-cache wipes and the
+    // p95-vs-SLO pair are the headline serving metrics tracked across
+    // PRs. Admission is deliberately sized to accept the whole trace
+    // (the checksum must stay deterministic, and rejections would be
+    // timing-dependent); quota/shed enforcement under real pressure
+    // is measured by example_smart_serve and the queue tests instead.
+    serve::TraceConfig mt;
+    mt.tenants = {"hog", "mouse"};
+    mt.tenantWeights = {0.85, 0.15};
+    mt.repeatFraction = 0.6;
+    serve::ServiceConfig mcfg;
+    mcfg.queue.maxDepth = 256;
+    mcfg.queue.maxPerTenant = 192;
+    mcfg.cacheMaxEntries = 8; // well under the 16-point working set
+    mcfg.cacheShards = 1;
+    mcfg.sloP95Ms = 250.0;
+    mcfg.maxWave = 16;
+    mcfg.linger = std::chrono::milliseconds(1);
+    serve::EvalService mtsvc(mcfg);
+    const auto mtrace = serve::makeSyntheticTrace(mt);
+    timer.reset();
+    const auto mtcold =
+        serve::replayTrace(mtsvc, mtrace, /*timeScale=*/0.0);
+    metrics.push_back({"serve_mt_replay_cold_ms", timer.ms()});
+    timer.reset();
+    const auto mtwarm =
+        serve::replayTrace(mtsvc, mtrace, /*timeScale=*/0.0);
+    metrics.push_back({"serve_mt_replay_warm_ms", timer.ms()});
+    const auto mtm = mtsvc.metrics();
+    metrics.push_back({"serve_mt_cache_hit_rate", mtm.cacheHitRate});
+    metrics.push_back(
+        {"serve_mt_cache_evictions",
+         static_cast<double>(mtm.cacheEvictions)});
+    metrics.push_back({"serve_mt_latency_p95_ms", mtm.latencyP95Ms});
+    metrics.push_back({"serve_mt_slo_p95_ms", mtm.sloP95Ms});
+    metrics.push_back(
+        {"serve_mt_wave_limit", static_cast<double>(mtm.waveLimit)});
+    metrics.push_back(
+        {"serve_mt_slo_violated_windows",
+         static_cast<double>(mtm.sloViolatedWindows)});
+
     metrics.push_back({"total_ms", total.ms()});
 
     // Keep the evaluated results observable (and un-optimizable).
@@ -212,7 +256,7 @@ jsonMain(int argc, char **argv)
         checksum += r.throughputTmacs();
     for (const auto &p : points)
         checksum += p.feasible ? p.leakageMw : 0.0;
-    for (const auto *rep : {&cold, &warm})
+    for (const auto *rep : {&cold, &warm, &mtcold, &mtwarm})
         for (const auto &r : rep->responses)
             if (r.status == serve::ResponseStatus::Ok)
                 checksum += r.result.throughputTmacs();

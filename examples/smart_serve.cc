@@ -1,19 +1,25 @@
 /**
  * @file
- * Serving-layer demo and smoke test: replay a synthetic bursty request
- * trace (mixed models and schemes, ~70% sweep-point repeats) against
+ * Serving-layer demo and smoke test: replay a synthetic two-tenant
+ * bursty request trace (one tenant takes ~85% of the traffic) against
  * the async evaluation service twice — a cold pass and a warm pass —
- * and print admission/cache/latency metrics. With --json [--out PATH]
- * the final metrics snapshot is also written in the
- * BENCH_micro.json-compatible schema (SERVE_metrics.json by default).
+ * under a per-tenant admission quota, an LRU result cache smaller
+ * than the working set, and a p95 latency SLO driving the adaptive
+ * wave sizing. Prints admission/cache/latency metrics plus the
+ * per-tenant accounting. With --json [--out PATH] the final metrics
+ * snapshot is also written in the BENCH_micro.json-compatible schema
+ * (SERVE_metrics.json by default).
  *
  * Exits nonzero if the replay accounting is inconsistent (a request
- * neither completed nor reported rejected/shed/expired), so CI can run
- * this binary as a correctness smoke test, not just a demo.
+ * neither completed nor reported rejected/shed/expired), if the warm
+ * pass missed the cache entirely, or if the bounded cache overflowed
+ * without a single LRU eviction — so CI can run this binary as a
+ * correctness smoke test, not just a demo.
  */
 
 #include <iostream>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "common/logging.hh"
@@ -35,19 +41,30 @@ main(int argc, char **argv)
             out = argv[++i];
     }
 
-    // A service sized so the bursty trace exercises admission control:
-    // bounded queue, shed policy, small coalescing waves.
+    // A service sized so the bursty trace exercises admission control
+    // and cache pressure: bounded queue, shed policy, per-tenant
+    // quota, small coalescing waves under a p95 SLO, and an LRU
+    // result cache deliberately smaller than the sweep working set.
     serve::ServiceConfig cfg;
     cfg.queue.maxDepth = 48;
     cfg.queue.policy = serve::AdmissionPolicy::Shed;
+    cfg.queue.maxPerTenant = 36;
     cfg.maxWave = 8;
+    cfg.minWave = 1;
     cfg.linger = std::chrono::milliseconds(1);
+    cfg.sloP95Ms = 250.0;
+    cfg.cacheMaxEntries = 8;
+    cfg.cacheShards = 1;
     serve::EvalService svc(cfg);
 
     serve::TraceConfig tcfg;
+    tcfg.tenants = {"hog", "mouse"};
+    tcfg.tenantWeights = {0.85, 0.15};
+    tcfg.repeatFraction = 0.6;
     auto trace = serve::makeSyntheticTrace(tcfg);
     std::cout << "replaying " << trace.size() << " requests ("
-              << tcfg.bursts << " bursts) against the service...\n";
+              << tcfg.bursts << " bursts, " << tcfg.tenants.size()
+              << " tenants) against the service...\n";
 
     const auto cold = serve::replayTrace(svc, trace, /*timeScale=*/1.0);
     const auto warm = serve::replayTrace(svc, trace, /*timeScale=*/1.0);
@@ -67,10 +84,35 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
+    Table per({"pass", "tenant", "submitted", "completed", "rejected",
+               "shed", "cache hits"});
+    for (const auto *p : {&cold, &warm}) {
+        for (const auto &[tag, tally] : p->tenants) {
+            per.row()
+                .cell(p == &cold ? "cold" : "warm")
+                .cell(tag)
+                .integer(static_cast<long long>(tally.submitted))
+                .integer(static_cast<long long>(tally.completed))
+                .integer(static_cast<long long>(tally.rejected))
+                .integer(static_cast<long long>(tally.shed))
+                .integer(static_cast<long long>(tally.cacheHits));
+        }
+    }
+    per.print(std::cout);
+
     const auto m = svc.metrics();
     Table s({"metric", "value"});
     s.row().cell("cache hit rate (%)").num(100.0 * m.cacheHitRate, 1);
+    s.row().cell("cache evictions").integer(
+        static_cast<long long>(m.cacheEvictions));
+    s.row().cell("cache entries").integer(
+        static_cast<long long>(m.cacheEntries));
     s.row().cell("mean wave size").num(m.meanWaveSize, 2);
+    s.row().cell("wave limit (adaptive)").integer(
+        static_cast<long long>(m.waveLimit));
+    s.row().cell("SLO p95 target (ms)").num(m.sloP95Ms, 1);
+    s.row().cell("SLO windows violated").integer(
+        static_cast<long long>(m.sloViolatedWindows));
     s.row().cell("latency p50 (ms)").num(m.latencyP50Ms, 3);
     s.row().cell("latency p95 (ms)").num(m.latencyP95Ms, 3);
     s.row().cell("latency p99 (ms)").num(m.latencyP99Ms, 3);
@@ -93,7 +135,23 @@ main(int argc, char **argv)
         std::cerr << "FAIL: warm pass produced no cache hits\n";
         return 1;
     }
+    if (m.cacheEntries > cfg.cacheMaxEntries) {
+        std::cerr << "FAIL: cache bound not enforced\n";
+        return 1;
+    }
+    // Every distinct served key was resident at some point; more
+    // distinct keys than capacity therefore implies LRU evictions
+    // (the clear-on-overflow failure mode showed up as zero here).
+    std::set<std::uint64_t> digests;
+    for (const auto *p : {&cold, &warm})
+        for (const auto &r : p->responses)
+            if (r.status == serve::ResponseStatus::Ok)
+                digests.insert(r.digest);
+    if (digests.size() > cfg.cacheMaxEntries && m.cacheEvictions == 0) {
+        std::cerr << "FAIL: cache overflowed without LRU evictions\n";
+        return 1;
+    }
     std::cout << "OK: all requests accounted for; warm pass hit the "
-                 "result cache\n";
+                 "LRU-bounded result cache\n";
     return 0;
 }

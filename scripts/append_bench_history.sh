@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Append one bench report to the tracked perf trajectory.
+#
+# Usage: scripts/append_bench_history.sh [BENCH_micro.json] [BENCH_history.jsonl]
+#
+# Wraps the (multi-line) BENCH_micro.json report into a single JSONL
+# line stamped with the commit it measured. The cross-PR trajectory
+# accumulates through git: each PR runs this locally and commits the
+# appended line in BENCH_history.jsonl. CI re-runs it per push as a
+# schema check and uploads the result as an artifact (a fresh CI
+# checkout only ever gains one line; it does not commit back).
+set -eu
+
+report="${1:-BENCH_micro.json}"
+history="${2:-BENCH_history.jsonl}"
+
+[ -f "$report" ] || { echo "no report at $report" >&2; exit 1; }
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+# Compact the pretty-printed report onto one line (JSON strings in the
+# report contain no newlines, so this is lossless).
+compact=$(tr '\n' ' ' < "$report" | tr -s ' ')
+
+printf '{"sha": "%s", "date": "%s", "report": %s}\n' \
+    "$sha" "$date" "$compact" >> "$history"
+echo "appended $report to $history ($sha)"

@@ -22,7 +22,11 @@ Histogram::Histogram(double lo, double hi, double growth)
 std::size_t
 Histogram::bucketOf(double x) const
 {
-    if (!(x > lo_))
+    // Lower edges are inclusive: x == lo_ belongs to the first real
+    // bucket, not the underflow bucket (which is strictly x < lo_),
+    // so latencies landing exactly on the boundary keep their
+    // in-range quantile weight.
+    if (!(x >= lo_))
         return 0;
     if (x > hi_)
         return buckets_.size() - 1;

@@ -19,9 +19,10 @@ namespace smart
 
 /**
  * Histogram over (0, inf) with geometrically growing buckets. Bucket b
- * (1-based) covers (lo * growth^(b-1), lo * growth^b]; values at or
- * below @p lo land in an underflow bucket and values above @p hi in an
- * overflow bucket, so no sample is ever dropped. Exact min/max/sum are
+ * (1-based) covers [lo * growth^(b-1), lo * growth^b) — lower edges
+ * inclusive; values strictly below @p lo land in an underflow bucket
+ * and values above @p hi in an overflow bucket, so no sample is ever
+ * dropped. Exact min/max/sum are
  * tracked alongside the buckets, and quantile() clamps to the observed
  * range, so single-sample and tail queries stay sensible.
  */

@@ -20,16 +20,20 @@
 #ifndef SMART_COMMON_PARALLEL_HH
 #define SMART_COMMON_PARALLEL_HH
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -160,13 +164,15 @@ parallelFor(std::size_t n, Fn &&fn)
 
 /**
  * String-keyed memo cache with sharded mutexes, shared by all
- * evaluation workers. Values are computed outside the shard lock, so a
- * slow miss never serializes unrelated lookups. Each key is computed
- * exactly once: a miss publishes an in-flight future under the lock,
- * and concurrent readers of the same key block on that future instead
- * of redoing the (expensive, pure) evaluation. The computing thread
- * runs make() on its own stack — never through the thread pool — so
- * waiting cannot deadlock pool workers.
+ * evaluation workers (the SHIFT-replay and layer-schedule memos).
+ * Values are computed outside the shard lock, so a slow miss never
+ * serializes unrelated lookups. Each key is computed exactly once: a
+ * miss publishes an in-flight future under the lock, and concurrent
+ * readers of the same key block on that future instead of redoing the
+ * (expensive, pure) evaluation. The computing thread runs make() on
+ * its own stack — never through the thread pool — so waiting cannot
+ * deadlock pool workers. Unbounded: for a bounded cache with real
+ * eviction (the serving layer's result store), use LruCache below.
  */
 template <typename Value>
 class ShardedCache
@@ -207,41 +213,6 @@ class ShardedCache
         return fut.get();
     }
 
-    /**
-     * Non-blocking lookup: copies the value into @p out and returns
-     * true only when @p key maps to a *ready* entry. An entry still
-     * being computed by another thread reads as a miss, so callers
-     * that batch their own miss evaluation (the serving layer) never
-     * block here.
-     */
-    bool tryGet(const std::string &key, Value &out)
-    {
-        Shard &shard = shardOf(key);
-        std::shared_future<Value> fut;
-        {
-            std::lock_guard<std::mutex> lock(shard.mu);
-            auto it = shard.map.find(key);
-            if (it == shard.map.end())
-                return false;
-            fut = it->second;
-        }
-        if (fut.wait_for(std::chrono::seconds(0)) !=
-            std::future_status::ready)
-            return false;
-        out = fut.get();
-        return true;
-    }
-
-    /** Insert (or overwrite) a ready value computed by the caller. */
-    void put(const std::string &key, Value value)
-    {
-        std::promise<Value> promise;
-        promise.set_value(std::move(value));
-        Shard &shard = shardOf(key);
-        std::lock_guard<std::mutex> lock(shard.mu);
-        shard.map[key] = promise.get_future().share();
-    }
-
     /** Drop every entry (tests and memory pressure). */
     void clear()
     {
@@ -277,6 +248,287 @@ class ShardedCache
     }
 
     std::array<Shard, kShards> shards_;
+};
+
+/**
+ * Sharded LRU cache with byte-accounted capacity — the bounded result
+ * store of the serving layer. Each shard owns an intrusive
+ * most-recent-first list threaded through heap-allocated nodes plus an
+ * index keyed by string_views into the nodes' own key storage, so get
+ * and put are O(1) and a key is stored exactly once. When an insert
+ * pushes a shard past its share of the byte or entry budget, entries
+ * are evicted strictly least-recently-used-first (never a full-shard
+ * wipe), and every eviction is counted in Stats — under cache
+ * pressure the hit rate degrades to the cold tail instead of
+ * collapsing to zero the way clear-on-overflow did.
+ *
+ * Capacity is enforced per shard (budget / shards, floored, with the
+ * shard count clamped to maxEntries so every shard keeps at least one
+ * entry) so eviction never takes more than one shard lock; a skewed
+ * key distribution can therefore evict slightly before the global
+ * budget is reached, never after it. An entry larger than a whole
+ * shard budget is refused up front and counted as an eviction —
+ * oversized values are not cacheable by definition, and letting one
+ * pass through would flush the shard's resident working set.
+ */
+template <typename Value>
+class LruCache
+{
+  public:
+    struct Config
+    {
+        std::size_t maxEntries = 0; //!< Entry budget; 0 = unlimited.
+        std::size_t maxBytes = 0;   //!< Byte budget; 0 = unlimited.
+        std::size_t shards = 16;    //!< Lock granularity (>= 1).
+        /** Deep size of a value; defaults to sizeof(Value). */
+        std::function<std::size_t(const Value &)> valueBytes;
+    };
+
+    /** Point-in-time counters, aggregated over shards. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0; //!< Accounted key + value + node bytes.
+    };
+
+    explicit LruCache(Config cfg = {}) : cfg_(std::move(cfg))
+    {
+        if (cfg_.shards < 1)
+            cfg_.shards = 1;
+        // Budgets are floored per shard (and the shard count clamped
+        // so each shard may hold at least one entry): the sum of the
+        // shard budgets never exceeds the configured global bound.
+        if (cfg_.maxEntries && cfg_.shards > cfg_.maxEntries)
+            cfg_.shards = cfg_.maxEntries;
+        // The byte budget gets the same treatment: spread too thin
+        // over many shards, every slice would be smaller than one
+        // small entry and the oversized-refusal path would silently
+        // disable the cache. Shrink the shard count until a slice
+        // fits at least a modest entry (or give up sharding).
+        constexpr std::size_t kMinShardBytes = kNodeOverhead + 512;
+        if (cfg_.maxBytes && cfg_.maxBytes / cfg_.shards < kMinShardBytes)
+            cfg_.shards = std::max<std::size_t>(
+                1, cfg_.maxBytes / kMinShardBytes);
+        if (!cfg_.valueBytes)
+            cfg_.valueBytes = [](const Value &) { return sizeof(Value); };
+        shardMaxEntries_ =
+            cfg_.maxEntries ? cfg_.maxEntries / cfg_.shards : 0;
+        shardMaxBytes_ =
+            cfg_.maxBytes
+                ? std::max<std::size_t>(1, cfg_.maxBytes / cfg_.shards)
+                : 0;
+        shards_ = std::make_unique<Shard[]>(cfg_.shards);
+    }
+
+    /**
+     * Copy the value for @p key into @p out and mark it most recently
+     * used. Returns false (a counted miss) when absent. Only the
+     * refcount is taken under the shard lock; the deep copy happens
+     * outside it (the shared_ptr keeps the value alive even if the
+     * entry is evicted concurrently), so large values never serialize
+     * a shard's hits against its inserts.
+     */
+    bool get(const std::string &key, Value &out)
+    {
+        std::shared_ptr<const Value> value;
+        {
+            Shard &shard = shardOf(key);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.index.find(std::string_view(key));
+            if (it == shard.index.end()) {
+                ++shard.misses;
+                return false;
+            }
+            Node *n = it->second.get();
+            detach(shard, n);
+            pushFront(shard, n);
+            ++shard.hits;
+            value = n->value;
+        }
+        out = *value;
+        return true;
+    }
+
+    /**
+     * Insert @p value (or refresh an existing entry) as most recently
+     * used, then evict least-recently-used entries until the shard is
+     * back within budget. A value too large to ever fit its shard's
+     * byte budget is refused up front (counted as an eviction) so it
+     * cannot flush the resident working set on its way through.
+     */
+    void put(const std::string &key, Value value)
+    {
+        // Size and wrap the value before taking the shard lock; the
+        // lock only covers pointer/bookkeeping updates.
+        const std::size_t bytes = entryBytes(key, value);
+        auto holder =
+            std::make_shared<const Value>(std::move(value));
+        Shard &shard = shardOf(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(std::string_view(key));
+        if (shardMaxBytes_ && bytes > shardMaxBytes_) {
+            // Oversized: uncacheable by definition. Drop it (and any
+            // stale entry it would have refreshed) without evicting
+            // the rest of the shard.
+            if (it != shard.index.end()) {
+                Node *n = it->second.get();
+                detach(shard, n);
+                shard.bytes -= n->bytes;
+                shard.index.erase(it);
+            }
+            ++shard.evictions;
+            return;
+        }
+        if (it != shard.index.end()) {
+            Node *n = it->second.get();
+            shard.bytes -= n->bytes;
+            n->value = std::move(holder);
+            n->bytes = bytes;
+            shard.bytes += n->bytes;
+            detach(shard, n);
+            pushFront(shard, n);
+        } else {
+            auto node = std::make_unique<Node>();
+            node->key = key;
+            node->value = std::move(holder);
+            node->bytes = bytes;
+            Node *n = node.get();
+            shard.index.emplace(std::string_view(n->key),
+                                std::move(node));
+            shard.bytes += n->bytes;
+            pushFront(shard, n);
+            ++shard.insertions;
+        }
+        while (overBudget(shard) && shard.tail) {
+            Node *victim = shard.tail;
+            detach(shard, victim);
+            shard.bytes -= victim->bytes;
+            ++shard.evictions;
+            shard.index.erase(std::string_view(victim->key));
+        }
+    }
+
+    /** Aggregate counters across shards (approximate under load). */
+    Stats stats() const
+    {
+        Stats s;
+        for (std::size_t i = 0; i < cfg_.shards; ++i) {
+            Shard &shard = shards_[i];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            s.hits += shard.hits;
+            s.misses += shard.misses;
+            s.insertions += shard.insertions;
+            s.evictions += shard.evictions;
+            s.entries += shard.index.size();
+            s.bytes += shard.bytes;
+        }
+        return s;
+    }
+
+    /** Total entries across shards (approximate under concurrency). */
+    std::size_t size() const
+    {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < cfg_.shards; ++i) {
+            std::lock_guard<std::mutex> lock(shards_[i].mu);
+            n += shards_[i].index.size();
+        }
+        return n;
+    }
+
+    /** Drop every entry; counters (including evictions) persist. */
+    void clear()
+    {
+        for (std::size_t i = 0; i < cfg_.shards; ++i) {
+            Shard &shard = shards_[i];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.index.clear();
+            shard.head = shard.tail = nullptr;
+            shard.bytes = 0;
+        }
+    }
+
+  private:
+    /**
+     * Intrusive LRU node: owns its key, linked newest-first. The
+     * value sits behind a shared_ptr so get() can hand out a
+     * reference under the lock and deep-copy outside it.
+     */
+    struct Node
+    {
+        std::string key;
+        std::shared_ptr<const Value> value;
+        std::size_t bytes = 0;
+        Node *prev = nullptr;
+        Node *next = nullptr;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Keys view into the node's own string (stable: nodes are
+         *  heap-allocated and never move). */
+        std::unordered_map<std::string_view, std::unique_ptr<Node>> index;
+        Node *head = nullptr; //!< Most recently used.
+        Node *tail = nullptr; //!< Least recently used (next victim).
+        std::size_t bytes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** Fixed per-entry overhead charged on top of key + value bytes. */
+    static constexpr std::size_t kNodeOverhead = sizeof(Node) + 32;
+
+    std::size_t entryBytes(const std::string &key, const Value &value)
+    {
+        return key.size() + cfg_.valueBytes(value) + kNodeOverhead;
+    }
+
+    bool overBudget(const Shard &shard) const
+    {
+        return (shardMaxBytes_ && shard.bytes > shardMaxBytes_) ||
+               (shardMaxEntries_ &&
+                shard.index.size() > shardMaxEntries_);
+    }
+
+    static void detach(Shard &shard, Node *n)
+    {
+        if (n->prev)
+            n->prev->next = n->next;
+        else if (shard.head == n)
+            shard.head = n->next;
+        if (n->next)
+            n->next->prev = n->prev;
+        else if (shard.tail == n)
+            shard.tail = n->prev;
+        n->prev = n->next = nullptr;
+    }
+
+    static void pushFront(Shard &shard, Node *n)
+    {
+        n->next = shard.head;
+        if (shard.head)
+            shard.head->prev = n;
+        shard.head = n;
+        if (!shard.tail)
+            shard.tail = n;
+    }
+
+    Shard &shardOf(const std::string &key) const
+    {
+        return shards_[std::hash<std::string>{}(key) % cfg_.shards];
+    }
+
+    Config cfg_;
+    std::size_t shardMaxEntries_ = 0;
+    std::size_t shardMaxBytes_ = 0;
+    std::unique_ptr<Shard[]> shards_;
 };
 
 } // namespace smart

@@ -21,10 +21,17 @@ MetricsSnapshot::toMetrics() const
         {"cache_hits", static_cast<double>(cacheHits)},
         {"cache_misses", static_cast<double>(cacheMisses)},
         {"cache_hit_rate", cacheHitRate},
+        {"cache_evictions", static_cast<double>(cacheEvictions)},
+        {"cache_entries", static_cast<double>(cacheEntries)},
+        {"cache_bytes", static_cast<double>(cacheBytes)},
         {"coalesced", static_cast<double>(coalesced)},
         {"waves", static_cast<double>(waves)},
         {"wave_items", static_cast<double>(waveItems)},
         {"mean_wave_size", meanWaveSize},
+        {"wave_limit", static_cast<double>(waveLimit)},
+        {"slo_p95_ms", sloP95Ms},
+        {"slo_windows", static_cast<double>(sloWindows)},
+        {"slo_violated_windows", static_cast<double>(sloViolatedWindows)},
         {"latency_p50_ms", latencyP50Ms},
         {"latency_p95_ms", latencyP95Ms},
         {"latency_p99_ms", latencyP99Ms},

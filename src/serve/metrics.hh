@@ -46,6 +46,18 @@ struct MetricsSnapshot
     double cacheHitRate = 0.0; //!< hits / (hits + misses); 0 if none.
     double meanWaveSize = 0.0; //!< waveItems / waves; 0 if none.
 
+    // Result-cache occupancy and LRU eviction accounting (filled by
+    // EvalService::metrics() from the cache's own counters).
+    std::uint64_t cacheEvictions = 0; //!< LRU entries evicted so far.
+    std::size_t cacheEntries = 0;     //!< Resident entries.
+    std::size_t cacheBytes = 0;       //!< Accounted resident bytes.
+
+    // SLO-driven wave sizing (see ServiceConfig::sloP95Ms).
+    std::size_t waveLimit = 0;  //!< Current adaptive maxWave bound.
+    double sloP95Ms = 0.0;      //!< Configured target; 0 = disabled.
+    std::uint64_t sloWindows = 0;         //!< Adaptation decisions.
+    std::uint64_t sloViolatedWindows = 0; //!< Windows with p95 > SLO.
+
     // End-to-end latency of completed requests (submit -> response).
     double latencyP50Ms = 0.0;
     double latencyP95Ms = 0.0;

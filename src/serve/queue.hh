@@ -4,11 +4,17 @@
  * buffer between client submissions and the dispatcher's evaluation
  * waves. Entries are held sorted by (priority desc, submission order),
  * deadlines are swept at pop time, and a configurable policy decides
- * what happens when the queue is full: reject the newcomer, shed the
- * lowest-priority queued entry, or block the submitter
- * (backpressure). Thread-safe; admitted entries are never silently
- * dropped — every push/pop outcome surfaces the affected entry so the
- * service can resolve its promise.
+ * what happens when the queue is full: reject the newcomer, shed a
+ * queued entry, or block the submitter (backpressure). Thread-safe;
+ * admitted entries are never silently dropped — every push/pop outcome
+ * surfaces the affected entry so the service can resolve its promise.
+ *
+ * Multi-tenant fairness: the request tag doubles as a tenant label.
+ * An optional per-tenant depth quota (QueueConfig::maxPerTenant) caps
+ * how much of the queue one bursty tenant may occupy, and shed-victim
+ * selection prefers the most-queued tenant among the lowest-priority
+ * entries, so a light tenant's equal-priority request can displace a
+ * flooding tenant's instead of being starved.
  */
 
 #ifndef SMART_SERVE_QUEUE_HH
@@ -19,6 +25,9 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/request.hh"
@@ -55,6 +64,14 @@ struct QueueConfig
 {
     std::size_t maxDepth = 64;
     AdmissionPolicy policy = AdmissionPolicy::Reject;
+    /**
+     * Per-tenant (EvalRequest::tag) cap on queued entries; 0 disables
+     * the quota. A push that would take a tenant past its quota is
+     * refused with RejectedQuota (Reject/Shed) or blocks until the
+     * tenant drains below it (Block), independent of total depth — one
+     * bursty tenant can then never fill the queue.
+     */
+    std::size_t maxPerTenant = 0;
 };
 
 /** One queued request: the client's request plus service bookkeeping. */
@@ -102,9 +119,11 @@ class RequestQueue
      * collect up to @p maxWave entries in priority order. With a
      * nonzero @p linger and fewer than maxWave entries queued, waits
      * up to that long for more arrivals before popping, so bursts
-     * coalesce into fuller waves. Entries whose deadline has passed
-     * are returned in Wave::expired instead. An empty wave (both
-     * vectors) means the queue is closed and drained.
+     * coalesce into fuller waves; the wait also wakes at the earliest
+     * pending deadline, so an expiring entry resolves Expired promptly
+     * instead of sitting out the full linger. Entries whose deadline
+     * has passed are returned in Wave::expired instead. An empty wave
+     * (both vectors) means the queue is closed and drained.
      */
     Wave popWave(std::size_t maxWave, std::chrono::milliseconds linger);
 
@@ -123,15 +142,41 @@ class RequestQueue
     /** Maximum depth ever observed. */
     std::size_t highWater() const;
 
+    /** Queued entries for one tenant tag (tests and fairness probes). */
+    std::size_t tenantDepth(const std::string &tag) const;
+
   private:
     /** Insert preserving (priority desc, seq asc) order. mu_ held. */
     void insertSorted(Pending &&p);
+    /** Queued-entry count for @p tag. mu_ held. */
+    std::size_t queuedFor(const std::string &tag) const;
+    /** Register @p p's tenant count and deadline. mu_ held. */
+    void track(const Pending &p);
+    /** Undo track() as @p p leaves the queue. mu_ held. */
+    void untrack(const Pending &p);
+    /**
+     * Index of the entry a full-queue Shed push should evict for
+     * @p newcomer: among the lowest-priority entries, the most-queued
+     * tenant's newest. Returns q_.size() when no entry is sheddable
+     * (the newcomer neither outranks the victim's priority nor comes
+     * from a strictly lighter tenant). mu_ held.
+     */
+    std::size_t shedVictimFor(const Pending &newcomer) const;
 
     QueueConfig cfg_;
     mutable std::mutex mu_;
     std::condition_variable workCv_;  //!< Signaled on push/close.
     std::condition_variable spaceCv_; //!< Signaled on pop/close.
     std::vector<Pending> q_;
+    /** Queued entries per tenant tag (erased at zero). */
+    std::unordered_map<std::string, std::size_t> tenants_;
+    /**
+     * Finite deadlines of queued entries, ordered. Lets popWave skip
+     * the O(depth) expiry scan entirely unless the earliest pending
+     * deadline has actually passed, and gives the linger wait its
+     * wake-up time.
+     */
+    std::multiset<std::chrono::steady_clock::time_point> deadlines_;
     std::size_t highWater_ = 0;
     bool closed_ = false;
 };

@@ -57,7 +57,13 @@ struct EvalRequest
      * handed to an evaluation wave always runs to completion.
      */
     double deadlineMs = 0.0;
-    std::string tag; //!< Caller label, echoed in the response.
+    /**
+     * Caller label, echoed in the response. Doubles as the tenant
+     * identity for fair-share admission (QueueConfig::maxPerTenant)
+     * and shed-victim selection: requests sharing a tag share one
+     * tenant budget.
+     */
+    std::string tag;
 };
 
 /** Terminal state of an admitted request. */
@@ -107,8 +113,9 @@ struct EvalResponse
 enum class Admission
 {
     Admitted,
-    RejectedFull,  //!< Queue at capacity under the Reject policy.
-    RejectedClosed //!< Service closed (draining or destroyed).
+    RejectedFull,   //!< Queue at capacity under the Reject policy.
+    RejectedQuota,  //!< Tenant over its per-tenant depth quota.
+    RejectedClosed  //!< Service closed (draining or destroyed).
 };
 
 /** Admission name for logs and tables. */
@@ -120,6 +127,8 @@ admissionName(Admission a)
         return "admitted";
       case Admission::RejectedFull:
         return "rejected-full";
+      case Admission::RejectedQuota:
+        return "rejected-quota";
       case Admission::RejectedClosed:
         return "rejected-closed";
     }

@@ -1,5 +1,7 @@
 #include "serve/service.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <utility>
 
@@ -20,10 +22,43 @@ msBetween(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/** Deep size of a cached result: struct + strings + per-layer rows. */
+std::size_t
+inferenceResultBytes(const accel::InferenceResult &r)
+{
+    std::size_t b = sizeof(r) + r.model.size() + r.scheme.size();
+    for (const auto &l : r.layers)
+        b += sizeof(l) + l.name.size();
+    return b;
+}
+
+LruCache<accel::InferenceResult>::Config
+cacheConfigFor(const ServiceConfig &cfg)
+{
+    LruCache<accel::InferenceResult>::Config c;
+    c.maxEntries = cfg.cacheMaxEntries;
+    c.maxBytes = cfg.cacheMaxBytes;
+    c.shards = cfg.cacheShards;
+    c.valueBytes = inferenceResultBytes;
+    return c;
+}
+
+/** Clamp the wave/SLO knobs into a usable shape once, up front. */
+ServiceConfig
+normalized(ServiceConfig cfg)
+{
+    cfg.maxWave = std::max<std::size_t>(1, cfg.maxWave);
+    cfg.minWave =
+        std::min(std::max<std::size_t>(1, cfg.minWave), cfg.maxWave);
+    cfg.sloWindow = std::max<std::size_t>(1, cfg.sloWindow);
+    return cfg;
+}
+
 } // namespace
 
 EvalService::EvalService(ServiceConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue),
+    : cfg_(normalized(cfg)), queue_(cfg_.queue),
+      cache_(cacheConfigFor(cfg_)), waveLimit_(cfg_.maxWave),
       dispatcher_([this]() { dispatcherLoop(); })
 {}
 
@@ -49,7 +84,18 @@ EvalService::drain()
 MetricsSnapshot
 EvalService::metrics() const
 {
-    return metrics_.snapshot(queue_.depth(), queue_.highWater());
+    MetricsSnapshot s =
+        metrics_.snapshot(queue_.depth(), queue_.highWater());
+    const auto cs = cache_.stats();
+    s.cacheEvictions = cs.evictions;
+    s.cacheEntries = cs.entries;
+    s.cacheBytes = cs.bytes;
+    s.waveLimit = waveLimit_.load(std::memory_order_relaxed);
+    s.sloP95Ms = cfg_.sloP95Ms;
+    s.sloWindows = sloWindows_.load(std::memory_order_relaxed);
+    s.sloViolatedWindows =
+        sloViolatedWindows_.load(std::memory_order_relaxed);
+    return s;
 }
 
 Submission
@@ -99,6 +145,10 @@ EvalService::resolve(Pending &&p, EvalResponse &&r)
     switch (r.status) {
       case ResponseStatus::Ok:
         metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced);
+        if (cfg_.sloP95Ms > 0.0) {
+            std::lock_guard<std::mutex> lock(sloMu_);
+            sloLatencies_.push_back(r.totalMs);
+        }
         break;
       case ResponseStatus::Shed:
         metrics_.recordShed();
@@ -135,17 +185,72 @@ EvalService::finish(Pending &&p, ResponseStatus status)
     resolve(std::move(p), std::move(r));
 }
 
+std::chrono::milliseconds
+EvalService::effectiveLinger() const
+{
+    if (cfg_.sloP95Ms <= 0.0 || cfg_.linger.count() == 0)
+        return cfg_.linger;
+    // Scale the batching delay with the adaptive cap: a halved wave
+    // limit halves the time requests wait for wave-mates. Floored at
+    // 1 ms so a short configured linger degrades to minimal
+    // coalescing rather than none (integer division would otherwise
+    // zero it on the first halving).
+    const auto cap = waveLimit_.load(std::memory_order_relaxed);
+    return std::chrono::milliseconds(
+        std::max<long long>(1, static_cast<long long>(cfg_.linger.count()) *
+                                   static_cast<long long>(cap) /
+                                   static_cast<long long>(cfg_.maxWave)));
+}
+
+void
+EvalService::adaptWaveLimit()
+{
+    if (cfg_.sloP95Ms <= 0.0)
+        return;
+    std::vector<double> window;
+    {
+        std::lock_guard<std::mutex> lock(sloMu_);
+        if (sloLatencies_.size() < cfg_.sloWindow)
+            return;
+        window.swap(sloLatencies_);
+    }
+    const std::size_t rank = std::min(
+        window.size() - 1,
+        static_cast<std::size_t>(std::ceil(0.95 * window.size())) - 1);
+    std::nth_element(window.begin(),
+                     window.begin() + static_cast<std::ptrdiff_t>(rank),
+                     window.end());
+    const double p95 = window[rank];
+
+    sloWindows_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t cap = waveLimit_.load(std::memory_order_relaxed);
+    if (p95 > cfg_.sloP95Ms) {
+        // Violated: halve the cap (multiplicative decrease) so queued
+        // requests stop paying for large waves and long lingers.
+        sloViolatedWindows_.fetch_add(1, std::memory_order_relaxed);
+        cap = std::max(cfg_.minWave, cap / 2);
+    } else if (p95 < 0.8 * cfg_.sloP95Ms) {
+        // Comfortably healthy: grow additively back toward maxWave
+        // for better coalescing/throughput.
+        cap = std::min(cfg_.maxWave, cap + 1);
+    }
+    waveLimit_.store(cap, std::memory_order_relaxed);
+}
+
 void
 EvalService::dispatcherLoop()
 {
     while (true) {
-        auto wave = queue_.popWave(cfg_.maxWave, cfg_.linger);
+        auto wave =
+            queue_.popWave(waveLimit_.load(std::memory_order_relaxed),
+                           effectiveLinger());
         for (auto &p : wave.expired)
             finish(std::move(p), ResponseStatus::Expired);
         if (!wave.items.empty())
             serveWave(std::move(wave.items));
         else if (wave.expired.empty())
             break; // closed and drained
+        adaptWaveLimit();
     }
 }
 
@@ -184,7 +289,7 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         p.key = accel::requestKey(p.req.cfg, p.req.model, p.req.batch);
         p.digest = accel::requestDigest(p.key);
         accel::InferenceResult cached;
-        if (cfg_.cacheEnabled && cache_.tryGet(p.key, cached)) {
+        if (cfg_.cacheEnabled && cache_.get(p.key, cached)) {
             resolveOk(std::move(p), cached, /*cache_hit=*/true,
                       /*coalesced=*/false);
             continue;
@@ -205,18 +310,12 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     }
     metrics_.recordWave(items.size());
 
-    // Enforce the cache bound once per wave, off the per-item hot
-    // path (ShardedCache::size() takes every shard lock) and with a
-    // single clear, so concurrent workers can't wipe each other's
-    // fresh inserts at capacity.
-    if (cfg_.cacheEnabled && cfg_.cacheMaxEntries > 0 &&
-        cache_.size() + items.size() > cfg_.cacheMaxEntries)
-        cache_.clear();
-
     try {
         // The hook runs on pool workers as each item finishes; group
         // membership is disjoint per index, so fulfillment is
-        // race-free without extra locking.
+        // race-free without extra locking. put() enforces the LRU
+        // budget per shard, so a full cache evicts its coldest
+        // entries instead of wiping concurrent workers' inserts.
         accel::runBatch(
             items, [&](std::size_t i, const accel::InferenceResult &res) {
                 Group &g = groups[i];

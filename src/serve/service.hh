@@ -42,25 +42,46 @@
 namespace smart::serve
 {
 
-/** Service shape: queue bounds, wave policy, cache policy. */
+/** Service shape: queue bounds, wave policy, SLO, cache policy. */
 struct ServiceConfig
 {
-    QueueConfig queue; //!< Depth bound + admission policy.
+    QueueConfig queue; //!< Depth bound + admission policy + quotas.
     /** Most requests one runBatch wave may carry (coalescing cap). */
     std::size_t maxWave = 16;
+    /** Adaptive wave sizing never shrinks the cap below this. */
+    std::size_t minWave = 1;
     /**
      * How long the dispatcher lingers for more arrivals when fewer
-     * than maxWave requests are queued, so bursts amortize into full
-     * waves. 0 dispatches immediately (lowest latency).
+     * than the wave cap requests are queued, so bursts amortize into
+     * full waves. 0 dispatches immediately (lowest latency). Under an
+     * SLO the effective linger scales with the adaptive wave cap.
      */
     std::chrono::milliseconds linger{0};
+    /**
+     * Target p95 end-to-end latency (queue + service, ms). When > 0
+     * the dispatcher adapts the wave cap between minWave and maxWave:
+     * each window of sloWindow completions whose p95 exceeds the SLO
+     * halves the cap (and the linger with it, cutting batching delay);
+     * a comfortably healthy window (p95 < 80% of the SLO) grows it
+     * additively back toward maxWave for better coalescing. 0 keeps
+     * the fixed maxWave/linger behavior.
+     */
+    double sloP95Ms = 0.0;
+    /** Completions per adaptation decision when sloP95Ms > 0. */
+    std::size_t sloWindow = 32;
     bool cacheEnabled = true;
     /**
-     * Result-cache entry bound; when an insertion would exceed it the
-     * whole cache is dropped (coarse but O(1) and allocation-free —
-     * a real LRU is future work). 0 means unbounded.
+     * Result-cache entry budget, enforced by per-shard LRU eviction
+     * (common/parallel.hh LruCache). 0 means unbounded.
      */
     std::size_t cacheMaxEntries = 4096;
+    /**
+     * Result-cache byte budget (keys + deep value sizes + node
+     * overhead), LRU-enforced like cacheMaxEntries. 0 = unbounded.
+     */
+    std::size_t cacheMaxBytes = 64ull << 20;
+    /** Cache lock granularity; 1 gives a single exact LRU order. */
+    std::size_t cacheShards = 16;
 };
 
 class EvalService
@@ -99,6 +120,12 @@ class EvalService
     /** The configuration the service was built with. */
     const ServiceConfig &config() const { return cfg_; }
 
+    /** Current adaptive wave cap (== maxWave when no SLO is set). */
+    std::size_t waveLimit() const
+    {
+        return waveLimit_.load(std::memory_order_relaxed);
+    }
+
   private:
     void dispatcherLoop();
     /**
@@ -115,16 +142,31 @@ class EvalService
     void releaseDrainSlot();
     /** Evaluate one wave: cache lookups, coalescing, runBatch. */
     void serveWave(std::vector<Pending> &&wave);
+    /**
+     * One SLO adaptation step (no-op until a full window of Ok
+     * completions has accumulated): compare the window's p95 against
+     * the SLO and resize the wave cap. Called from the dispatcher
+     * between waves.
+     */
+    void adaptWaveLimit();
+    /** The linger for the current wave cap (scaled under an SLO). */
+    std::chrono::milliseconds effectiveLinger() const;
 
     ServiceConfig cfg_;
     RequestQueue queue_;
-    ShardedCache<accel::InferenceResult> cache_;
+    LruCache<accel::InferenceResult> cache_;
     ServiceMetrics metrics_;
 
     std::mutex drainMu_;
     std::condition_variable drainCv_;
     std::uint64_t unresolved_ = 0; //!< Admitted, future not yet set.
     std::atomic<std::uint64_t> seq_{0};
+
+    std::atomic<std::size_t> waveLimit_;
+    std::mutex sloMu_;
+    std::vector<double> sloLatencies_; //!< Current adaptation window.
+    std::atomic<std::uint64_t> sloWindows_{0};
+    std::atomic<std::uint64_t> sloViolatedWindows_{0};
 
     std::thread dispatcher_; //!< Last member: starts fully-constructed.
 };

@@ -35,12 +35,38 @@ makeSyntheticTrace(const TraceConfig &cfg)
         }
     }
 
+    // Tenant draw: cumulative weights over cfg.tenants (uniform when
+    // no weights are given). The tag IS the tenant label, so replays
+    // exercise quotas and fair shedding.
+    smart_assert(!cfg.tenants.empty(), "trace needs at least one tenant");
+    smart_assert(cfg.tenantWeights.empty() ||
+                     cfg.tenantWeights.size() == cfg.tenants.size(),
+                 "tenantWeights must align with tenants");
+    std::vector<double> cumulative(cfg.tenants.size(), 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t t = 0; t < cfg.tenants.size(); ++t) {
+        const double w =
+            cfg.tenantWeights.empty() ? 1.0 : cfg.tenantWeights[t];
+        smart_assert(w >= 0.0, "tenant weights must be non-negative");
+        weight_sum += w;
+        cumulative[t] = weight_sum;
+    }
+    // All-zero weights would silently route everything to the last
+    // tenant, invalidating the fairness experiment being configured.
+    smart_assert(weight_sum > 0.0, "tenant weights must not sum to 0");
+    auto drawTenant = [&]() -> const std::string & {
+        const double u = rng.uniform() * weight_sum;
+        for (std::size_t t = 0; t < cumulative.size(); ++t)
+            if (u < cumulative[t])
+                return cfg.tenants[t];
+        return cfg.tenants.back();
+    };
+
     std::vector<TraceRequest> trace;
     trace.reserve(static_cast<std::size_t>(cfg.bursts) *
                   cfg.requestsPerBurst);
     std::vector<std::size_t> seen; // indices already requested once
     double clock_ms = 0.0;
-    int serial = 0;
     for (int b = 0; b < cfg.bursts; ++b) {
         for (int i = 0; i < cfg.requestsPerBurst; ++i) {
             std::size_t pi;
@@ -55,14 +81,17 @@ makeSyntheticTrace(const TraceConfig &cfg)
             tr.req.cfg = accel::makeScheme(points[pi].scheme);
             tr.req.model = points[pi].model;
             tr.req.batch = points[pi].batch;
-            const double u = rng.uniform();
-            tr.req.priority = u < cfg.highPriorityFraction
-                                  ? Priority::High
-                                  : (u < 0.5 ? Priority::Normal
-                                             : Priority::Low);
+            // Independent draws: the High fraction must not skew the
+            // Normal/Low split (a single reused uniform made
+            // highPriorityFraction >= 0.5 erase Normal entirely).
+            tr.req.priority =
+                rng.uniform() < cfg.highPriorityFraction
+                    ? Priority::High
+                    : (rng.uniform() < 0.5 ? Priority::Normal
+                                           : Priority::Low);
             if (rng.uniform() < cfg.deadlineFraction)
                 tr.req.deadlineMs = cfg.deadlineMs;
-            tr.req.tag = "t" + std::to_string(serial++);
+            tr.req.tag = drawTenant();
             trace.push_back(std::move(tr));
             clock_ms += cfg.intraGapMs;
         }
@@ -80,8 +109,13 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
 
     ReplayReport rep;
     rep.total = trace.size();
-    std::vector<std::future<EvalResponse>> futures;
-    futures.reserve(trace.size());
+    struct Outstanding
+    {
+        std::future<EvalResponse> future;
+        const std::string *tag; //!< Into the trace (outlives replay).
+    };
+    std::vector<Outstanding> outstanding;
+    outstanding.reserve(trace.size());
 
     for (const auto &tr : trace) {
         if (timeScale > 0.0) {
@@ -91,36 +125,47 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
                                 tr.arrivalMs * timeScale));
             std::this_thread::sleep_until(due);
         }
+        ++rep.tenants[tr.req.tag].submitted;
         auto sub = svc.submit(tr.req);
-        if (sub.admitted())
-            futures.push_back(std::move(sub.response));
-        else
+        if (sub.admitted()) {
+            outstanding.push_back(
+                {std::move(sub.response), &tr.req.tag});
+        } else {
             ++rep.rejected;
+            ++rep.tenants[tr.req.tag].rejected;
+        }
     }
 
-    for (auto &f : futures) {
+    for (auto &o : outstanding) {
+        TenantTally &tally = rep.tenants[*o.tag];
         EvalResponse r;
         try {
-            r = f.get();
+            r = o.future.get();
         } catch (...) {
             // A failed wave resolves its futures with the exception;
             // the replay report still accounts for every request.
             ++rep.failed;
+            ++tally.failed;
             continue;
         }
         switch (r.status) {
           case ResponseStatus::Ok:
             ++rep.completed;
-            if (r.cacheHit)
+            ++tally.completed;
+            if (r.cacheHit) {
                 ++rep.cacheHits;
+                ++tally.cacheHits;
+            }
             if (r.coalesced)
                 ++rep.coalesced;
             break;
           case ResponseStatus::Shed:
             ++rep.shed;
+            ++tally.shed;
             break;
           case ResponseStatus::Expired:
             ++rep.expired;
+            ++tally.expired;
             break;
         }
         rep.responses.push_back(std::move(r));

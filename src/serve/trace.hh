@@ -13,6 +13,7 @@
 #define SMART_SERVE_TRACE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,10 +52,34 @@ struct TraceConfig
     /** Fraction of requests given a (generous) queue deadline. */
     double deadlineFraction = 0.1;
     double deadlineMs = 10e3;
+    /**
+     * Tenant labels; each request's tag is drawn from these, so the
+     * trace exercises per-tenant quotas and fair shedding. A single
+     * entry reproduces the one-tenant traffic of earlier traces.
+     */
+    std::vector<std::string> tenants = {"sweep"};
+    /**
+     * Per-tenant draw weights aligned with tenants (empty = uniform).
+     * Skewed weights (e.g. {0.9, 0.1}) make one tenant bursty — the
+     * adversarial shape the fairness and LRU work targets.
+     */
+    std::vector<double> tenantWeights;
 };
 
 /** Deterministically generate a trace for @p cfg. */
 std::vector<TraceRequest> makeSyntheticTrace(const TraceConfig &cfg);
+
+/** Per-tenant slice of a replay's accounting (keyed by tag). */
+struct TenantTally
+{
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t cacheHits = 0;
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t expired = 0;
+    std::size_t failed = 0;
+};
 
 /** Everything a replay observed, with full accounting. */
 struct ReplayReport
@@ -67,6 +92,8 @@ struct ReplayReport
     std::size_t shed = 0;     //!< Admitted, then evicted.
     std::size_t expired = 0;  //!< Admitted, deadline passed.
     std::size_t failed = 0;   //!< Future carried an exception.
+    /** The same buckets sliced per tenant tag (fairness evidence). */
+    std::map<std::string, TenantTally> tenants;
     /**
      * Responses of admitted, non-failed requests in submission order
      * (aligned 1:1 with the trace when rejected == failed == 0).

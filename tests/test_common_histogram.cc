@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/histogram.hh"
 
 namespace
@@ -74,6 +76,30 @@ TEST(Histogram, SingleSampleQuantilesCollapse)
     h.add(42.0);
     for (double q : {0.0, 0.5, 0.99, 1.0})
         EXPECT_EQ(h.quantile(q), 42.0);
+}
+
+TEST(Histogram, LowerEdgeIsInclusive)
+{
+    // Regression: x == lo used to fall into the underflow bucket
+    // (whose representative value is lo itself), skewing quantiles for
+    // samples landing exactly on the boundary. With inclusive lower
+    // edges, 1.0 belongs to bucket 1 of Histogram(1.0, 100.0, 2.0)
+    // and reports that bucket's geometric midpoint sqrt(2).
+    Histogram h(1.0, 100.0, 2.0);
+    h.add(1.0);
+    h.add(1.0);
+    h.add(1.0);
+    h.add(50.0); // keeps max above the midpoint so no clamp hides it
+    EXPECT_NEAR(h.quantile(0.5), std::sqrt(2.0), 1e-12);
+
+    // Interior bucket edges are inclusive-low too: 2.0 is the lower
+    // edge of bucket 2 ([2, 4)), midpoint sqrt(8).
+    Histogram g(1.0, 100.0, 2.0);
+    g.add(2.0);
+    g.add(2.0);
+    g.add(2.0);
+    g.add(50.0);
+    EXPECT_NEAR(g.quantile(0.5), std::sqrt(8.0), 1e-12);
 }
 
 TEST(Histogram, UnderflowAndOverflowAreKept)

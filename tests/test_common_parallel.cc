@@ -160,6 +160,188 @@ TEST(ShardedCache, ComputesOncePerKey)
     EXPECT_EQ(computes.load(), 2);
 }
 
+LruCache<int>::Config
+singleShard(std::size_t maxEntries, std::size_t maxBytes = 0)
+{
+    LruCache<int>::Config cfg;
+    cfg.maxEntries = maxEntries;
+    cfg.maxBytes = maxBytes;
+    cfg.shards = 1; // one exact LRU order for determinism
+    return cfg;
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedFirst)
+{
+    LruCache<int> cache(singleShard(/*maxEntries=*/3));
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("c", 3);
+
+    // Touch "a" so "b" becomes the LRU victim of the next insert.
+    int v = 0;
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_EQ(v, 1);
+    cache.put("d", 4);
+
+    EXPECT_FALSE(cache.get("b", v)); // evicted, not wiped with others
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("c", v));
+    EXPECT_TRUE(cache.get("d", v));
+    EXPECT_EQ(cache.size(), 3u);
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.insertions, 4u);
+    EXPECT_EQ(s.entries, 3u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 4u);
+}
+
+TEST(LruCache, RefreshingAKeyUpdatesValueAndRecency)
+{
+    LruCache<int> cache(singleShard(2));
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("a", 10); // refresh: "b" is now the LRU
+    cache.put("c", 3);
+
+    int v = 0;
+    EXPECT_FALSE(cache.get("b", v));
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_EQ(v, 10);
+    EXPECT_EQ(cache.stats().insertions, 3u); // refresh is not an insert
+}
+
+TEST(LruCache, ByteBudgetIsAccountedAndEnforced)
+{
+    // Values report 100 bytes each; keys are 1 byte. With a budget of
+    // three entries' worth, the fourth insert evicts exactly one.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.valueBytes = [](const int &) { return std::size_t{100}; };
+    LruCache<int> probe(cfg);
+    probe.put("k", 7);
+    const std::size_t per_entry = probe.stats().bytes;
+    ASSERT_GT(per_entry, 100u); // key + value + node overhead
+
+    cfg.maxBytes = 3 * per_entry;
+    LruCache<int> cache(cfg);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("c", 3);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().bytes, 3 * per_entry);
+
+    cache.put("d", 4);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 3u);
+    EXPECT_LE(s.bytes, cfg.maxBytes);
+    int v = 0;
+    EXPECT_FALSE(cache.get("a", v)); // oldest went first
+    EXPECT_TRUE(cache.get("d", v));
+}
+
+TEST(LruCache, OversizedEntryIsRefusedWithoutFlushingTheShard)
+{
+    // Values self-report their size, so one "huge" value exceeds the
+    // whole shard byte budget while the small ones fit comfortably.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.maxBytes = 2048;
+    cfg.valueBytes = [](const int &v) {
+        return v < 0 ? std::size_t{4096} : std::size_t{16};
+    };
+    LruCache<int> cache(cfg);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("huge", -1); // refused up front, counted as an eviction
+    int v = 0;
+    EXPECT_FALSE(cache.get("huge", v));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // The resident working set survives the oversized put.
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("b", v));
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Refreshing an existing key with an oversized value drops that
+    // entry (stale data must not survive) but nothing else.
+    cache.put("a", -1);
+    EXPECT_FALSE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("b", v));
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(LruCache, ClearDropsEntriesButKeepsCounters)
+{
+    LruCache<int> cache(singleShard(8));
+    cache.put("a", 1);
+    cache.put("b", 2);
+    int v = 0;
+    EXPECT_TRUE(cache.get("a", v));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_FALSE(cache.get("a", v));
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.insertions, 2u);
+}
+
+TEST(LruCache, SmallByteBudgetStillCachesByShrinkingShardCount)
+{
+    // 4 KiB over the default 16 shards would leave per-shard slices
+    // smaller than a single entry; the shard count must shrink so the
+    // cache keeps working instead of refusing every insert.
+    LruCache<int>::Config cfg;
+    cfg.maxBytes = 4096;
+    cfg.shards = 16;
+    cfg.valueBytes = [](const int &) { return std::size_t{16}; };
+    LruCache<int> cache(cfg);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    int v = 0;
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("b", v));
+    EXPECT_GE(cache.stats().entries, 2u);
+    EXPECT_LE(cache.stats().bytes, 4096u);
+}
+
+TEST(LruCache, EntryBudgetHoldsWithMoreShardsThanEntries)
+{
+    // A tiny entry budget under the default 16-way sharding: the
+    // shard count is clamped and budgets floored, so the global bound
+    // holds no matter how the keys hash.
+    LruCache<int>::Config cfg;
+    cfg.maxEntries = 4;
+    cfg.shards = 16;
+    LruCache<int> cache(cfg);
+    for (int i = 0; i < 64; ++i)
+        cache.put("k" + std::to_string(i), i);
+    EXPECT_LE(cache.stats().entries, 4u);
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(LruCache, ShardedConcurrentPutsStayWithinBudget)
+{
+    LruCache<std::size_t>::Config cfg;
+    cfg.maxEntries = 64;
+    cfg.shards = 8;
+    LruCache<std::size_t> cache(cfg);
+    ThreadPool pool(4);
+    pool.parallelFor(512, [&](std::size_t i) {
+        cache.put("key" + std::to_string(i % 128), i);
+        std::size_t v = 0;
+        cache.get("key" + std::to_string(i % 128), v);
+    });
+    const auto s = cache.stats();
+    // Per-shard budgets: never more than ceil(64/8) entries per shard.
+    EXPECT_LE(s.entries, 64u);
+    EXPECT_GT(s.evictions, 0u);
+    EXPECT_GT(s.hits, 0u);
+}
+
 TEST(ShardedCache, ConcurrentMixedKeysAgree)
 {
     ShardedCache<std::size_t> cache;

@@ -1,11 +1,14 @@
 /**
  * @file
  * Serving-layer tests: deterministic RequestQueue admission semantics
- * (priority order, reject/shed/deadline handling), and EvalService
- * end-to-end behavior — admitted results bit-identical to direct
- * runInference, repeated sweeps served from cache, rejections and
- * sheds always reported, metrics accounting closed under drain, and
- * the synthetic trace replay acceptance criteria.
+ * (priority order, reject/shed/deadline handling, per-tenant quotas
+ * and fair shed-victim selection, deadline-aware linger wakeups), and
+ * EvalService end-to-end behavior — admitted results bit-identical to
+ * direct runInference, repeated sweeps served from cache, LRU
+ * eviction protecting hot entries under cache pressure, SLO-adaptive
+ * wave sizing, rejections and sheds always reported, metrics
+ * accounting closed under drain, and the synthetic trace replay
+ * acceptance criteria.
  */
 
 #include <gtest/gtest.h>
@@ -39,10 +42,11 @@ const bool force_threads = []() {
 
 serve::Pending
 makePending(serve::Priority pr, std::uint64_t seq,
-            double deadline_in_ms = 0.0)
+            double deadline_in_ms = 0.0, const std::string &tag = "")
 {
     serve::Pending p;
     p.req.priority = pr;
+    p.req.tag = tag;
     p.seq = seq;
     p.submitTime = Clock::now();
     p.deadline = deadline_in_ms != 0.0
@@ -150,6 +154,147 @@ TEST(RequestQueue, BlockPolicyWaitsForSpaceAndCloseUnblocks)
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     q.close();
     blocked.join();
+}
+
+TEST(RequestQueue, ExpiringEntryWakesLingerEarly)
+{
+    serve::RequestQueue q({8, serve::AdmissionPolicy::Reject});
+    q.push(makePending(serve::Priority::Normal, 0, /*deadline=*/40.0));
+    const auto t0 = Clock::now();
+    // A 5 s linger used to hold the already-dying entry the full
+    // wait; the linger must wake at the earliest pending deadline.
+    auto wave = q.popWave(4, std::chrono::milliseconds(5000));
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    ASSERT_EQ(wave.expired.size(), 1u);
+    EXPECT_TRUE(wave.items.empty());
+    EXPECT_LT(ms, 2500.0);
+}
+
+TEST(RequestQueue, PerTenantQuotaCapsBurstyTenant)
+{
+    serve::QueueConfig qc;
+    qc.maxDepth = 8;
+    qc.policy = serve::AdmissionPolicy::Reject;
+    qc.maxPerTenant = 2;
+    serve::RequestQueue q(qc);
+
+    using P = serve::Priority;
+    EXPECT_EQ(q.push(makePending(P::Normal, 0, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(P::Normal, 1, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+    // The quota, not the depth bound, refuses the third: the queue
+    // still has six free slots.
+    EXPECT_EQ(q.push(makePending(P::High, 2, 0.0, "hog")).admission,
+              serve::Admission::RejectedQuota);
+    // A different tenant is unaffected by the hog's quota state.
+    EXPECT_EQ(q.push(makePending(P::Normal, 3, 0.0, "mouse")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.tenantDepth("hog"), 2u);
+    EXPECT_EQ(q.tenantDepth("mouse"), 1u);
+    EXPECT_EQ(q.depth(), 3u);
+}
+
+TEST(RequestQueue, FairShedDisplacesFloodingTenant)
+{
+    // Depth-4 queue flooded by one tenant at Normal priority. An
+    // equal-priority newcomer from a lighter tenant displaces the
+    // flooder's newest entry instead of being refused, converging to
+    // an even split; once even, equal-priority sheds stop.
+    serve::RequestQueue q({4, serve::AdmissionPolicy::Shed});
+    using P = serve::Priority;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        EXPECT_TRUE(q.push(makePending(P::Normal, s, 0.0, "hog"))
+                        .admission == serve::Admission::Admitted);
+
+    auto r1 = q.push(makePending(P::Normal, 4, 0.0, "mouse"));
+    EXPECT_EQ(r1.admission, serve::Admission::Admitted);
+    ASSERT_TRUE(r1.shed.has_value());
+    EXPECT_EQ(r1.shed->seq, 3u); // hog's newest
+    EXPECT_EQ(r1.shed->req.tag, "hog");
+
+    auto r2 = q.push(makePending(P::Normal, 5, 0.0, "mouse"));
+    EXPECT_EQ(r2.admission, serve::Admission::Admitted);
+    ASSERT_TRUE(r2.shed.has_value());
+    EXPECT_EQ(r2.shed->req.tag, "hog");
+
+    // 2 hog + 2 mouse: neither tenant is strictly heavier, so an
+    // equal-priority push from either side is refused, not shed.
+    auto r3 = q.push(makePending(P::Normal, 6, 0.0, "mouse"));
+    EXPECT_EQ(r3.admission, serve::Admission::RejectedFull);
+    EXPECT_FALSE(r3.shed.has_value());
+    EXPECT_EQ(q.tenantDepth("hog"), 2u);
+    EXPECT_EQ(q.tenantDepth("mouse"), 2u);
+
+    // Strict priority outranking still sheds as before (fairness only
+    // adds displacement, it never blocks the priority rule).
+    auto r4 = q.push(makePending(P::High, 7, 0.0, "mouse"));
+    EXPECT_EQ(r4.admission, serve::Admission::Admitted);
+    ASSERT_TRUE(r4.shed.has_value());
+    EXPECT_EQ(r4.shed->req.priority, P::Normal);
+}
+
+TEST(RequestQueue, FairShedNeverInvertsPriority)
+{
+    // Fairness must not let Low-priority spam from an idle tenant
+    // displace a flooding tenant's Normal-priority work: the tenant
+    // rule only applies at matching priority.
+    serve::RequestQueue q({2, serve::AdmissionPolicy::Shed});
+    using P = serve::Priority;
+    EXPECT_EQ(q.push(makePending(P::Normal, 0, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(P::Normal, 1, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+
+    auto low = q.push(makePending(P::Low, 2, 0.0, "mouse"));
+    EXPECT_EQ(low.admission, serve::Admission::RejectedFull);
+    EXPECT_FALSE(low.shed.has_value());
+    EXPECT_EQ(q.tenantDepth("hog"), 2u);
+}
+
+TEST(RequestQueue, FairShedDoesNotChurnUniqueTagTraffic)
+{
+    // Every request with its own tag (all tenants at load 1): an
+    // equal-priority newcomer must be refused, not allowed to
+    // displace admitted work one entry at a time (displacement
+    // requires a two-entry load gap, which load 1 vs 0 never has).
+    serve::RequestQueue q({2, serve::AdmissionPolicy::Shed});
+    using P = serve::Priority;
+    EXPECT_EQ(q.push(makePending(P::Normal, 0, 0.0, "r0")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(P::Normal, 1, 0.0, "r1")).admission,
+              serve::Admission::Admitted);
+    auto r = q.push(makePending(P::Normal, 2, 0.0, "r2"));
+    EXPECT_EQ(r.admission, serve::Admission::RejectedFull);
+    EXPECT_FALSE(r.shed.has_value());
+    EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(RequestQueue, DeadlinePushedMidLingerShortensTheWait)
+{
+    serve::RequestQueue q({8, serve::AdmissionPolicy::Reject});
+    q.push(makePending(serve::Priority::Normal, 0)); // no deadline
+    const auto t0 = Clock::now();
+    // The popper starts a 5 s linger over a deadline-free queue; a
+    // request expiring in ~50 ms arrives mid-linger and must re-arm
+    // the wake time instead of sitting out the remaining linger.
+    std::thread pusher([&]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        q.push(makePending(serve::Priority::Normal, 1,
+                           /*deadline=*/50.0));
+    });
+    auto wave = q.popWave(4, std::chrono::milliseconds(5000));
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    pusher.join();
+    ASSERT_EQ(wave.expired.size(), 1u);
+    EXPECT_EQ(wave.expired[0].seq, 1u);
+    ASSERT_EQ(wave.items.size(), 1u);
+    EXPECT_EQ(wave.items[0].seq, 0u);
+    EXPECT_LT(ms, 2500.0);
 }
 
 TEST(RequestQueue, CloseRejectsAndDrains)
@@ -342,6 +487,152 @@ TEST(EvalService, ShedRequestsResolveWithShedStatus)
     EXPECT_EQ(svc.metrics().shed, 2u);
 }
 
+TEST(EvalService, LruCacheKeepsHotEntriesUnderPressure)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    // A 4-entry single-shard LRU serving a 6-point working set: the
+    // two hot points are re-touched between cold inserts, so LRU keeps
+    // them resident for the whole run (clear-on-overflow wiped them on
+    // every overflow, collapsing the hit rate to zero).
+    serve::ServiceConfig cfg;
+    cfg.cacheMaxEntries = 4;
+    cfg.cacheMaxBytes = 0; // entry-bounded only: deterministic count
+    cfg.cacheShards = 1;
+    serve::EvalService svc(cfg);
+
+    auto ask = [&](int batch) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net,
+                                          batch));
+        EXPECT_TRUE(sub.admitted());
+        auto resp = sub.response.get(); // serialize: one wave each
+        EXPECT_EQ(resp.status, serve::ResponseStatus::Ok);
+        return resp.cacheHit;
+    };
+
+    EXPECT_FALSE(ask(1)); // warm the two hot points
+    EXPECT_FALSE(ask(2));
+    for (int cold = 3; cold <= 6; ++cold) {
+        ask(cold); // cold insert; at capacity this evicts LRU-first
+        EXPECT_TRUE(ask(1)) << "hot point evicted at cold=" << cold;
+        EXPECT_TRUE(ask(2)) << "hot point evicted at cold=" << cold;
+    }
+
+    const auto m = svc.metrics();
+    EXPECT_GT(m.cacheEvictions, 0u); // bounded by eviction, not wipes
+    EXPECT_LE(m.cacheEntries, 4u);
+    EXPECT_GT(m.cacheBytes, 0u);
+    // 8 hot hits out of 14 requests: strictly better than the 0 hits
+    // clear-on-overflow produced on this access pattern.
+    EXPECT_EQ(m.cacheHits, 8u);
+}
+
+TEST(EvalService, TenantQuotaReportedSynchronously)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 6;
+    cfg.queue.policy = serve::AdmissionPolicy::Reject;
+    cfg.queue.maxPerTenant = 3;
+    cfg.maxWave = 64;
+    // A long linger pins queued requests while we over-submit, making
+    // the admission outcomes immune to dispatcher timing.
+    cfg.linger = std::chrono::milliseconds(800);
+    serve::EvalService svc(cfg);
+
+    std::vector<std::future<serve::EvalResponse>> futures;
+    int hogQuotaRejected = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto req = makeRequest(accel::Scheme::Sram, net, 1 + i);
+        req.tag = "hog";
+        auto sub = svc.submit(req);
+        if (sub.admitted())
+            futures.push_back(std::move(sub.response));
+        else {
+            EXPECT_EQ(sub.admission, serve::Admission::RejectedQuota);
+            ++hogQuotaRejected;
+        }
+    }
+    EXPECT_EQ(hogQuotaRejected, 3);
+    // The queue still has three free slots: the light tenant admits.
+    for (int i = 0; i < 3; ++i) {
+        auto req = makeRequest(accel::Scheme::Sram, net, 1 + i);
+        req.tag = "mouse";
+        auto sub = svc.submit(req);
+        EXPECT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(svc.metrics().rejected, 3u);
+}
+
+TEST(EvalService, AdaptiveWaveShrinksToMinUnderViolatedSlo)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 128;
+    cfg.maxWave = 8;
+    cfg.minWave = 1;
+    cfg.sloP95Ms = 1e-6; // unreachable: every window violates
+    cfg.sloWindow = 8;
+    serve::EvalService svc(cfg);
+    EXPECT_EQ(svc.waveLimit(), 8u); // starts at maxWave
+
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (int i = 0; i < 64; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        ASSERT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    svc.drain();
+
+    const auto m = svc.metrics();
+    // 64 completions = 8 full windows; multiplicative decrease walks
+    // 8 -> 4 -> 2 -> 1 well within them.
+    EXPECT_EQ(m.waveLimit, 1u);
+    EXPECT_EQ(svc.waveLimit(), 1u);
+    EXPECT_GE(m.sloViolatedWindows, 3u);
+    EXPECT_EQ(m.sloWindows, m.sloViolatedWindows); // every one violated
+}
+
+TEST(EvalService, AdaptiveWaveHoldsMaxUnderHealthySlo)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 128;
+    cfg.maxWave = 8;
+    cfg.minWave = 1;
+    cfg.sloP95Ms = 1e9; // generous: p95 always comfortably within
+    cfg.sloWindow = 8;
+    serve::EvalService svc(cfg);
+
+    std::vector<std::future<serve::EvalResponse>> futures;
+    for (int i = 0; i < 32; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        ASSERT_TRUE(sub.admitted());
+        futures.push_back(std::move(sub.response));
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    svc.drain();
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.waveLimit, 8u); // growth branch keeps it pegged at max
+    EXPECT_EQ(m.sloViolatedWindows, 0u);
+    EXPECT_GE(m.sloWindows, 1u);
+    EXPECT_DOUBLE_EQ(m.sloP95Ms, 1e9);
+}
+
 TEST(EvalService, BlockPolicyBackpressuresInsteadOfRejecting)
 {
     setInformEnabled(false);
@@ -486,6 +777,73 @@ TEST(TraceReplay, AccountingClosesAndResultsMatchDirect)
     EXPECT_TRUE(rep3.consistent());
     EXPECT_GT(rep3.metrics.cacheHitRate, 0.5);
     EXPECT_GT(rep3.metrics.latencyP99Ms, 0.0);
+}
+
+TEST(TraceReplay, TwoTenantBurstyTraceEvictsInsteadOfWiping)
+{
+    setInformEnabled(false);
+    serve::TraceConfig tcfg;
+    tcfg.bursts = 2;
+    tcfg.requestsPerBurst = 16;
+    tcfg.intraGapMs = 0.0;
+    tcfg.burstGapMs = 0.0;
+    tcfg.models = {"AlexNet"};
+    tcfg.repeatFraction = 0.6; // still bursty, but visits most points
+    tcfg.tenants = {"hog", "mouse"};
+    tcfg.tenantWeights = {0.85, 0.15};
+    auto trace = serve::makeSyntheticTrace(tcfg);
+
+    // Both tenants must actually appear for the fairness accounting.
+    std::size_t hog = 0, mouse = 0;
+    for (const auto &tr : trace)
+        (tr.req.tag == "hog" ? hog : mouse) += 1;
+    ASSERT_GT(hog, 0u);
+    ASSERT_GT(mouse, 0u);
+
+    // A cache deliberately smaller than the 8-point working set: the
+    // bursty trace overflows it, and the bound must be enforced by
+    // per-entry LRU eviction, never by dropping whole shards.
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 256; // admit everything: measure the cache
+    cfg.cacheMaxEntries = 4;
+    cfg.cacheShards = 1;
+    serve::EvalService svc(cfg);
+
+    const auto cold = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    const auto warm = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    EXPECT_TRUE(cold.consistent());
+    EXPECT_TRUE(warm.consistent());
+    EXPECT_EQ(warm.rejected, 0u);
+    EXPECT_EQ(warm.failed, 0u);
+
+    const auto m = svc.metrics();
+    EXPECT_GT(m.cacheEvictions, 0u); // overflowed, entry by entry
+    EXPECT_LE(m.cacheEntries, 4u);   // bound held
+    // Under clear-on-overflow this trace's warm pass lost the whole
+    // cache on every overflow; LRU keeps the hot tail resident.
+    EXPECT_GT(warm.cacheHits, 0u);
+    EXPECT_GT(m.cacheHitRate, 0.0);
+
+    // Per-tenant accounting covers the full trace and the results
+    // stay bit-identical to direct evaluation even under eviction.
+    for (const auto *rep : {&cold, &warm}) {
+        std::size_t accounted = 0;
+        for (const auto &[tag, t] : rep->tenants) {
+            EXPECT_TRUE(tag == "hog" || tag == "mouse");
+            accounted += t.submitted;
+            EXPECT_EQ(t.submitted, t.completed + t.rejected + t.shed +
+                                       t.expired + t.failed);
+        }
+        EXPECT_EQ(accounted, trace.size());
+    }
+    for (std::size_t i = 0; i < warm.responses.size(); ++i) {
+        if (warm.responses[i].status != serve::ResponseStatus::Ok)
+            continue;
+        const auto &req = trace[i].req;
+        expectIdentical(
+            warm.responses[i].result,
+            accel::runInference(req.cfg, req.model, req.batch));
+    }
 }
 
 } // namespace
