@@ -3,17 +3,19 @@
  * Serving-layer demo and smoke test: replay a synthetic two-tenant
  * bursty request trace (one tenant takes ~85% of the traffic) against
  * the async evaluation service twice — a cold pass and a warm pass —
- * under a per-tenant admission quota, an LRU result cache smaller
- * than the working set, and a p95 latency SLO driving the adaptive
- * wave sizing. Prints admission/cache/latency metrics plus the
- * per-tenant accounting. With --json [--out PATH] the final metrics
- * snapshot is also written in the BENCH_micro.json-compatible schema
- * (SERVE_metrics.json by default).
+ * under a per-tenant admission quota, per-tenant result-cache byte
+ * budgets, an LRU result cache smaller than the working set, a p95
+ * latency SLO driving both the adaptive wave sizing and SLO-aware
+ * (hopeless) admission. Prints admission/cache/latency metrics plus
+ * the per-tenant accounting and cache occupancy. With --json
+ * [--out PATH] the final metrics snapshot is also written in the
+ * BENCH_micro.json-compatible schema (SERVE_metrics.json by default).
  *
  * Exits nonzero if the replay accounting is inconsistent (a request
  * neither completed nor reported rejected/shed/expired), if the warm
- * pass missed the cache entirely, or if the bounded cache overflowed
- * without a single LRU eviction — so CI can run this binary as a
+ * pass missed the cache entirely, if the bounded cache overflowed
+ * without a single LRU eviction, or if any tenant's resident cache
+ * bytes exceed its configured budget — so CI can run this binary as a
  * correctness smoke test, not just a demo.
  */
 
@@ -41,10 +43,29 @@ main(int argc, char **argv)
             out = argv[++i];
     }
 
+    // Probe one evaluation's cache footprint so the per-tenant byte
+    // budget below can be sized in entries (the entry size depends on
+    // the model's layer count, not on anything configurable here).
+    std::size_t perEntryBytes = 0;
+    {
+        serve::ServiceConfig pcfg;
+        pcfg.cacheShards = 1;
+        serve::EvalService probe(pcfg);
+        serve::EvalRequest pr;
+        pr.cfg = accel::makeScheme(accel::Scheme::Sram);
+        pr.model = cnn::convLayersOnly(cnn::makeAlexNet());
+        pr.batch = 1;
+        probe.submit(std::move(pr)).response.get();
+        perEntryBytes = probe.metrics().cacheBytes;
+    }
+
     // A service sized so the bursty trace exercises admission control
     // and cache pressure: bounded queue, shed policy, per-tenant
-    // quota, small coalescing waves under a p95 SLO, and an LRU
-    // result cache deliberately smaller than the sweep working set.
+    // quota, small coalescing waves under a p95 SLO (driving adaptive
+    // wave sizing AND hopeless rejection), an LRU result cache
+    // deliberately smaller than the sweep working set, and per-tenant
+    // cache budgets of ~5 entries so the hog tenant overflows its own
+    // slice without touching the mouse's.
     serve::ServiceConfig cfg;
     cfg.queue.maxDepth = 48;
     cfg.queue.policy = serve::AdmissionPolicy::Shed;
@@ -53,8 +74,10 @@ main(int argc, char **argv)
     cfg.minWave = 1;
     cfg.linger = std::chrono::milliseconds(1);
     cfg.sloP95Ms = 250.0;
+    cfg.sloAdmissionFactor = 1.0;
     cfg.cacheMaxEntries = 8;
     cfg.cacheShards = 1;
+    cfg.tenantCacheBytes = 5 * perEntryBytes + 64;
     serve::EvalService svc(cfg);
 
     serve::TraceConfig tcfg;
@@ -69,13 +92,14 @@ main(int argc, char **argv)
     const auto cold = serve::replayTrace(svc, trace, /*timeScale=*/1.0);
     const auto warm = serve::replayTrace(svc, trace, /*timeScale=*/1.0);
 
-    Table t({"pass", "completed", "rejected", "shed", "expired",
-             "cache hits", "coalesced", "wall ms"});
+    Table t({"pass", "completed", "rejected", "hopeless", "shed",
+             "expired", "cache hits", "coalesced", "wall ms"});
     for (const auto *p : {&cold, &warm}) {
         t.row()
             .cell(p == &cold ? "cold" : "warm")
             .integer(static_cast<long long>(p->completed))
             .integer(static_cast<long long>(p->rejected))
+            .integer(static_cast<long long>(p->rejectedHopeless))
             .integer(static_cast<long long>(p->shed))
             .integer(static_cast<long long>(p->expired))
             .integer(static_cast<long long>(p->cacheHits))
@@ -101,12 +125,28 @@ main(int argc, char **argv)
     per.print(std::cout);
 
     const auto m = svc.metrics();
+    Table tc({"tenant", "cache entries", "cache bytes", "budget",
+              "cache evictions"});
+    for (const auto &tcs : m.tenantCache) {
+        tc.row()
+            .cell(tcs.tag)
+            .integer(static_cast<long long>(tcs.entries))
+            .integer(static_cast<long long>(tcs.bytes))
+            .integer(static_cast<long long>(cfg.tenantCacheBytes))
+            .integer(static_cast<long long>(tcs.evictions));
+    }
+    tc.print(std::cout);
+
     Table s({"metric", "value"});
     s.row().cell("cache hit rate (%)").num(100.0 * m.cacheHitRate, 1);
     s.row().cell("cache evictions").integer(
         static_cast<long long>(m.cacheEvictions));
     s.row().cell("cache entries").integer(
         static_cast<long long>(m.cacheEntries));
+    s.row().cell("rejected hopeless").integer(
+        static_cast<long long>(m.rejectedHopeless));
+    s.row().cell("est service (ms)").num(m.estServiceMs, 3);
+    s.row().cell("est wave (ms)").num(m.estWaveMs, 3);
     s.row().cell("mean wave size").num(m.meanWaveSize, 2);
     s.row().cell("wave limit (adaptive)").integer(
         static_cast<long long>(m.waveLimit));
@@ -151,7 +191,17 @@ main(int argc, char **argv)
         std::cerr << "FAIL: cache overflowed without LRU evictions\n";
         return 1;
     }
+    // Per-tenant budgets: no tenant's resident bytes may exceed its
+    // configured slice, ever (enforced at every put).
+    for (const auto &tcs : m.tenantCache) {
+        if (tcs.bytes > cfg.tenantCacheBytes) {
+            std::cerr << "FAIL: tenant " << tcs.tag
+                      << " over its cache budget (" << tcs.bytes
+                      << " > " << cfg.tenantCacheBytes << ")\n";
+            return 1;
+        }
+    }
     std::cout << "OK: all requests accounted for; warm pass hit the "
-                 "LRU-bounded result cache\n";
+                 "LRU-bounded result cache; tenant budgets held\n";
     return 0;
 }

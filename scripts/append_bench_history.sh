@@ -9,6 +9,14 @@
 # appended line in BENCH_history.jsonl. CI re-runs it per push as a
 # schema check and uploads the result as an artifact (a fresh CI
 # checkout only ever gains one line; it does not commit back).
+#
+# Compaction is lossless: jq -c when available, otherwise each line's
+# *leading* indentation is stripped and newlines removed. (The old
+# `tr -s ' '` squeezed space runs inside JSON string values too,
+# corrupting the recorded report; leading whitespace is always
+# structural because the report's strings never contain newlines.)
+# A report for a sha already present in the history is skipped, so
+# re-running the script does not duplicate trajectory lines.
 set -eu
 
 report="${1:-BENCH_micro.json}"
@@ -18,10 +26,22 @@ history="${2:-BENCH_history.jsonl}"
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-# Compact the pretty-printed report onto one line (JSON strings in the
-# report contain no newlines, so this is lossless).
-compact=$(tr '\n' ' ' < "$report" | tr -s ' ')
+# Host stamp so the regression gate can refuse to compare wall times
+# measured on different machines (see check_bench_regression.sh).
+host=$(uname -n 2>/dev/null || echo unknown)
 
-printf '{"sha": "%s", "date": "%s", "report": %s}\n' \
-    "$sha" "$date" "$compact" >> "$history"
+if [ "$sha" != unknown ] && [ -f "$history" ] &&
+   grep -q "\"sha\": \"$sha\"" "$history"; then
+    echo "history already has a line for $sha; skipping append"
+    exit 0
+fi
+
+if command -v jq >/dev/null 2>&1; then
+    compact=$(jq -c . < "$report")
+else
+    compact=$(sed 's/^[[:space:]]*//' "$report" | tr -d '\n')
+fi
+
+printf '{"sha": "%s", "date": "%s", "host": "%s", "report": %s}\n' \
+    "$sha" "$date" "$host" "$compact" >> "$history"
 echo "appended $report to $history ($sha)"

@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# Perf-regression gate over the tracked trajectory (BENCH_history.jsonl).
+#
+# Usage:
+#   scripts/check_bench_regression.sh [HISTORY] [MAX_PCT]
+#       Compare the newest committed history line against the one
+#       before it (the per-PR gate CI runs: both lines were measured
+#       on the builder's machine, so the comparison is like-for-like).
+#   scripts/check_bench_regression.sh REPORT.json HISTORY [MAX_PCT]
+#       Candidate mode: compare a fresh (not yet appended) report
+#       against the newest committed line — run this locally before
+#       committing a new trajectory line.
+#
+# Gated metrics are the deterministic serving-path replay wall times
+# (serve_slo_replay_ms is deliberately NOT gated: its burst admission
+# count is timing-dependent by design, so its wall time is not a
+# regression signal). A metric fails when it is more than MAX_PCT
+# percent slower (default 25) than the baseline AND at least 2 ms
+# slower in absolute terms — the floor keeps millisecond-scale
+# warm-cache timings from tripping the gate on scheduler noise while
+# still catching a cache that stopped working (~100x, not 1.25x).
+# Missing files, short histories, metrics absent from either side,
+# and lines stamped by different hosts (wall times measured on
+# different machines are not comparable) are skipped, never failed:
+# the gate only judges comparable measurements.
+set -eu
+
+METRICS="serve_replay_cold_ms serve_replay_warm_ms \
+serve_mt_replay_cold_ms serve_mt_replay_warm_ms"
+MIN_DELTA_MS=2
+
+# The machine stamp a history line was measured on ("" when absent).
+host_of() {
+    printf '%s\n' "$1" |
+        sed -n 's/.*"host": "\([^"]*\)".*/\1/p' | head -n 1
+}
+
+case "${1:-}" in
+  *.json)
+    report="$1"
+    history="${2:-BENCH_history.jsonl}"
+    pct="${3:-25}"
+    [ -f "$report" ] || { echo "no report at $report" >&2; exit 1; }
+    [ -f "$history" ] || { echo "no history at $history; skipping"; exit 0; }
+    base_line=$(tail -n 1 "$history")
+    cur_line=$(tr '\n' ' ' < "$report")
+    base_label="$history:$(wc -l < "$history" | tr -d ' ')"
+    cur_label="$report"
+    base_host=$(host_of "$base_line")
+    cur_host=$(uname -n 2>/dev/null || echo "")
+    ;;
+  *)
+    history="${1:-BENCH_history.jsonl}"
+    pct="${2:-25}"
+    [ -f "$history" ] || { echo "no history at $history; skipping"; exit 0; }
+    lines=$(wc -l < "$history" | tr -d ' ')
+    if [ "$lines" -lt 2 ]; then
+        echo "history has $lines line(s); nothing to compare"
+        exit 0
+    fi
+    base_line=$(tail -n 2 "$history" | head -n 1)
+    cur_line=$(tail -n 1 "$history")
+    base_label="$history:$((lines - 1))"
+    cur_label="$history:$lines"
+    base_host=$(host_of "$base_line")
+    cur_host=$(host_of "$cur_line")
+    ;;
+esac
+
+# Compare only when both sides are known to come from the same
+# machine; an unstamped (pre-gate) or mismatched line is not a
+# comparable baseline. Legacy unstamped lines age out after one PR.
+if [ -z "$base_host" ] || [ -z "$cur_host" ] ||
+   [ "$base_host" != "$cur_host" ]; then
+    echo "host stamps missing or different" \
+         "('${base_host:-?}' vs '${cur_host:-?}');" \
+         "wall times are not comparable — skipping gate"
+    exit 0
+fi
+
+# Pull one numeric metric out of a single-line JSON blob.
+metric_of() {
+    printf '%s\n' "$1" |
+        sed -n 's/.*"'"$2"'":[[:space:]]*\(-\{0,1\}[0-9.][0-9.eE+-]*\).*/\1/p' |
+        head -n 1
+}
+
+status=0
+for m in $METRICS; do
+    base=$(metric_of "$base_line" "$m")
+    cur=$(metric_of "$cur_line" "$m")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "  $m: not in both sides; skipped"
+        continue
+    fi
+    if awk -v c="$cur" -v b="$base" -v t="$pct" -v f="$MIN_DELTA_MS" \
+           'BEGIN { exit !(c > b * (1 + t / 100) && c - b > f) }'; then
+        echo "FAIL $m: $base -> $cur ms (> ${pct}% and > ${MIN_DELTA_MS} ms slower)"
+        status=1
+    else
+        echo "  ok $m: $base -> $cur ms"
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "perf regression: $cur_label vs $base_label exceeds ${pct}%" >&2
+else
+    echo "no serve-path regression ($cur_label vs $base_label, ${pct}% gate)"
+fi
+exit "$status"

@@ -80,6 +80,28 @@ requestKey(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     return os.str();
 }
 
+std::string
+requestShapeKey(const cnn::CnnModel &model, int batch)
+{
+    // Cheap by design: submit() calls this on every request (including
+    // ones about to be rejected), so unlike requestKey there is no
+    // per-field hexfloat serialization — just the dimensions that
+    // dominate evaluation cost. A folded per-layer dimension sum keeps
+    // same-name models with different layer stacks from aliasing.
+    std::uint64_t dims = 0;
+    for (const auto &l : model.layers) {
+        dims = dims * 1099511628211ull +
+               static_cast<std::uint64_t>(l.ifmapH) * l.ifmapW +
+               static_cast<std::uint64_t>(l.inChannels) * l.filters +
+               static_cast<std::uint64_t>(l.kernelH) * l.kernelW;
+    }
+    std::ostringstream os;
+    os << "shape{";
+    putS(os, model.name);
+    os << model.layers.size() << ',' << dims << ",b" << batch << '}';
+    return os.str();
+}
+
 std::uint64_t
 requestDigest(const std::string &key)
 {

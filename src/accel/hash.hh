@@ -38,6 +38,18 @@ namespace smart::accel
 std::string requestKey(const AcceleratorConfig &cfg,
                        const cnn::CnnModel &model, int batch);
 
+/**
+ * Coarse (model, batch) shape class of a request — the model/batch
+ * prefix dimensions of requestKey without the configuration fields or
+ * the per-layer byte-exact serialization. Two requests sharing a shape
+ * key have the same model name, layer count, total work, and batch
+ * size, so their evaluation cost is comparable; the serving layer's
+ * online cost estimator (serve/estimator.hh) keys its EWMAs on this.
+ * Deliberately NOT a cache key: distinct configurations (and models
+ * differing only in layer internals) collapse to one shape class.
+ */
+std::string requestShapeKey(const cnn::CnnModel &model, int batch);
+
 /** 64-bit FNV-1a digest of a canonical key (display/sharding only). */
 std::uint64_t requestDigest(const std::string &key);
 

@@ -50,6 +50,8 @@ Histogram::bucketValue(std::size_t b) const
 void
 Histogram::add(double x)
 {
+    if (std::isnan(x))
+        x = 0.0; // underflow, but never a min/max/sum poison
     ++buckets_[bucketOf(x)];
     if (count_ == 0) {
         min_ = max_ = x;
@@ -74,8 +76,8 @@ Histogram::quantile(double q) const
 {
     if (count_ == 0)
         return 0.0;
-    if (q <= 0.0)
-        return min_;
+    if (!(q > 0.0))
+        return min_; // q <= 0 — and a NaN q — pin to the exact min
     if (q >= 1.0)
         return max_;
     const auto target = std::max<std::uint64_t>(

@@ -37,7 +37,12 @@ class Histogram
     explicit Histogram(double lo = 1e-3, double hi = 1e7,
                        double growth = 1.25);
 
-    /** Fold one sample in; non-positive samples count as underflow. */
+    /**
+     * Fold one sample in; non-positive samples count as underflow.
+     * NaN samples are coerced to 0 (underflow) so one broken latency
+     * measurement cannot poison min/max/sum and turn every later
+     * quantile into NaN.
+     */
     void add(double x);
 
     /** Drop all samples. */
@@ -57,7 +62,12 @@ class Histogram
     /**
      * Estimate the @p q quantile (q in [0, 1]) by nearest rank: the
      * geometric midpoint of the bucket holding the rank-ceil(q*count)
-     * sample, clamped to [min(), max()]. Returns 0 if empty.
+     * sample, clamped to [min(), max()]. Returns 0 if empty. Edge
+     * contracts: q <= 0 returns the exact observed min and q >= 1 the
+     * exact observed max (never a bucket edge, so an all-overflow
+     * histogram cannot report past its largest sample), and a
+     * histogram holding only underflow samples reports finite values
+     * inside its observed range, never garbage.
      */
     double quantile(double q) const;
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -270,6 +271,19 @@ class ShardedCache
  * shard budget is refused up front and counted as an eviction —
  * oversized values are not cacheable by definition, and letting one
  * pass through would flush the shard's resident working set.
+ *
+ * Multi-tenant isolation: put() optionally labels the entry with a
+ * tag, and Config::tagBytes bounds each tag's resident bytes (again
+ * per shard, floored). A tag pushed past its budget evicts its own
+ * least-recently-used entries first — before global pressure is even
+ * considered — so one flooding tenant can fill at most its slice of
+ * the cache and can never flush another tenant's working set. Per-tag
+ * occupancy and eviction counters are aggregated into Stats::tags;
+ * an entry's tag is set by the put() that (re)inserts it. Per-tag
+ * state is bounded against hostile tag churn: at most kMaxTags
+ * distinct tags are tracked per shard (later tags are cached
+ * untagged under the global budgets only), and tag rows that carry
+ * no information (no entries, no evictions) are dropped eagerly.
  */
 template <typename Value>
 class LruCache
@@ -279,9 +293,23 @@ class LruCache
     {
         std::size_t maxEntries = 0; //!< Entry budget; 0 = unlimited.
         std::size_t maxBytes = 0;   //!< Byte budget; 0 = unlimited.
+        /**
+         * Per-tag byte budget for tagged put()s; 0 disables tag
+         * accounting limits (occupancy counters are still kept for
+         * any tagged entries). Enforced per shard like maxBytes.
+         */
+        std::size_t tagBytes = 0;
         std::size_t shards = 16;    //!< Lock granularity (>= 1).
         /** Deep size of a value; defaults to sizeof(Value). */
         std::function<std::size_t(const Value &)> valueBytes;
+    };
+
+    /** One tag's slice of the cache (aggregated over shards). */
+    struct TagStats
+    {
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+        std::uint64_t evictions = 0; //!< Entries this tag lost.
     };
 
     /** Point-in-time counters, aggregated over shards. */
@@ -293,6 +321,16 @@ class LruCache
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
         std::size_t bytes = 0; //!< Accounted key + value + node bytes.
+        /**
+         * Per-tag occupancy/eviction slices, ordered by tag for
+         * deterministic export. A tag stays listed after its last
+         * entry is evicted so cumulative eviction counts survive;
+         * tags that never evicted disappear with their last entry,
+         * and at most kMaxTags tags are tracked per shard (beyond
+         * that, new tags are cached untagged), so this map is
+         * bounded no matter what tags clients send.
+         */
+        std::map<std::string, TagStats> tags;
     };
 
     explicit LruCache(Config cfg = {}) : cfg_(std::move(cfg))
@@ -304,15 +342,19 @@ class LruCache
         // shard budgets never exceeds the configured global bound.
         if (cfg_.maxEntries && cfg_.shards > cfg_.maxEntries)
             cfg_.shards = cfg_.maxEntries;
-        // The byte budget gets the same treatment: spread too thin
+        // The byte budgets get the same treatment: spread too thin
         // over many shards, every slice would be smaller than one
         // small entry and the oversized-refusal path would silently
-        // disable the cache. Shrink the shard count until a slice
-        // fits at least a modest entry (or give up sharding).
+        // disable the cache (or, for tagBytes, one whole tenant).
+        // Shrink the shard count until the tightest slice fits at
+        // least a modest entry (or give up sharding).
         constexpr std::size_t kMinShardBytes = kNodeOverhead + 512;
-        if (cfg_.maxBytes && cfg_.maxBytes / cfg_.shards < kMinShardBytes)
-            cfg_.shards = std::max<std::size_t>(
-                1, cfg_.maxBytes / kMinShardBytes);
+        std::size_t tightest = cfg_.maxBytes;
+        if (cfg_.tagBytes && (!tightest || cfg_.tagBytes < tightest))
+            tightest = cfg_.tagBytes;
+        if (tightest && tightest / cfg_.shards < kMinShardBytes)
+            cfg_.shards =
+                std::max<std::size_t>(1, tightest / kMinShardBytes);
         if (!cfg_.valueBytes)
             cfg_.valueBytes = [](const Value &) { return sizeof(Value); };
         shardMaxEntries_ =
@@ -320,6 +362,10 @@ class LruCache
         shardMaxBytes_ =
             cfg_.maxBytes
                 ? std::max<std::size_t>(1, cfg_.maxBytes / cfg_.shards)
+                : 0;
+        shardTagBytes_ =
+            cfg_.tagBytes
+                ? std::max<std::size_t>(1, cfg_.tagBytes / cfg_.shards)
                 : 0;
         shards_ = std::make_unique<Shard[]>(cfg_.shards);
     }
@@ -346,6 +392,14 @@ class LruCache
             Node *n = it->second.get();
             detach(shard, n);
             pushFront(shard, n);
+            if (!n->tag.empty()) {
+                // Tag recency mirrors global recency, so the entry a
+                // tenant-budget eviction picks is the tenant's own
+                // least-recently-used, not its oldest insert.
+                TagList &tl = shard.tags[n->tag];
+                tagDetach(tl, n);
+                tagPushFront(tl, n);
+            }
             ++shard.hits;
             value = n->value;
         }
@@ -359,8 +413,20 @@ class LruCache
      * back within budget. A value too large to ever fit its shard's
      * byte budget is refused up front (counted as an eviction) so it
      * cannot flush the resident working set on its way through.
+     *
+     * The tagged overload additionally charges the entry to @p tag's
+     * budget (Config::tagBytes): a tag over budget evicts its own
+     * least-recently-used entries first, before the global bound is
+     * even consulted. Refreshing a key re-labels the entry with the
+     * new put()'s tag (ownership follows the latest writer). An empty
+     * tag means untagged — global accounting only.
      */
     void put(const std::string &key, Value value)
+    {
+        put(key, std::move(value), std::string());
+    }
+
+    void put(const std::string &key, Value value, const std::string &tag)
     {
         // Size and wrap the value before taking the shard lock; the
         // lock only covers pointer/bookkeeping updates.
@@ -370,46 +436,71 @@ class LruCache
         Shard &shard = shardOf(key);
         std::lock_guard<std::mutex> lock(shard.mu);
         auto it = shard.index.find(std::string_view(key));
-        if (shardMaxBytes_ && bytes > shardMaxBytes_) {
-            // Oversized: uncacheable by definition. Drop it (and any
+        // The tenant budget only constrains tags that are actually
+        // tracked: when every tag slot holds live entries, an entry
+        // with a fresh tag is cached untagged, so there is no
+        // per-tag slice for it to be oversized for.
+        const bool tracked = trackTag(shard, tag);
+        const std::size_t tagCap = tracked ? shardTagBytes_ : 0;
+        if ((shardMaxBytes_ && bytes > shardMaxBytes_) ||
+            (tagCap && bytes > tagCap)) {
+            // Oversized for the shard (or for the whole tenant
+            // budget): uncacheable by definition. Drop it (and any
             // stale entry it would have refreshed) without evicting
             // the rest of the shard.
-            if (it != shard.index.end()) {
-                Node *n = it->second.get();
-                detach(shard, n);
-                shard.bytes -= n->bytes;
-                shard.index.erase(it);
-            }
+            if (it != shard.index.end())
+                removeNode(shard, it);
             ++shard.evictions;
+            // Charge the refusal to the tag only if it already has a
+            // row: a refusal stores nothing, so materializing a row
+            // for it would let oversized-value tag churn burn
+            // kMaxTags slots without ever caching a byte.
+            if (tagCap) {
+                auto t = shard.tags.find(tag);
+                if (t != shard.tags.end())
+                    ++t->second.evictions;
+            }
             return;
         }
         if (it != shard.index.end()) {
             Node *n = it->second.get();
             shard.bytes -= n->bytes;
+            tagUnlink(shard, n);
             n->value = std::move(holder);
             n->bytes = bytes;
+            n->tag = tracked ? tag : std::string();
             shard.bytes += n->bytes;
             detach(shard, n);
             pushFront(shard, n);
+            if (!n->tag.empty())
+                tagAdd(shard, n);
         } else {
             auto node = std::make_unique<Node>();
             node->key = key;
             node->value = std::move(holder);
             node->bytes = bytes;
+            node->tag = tracked ? tag : std::string();
             Node *n = node.get();
             shard.index.emplace(std::string_view(n->key),
                                 std::move(node));
             shard.bytes += n->bytes;
             pushFront(shard, n);
+            if (!n->tag.empty())
+                tagAdd(shard, n);
             ++shard.insertions;
         }
-        while (overBudget(shard) && shard.tail) {
-            Node *victim = shard.tail;
-            detach(shard, victim);
-            shard.bytes -= victim->bytes;
-            ++shard.evictions;
-            shard.index.erase(std::string_view(victim->key));
+        if (tagCap) {
+            // Tenant budget first: a flooding tenant pays for its own
+            // overflow before global pressure can touch anyone else.
+            // (find, not operator[]: an untracked tag past kMaxTags
+            // has no list and no per-tag budget to enforce.)
+            auto tl = shard.tags.find(tag);
+            while (tl != shard.tags.end() &&
+                   tl->second.bytes > tagCap && tl->second.tail)
+                evictNode(shard, tl->second.tail);
         }
+        while (overBudget(shard) && shard.tail)
+            evictNode(shard, shard.tail);
     }
 
     /** Aggregate counters across shards (approximate under load). */
@@ -425,6 +516,12 @@ class LruCache
             s.evictions += shard.evictions;
             s.entries += shard.index.size();
             s.bytes += shard.bytes;
+            for (const auto &[tag, tl] : shard.tags) {
+                TagStats &ts = s.tags[tag];
+                ts.entries += tl.entries;
+                ts.bytes += tl.bytes;
+                ts.evictions += tl.evictions;
+            }
         }
         return s;
     }
@@ -449,32 +546,68 @@ class LruCache
             shard.index.clear();
             shard.head = shard.tail = nullptr;
             shard.bytes = 0;
+            for (auto it = shard.tags.begin();
+                 it != shard.tags.end();) {
+                it->second.head = it->second.tail = nullptr;
+                it->second.bytes = 0;
+                it->second.entries = 0;
+                // Evictions persist like the global counters; a row
+                // left with nothing to report is dropped so cleared
+                // tags free their kMaxTags tracking slots.
+                if (it->second.evictions == 0)
+                    it = shard.tags.erase(it);
+                else
+                    ++it;
+            }
         }
     }
 
   private:
     /**
-     * Intrusive LRU node: owns its key, linked newest-first. The
-     * value sits behind a shared_ptr so get() can hand out a
+     * Intrusive LRU node: owns its key and tag, linked newest-first
+     * on the shard's global list and (when tagged) on its tag's list.
+     * The value sits behind a shared_ptr so get() can hand out a
      * reference under the lock and deep-copy outside it.
      */
     struct Node
     {
         std::string key;
+        std::string tag; //!< Tenant label; empty = untagged.
         std::shared_ptr<const Value> value;
         std::size_t bytes = 0;
         Node *prev = nullptr;
         Node *next = nullptr;
+        Node *tagPrev = nullptr;
+        Node *tagNext = nullptr;
     };
+
+    /** One tag's intrusive recency list + accounting within a shard. */
+    struct TagList
+    {
+        Node *head = nullptr; //!< Tag's most recently used.
+        Node *tail = nullptr; //!< Tag's next in-tenant victim.
+        std::size_t bytes = 0;
+        std::size_t entries = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** Key views into the nodes' own strings (stable: heap nodes). */
+    using Index =
+        std::unordered_map<std::string_view, std::unique_ptr<Node>>;
 
     struct Shard
     {
         mutable std::mutex mu;
-        /** Keys view into the node's own string (stable: nodes are
-         *  heap-allocated and never move). */
-        std::unordered_map<std::string_view, std::unique_ptr<Node>> index;
+        Index index;
         Node *head = nullptr; //!< Most recently used.
         Node *tail = nullptr; //!< Least recently used (next victim).
+        /**
+         * Per-tag lists, kept after a tag's last eviction so its
+         * cumulative eviction counter survives (rows with no entries
+         * and no evictions are dropped). Tags are client-controlled,
+         * so tracking is hard-capped at kMaxTags per shard.
+         */
+        std::map<std::string, TagList> tags;
         std::size_t bytes = 0;
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
@@ -484,6 +617,12 @@ class LruCache
 
     /** Fixed per-entry overhead charged on top of key + value bytes. */
     static constexpr std::size_t kNodeOverhead = sizeof(Node) + 32;
+    /**
+     * Most distinct tags tracked per shard. Tags come from clients,
+     * so per-tag state must be bounded: beyond this, new tags are
+     * cached untagged (see tagTrackable).
+     */
+    static constexpr std::size_t kMaxTags = 256;
 
     std::size_t entryBytes(const std::string &key, const Value &value)
     {
@@ -520,6 +659,110 @@ class LruCache
             shard.tail = n;
     }
 
+    static void tagDetach(TagList &tl, Node *n)
+    {
+        if (n->tagPrev)
+            n->tagPrev->tagNext = n->tagNext;
+        else if (tl.head == n)
+            tl.head = n->tagNext;
+        if (n->tagNext)
+            n->tagNext->tagPrev = n->tagPrev;
+        else if (tl.tail == n)
+            tl.tail = n->tagPrev;
+        n->tagPrev = n->tagNext = nullptr;
+    }
+
+    static void tagPushFront(TagList &tl, Node *n)
+    {
+        n->tagNext = tl.head;
+        if (tl.head)
+            tl.head->tagPrev = n;
+        tl.head = n;
+        if (!tl.tail)
+            tl.tail = n;
+    }
+
+    /**
+     * Whether @p tag gets (or already has) a tracked TagList in this
+     * shard. Tags are client-controlled, so tracking is capped: past
+     * kMaxTags distinct tags per shard, a dead row (no resident
+     * entries — only a historical eviction count keeps it listed) is
+     * reclaimed for the newcomer first, so tag churn can never
+     * permanently disable per-tenant isolation for future tenants;
+     * only when every slot holds a tag with live entries are new
+     * tags cached untagged — global budgets still bound them, only
+     * the per-tag slice and counters degrade to best-effort. The
+     * bounded reclaim scan runs only at the cap. mu held.
+     */
+    static bool trackTag(Shard &shard, const std::string &tag)
+    {
+        if (tag.empty())
+            return false;
+        if (shard.tags.count(tag) > 0 ||
+            shard.tags.size() < kMaxTags)
+            return true;
+        for (auto it = shard.tags.begin(); it != shard.tags.end();
+             ++it) {
+            if (it->second.entries == 0) {
+                shard.tags.erase(it); // its eviction history retires
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Charge @p n (already tagged and trackable) to its tag. mu held. */
+    static void tagAdd(Shard &shard, Node *n)
+    {
+        TagList &tl = shard.tags[n->tag];
+        tl.bytes += n->bytes;
+        ++tl.entries;
+        tagPushFront(tl, n);
+    }
+
+    /**
+     * Undo @p n's tag accounting as it leaves its tag (eviction,
+     * removal, or a refresh that re-labels it). A tag row that ends
+     * up with no entries and no evictions carries no information and
+     * is dropped, so transient tags do not accumulate. mu held.
+     */
+    static void tagUnlink(Shard &shard, Node *n)
+    {
+        if (n->tag.empty())
+            return;
+        auto it = shard.tags.find(n->tag);
+        tagDetach(it->second, n);
+        it->second.bytes -= n->bytes;
+        --it->second.entries;
+        if (it->second.entries == 0 && it->second.evictions == 0)
+            shard.tags.erase(it);
+    }
+
+    /**
+     * Unlink @p n from both lists, undo its byte/occupancy
+     * accounting, and erase it from the index (which frees it).
+     * Eviction counters are the caller's call — a refused oversized
+     * put charges one eviction to the incoming entry, not to the
+     * stale one it drops. mu held.
+     */
+    static void removeNode(Shard &shard, typename Index::iterator it)
+    {
+        Node *n = it->second.get();
+        detach(shard, n);
+        shard.bytes -= n->bytes;
+        tagUnlink(shard, n);
+        shard.index.erase(it);
+    }
+
+    /** Evict @p n LRU-style, counting it globally and per tag. */
+    static void evictNode(Shard &shard, Node *n)
+    {
+        ++shard.evictions;
+        if (!n->tag.empty())
+            ++shard.tags[n->tag].evictions;
+        removeNode(shard, shard.index.find(std::string_view(n->key)));
+    }
+
     Shard &shardOf(const std::string &key) const
     {
         return shards_[std::hash<std::string>{}(key) % cfg_.shards];
@@ -528,6 +771,7 @@ class LruCache
     Config cfg_;
     std::size_t shardMaxEntries_ = 0;
     std::size_t shardMaxBytes_ = 0;
+    std::size_t shardTagBytes_ = 0;
     std::unique_ptr<Shard[]> shards_;
 };
 

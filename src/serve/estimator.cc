@@ -1,0 +1,97 @@
+#include "serve/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smart::serve
+{
+
+namespace
+{
+
+/** EWMA update; the first sample seeds the average directly. */
+double
+fold(double avg, std::uint64_t samples, double alpha, double x)
+{
+    return samples == 0 ? x : avg + alpha * (x - avg);
+}
+
+} // namespace
+
+CostEstimator::CostEstimator(double alpha)
+    : alpha_(std::clamp(alpha, 1e-3, 1.0))
+{}
+
+void
+CostEstimator::recordService(const std::string &shapeKey,
+                             double serviceMs)
+{
+    if (!std::isfinite(serviceMs) || serviceMs < 0.0)
+        return; // a broken clock must not poison admission decisions
+    std::lock_guard<std::mutex> lock(mu_);
+    serviceMs_ = fold(serviceMs_, serviceSamples_, alpha_, serviceMs);
+    ++serviceSamples_;
+    auto it = shapeMs_.find(shapeKey);
+    if (it != shapeMs_.end())
+        it->second = fold(it->second, 1, alpha_, serviceMs);
+    else if (shapeMs_.size() < kMaxShapes)
+        shapeMs_.emplace(shapeKey, serviceMs);
+}
+
+void
+CostEstimator::recordWave(double waveMs, std::size_t items)
+{
+    if (!std::isfinite(waveMs) || waveMs < 0.0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    waveMs_ = fold(waveMs_, waveSamples_, alpha_, waveMs);
+    itemMs_ = fold(itemMs_, waveSamples_, alpha_,
+                   waveMs / static_cast<double>(
+                                std::max<std::size_t>(1, items)));
+    ++waveSamples_;
+}
+
+double
+CostEstimator::estimateServiceMs(const std::string &shapeKey) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shapeMs_.find(shapeKey);
+    if (it != shapeMs_.end())
+        return it->second;
+    return serviceSamples_ ? serviceMs_ : 0.0;
+}
+
+double
+CostEstimator::estimateQueueWaitMs(std::size_t queueDepth) const
+{
+    if (queueDepth == 0)
+        return 0.0;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Draining one queued item costs the per-item drain EWMA. Until
+    // the first whole-wave sample lands, the global service EWMA
+    // stands in (per-request samples are recorded before their
+    // futures resolve; the wave sample only after the wave returns,
+    // so a submitter can observe a completed request while the wave
+    // EWMA is still cold) — a deliberately serial, pessimistic guess.
+    const double perItemMs =
+        waveSamples_ ? itemMs_ : (serviceSamples_ ? serviceMs_ : 0.0);
+    if (perItemMs <= 0.0)
+        return 0.0; // cold: no evidence, never reject on a guess
+    return static_cast<double>(queueDepth) * perItemMs;
+}
+
+CostEstimator::Snapshot
+CostEstimator::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot s;
+    s.serviceSamples = serviceSamples_;
+    s.waveSamples = waveSamples_;
+    s.serviceMs = serviceMs_;
+    s.waveMs = waveMs_;
+    s.drainMsPerItem = itemMs_;
+    s.shapes = shapeMs_.size();
+    return s;
+}
+
+} // namespace smart::serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Online request-cost estimator for SLO-aware admission — the signal
+ * behind Admission::RejectedHopeless. The dispatcher feeds it two
+ * streams of observations: per-request evaluation times bucketed by
+ * coarse (model, batch) shape class (accel::requestShapeKey), and
+ * whole-wave service times (the queue's drain granularity). Both are
+ * folded into exponentially weighted moving averages, so the estimate
+ * tracks load shifts within a few waves but is not yanked around by a
+ * single outlier.
+ *
+ * submit() combines them into a completion-time prediction:
+ *
+ *   predicted wait    = queueDepth * EWMA(wave ms / wave items)
+ *   predicted service = EWMA(service ms | shape), falling back to the
+ *                       global service EWMA for unseen shapes
+ *
+ * and rejects a request up front when the prediction already exceeds
+ * its deadline or the configured SLO (see EvalService::submit). The
+ * per-item drain rate deliberately starts pessimistic — small warm-up
+ * waves have no intra-wave parallelism, so their per-item cost is the
+ * serial cost — and relaxes toward the true parallel drain rate as
+ * fuller waves are observed. An SLO guard should err exactly that
+ * way: early burst admissions are the ones a stale-optimistic
+ * estimate would let violate the SLO. A cold estimator (no completed
+ * evaluation yet) predicts zero, so the first requests of a fresh
+ * service are never rejected as hopeless — the estimator only ever
+ * turns away work it has evidence it cannot serve in time.
+ *
+ * Thread-safe: recorded from pool workers and the dispatcher, read
+ * from every submitting thread.
+ */
+
+#ifndef SMART_SERVE_ESTIMATOR_HH
+#define SMART_SERVE_ESTIMATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace smart::serve
+{
+
+class CostEstimator
+{
+  public:
+    /**
+     * @p alpha is the EWMA weight of the newest sample in (0, 1]; 1
+     * degenerates to "latest sample wins". Values outside the range
+     * are clamped.
+     */
+    explicit CostEstimator(double alpha = 0.25);
+
+    /**
+     * Fold in one evaluated (non-cache-hit) request: @p serviceMs from
+     * wave dispatch to its completion, bucketed under @p shapeKey and
+     * into the global service EWMA. Cache hits are deliberately not
+     * recorded — they cost no evaluation capacity, and folding their
+     * near-zero latencies in would talk the estimator into admitting
+     * waves it cannot actually serve.
+     */
+    void recordService(const std::string &shapeKey, double serviceMs);
+
+    /**
+     * Fold in one completed runBatch wave: wall time @p waveMs over
+     * @p items unique evaluations (feeds both the whole-wave EWMA and
+     * the per-item drain rate).
+     */
+    void recordWave(double waveMs, std::size_t items);
+
+    /**
+     * Expected evaluation time of one request of @p shapeKey: the
+     * shape's EWMA, else the global service EWMA, else 0 (cold).
+     */
+    double estimateServiceMs(const std::string &shapeKey) const;
+
+    /**
+     * Expected queue wait with @p queueDepth requests ahead:
+     * queueDepth times the per-item drain EWMA (the global service
+     * EWMA stands in before the first whole-wave sample, since
+     * per-request samples land before their wave's). 0 while fully
+     * cold.
+     */
+    double estimateQueueWaitMs(std::size_t queueDepth) const;
+
+    /** Point-in-time copy of the EWMAs (metrics export). */
+    struct Snapshot
+    {
+        std::uint64_t serviceSamples = 0;
+        std::uint64_t waveSamples = 0;
+        double serviceMs = 0.0; //!< Global per-request EWMA.
+        double waveMs = 0.0;    //!< Whole-wave EWMA.
+        double drainMsPerItem = 0.0; //!< Per-item drain EWMA.
+        std::size_t shapes = 0; //!< Tracked shape classes.
+    };
+    Snapshot snapshot() const;
+
+  private:
+    /**
+     * Shape classes come from client traffic, so the per-shape map is
+     * bounded: past this many distinct shapes, new ones fall back to
+     * the global EWMA instead of growing the map without limit.
+     */
+    static constexpr std::size_t kMaxShapes = 4096;
+
+    mutable std::mutex mu_;
+    double alpha_;
+    double serviceMs_ = 0.0;
+    std::uint64_t serviceSamples_ = 0;
+    double waveMs_ = 0.0;
+    double itemMs_ = 0.0; //!< Drain cost per queued item.
+    std::uint64_t waveSamples_ = 0;
+    std::unordered_map<std::string, double> shapeMs_;
+};
+
+} // namespace smart::serve
+
+#endif // SMART_SERVE_ESTIMATOR_HH

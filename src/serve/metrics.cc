@@ -1,19 +1,57 @@
 #include "serve/metrics.hh"
 
+#include <cstdio>
 #include <sstream>
 
+#include "accel/hash.hh"
 #include "common/jsonreport.hh"
 
 namespace smart::serve
 {
 
+namespace
+{
+
+/**
+ * Tenant tags are client-controlled strings but metric names are
+ * JSON identifiers written without escaping (and parsed by the
+ * line-oriented trajectory tooling), so anything outside
+ * [A-Za-z0-9_-] is mapped to '_' before the tag enters a name. When
+ * sanitization actually changed the tag, a short FNV-1a suffix of
+ * the original keeps distinct tags ("a.b" vs "a:b") from colliding
+ * onto one metric name and emitting duplicate JSON keys.
+ */
+std::string
+metricSafe(const std::string &tag)
+{
+    std::string safe = tag;
+    for (char &c : safe) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    if (safe != tag) {
+        char suffix[12];
+        std::snprintf(suffix, sizeof(suffix), "_%08x",
+                      static_cast<unsigned>(accel::requestDigest(tag) &
+                                            0xffffffffu));
+        safe += suffix;
+    }
+    return safe;
+}
+
+} // namespace
+
 std::vector<std::pair<std::string, double>>
 MetricsSnapshot::toMetrics() const
 {
-    return {
+    std::vector<std::pair<std::string, double>> m = {
         {"submitted", static_cast<double>(submitted)},
         {"admitted", static_cast<double>(admitted)},
         {"rejected", static_cast<double>(rejected)},
+        {"rejected_hopeless", static_cast<double>(rejectedHopeless)},
         {"shed", static_cast<double>(shed)},
         {"expired", static_cast<double>(expired)},
         {"completed", static_cast<double>(completed)},
@@ -32,6 +70,9 @@ MetricsSnapshot::toMetrics() const
         {"slo_p95_ms", sloP95Ms},
         {"slo_windows", static_cast<double>(sloWindows)},
         {"slo_violated_windows", static_cast<double>(sloViolatedWindows)},
+        {"est_service_ms", estServiceMs},
+        {"est_wave_ms", estWaveMs},
+        {"est_service_samples", static_cast<double>(estServiceSamples)},
         {"latency_p50_ms", latencyP50Ms},
         {"latency_p95_ms", latencyP95Ms},
         {"latency_p99_ms", latencyP99Ms},
@@ -42,6 +83,18 @@ MetricsSnapshot::toMetrics() const
         {"queue_depth", static_cast<double>(queueDepth)},
         {"queue_high_water", static_cast<double>(queueHighWater)},
     };
+    // Per-tenant cache slices ride at the end, one triple per tag, so
+    // the fixed schema above stays byte-stable for trajectory diffs.
+    for (const auto &t : tenantCache) {
+        const std::string tag = metricSafe(t.tag);
+        m.emplace_back("tenant_" + tag + "_cache_entries",
+                       static_cast<double>(t.entries));
+        m.emplace_back("tenant_" + tag + "_cache_bytes",
+                       static_cast<double>(t.bytes));
+        m.emplace_back("tenant_" + tag + "_cache_evictions",
+                       static_cast<double>(t.evictions));
+    }
+    return m;
 }
 
 std::string
@@ -76,6 +129,14 @@ ServiceMetrics::rollbackAdmittedToRejected()
     std::lock_guard<std::mutex> lock(mu_);
     --admitted_;
     ++rejected_;
+}
+
+void
+ServiceMetrics::recordRejectedHopeless()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    ++rejectedHopeless_;
 }
 
 void
@@ -131,6 +192,7 @@ ServiceMetrics::snapshot(std::size_t queueDepth,
     s.submitted = submitted_;
     s.admitted = admitted_;
     s.rejected = rejected_;
+    s.rejectedHopeless = rejectedHopeless_;
     s.shed = shed_;
     s.expired = expired_;
     s.completed = completed_;

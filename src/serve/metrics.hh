@@ -31,6 +31,12 @@ struct MetricsSnapshot
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
+    /**
+     * Subset of rejected refused by SLO-aware admission: the cost
+     * estimator predicted the request could not meet its deadline or
+     * the p95 SLO (Admission::RejectedHopeless).
+     */
+    std::uint64_t rejectedHopeless = 0;
     std::uint64_t shed = 0;
     std::uint64_t expired = 0;
     std::uint64_t completed = 0;
@@ -57,6 +63,27 @@ struct MetricsSnapshot
     double sloP95Ms = 0.0;      //!< Configured target; 0 = disabled.
     std::uint64_t sloWindows = 0;         //!< Adaptation decisions.
     std::uint64_t sloViolatedWindows = 0; //!< Windows with p95 > SLO.
+
+    // Cost-estimator state driving SLO-aware admission (filled by
+    // EvalService::metrics() from serve/estimator.hh).
+    double estServiceMs = 0.0;        //!< Global per-request EWMA.
+    double estWaveMs = 0.0;           //!< Whole-wave EWMA.
+    std::uint64_t estServiceSamples = 0;
+
+    /** One tenant's slice of the result cache (tagged entries). */
+    struct TenantCache
+    {
+        std::string tag;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+        std::uint64_t evictions = 0;
+    };
+    /**
+     * Per-tenant cache occupancy/evictions, ordered by tag (filled
+     * from the LruCache's tag counters when tenantCacheBytes > 0 or
+     * any tagged request was cached).
+     */
+    std::vector<TenantCache> tenantCache;
 
     // End-to-end latency of completed requests (submit -> response).
     double latencyP50Ms = 0.0;
@@ -95,6 +122,8 @@ class ServiceMetrics
     void recordAdmitted();
     /** Convert an optimistic admission into a rejection. */
     void rollbackAdmittedToRejected();
+    /** Count an SLO-aware (hopeless) rejection at submit time. */
+    void recordRejectedHopeless();
     void recordShed();
     void recordExpired();
     void recordFailed();
@@ -113,6 +142,7 @@ class ServiceMetrics
     std::uint64_t submitted_ = 0;
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t rejectedHopeless_ = 0;
     std::uint64_t shed_ = 0;
     std::uint64_t expired_ = 0;
     std::uint64_t completed_ = 0;

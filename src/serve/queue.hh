@@ -166,7 +166,18 @@ class RequestQueue
     QueueConfig cfg_;
     mutable std::mutex mu_;
     std::condition_variable workCv_;  //!< Signaled on push/close.
-    std::condition_variable spaceCv_; //!< Signaled on pop/close.
+    /**
+     * Signaled on pop/close. Wake contract for Block-policy pushers
+     * (who may be waiting on total depth, on their tenant quota, or
+     * both): every path that removes entries from the queue — wave
+     * pops and the expiry sweep, both inside popWave() — ends in
+     * notify_all, and close() notifies too, so a pusher blocked on a
+     * tenant quota wakes on that tenant's drain and on shutdown. The
+     * only other removal path (shed inside push()) cannot coexist
+     * with blocked pushers, because the admission policy is
+     * queue-wide. Proven by the BlockedOnTenantQuota* regressions.
+     */
+    std::condition_variable spaceCv_;
     std::vector<Pending> q_;
     /** Queued entries per tenant tag (erased at zero). */
     std::unordered_map<std::string, std::size_t> tenants_;

@@ -115,7 +115,16 @@ enum class Admission
     Admitted,
     RejectedFull,   //!< Queue at capacity under the Reject policy.
     RejectedQuota,  //!< Tenant over its per-tenant depth quota.
-    RejectedClosed  //!< Service closed (draining or destroyed).
+    RejectedClosed, //!< Service closed (draining or destroyed).
+    /**
+     * SLO-aware admission: the cost estimator predicts this request
+     * cannot meet its deadline or the configured p95 SLO even if
+     * admitted right now (predicted queue wait + service time already
+     * over budget), so it is refused up front instead of burning a
+     * queue slot and failing slowly. See ServiceConfig::
+     * sloAdmissionFactor and serve/estimator.hh.
+     */
+    RejectedHopeless
 };
 
 /** Admission name for logs and tables. */
@@ -131,6 +140,8 @@ admissionName(Admission a)
         return "rejected-quota";
       case Admission::RejectedClosed:
         return "rejected-closed";
+      case Admission::RejectedHopeless:
+        return "rejected-hopeless";
     }
     return "?";
 }

@@ -38,10 +38,25 @@ cacheConfigFor(const ServiceConfig &cfg)
     LruCache<accel::InferenceResult>::Config c;
     c.maxEntries = cfg.cacheMaxEntries;
     c.maxBytes = cfg.cacheMaxBytes;
+    c.tagBytes = cfg.tenantCacheBytes;
     c.shards = cfg.cacheShards;
     c.valueBytes = inferenceResultBytes;
     return c;
 }
+
+/**
+ * Every Nth consecutive hopeless rejection on an IDLE queue is
+ * admitted anyway, as a probe. Rejected requests produce no samples,
+ * so without probes one pathological first measurement (a 10x cold
+ * outlier seeding the shape EWMA above the SLO) would lock that shape
+ * out forever even while the service sits idle; the probe's real
+ * latency refreshes the estimator and admission self-heals. Probes
+ * are restricted to an empty queue: there they cost nothing and
+ * cannot miss by much, while under load the admitted stream keeps
+ * the estimator fresh on its own (no lockout to heal) and a probe
+ * would just be a genuinely doomed request.
+ */
+constexpr std::uint32_t kHopelessProbeInterval = 8;
 
 /** Clamp the wave/SLO knobs into a usable shape once, up front. */
 ServiceConfig
@@ -51,6 +66,7 @@ normalized(ServiceConfig cfg)
     cfg.minWave =
         std::min(std::max<std::size_t>(1, cfg.minWave), cfg.maxWave);
     cfg.sloWindow = std::max<std::size_t>(1, cfg.sloWindow);
+    cfg.sloAdmissionFactor = std::max(0.0, cfg.sloAdmissionFactor);
     return cfg;
 }
 
@@ -90,18 +106,78 @@ EvalService::metrics() const
     s.cacheEvictions = cs.evictions;
     s.cacheEntries = cs.entries;
     s.cacheBytes = cs.bytes;
+    for (const auto &[tag, ts] : cs.tags)
+        s.tenantCache.push_back(
+            {tag, ts.entries, ts.bytes, ts.evictions});
     s.waveLimit = waveLimit_.load(std::memory_order_relaxed);
     s.sloP95Ms = cfg_.sloP95Ms;
     s.sloWindows = sloWindows_.load(std::memory_order_relaxed);
     s.sloViolatedWindows =
         sloViolatedWindows_.load(std::memory_order_relaxed);
+    const auto es = estimator_.snapshot();
+    s.estServiceMs = es.serviceMs;
+    s.estWaveMs = es.waveMs;
+    s.estServiceSamples = es.serviceSamples;
     return s;
+}
+
+bool
+EvalService::hopeless(const EvalRequest &req,
+                      std::size_t queueDepth) const
+{
+    if (cfg_.sloAdmissionFactor <= 0.0)
+        return false;
+    const bool hasDeadline = req.deadlineMs > 0.0;
+    if (!hasDeadline && cfg_.sloP95Ms <= 0.0)
+        return false; // no budget to miss
+    const double waitMs = estimator_.estimateQueueWaitMs(queueDepth);
+    if (hasDeadline &&
+        waitMs > cfg_.sloAdmissionFactor * req.deadlineMs)
+        return true; // queue deadlines bound waiting, not service
+    if (cfg_.sloP95Ms > 0.0) {
+        const double serviceMs = estimator_.estimateServiceMs(
+            accel::requestShapeKey(req.model, req.batch));
+        if (waitMs + serviceMs > cfg_.sloAdmissionFactor * cfg_.sloP95Ms)
+            return true;
+    }
+    return false;
 }
 
 Submission
 EvalService::submit(EvalRequest req)
 {
     metrics_.recordSubmitted();
+
+    // SLO-aware admission: refuse work the estimator predicts cannot
+    // meet its deadline/SLO even if admitted right now — before the
+    // request costs a queue slot, a drain slot, or (under Block) a
+    // blocked submitter. Decided from cheap O(1) reads (queue depth,
+    // EWMAs, the coarse shape key); the expensive canonical key is
+    // still only computed at dispatch. A closed service reports
+    // RejectedClosed, never RejectedHopeless — shutdown must stay
+    // distinguishable from load rejection (clients back off
+    // differently) — hence the closed() guard. The depth is sampled
+    // once, so the hopeless verdict and the probe decision below are
+    // judged against the same queue state.
+    const std::size_t depthNow = queue_.depth();
+    if (!queue_.closed() && hopeless(req, depthNow)) {
+        // Probe admission (see kHopelessProbeInterval): the streak
+        // only advances — and a probe only fires — when the queue is
+        // idle, so burst rejections under load stay rejections.
+        const bool probe =
+            depthNow == 0 &&
+            hopelessStreak_.fetch_add(1, std::memory_order_relaxed) +
+                    1 >=
+                kHopelessProbeInterval;
+        if (!probe) {
+            metrics_.recordRejectedHopeless();
+            return {Admission::RejectedHopeless,
+                    std::future<EvalResponse>()};
+        }
+        hopelessStreak_.store(0, std::memory_order_relaxed);
+    } else {
+        hopelessStreak_.store(0, std::memory_order_relaxed);
+    }
 
     Pending p;
     p.submitTime = Clock::now();
@@ -214,6 +290,8 @@ EvalService::adaptWaveLimit()
             return;
         window.swap(sloLatencies_);
     }
+    if (window.empty())
+        return; // defensive: an empty window carries no decision
     const std::size_t rank = std::min(
         window.size() - 1,
         static_cast<std::size_t>(std::ceil(0.95 * window.size())) - 1);
@@ -221,6 +299,8 @@ EvalService::adaptWaveLimit()
                      window.begin() + static_cast<std::ptrdiff_t>(rank),
                      window.end());
     const double p95 = window[rank];
+    if (!std::isfinite(p95))
+        return; // a NaN p95 is neither healthy nor violated: skip
 
     sloWindows_.fetch_add(1, std::memory_order_relaxed);
     std::size_t cap = waveLimit_.load(std::memory_order_relaxed);
@@ -316,11 +396,21 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         // race-free without extra locking. put() enforces the LRU
         // budget per shard, so a full cache evicts its coldest
         // entries instead of wiping concurrent workers' inserts.
+        const auto waveStart = Clock::now();
         accel::runBatch(
             items, [&](std::size_t i, const accel::InferenceResult &res) {
                 Group &g = groups[i];
+                const Pending &head = g.members.front();
+                // Cache ownership and the cost sample both follow the
+                // group head (the request that triggered the
+                // evaluation); read its fields before resolveOk moves
+                // them into the response.
                 if (cfg_.cacheEnabled)
-                    cache_.put(g.members.front().key, res);
+                    cache_.put(head.key, res, head.req.tag);
+                estimator_.recordService(
+                    accel::requestShapeKey(head.req.model,
+                                           head.req.batch),
+                    msBetween(dispatch, Clock::now()));
                 bool first = true;
                 for (auto &p : g.members) {
                     resolveOk(std::move(p), res, /*cache_hit=*/false,
@@ -328,6 +418,8 @@ EvalService::serveWave(std::vector<Pending> &&wave)
                     first = false;
                 }
             });
+        estimator_.recordWave(msBetween(waveStart, Clock::now()),
+                              items.size());
     } catch (...) {
         // A failed wave must still resolve every future: promises the
         // hook already satisfied throw future_error and are skipped.

@@ -13,6 +13,11 @@
  *    policies (serve/queue.hh). Rejections are reported synchronously
  *    from submit(); shed and expired requests resolve their futures
  *    with the corresponding status — nothing is silently dropped.
+ *    SLO-aware admission (serve/estimator.hh) additionally refuses a
+ *    request up front (RejectedHopeless) when the predicted queue
+ *    wait + service time already exceeds its deadline or the p95 SLO:
+ *    doomed work is turned away in microseconds instead of occupying
+ *    a queue slot and failing slowly.
  *  - Result caching: a sharded cache keyed on the canonical
  *    accel::requestKey, so repeated sweep points (figure grids, DSE
  *    re-runs) are served without re-evaluation. Identical requests in
@@ -35,6 +40,7 @@
 
 #include "accel/batch.hh"
 #include "common/parallel.hh"
+#include "serve/estimator.hh"
 #include "serve/metrics.hh"
 #include "serve/queue.hh"
 #include "serve/request.hh"
@@ -69,6 +75,26 @@ struct ServiceConfig
     double sloP95Ms = 0.0;
     /** Completions per adaptation decision when sloP95Ms > 0. */
     std::size_t sloWindow = 32;
+    /**
+     * SLO-aware admission headroom: a submission is refused with
+     * RejectedHopeless when the cost estimator's predicted queue wait
+     * exceeds sloAdmissionFactor * deadlineMs (queue deadlines bound
+     * waiting only), or predicted wait + service time exceeds
+     * sloAdmissionFactor * sloP95Ms. 1.0 rejects exactly at the
+     * predicted budget; values < 1 reject earlier, buying headroom
+     * for estimation error. 0 disables hopeless rejection entirely.
+     * Requests with no deadline under sloP95Ms == 0 are never
+     * rejected as hopeless, and neither is anything while the
+     * estimator is cold (no completed evaluation yet). Rejected
+     * requests yield no samples, so an idle service admits every 8th
+     * consecutive hopeless rejection as a probe — a stuck-high
+     * estimate re-measures and admission self-heals instead of
+     * locking a shape out forever. The prediction
+     * assumes a cache miss: a would-be cache hit arriving behind a
+     * hopeless queue is rejected too — the conservative trade-off for
+     * keeping submit() free of the expensive canonical-key hash.
+     */
+    double sloAdmissionFactor = 1.0;
     bool cacheEnabled = true;
     /**
      * Result-cache entry budget, enforced by per-shard LRU eviction
@@ -80,6 +106,17 @@ struct ServiceConfig
      * overhead), LRU-enforced like cacheMaxEntries. 0 = unbounded.
      */
     std::size_t cacheMaxBytes = 64ull << 20;
+    /**
+     * Per-tenant result-cache byte budget, keyed on the request tag:
+     * a tenant over budget evicts its own least-recently-used entries
+     * first, so one flooding tenant can no longer monopolize the
+     * cache the way it can no longer monopolize the queue
+     * (QueueConfig::maxPerTenant). Per-tenant occupancy and eviction
+     * counters are exported in MetricsSnapshot::tenantCache. A
+     * coalesced wave entry is charged to the tenant whose request
+     * triggered the evaluation. 0 disables per-tenant budgets.
+     */
+    std::size_t tenantCacheBytes = 0;
     /** Cache lock granularity; 1 gives a single exact LRU order. */
     std::size_t cacheShards = 16;
 };
@@ -152,9 +189,19 @@ class EvalService
     /** The linger for the current wave cap (scaled under an SLO). */
     std::chrono::milliseconds effectiveLinger() const;
 
+    /**
+     * True when the estimator predicts @p req cannot meet its budget
+     * even if admitted now behind @p queueDepth queued requests (see
+     * ServiceConfig::sloAdmissionFactor). The depth is sampled once
+     * by submit() so the verdict and the probe decision built on it
+     * agree.
+     */
+    bool hopeless(const EvalRequest &req, std::size_t queueDepth) const;
+
     ServiceConfig cfg_;
     RequestQueue queue_;
     LruCache<accel::InferenceResult> cache_;
+    CostEstimator estimator_;
     ServiceMetrics metrics_;
 
     std::mutex drainMu_;
@@ -163,6 +210,8 @@ class EvalService
     std::atomic<std::uint64_t> seq_{0};
 
     std::atomic<std::size_t> waveLimit_;
+    /** Consecutive idle hopeless rejections (probe admission). */
+    std::atomic<std::uint32_t> hopelessStreak_{0};
     std::mutex sloMu_;
     std::vector<double> sloLatencies_; //!< Current adaptation window.
     std::atomic<std::uint64_t> sloWindows_{0};

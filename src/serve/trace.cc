@@ -133,6 +133,10 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
         } else {
             ++rep.rejected;
             ++rep.tenants[tr.req.tag].rejected;
+            if (sub.admission == Admission::RejectedHopeless) {
+                ++rep.rejectedHopeless;
+                ++rep.tenants[tr.req.tag].rejectedHopeless;
+            }
         }
     }
 

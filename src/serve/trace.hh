@@ -76,6 +76,8 @@ struct TenantTally
     std::size_t completed = 0;
     std::size_t cacheHits = 0;
     std::size_t rejected = 0;
+    /** Subset of rejected refused by SLO-aware admission. */
+    std::size_t rejectedHopeless = 0;
     std::size_t shed = 0;
     std::size_t expired = 0;
     std::size_t failed = 0;
@@ -89,6 +91,8 @@ struct ReplayReport
     std::size_t cacheHits = 0;
     std::size_t coalesced = 0;
     std::size_t rejected = 0; //!< Refused at submit().
+    /** Subset of rejected: predicted unable to meet deadline/SLO. */
+    std::size_t rejectedHopeless = 0;
     std::size_t shed = 0;     //!< Admitted, then evicted.
     std::size_t expired = 0;  //!< Admitted, deadline passed.
     std::size_t failed = 0;   //!< Future carried an exception.

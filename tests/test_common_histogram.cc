@@ -117,6 +117,55 @@ TEST(Histogram, UnderflowAndOverflowAreKept)
     EXPECT_LE(h.quantile(0.5), h.max());
 }
 
+TEST(Histogram, QuantileOneIsFiniteOnAllOverflowSamples)
+{
+    // Every sample above hi lands in the overflow bucket; q = 1 must
+    // report the exact observed max, never the bucket's upper edge or
+    // anything unbounded.
+    Histogram h(1.0, 100.0, 2.0);
+    h.add(1e9);
+    h.add(2e9);
+    h.add(3e9);
+    EXPECT_EQ(h.quantile(1.0), 3e9);
+    const double p50 = h.quantile(0.5);
+    EXPECT_TRUE(std::isfinite(p50));
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p50, h.max());
+}
+
+TEST(Histogram, AllUnderflowHistogramStaysInObservedRange)
+{
+    // Every sample below lo: quantiles must come back finite and
+    // inside [min, max], not lo itself (which was never observed) and
+    // not garbage from the empty real buckets.
+    Histogram h(1.0, 100.0, 2.0);
+    h.add(0.125);
+    h.add(0.25);
+    h.add(0.5);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+        EXPECT_GE(v, 0.125);
+        EXPECT_LE(v, 0.5);
+    }
+    EXPECT_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, NanSamplesAndQueriesDoNotPoison)
+{
+    Histogram h;
+    h.add(std::nan(""));
+    h.add(5.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_TRUE(std::isfinite(h.min()));
+    EXPECT_TRUE(std::isfinite(h.sum()));
+    EXPECT_EQ(h.max(), 5.0);
+    EXPECT_EQ(h.quantile(1.0), 5.0);
+    EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+    // A NaN quantile query degrades to the observed min, not NaN.
+    EXPECT_EQ(h.quantile(std::nan("")), h.min());
+}
+
 TEST(Histogram, ClearResets)
 {
     Histogram h;

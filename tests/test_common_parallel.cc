@@ -342,6 +342,221 @@ TEST(LruCache, ShardedConcurrentPutsStayWithinBudget)
     EXPECT_GT(s.hits, 0u);
 }
 
+LruCache<int>::Config
+taggedSingleShard(std::size_t tagBytes)
+{
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.tagBytes = tagBytes;
+    cfg.valueBytes = [](const int &) { return std::size_t{100}; };
+    return cfg;
+}
+
+/** Accounted bytes of one 1-char-key, 100-byte-value entry. */
+std::size_t
+taggedEntryBytes()
+{
+    LruCache<int> probe(taggedSingleShard(0));
+    probe.put("k", 7, "t");
+    return probe.stats().bytes;
+}
+
+TEST(LruCache, TagBudgetEvictsOwnTenantFirst)
+{
+    // hog's budget holds two entries; its third insert must evict
+    // hog's own LRU entry and leave mouse's untouched, even though
+    // the global budgets are nowhere near exceeded.
+    const std::size_t per = taggedEntryBytes();
+    LruCache<int> cache(taggedSingleShard(2 * per));
+    cache.put("a", 1, "hog");
+    cache.put("b", 2, "hog");
+    cache.put("m", 3, "mouse");
+    cache.put("c", 4, "hog");
+
+    int v = 0;
+    EXPECT_FALSE(cache.get("a", v)); // hog's oldest paid for hog
+    EXPECT_TRUE(cache.get("b", v));
+    EXPECT_TRUE(cache.get("c", v));
+    EXPECT_TRUE(cache.get("m", v)); // mouse never disturbed
+
+    const auto s = cache.stats();
+    ASSERT_EQ(s.tags.count("hog"), 1u);
+    ASSERT_EQ(s.tags.count("mouse"), 1u);
+    EXPECT_EQ(s.tags.at("hog").evictions, 1u);
+    EXPECT_EQ(s.tags.at("hog").entries, 2u);
+    EXPECT_LE(s.tags.at("hog").bytes, 2 * per);
+    EXPECT_EQ(s.tags.at("mouse").evictions, 0u);
+    EXPECT_EQ(s.tags.at("mouse").entries, 1u);
+}
+
+TEST(LruCache, TagEvictionFollowsTagRecencyNotInsertOrder)
+{
+    const std::size_t per = taggedEntryBytes();
+    LruCache<int> cache(taggedSingleShard(2 * per));
+    cache.put("a", 1, "hog");
+    cache.put("b", 2, "hog");
+    int v = 0;
+    EXPECT_TRUE(cache.get("a", v)); // "b" is now hog's LRU
+    cache.put("c", 3, "hog");
+    EXPECT_FALSE(cache.get("b", v));
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("c", v));
+}
+
+TEST(LruCache, UntaggedPutsIgnoreTagBudget)
+{
+    const std::size_t per = taggedEntryBytes();
+    LruCache<int> cache(taggedSingleShard(per)); // one entry per tag
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("c", 3);
+    int v = 0;
+    EXPECT_TRUE(cache.get("a", v));
+    EXPECT_TRUE(cache.get("b", v));
+    EXPECT_TRUE(cache.get("c", v));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_TRUE(cache.stats().tags.empty());
+}
+
+TEST(LruCache, EntryOversizedForTenantBudgetIsRefused)
+{
+    // A value larger than the whole tenant slice (but well under the
+    // global budget) must be refused up front — letting it through
+    // would immediately flush the rest of the tenant's entries.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.maxBytes = 1 << 20;
+    cfg.tagBytes = 2048;
+    cfg.valueBytes = [](const int &x) {
+        return x < 0 ? std::size_t{4096} : std::size_t{16};
+    };
+    LruCache<int> cache(cfg);
+    cache.put("a", 1, "hog");
+    cache.put("huge", -1, "hog");
+    int v = 0;
+    EXPECT_FALSE(cache.get("huge", v));
+    EXPECT_TRUE(cache.get("a", v)); // resident set survives
+    const auto s = cache.stats();
+    EXPECT_EQ(s.tags.at("hog").evictions, 1u);
+    EXPECT_EQ(s.tags.at("hog").entries, 1u);
+}
+
+TEST(LruCache, RefreshMovesEntryBetweenTenants)
+{
+    const std::size_t per = taggedEntryBytes();
+    LruCache<int> cache(taggedSingleShard(4 * per));
+    cache.put("k", 1, "hog");
+    cache.put("k", 2, "mouse"); // ownership follows the last writer
+    const auto s = cache.stats();
+    // hog's row (no entries, no evictions) is dropped outright.
+    EXPECT_EQ(s.tags.count("hog"), 0u);
+    EXPECT_EQ(s.tags.at("mouse").entries, 1u);
+    EXPECT_GT(s.tags.at("mouse").bytes, 0u);
+    int v = 0;
+    EXPECT_TRUE(cache.get("k", v));
+    EXPECT_EQ(v, 2);
+}
+
+TEST(LruCache, TransientTagRowsAreDroppedFromStats)
+{
+    // A tag whose last entry leaves without ever evicting carries no
+    // information; keeping its row would let tag churn grow the map.
+    const std::size_t per = taggedEntryBytes();
+    LruCache<int> cache(taggedSingleShard(4 * per));
+    cache.put("k", 1, "a");
+    cache.put("k", 2, "b"); // re-label: "a" now has 0 entries
+    const auto s = cache.stats();
+    EXPECT_EQ(s.tags.count("a"), 0u);
+    EXPECT_EQ(s.tags.count("b"), 1u);
+}
+
+TEST(LruCache, ClearDropsTagRowsWithoutEvictions)
+{
+    // clear() must not leave all-zero ghost tenants behind (they
+    // would hold kMaxTags tracking slots forever); rows with an
+    // eviction history survive with their counters.
+    const std::size_t per = taggedEntryBytes();
+    // One entry per tag, with slack for the longer keys used here.
+    LruCache<int> cache(taggedSingleShard(per + 16));
+    cache.put("a1", 1, "quiet");
+    cache.put("h1", 1, "hog");
+    cache.put("h2", 2, "hog"); // hog's budget evicts h1
+    EXPECT_EQ(cache.stats().tags.at("hog").evictions, 1u);
+    cache.clear();
+    const auto s = cache.stats();
+    EXPECT_EQ(s.tags.count("quiet"), 0u); // nothing to report
+    ASSERT_EQ(s.tags.count("hog"), 1u);   // eviction history kept
+    EXPECT_EQ(s.tags.at("hog").evictions, 1u);
+    EXPECT_EQ(s.tags.at("hog").entries, 0u);
+    EXPECT_EQ(s.tags.at("hog").bytes, 0u);
+}
+
+TEST(LruCache, TagTrackingIsCappedAgainstTagChurn)
+{
+    // Unique-tag-per-request traffic must not grow per-tag state
+    // without bound: past the per-shard cap, entries are cached
+    // untagged (still resident, still globally bounded).
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.tagBytes = 1 << 20;
+    LruCache<int> cache(cfg);
+    for (int i = 0; i < 400; ++i)
+        cache.put("k" + std::to_string(i), i, "t" + std::to_string(i));
+    const auto s = cache.stats();
+    EXPECT_LE(s.tags.size(), 256u); // bounded tag vocabulary
+    EXPECT_EQ(s.entries, 400u);     // everything still cached
+    int v = 0;
+    EXPECT_TRUE(cache.get("k399", v)); // past-cap entries work too
+}
+
+TEST(LruCache, DeadTagSlotsAreReclaimedForNewTenants)
+{
+    // Tags whose entries were all evicted keep only a historical
+    // eviction count; under tag-slot pressure those dead rows must
+    // be reclaimed so endless tag churn can never permanently lock
+    // new tenants out of per-tag tracking.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.maxEntries = 16;   // global churn: most tag rows go dead
+    cfg.tagBytes = 1 << 20;
+    LruCache<int> cache(cfg);
+    for (int i = 0; i < 400; ++i)
+        cache.put("k" + std::to_string(i), i, "t" + std::to_string(i));
+    const auto s = cache.stats();
+    EXPECT_LE(s.tags.size(), 256u);
+    // The newest tenants are tracked (their slots were reclaimed
+    // from dead rows), not silently downgraded to untagged.
+    EXPECT_EQ(s.tags.count("t399"), 1u);
+    EXPECT_EQ(s.tags.at("t399").entries, 1u);
+}
+
+TEST(LruCache, ConcurrentTaggedPutsStayWithinTenantBudgets)
+{
+    LruCache<std::size_t>::Config cfg;
+    cfg.shards = 4;
+    cfg.tagBytes = 16384;
+    cfg.valueBytes = [](const std::size_t &) {
+        return std::size_t{256};
+    };
+    LruCache<std::size_t> cache(cfg);
+    ThreadPool pool(4);
+    pool.parallelFor(512, [&](std::size_t i) {
+        const std::string tag = (i % 3) ? "hog" : "mouse";
+        cache.put("key" + std::to_string(i % 128), i, tag);
+        std::size_t v = 0;
+        cache.get("key" + std::to_string(i % 128), v);
+    });
+    const auto s = cache.stats();
+    for (const auto &[tag, ts] : s.tags) {
+        EXPECT_TRUE(tag == "hog" || tag == "mouse");
+        // Per-shard flooring: a tag's resident bytes never exceed its
+        // configured budget no matter how the keys hash or race.
+        EXPECT_LE(ts.bytes, cfg.tagBytes) << tag;
+    }
+    EXPECT_GT(s.tags.at("hog").evictions, 0u);
+    EXPECT_GT(s.hits, 0u);
+}
+
 TEST(ShardedCache, ConcurrentMixedKeysAgree)
 {
     ShardedCache<std::size_t> cache;

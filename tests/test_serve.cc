@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -270,6 +271,105 @@ TEST(RequestQueue, FairShedDoesNotChurnUniqueTagTraffic)
     EXPECT_EQ(r.admission, serve::Admission::RejectedFull);
     EXPECT_FALSE(r.shed.has_value());
     EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(RequestQueue, ShedPolicyCannotBypassTenantQuota)
+{
+    // The quota is checked before the full-queue shed logic, so a
+    // tenant at its cap gets RejectedQuota — never a shed victim —
+    // whether the queue has free space or is full, and regardless of
+    // the newcomer's priority.
+    serve::QueueConfig qc;
+    qc.maxDepth = 4;
+    qc.policy = serve::AdmissionPolicy::Shed;
+    qc.maxPerTenant = 2;
+    serve::RequestQueue q(qc);
+    using P = serve::Priority;
+
+    EXPECT_EQ(q.push(makePending(P::Low, 0, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(P::Low, 1, 0.0, "hog")).admission,
+              serve::Admission::Admitted);
+    // Queue not full (2/4): a High push from the capped tenant is
+    // refused by quota, and nothing is shed to make room for it.
+    auto r1 = q.push(makePending(P::High, 2, 0.0, "hog"));
+    EXPECT_EQ(r1.admission, serve::Admission::RejectedQuota);
+    EXPECT_FALSE(r1.shed.has_value());
+    EXPECT_EQ(q.depth(), 2u);
+
+    // Queue full (2 hog Low + 2 mouse Low): still RejectedQuota for
+    // the capped tenant — High priority must not shed its way past
+    // the quota, even with shed-eligible Low entries present.
+    EXPECT_EQ(q.push(makePending(P::Low, 3, 0.0, "mouse")).admission,
+              serve::Admission::Admitted);
+    EXPECT_EQ(q.push(makePending(P::Low, 4, 0.0, "mouse")).admission,
+              serve::Admission::Admitted);
+    auto r2 = q.push(makePending(P::High, 5, 0.0, "hog"));
+    EXPECT_EQ(r2.admission, serve::Admission::RejectedQuota);
+    EXPECT_FALSE(r2.shed.has_value());
+    EXPECT_EQ(q.tenantDepth("hog"), 2u);
+    EXPECT_EQ(q.tenantDepth("mouse"), 2u);
+}
+
+TEST(RequestQueue, BlockedOnTenantQuotaWakesOnTenantDrain)
+{
+    // Regression for the Block + maxPerTenant wait: a submitter
+    // blocked purely on its tenant quota (the queue itself has free
+    // space) must wake when that tenant's entries drain through
+    // popWave. All dequeue paths notify spaceCv_, so this must not
+    // hang.
+    serve::QueueConfig qc;
+    qc.maxDepth = 8;
+    qc.policy = serve::AdmissionPolicy::Block;
+    qc.maxPerTenant = 1;
+    serve::RequestQueue q(qc);
+
+    ASSERT_EQ(q.push(makePending(serve::Priority::Normal, 0, 0.0, "t"))
+                  .admission,
+              serve::Admission::Admitted);
+    std::atomic<bool> admitted{false};
+    std::thread pusher([&]() {
+        auto res =
+            q.push(makePending(serve::Priority::Normal, 1, 0.0, "t"));
+        EXPECT_EQ(res.admission, serve::Admission::Admitted);
+        admitted.store(true);
+    });
+    // The pusher must be quota-blocked, not admitted: depth 1 < 8.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(admitted.load());
+    EXPECT_EQ(q.depth(), 1u);
+
+    // Draining the tenant's queued entry unblocks the pusher.
+    auto wave = q.popWave(1, std::chrono::milliseconds(0));
+    ASSERT_EQ(wave.items.size(), 1u);
+    EXPECT_EQ(wave.items[0].seq, 0u);
+    pusher.join();
+    EXPECT_TRUE(admitted.load());
+    EXPECT_EQ(q.tenantDepth("t"), 1u);
+}
+
+TEST(RequestQueue, BlockedOnTenantQuotaWakesOnClose)
+{
+    serve::QueueConfig qc;
+    qc.maxDepth = 8;
+    qc.policy = serve::AdmissionPolicy::Block;
+    qc.maxPerTenant = 1;
+    serve::RequestQueue q(qc);
+
+    ASSERT_EQ(q.push(makePending(serve::Priority::Normal, 0, 0.0, "t"))
+                  .admission,
+              serve::Admission::Admitted);
+    std::thread pusher([&]() {
+        auto res =
+            q.push(makePending(serve::Priority::Normal, 1, 0.0, "t"));
+        EXPECT_EQ(res.admission, serve::Admission::RejectedClosed);
+    });
+    // Give the pusher a moment to reach the quota wait, then close:
+    // it must wake with RejectedClosed instead of hanging forever.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    pusher.join();
+    EXPECT_EQ(q.depth(), 1u); // the blocked push never landed
 }
 
 TEST(RequestQueue, DeadlinePushedMidLingerShortensTheWait)
@@ -570,6 +670,284 @@ TEST(EvalService, TenantQuotaReportedSynchronously)
     EXPECT_EQ(svc.metrics().rejected, 3u);
 }
 
+TEST(EvalService, HopelessNeverFiresWithoutSloOrDeadline)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    // sloAdmissionFactor defaults on, but with sloP95Ms == 0 and no
+    // per-request deadline there is no budget to miss: hopeless
+    // rejection must never fire, warm estimator or not.
+    serve::ServiceConfig cfg;
+    serve::EvalService svc(cfg);
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1))
+        .response.get(); // warm the estimator
+    for (int i = 0; i < 8; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        ASSERT_EQ(sub.admission, serve::Admission::Admitted);
+        sub.response.get();
+    }
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.rejectedHopeless, 0u);
+    EXPECT_EQ(m.rejected, 0u);
+    EXPECT_GT(m.estServiceSamples, 0u); // the estimator was warm
+}
+
+TEST(EvalService, HopelessDeadlineRejectedAtSubmitOnceWarm)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 64;
+    cfg.maxWave = 8;
+    // The linger pins the filler requests in the queue so the
+    // predicted wait is over a known nonzero depth.
+    cfg.linger = std::chrono::milliseconds(800);
+    serve::EvalService svc(cfg);
+
+    // Cold estimator: even an absurd deadline is admitted (no
+    // evidence to reject on), and completes or expires normally.
+    auto cold = makeRequest(accel::Scheme::Sram, net, 1);
+    cold.deadlineMs = 1e-6;
+    auto coldSub = svc.submit(cold);
+    EXPECT_EQ(coldSub.admission, serve::Admission::Admitted);
+    coldSub.response.get();
+
+    // Warm it with one full evaluation, then queue two fillers.
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1)).response.get();
+    std::vector<std::future<serve::EvalResponse>> fillers;
+    for (int i = 0; i < 2; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 2));
+        ASSERT_TRUE(sub.admitted());
+        fillers.push_back(std::move(sub.response));
+    }
+
+    // Predicted wait is now >= one wave EWMA (> 0 ms); a queue
+    // deadline of 1 ns is hopeless by any estimate.
+    auto doomed = makeRequest(accel::Scheme::Sram, net, 1);
+    doomed.deadlineMs = 1e-6;
+    auto sub = svc.submit(doomed);
+    EXPECT_EQ(sub.admission, serve::Admission::RejectedHopeless);
+    EXPECT_FALSE(sub.response.valid()); // rejected: no future attached
+
+    for (auto &f : fillers)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.rejectedHopeless, 1u);
+    EXPECT_EQ(m.rejected, 1u);
+    EXPECT_EQ(m.submitted, m.admitted + m.rejected);
+}
+
+TEST(EvalService, HopelessSloRejectedOnceWarm)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.sloP95Ms = 1e-6; // unmeetable once any real latency is seen
+    serve::EvalService svc(cfg);
+
+    // Cold: admitted (the estimator refuses to guess) and evaluated.
+    auto first = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+    EXPECT_EQ(first.admission, serve::Admission::Admitted);
+    EXPECT_EQ(first.response.get().status, serve::ResponseStatus::Ok);
+
+    // Warm: the per-shape service EWMA alone now exceeds the SLO, so
+    // the same request is refused at submit even with an idle queue.
+    auto second = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+    EXPECT_EQ(second.admission, serve::Admission::RejectedHopeless);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.rejectedHopeless, 1u);
+    EXPECT_EQ(m.completed, 1u);
+}
+
+TEST(EvalService, IdleHopelessRejectionsAdmitPeriodicProbe)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    // Rejected requests produce no estimator samples, so an idle
+    // service whose estimate got stuck above the SLO must admit a
+    // periodic probe to re-measure — otherwise one pathological
+    // sample would lock the shape out forever. Every 8th consecutive
+    // idle hopeless rejection is admitted as that probe.
+    serve::ServiceConfig cfg;
+    cfg.sloP95Ms = 1e-6; // every warm estimate is over budget
+    serve::EvalService svc(cfg);
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1))
+        .response.get(); // warm
+
+    int rejected = 0, probed = 0;
+    for (int i = 0; i < 8; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        if (sub.admitted()) {
+            ++probed;
+            EXPECT_EQ(sub.response.get().status,
+                      serve::ResponseStatus::Ok);
+        } else {
+            EXPECT_EQ(sub.admission,
+                      serve::Admission::RejectedHopeless);
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(rejected, 7); // streak of seven idle rejections...
+    EXPECT_EQ(probed, 1);   // ...then the 8th goes through as a probe
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.rejectedHopeless, 7u);
+    EXPECT_EQ(m.completed, 2u); // warm-up + the probe
+}
+
+TEST(EvalService, ClosedServiceReportsClosedNotHopeless)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    // Shutdown must stay distinguishable from load rejection: even
+    // with a warm estimator and an unmeetable SLO, a submit after
+    // close() reports RejectedClosed, never RejectedHopeless.
+    serve::ServiceConfig cfg;
+    cfg.sloP95Ms = 1e-6;
+    serve::EvalService svc(cfg);
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1))
+        .response.get(); // warm: the next submit would be hopeless
+    svc.close();
+    auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+    EXPECT_EQ(sub.admission, serve::Admission::RejectedClosed);
+    EXPECT_EQ(svc.metrics().rejectedHopeless, 0u);
+}
+
+TEST(EvalService, SloAdmissionFactorZeroDisablesHopeless)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+
+    serve::ServiceConfig cfg;
+    cfg.sloP95Ms = 1e-6;
+    cfg.sloAdmissionFactor = 0.0;
+    serve::EvalService svc(cfg);
+    for (int i = 0; i < 4; ++i) {
+        auto sub = svc.submit(makeRequest(accel::Scheme::Sram, net, 1));
+        ASSERT_EQ(sub.admission, serve::Admission::Admitted);
+        sub.response.get();
+    }
+    EXPECT_EQ(svc.metrics().rejectedHopeless, 0u);
+}
+
+/** Accounted cache bytes of one evaluated (scheme, net, batch) entry. */
+std::size_t
+probeResultEntryBytes(const cnn::CnnModel &net)
+{
+    serve::ServiceConfig cfg;
+    cfg.cacheShards = 1;
+    serve::EvalService svc(cfg);
+    svc.submit(makeRequest(accel::Scheme::Sram, net, 1)).response.get();
+    return svc.metrics().cacheBytes;
+}
+
+TEST(EvalService, TenantCacheBudgetKeepsLightTenantResident)
+{
+    setInformEnabled(false);
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    const std::size_t per = probeResultEntryBytes(net);
+    ASSERT_GT(per, 0u);
+
+    // hog's budget holds ~3 entries; mouse's 2 fit comfortably. The
+    // slack covers key-length variation across batch numbers.
+    serve::ServiceConfig cfg;
+    cfg.cacheShards = 1;
+    cfg.tenantCacheBytes = 3 * per + 64;
+    serve::EvalService svc(cfg);
+
+    auto ask = [&](int batch, const std::string &tag) {
+        auto req = makeRequest(accel::Scheme::Sram, net, batch);
+        req.tag = tag;
+        auto sub = svc.submit(req);
+        EXPECT_TRUE(sub.admitted());
+        auto resp = sub.response.get(); // serialize: one wave each
+        EXPECT_EQ(resp.status, serve::ResponseStatus::Ok);
+        return resp.cacheHit;
+    };
+
+    EXPECT_FALSE(ask(101, "mouse"));
+    EXPECT_FALSE(ask(102, "mouse"));
+    for (int b = 1; b <= 8; ++b)
+        ask(b, "hog"); // flood: 8 distinct entries into a 3-entry slice
+    // The flood evicted hog's own tail; mouse stayed resident.
+    EXPECT_TRUE(ask(101, "mouse"));
+    EXPECT_TRUE(ask(102, "mouse"));
+
+    const auto m = svc.metrics();
+    bool sawHog = false, sawMouse = false;
+    for (const auto &t : m.tenantCache) {
+        if (t.tag == "hog") {
+            sawHog = true;
+            EXPECT_LE(t.bytes, cfg.tenantCacheBytes);
+            EXPECT_GT(t.evictions, 0u);
+        } else if (t.tag == "mouse") {
+            sawMouse = true;
+            EXPECT_EQ(t.evictions, 0u);
+            EXPECT_EQ(t.entries, 2u);
+        }
+    }
+    EXPECT_TRUE(sawHog);
+    EXPECT_TRUE(sawMouse);
+}
+
+TEST(EvalService, TenantCacheBudgetHoldsUnderConcurrentMixedReplay)
+{
+    setInformEnabled(false);
+    serve::TraceConfig tcfg;
+    tcfg.bursts = 2;
+    tcfg.requestsPerBurst = 16;
+    tcfg.intraGapMs = 0.0;
+    tcfg.burstGapMs = 0.0;
+    tcfg.models = {"AlexNet"};
+    tcfg.repeatFraction = 0.6;
+    tcfg.tenants = {"hog", "mouse"};
+    tcfg.tenantWeights = {0.85, 0.15};
+    auto trace = serve::makeSyntheticTrace(tcfg);
+
+    auto net = cnn::convLayersOnly(cnn::makeAlexNet());
+    const std::size_t per = probeResultEntryBytes(net);
+
+    serve::ServiceConfig cfg;
+    cfg.queue.maxDepth = 256; // admit everything: measure the cache
+    cfg.cacheShards = 1;
+    cfg.tenantCacheBytes = 2 * per + 64; // far under the working set
+    serve::EvalService svc(cfg);
+
+    const auto cold = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    const auto warm = serve::replayTrace(svc, trace, /*timeScale=*/0.0);
+    EXPECT_TRUE(cold.consistent());
+    EXPECT_TRUE(warm.consistent());
+    EXPECT_EQ(warm.rejected, 0u);
+    EXPECT_EQ(warm.failed, 0u);
+
+    const auto m = svc.metrics();
+    bool sawHog = false;
+    for (const auto &t : m.tenantCache) {
+        EXPECT_TRUE(t.tag == "hog" || t.tag == "mouse") << t.tag;
+        // The per-tenant bound held throughout the concurrent replay.
+        EXPECT_LE(t.bytes, cfg.tenantCacheBytes) << t.tag;
+        if (t.tag == "hog") {
+            sawHog = true;
+            // The bursty tenant overflowed its own slice.
+            EXPECT_GT(t.evictions, 0u);
+        }
+    }
+    EXPECT_TRUE(sawHog);
+    // Results under tenant-budget eviction stay bit-identical.
+    for (std::size_t i = 0; i < warm.responses.size(); ++i) {
+        if (warm.responses[i].status != serve::ResponseStatus::Ok)
+            continue;
+        const auto &req = trace[i].req;
+        expectIdentical(
+            warm.responses[i].result,
+            accel::runInference(req.cfg, req.model, req.batch));
+    }
+}
+
 TEST(EvalService, AdaptiveWaveShrinksToMinUnderViolatedSlo)
 {
     setInformEnabled(false);
@@ -581,6 +959,10 @@ TEST(EvalService, AdaptiveWaveShrinksToMinUnderViolatedSlo)
     cfg.minWave = 1;
     cfg.sloP95Ms = 1e-6; // unreachable: every window violates
     cfg.sloWindow = 8;
+    // This test measures wave adaptation, not admission: with the
+    // absurd SLO, hopeless rejection would start refusing submissions
+    // as soon as the estimator warms (raced by the dispatcher).
+    cfg.sloAdmissionFactor = 0.0;
     serve::EvalService svc(cfg);
     EXPECT_EQ(svc.waveLimit(), 8u); // starts at maxWave
 
@@ -718,7 +1100,9 @@ TEST(EvalService, MetricsJsonMatchesBenchSchema)
     setInformEnabled(false);
     auto net = cnn::convLayersOnly(cnn::makeMobileNet());
     serve::EvalService svc;
-    svc.submit(makeRequest(accel::Scheme::Sram, net, 1)).response.get();
+    auto req = makeRequest(accel::Scheme::Sram, net, 1);
+    req.tag = "hog";
+    svc.submit(req).response.get();
 
     const std::string json = svc.metrics().toJson("smart_serve");
     EXPECT_NE(json.find("\"bench\": \"smart_serve\""), std::string::npos);
@@ -727,6 +1111,13 @@ TEST(EvalService, MetricsJsonMatchesBenchSchema)
     EXPECT_NE(json.find("\"cache_hit_rate\": "), std::string::npos);
     EXPECT_NE(json.find("\"latency_p99_ms\": "), std::string::npos);
     EXPECT_NE(json.find("\"queue_depth\": "), std::string::npos);
+    EXPECT_NE(json.find("\"rejected_hopeless\": "), std::string::npos);
+    EXPECT_NE(json.find("\"est_wave_ms\": "), std::string::npos);
+    // The tagged request's cache slice rides along per tenant.
+    EXPECT_NE(json.find("\"tenant_hog_cache_bytes\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tenant_hog_cache_evictions\": "),
+              std::string::npos);
 }
 
 // ------------------------------------------------------------------
