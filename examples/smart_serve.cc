@@ -4,19 +4,27 @@
  * bursty request trace (one tenant takes ~85% of the traffic) against
  * the async evaluation service twice — a cold pass and a warm pass —
  * under a per-tenant admission quota, per-tenant result-cache byte
- * budgets, an LRU result cache smaller than the working set, a p95
- * latency SLO driving both the adaptive wave sizing and SLO-aware
- * (hopeless) admission. Prints admission/cache/latency metrics plus
- * the per-tenant accounting and cache occupancy. With --json
- * [--out PATH] the final metrics snapshot is also written in the
- * BENCH_micro.json-compatible schema (SERVE_metrics.json by default).
+ * budgets, an LRU result cache smaller than the working set, and
+ * per-tenant p95 latency SLOs (the light "mouse" tenant gets a
+ * stricter target than the global default the "hog" inherits)
+ * driving both the adaptive wave sizing and SLO-aware (hopeless)
+ * admission. After the replays it demonstrates estimator-driven
+ * deadline assignment: a request with an impossible deadline is
+ * refused with a suggested feasible deadline, and the resubmission
+ * carrying that suggestion is admitted. Prints admission/cache/
+ * latency metrics plus the per-tenant accounting, SLO standing, and
+ * cache occupancy. With --json [--out PATH] the final metrics
+ * snapshot is also written in the BENCH_micro.json-compatible schema
+ * (SERVE_metrics.json by default).
  *
  * Exits nonzero if the replay accounting is inconsistent (a request
  * neither completed nor reported rejected/shed/expired), if the warm
  * pass missed the cache entirely, if the bounded cache overflowed
- * without a single LRU eviction, or if any tenant's resident cache
- * bytes exceed its configured budget — so CI can run this binary as a
- * correctness smoke test, not just a demo.
+ * without a single LRU eviction, if any tenant's resident cache
+ * bytes exceed its configured budget, if the per-tenant SLO rows are
+ * missing from the snapshot, or if the suggested-deadline handshake
+ * fails — so CI can run this binary as a correctness smoke test, not
+ * just a demo.
  */
 
 #include <iostream>
@@ -75,6 +83,13 @@ main(int argc, char **argv)
     cfg.linger = std::chrono::milliseconds(1);
     cfg.sloP95Ms = 250.0;
     cfg.sloAdmissionFactor = 1.0;
+    // Per-tenant SLO: the light interactive tenant gets a stricter
+    // p95 target (with admission headroom) than the global default
+    // the bursty hog inherits, so wave adaptation and hopeless
+    // admission treat the two asymmetrically.
+    cfg.tenantSlo["mouse"] = {/*p95Ms=*/150.0,
+                              /*admissionFactor=*/0.8,
+                              /*defaultDeadlineMs=*/0.0};
     cfg.cacheMaxEntries = 8;
     cfg.cacheShards = 1;
     cfg.tenantCacheBytes = 5 * perEntryBytes + 64;
@@ -124,6 +139,52 @@ main(int argc, char **argv)
     }
     per.print(std::cout);
 
+    // Estimator-driven deadline assignment, end to end: behind a
+    // queue of in-flight fillers, a request with an impossible
+    // deadline is refused up front with a suggested feasible one; the
+    // resubmission carrying that suggestion is admitted once the
+    // queue drains. Admission under load is timing-dependent, so the
+    // handshake is attempted a few times before the smoke test calls
+    // it a failure.
+    bool suggestionDemoOk = false;
+    double suggestedMs = 0.0;
+    for (int attempt = 0; attempt < 5 && !suggestionDemoOk; ++attempt) {
+        std::vector<std::future<serve::EvalResponse>> fillers;
+        for (int i = 0; i < 16; ++i) {
+            serve::EvalRequest fr;
+            fr.cfg = accel::makeScheme(accel::Scheme::Sram);
+            fr.model = cnn::convLayersOnly(cnn::makeAlexNet());
+            fr.batch = 500 + 32 * attempt + i; // all cache misses
+            fr.tag = "hog";
+            auto sub = svc.submit(fr);
+            if (sub.admitted())
+                fillers.push_back(std::move(sub.response));
+        }
+        serve::EvalRequest doomed;
+        doomed.cfg = accel::makeScheme(accel::Scheme::Sram);
+        doomed.model = cnn::convLayersOnly(cnn::makeAlexNet());
+        doomed.batch = 499;
+        doomed.tag = "mouse";
+        doomed.deadlineMs = 1e-3; // cannot survive the filler queue
+        auto rejected = svc.submit(doomed);
+        for (auto &f : fillers)
+            f.get();
+        if (rejected.admission != serve::Admission::RejectedHopeless ||
+            rejected.suggestedDeadlineMs <= 0.0)
+            continue;
+        suggestedMs = rejected.suggestedDeadlineMs;
+        svc.drain();
+        doomed.deadlineMs = rejected.suggestedDeadlineMs;
+        auto retried = svc.submit(doomed);
+        if (retried.admitted() &&
+            retried.response.get().status == serve::ResponseStatus::Ok)
+            suggestionDemoOk = true;
+    }
+    std::cout << "suggested-deadline handshake: "
+              << (suggestionDemoOk ? "rejected -> resubmitted Ok"
+                                   : "FAILED")
+              << " (suggested " << suggestedMs << " ms)\n";
+
     const auto m = svc.metrics();
     Table tc({"tenant", "cache entries", "cache bytes", "budget",
               "cache evictions"});
@@ -136,6 +197,18 @@ main(int argc, char **argv)
             .integer(static_cast<long long>(tcs.evictions));
     }
     tc.print(std::cout);
+
+    Table tslo({"tenant", "completed", "p95 (ms)", "SLO p95 (ms)",
+                "violated windows"});
+    for (const auto &ts : m.tenantSlo) {
+        tslo.row()
+            .cell(ts.tag)
+            .integer(static_cast<long long>(ts.completed))
+            .num(ts.latencyP95Ms, 3)
+            .num(ts.sloP95Ms, 1)
+            .integer(static_cast<long long>(ts.violatedWindows));
+    }
+    tslo.print(std::cout);
 
     Table s({"metric", "value"});
     s.row().cell("cache hit rate (%)").num(100.0 * m.cacheHitRate, 1);
@@ -201,7 +274,29 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    // Per-tenant SLO rows: both tenants completed work, so both must
+    // carry a latency/SLO row, with the mouse's stricter target and
+    // the hog's inherited global target resolved correctly.
+    bool sawHogSlo = false, sawMouseSlo = false;
+    for (const auto &ts : m.tenantSlo) {
+        if (ts.tag == "hog")
+            sawHogSlo = ts.sloP95Ms == cfg.sloP95Ms;
+        else if (ts.tag == "mouse")
+            sawMouseSlo = ts.sloP95Ms == 150.0;
+    }
+    if (!sawHogSlo || !sawMouseSlo) {
+        std::cerr << "FAIL: per-tenant SLO rows missing or carrying "
+                     "the wrong resolved target\n";
+        return 1;
+    }
+    if (!suggestionDemoOk) {
+        std::cerr << "FAIL: suggested-deadline handshake did not "
+                     "complete (no rejection with a suggestion, or "
+                     "the resubmission failed)\n";
+        return 1;
+    }
     std::cout << "OK: all requests accounted for; warm pass hit the "
-                 "LRU-bounded result cache; tenant budgets held\n";
+                 "LRU-bounded result cache; tenant budgets and SLO "
+                 "rows held; suggested deadline admitted on retry\n";
     return 0;
 }

@@ -11,23 +11,46 @@
 #       against the newest committed line — run this locally before
 #       committing a new trajectory line.
 #
-# Gated metrics are the deterministic serving-path replay wall times
-# (serve_slo_replay_ms is deliberately NOT gated: its burst admission
-# count is timing-dependent by design, so its wall time is not a
-# regression signal). A metric fails when it is more than MAX_PCT
-# percent slower (default 25) than the baseline AND at least 2 ms
-# slower in absolute terms — the floor keeps millisecond-scale
-# warm-cache timings from tripping the gate on scheduler noise while
-# still catching a cache that stopped working (~100x, not 1.25x).
-# Missing files, short histories, metrics absent from either side,
-# and lines stamped by different hosts (wall times measured on
-# different machines are not comparable) are skipped, never failed:
-# the gate only judges comparable measurements.
+# Two metric families are gated:
+#
+#  - Wall times: the deterministic serving-path replay wall times
+#    (serve_slo_replay_ms is deliberately NOT gated: its burst
+#    admission count is timing-dependent by design, so its wall time
+#    is not a regression signal; serve_tslo_replay_ms IS gated — its
+#    arrivals are trace-paced and its retry phase is serialized
+#    against a drained queue, so its wall clock tracks the serve path
+#    rather than the admission lottery). A metric fails when it is more than
+#    MAX_PCT percent slower (default 25) than the baseline AND at
+#    least 2 ms slower in absolute terms — the floor keeps
+#    millisecond-scale warm-cache timings from tripping the gate on
+#    scheduler noise while still catching a cache that stopped
+#    working (~100x, not 1.25x).
+#  - Ratios: cache hit rates and the tenant-SLO resubmit success rate
+#    live in [0, 1] and regress by dropping, not slowing; a ratio
+#    fails when it falls more than 10 points (0.10) below the
+#    baseline. Ratios do not depend on machine speed, so they are
+#    judged even when the host stamps differ.
+#
+# First runs pass cleanly: a missing, empty, or single-line history
+# has nothing to compare against, and the gate says so instead of
+# erroring. Metrics absent from either side are skipped, and lines
+# stamped by different hosts skip the WALL comparison only (wall
+# times measured on different machines are not comparable): the gate
+# only judges comparable measurements.
 set -eu
 
-METRICS="serve_replay_cold_ms serve_replay_warm_ms \
-serve_mt_replay_cold_ms serve_mt_replay_warm_ms"
+WALL_METRICS="serve_replay_cold_ms serve_replay_warm_ms \
+serve_mt_replay_cold_ms serve_mt_replay_warm_ms serve_tslo_replay_ms"
+RATIO_METRICS="serve_cache_hit_rate serve_mt_cache_hit_rate \
+serve_tslo_resubmit_ok_rate"
 MIN_DELTA_MS=2
+MAX_RATIO_DROP=0.10
+
+# Committed (non-blank) lines in a history file; robust to a missing
+# trailing newline, which `wc -l` would undercount.
+lines_of() {
+    grep -c . "$1" 2>/dev/null || true
+}
 
 # The machine stamp a history line was measured on ("" when absent).
 host_of() {
@@ -42,9 +65,17 @@ case "${1:-}" in
     pct="${3:-25}"
     [ -f "$report" ] || { echo "no report at $report" >&2; exit 1; }
     [ -f "$history" ] || { echo "no history at $history; skipping"; exit 0; }
-    base_line=$(tail -n 1 "$history")
+    lines=$(lines_of "$history")
+    if [ "$lines" -lt 1 ]; then
+        echo "history $history has no committed lines; nothing to" \
+             "compare yet — first run passes"
+        exit 0
+    fi
+    # Non-blank selection, matched to lines_of: a stray blank tail
+    # line must not desynchronize the guard from the compared lines.
+    base_line=$(grep . "$history" | tail -n 1)
     cur_line=$(tr '\n' ' ' < "$report")
-    base_label="$history:$(wc -l < "$history" | tr -d ' ')"
+    base_label="$history:$lines"
     cur_label="$report"
     base_host=$(host_of "$base_line")
     cur_host=$(uname -n 2>/dev/null || echo "")
@@ -53,30 +84,21 @@ case "${1:-}" in
     history="${1:-BENCH_history.jsonl}"
     pct="${2:-25}"
     [ -f "$history" ] || { echo "no history at $history; skipping"; exit 0; }
-    lines=$(wc -l < "$history" | tr -d ' ')
+    lines=$(lines_of "$history")
     if [ "$lines" -lt 2 ]; then
-        echo "history has $lines line(s); nothing to compare"
+        echo "history $history has $lines committed line(s); nothing" \
+             "to compare yet — first run passes"
         exit 0
     fi
-    base_line=$(tail -n 2 "$history" | head -n 1)
-    cur_line=$(tail -n 1 "$history")
+    # Non-blank selection, matched to lines_of (see candidate mode).
+    base_line=$(grep . "$history" | tail -n 2 | head -n 1)
+    cur_line=$(grep . "$history" | tail -n 1)
     base_label="$history:$((lines - 1))"
     cur_label="$history:$lines"
     base_host=$(host_of "$base_line")
     cur_host=$(host_of "$cur_line")
     ;;
 esac
-
-# Compare only when both sides are known to come from the same
-# machine; an unstamped (pre-gate) or mismatched line is not a
-# comparable baseline. Legacy unstamped lines age out after one PR.
-if [ -z "$base_host" ] || [ -z "$cur_host" ] ||
-   [ "$base_host" != "$cur_host" ]; then
-    echo "host stamps missing or different" \
-         "('${base_host:-?}' vs '${cur_host:-?}');" \
-         "wall times are not comparable — skipping gate"
-    exit 0
-fi
 
 # Pull one numeric metric out of a single-line JSON blob.
 metric_of() {
@@ -86,7 +108,40 @@ metric_of() {
 }
 
 status=0
-for m in $METRICS; do
+
+# Ratios first: they do not depend on machine speed, so they are
+# judged regardless of the host stamps.
+for m in $RATIO_METRICS; do
+    base=$(metric_of "$base_line" "$m")
+    cur=$(metric_of "$cur_line" "$m")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "  $m: not in both sides; skipped"
+        continue
+    fi
+    if awk -v c="$cur" -v b="$base" -v d="$MAX_RATIO_DROP" \
+           'BEGIN { exit !(b - c > d) }'; then
+        echo "FAIL $m: $base -> $cur (dropped more than ${MAX_RATIO_DROP})"
+        status=1
+    else
+        echo "  ok $m: $base -> $cur"
+    fi
+done
+
+# Wall times only compare when both sides are known to come from the
+# same machine; an unstamped (pre-gate) or mismatched line is not a
+# comparable baseline. Legacy unstamped lines age out after one PR.
+if [ -z "$base_host" ] || [ -z "$cur_host" ] ||
+   [ "$base_host" != "$cur_host" ]; then
+    echo "host stamps missing or different" \
+         "('${base_host:-?}' vs '${cur_host:-?}');" \
+         "wall times are not comparable — skipping the wall-time gate"
+    if [ "$status" -ne 0 ]; then
+        echo "perf regression: $cur_label vs $base_label ratio drop" >&2
+    fi
+    exit "$status"
+fi
+
+for m in $WALL_METRICS; do
     base=$(metric_of "$base_line" "$m")
     cur=$(metric_of "$cur_line" "$m")
     if [ -z "$base" ] || [ -z "$cur" ]; then
@@ -103,8 +158,8 @@ for m in $METRICS; do
 done
 
 if [ "$status" -ne 0 ]; then
-    echo "perf regression: $cur_label vs $base_label exceeds ${pct}%" >&2
+    echo "perf regression: $cur_label vs $base_label exceeds the gate" >&2
 else
-    echo "no serve-path regression ($cur_label vs $base_label, ${pct}% gate)"
+    echo "no serve-path regression ($cur_label vs $base_label, ${pct}% wall / ${MAX_RATIO_DROP} ratio gate)"
 fi
 exit "$status"

@@ -80,6 +80,20 @@ CostEstimator::estimateQueueWaitMs(std::size_t queueDepth) const
     return static_cast<double>(queueDepth) * perItemMs;
 }
 
+double
+CostEstimator::suggestDeadlineMs(const std::string &shapeKey,
+                                 std::size_t queueDepth,
+                                 double factor) const
+{
+    const double budget = estimateQueueWaitMs(queueDepth) +
+                          estimateServiceMs(shapeKey);
+    if (budget <= 0.0)
+        return 0.0; // cold: no evidence, no suggestion
+    if (!(factor > 0.0) || !std::isfinite(factor))
+        factor = 1.0;
+    return budget / factor;
+}
+
 CostEstimator::Snapshot
 CostEstimator::snapshot() const
 {

@@ -85,6 +85,26 @@ class CostEstimator
      */
     double estimateQueueWaitMs(std::size_t queueDepth) const;
 
+    /**
+     * The tightest deadline (ms) a request of @p shapeKey submitted
+     * behind @p queueDepth entries is predicted to meet, with the
+     * admission-headroom @p factor folded in:
+     *
+     *   (predicted wait + predicted service) / factor
+     *
+     * This is the `Submission::suggestedDeadlineMs` contract: a
+     * resubmit carrying this deadline passes the wait-based deadline
+     * admission gate by construction while the estimates hold
+     * (wait <= factor * suggested, since service > 0), and it is also
+     * the value a tenant's estimator-derived default deadline
+     * (TenantSlo::defaultDeadlineMs < 0) assigns at submit. Factors
+     * outside (0, inf) are treated as 1; returns 0 while fully cold
+     * (no evidence, no suggestion).
+     */
+    double suggestDeadlineMs(const std::string &shapeKey,
+                             std::size_t queueDepth,
+                             double factor) const;
+
     /** Point-in-time copy of the EWMAs (metrics export). */
     struct Snapshot
     {

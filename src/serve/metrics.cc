@@ -94,6 +94,19 @@ MetricsSnapshot::toMetrics() const
         m.emplace_back("tenant_" + tag + "_cache_evictions",
                        static_cast<double>(t.evictions));
     }
+    // Per-tenant latency/SLO slices follow, same stable-tail contract.
+    for (const auto &t : tenantSlo) {
+        const std::string tag = metricSafe(t.tag);
+        m.emplace_back("tenant_" + tag + "_completed",
+                       static_cast<double>(t.completed));
+        m.emplace_back("tenant_" + tag + "_latency_p50_ms",
+                       t.latencyP50Ms);
+        m.emplace_back("tenant_" + tag + "_latency_p95_ms",
+                       t.latencyP95Ms);
+        m.emplace_back("tenant_" + tag + "_slo_p95_ms", t.sloP95Ms);
+        m.emplace_back("tenant_" + tag + "_slo_violated_windows",
+                       static_cast<double>(t.violatedWindows));
+    }
     return m;
 }
 
@@ -132,6 +145,15 @@ ServiceMetrics::rollbackAdmittedToRejected()
 }
 
 void
+ServiceMetrics::rollbackAdmittedToHopeless()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    --admitted_;
+    ++rejected_;
+    ++rejectedHopeless_;
+}
+
+void
 ServiceMetrics::recordRejectedHopeless()
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -162,7 +184,7 @@ ServiceMetrics::recordFailed()
 
 void
 ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
-                                bool coalesced)
+                                bool coalesced, const std::string &tag)
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
@@ -173,6 +195,16 @@ ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
     if (coalesced)
         ++coalesced_;
     latency_.add(totalMs);
+    if (tag.empty())
+        return;
+    auto it = tenantLatency_.find(tag);
+    if (it == tenantLatency_.end()) {
+        if (tenantLatency_.size() >= kMaxTenantStats)
+            return; // tag-churn bound: counted globally only
+        it = tenantLatency_.emplace(tag, TenantLatency{}).first;
+    }
+    it->second.latency.add(totalMs);
+    ++it->second.completed;
 }
 
 void
@@ -212,6 +244,16 @@ ServiceMetrics::snapshot(std::size_t queueDepth,
     s.latencyP99Ms = latency_.quantile(0.99);
     s.latencyMeanMs = latency_.mean();
     s.latencyMaxMs = latency_.max();
+    for (const auto &[tag, tl] : tenantLatency_) {
+        MetricsSnapshot::TenantSloStat ts;
+        ts.tag = tag;
+        ts.completed = tl.completed;
+        ts.latencyP50Ms = tl.latency.quantile(0.50);
+        ts.latencyP95Ms = tl.latency.quantile(0.95);
+        // sloP95Ms / violatedWindows are the service's to fill: the
+        // SLO table and the adaptation counters live in EvalService.
+        s.tenantSlo.push_back(std::move(ts));
+    }
     s.elapsedMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start_)
                       .count();

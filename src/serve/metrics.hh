@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -85,6 +86,34 @@ struct MetricsSnapshot
      */
     std::vector<TenantCache> tenantCache;
 
+    /** One tenant's latency distribution and SLO standing. */
+    struct TenantSloStat
+    {
+        std::string tag;
+        std::uint64_t completed = 0;  //!< Ok completions for this tag.
+        double latencyP50Ms = 0.0;
+        double latencyP95Ms = 0.0;
+        /**
+         * The tenant's effective p95 target — its tenantSlo entry,
+         * else the global sloP95Ms it inherits; 0 when it has none
+         * (filled by EvalService::metrics() from the config).
+         */
+        double sloP95Ms = 0.0;
+        /**
+         * Adaptation windows in which THIS tenant's window p95
+         * violated its own SLO (filled by EvalService::metrics();
+         * see ServiceConfig::tenantSlo).
+         */
+        std::uint64_t violatedWindows = 0;
+    };
+    /**
+     * Per-tenant latency/SLO slices, ordered by tag. A tenant appears
+     * once it completes a request (histograms are tracked for the
+     * first kMaxTenantStats distinct tags; later tags fold into the
+     * global distribution only) or once it accrues a violated window.
+     */
+    std::vector<TenantSloStat> tenantSlo;
+
     // End-to-end latency of completed requests (submit -> response).
     double latencyP50Ms = 0.0;
     double latencyP95Ms = 0.0;
@@ -122,13 +151,26 @@ class ServiceMetrics
     void recordAdmitted();
     /** Convert an optimistic admission into a rejection. */
     void rollbackAdmittedToRejected();
+    /**
+     * Convert an optimistic admission into a hopeless rejection — the
+     * Block-policy path where the post-wait re-check refuses a request
+     * that was optimistically counted admitted before it blocked.
+     */
+    void rollbackAdmittedToHopeless();
     /** Count an SLO-aware (hopeless) rejection at submit time. */
     void recordRejectedHopeless();
     void recordShed();
     void recordExpired();
     void recordFailed();
-    /** One request completed Ok after @p totalMs end to end. */
-    void recordCompleted(double totalMs, bool cacheHit, bool coalesced);
+    /**
+     * One request completed Ok after @p totalMs end to end. @p tag is
+     * the tenant label; non-empty tags additionally feed that tenant's
+     * latency histogram (bounded at kMaxTenantStats distinct tags —
+     * tags are client-controlled — beyond which samples fold into the
+     * global distribution only).
+     */
+    void recordCompleted(double totalMs, bool cacheHit, bool coalesced,
+                         const std::string &tag);
     /** One runBatch wave of @p uniqueItems evaluations dispatched. */
     void recordWave(std::size_t uniqueItems);
 
@@ -137,8 +179,23 @@ class ServiceMetrics
                              std::size_t queueHighWater) const;
 
   private:
+    /**
+     * Most distinct tenant tags given their own latency histogram.
+     * Tags come from clients, so per-tenant metric state must be
+     * bounded; past the cap, completions still count globally.
+     */
+    static constexpr std::size_t kMaxTenantStats = 64;
+
+    /** One tenant's slice of the latency accounting. */
+    struct TenantLatency
+    {
+        Histogram latency{1e-3, 1e7, 1.25};
+        std::uint64_t completed = 0;
+    };
+
     mutable std::mutex mu_;
     Histogram latency_; //!< Milliseconds, 1 us .. ~3 h buckets.
+    std::map<std::string, TenantLatency> tenantLatency_;
     std::uint64_t submitted_ = 0;
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;

@@ -97,20 +97,30 @@ RequestQueue::shedVictimFor(const Pending &newcomer) const
 }
 
 RequestQueue::PushResult
-RequestQueue::push(Pending &&p)
+RequestQueue::push(Pending &&p, const DoomedAfterWait &doomedAfterWait)
 {
     std::unique_lock<std::mutex> lock(mu_);
     const bool quota = cfg_.maxPerTenant > 0;
+    bool waited = false;
     if (cfg_.policy == AdmissionPolicy::Block) {
         spaceCv_.wait(lock, [&]() {
-            return closed_ ||
-                   (q_.size() < cfg_.maxDepth &&
-                    (!quota ||
-                     queuedFor(p.req.tag) < cfg_.maxPerTenant));
+            const bool ready =
+                closed_ ||
+                (q_.size() < cfg_.maxDepth &&
+                 (!quota ||
+                  queuedFor(p.req.tag) < cfg_.maxPerTenant));
+            if (!ready)
+                waited = true;
+            return ready;
         });
     }
     if (closed_)
         return {Admission::RejectedClosed, std::nullopt};
+    // A blocked push's admission cost was estimated against the queue
+    // as it stood before the wait; re-judge it against the state the
+    // submitter actually woke to (see DoomedAfterWait).
+    if (waited && doomedAfterWait && doomedAfterWait(p, q_.size()))
+        return {Admission::RejectedHopeless, std::nullopt};
     if (quota && queuedFor(p.req.tag) >= cfg_.maxPerTenant)
         return {Admission::RejectedQuota, std::nullopt};
 

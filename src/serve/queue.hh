@@ -23,6 +23,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -101,11 +102,30 @@ class RequestQueue
     };
 
     /**
-     * Admit @p p under the configured policy. Under Block this waits
-     * for space (or close()); the returned shed entry, when present,
-     * must have its promise resolved by the caller.
+     * Re-admission check for Block-policy pushes that actually
+     * blocked: called under the queue lock with the entry and the
+     * depth observed at wake, it returns true when the entry should
+     * be refused (RejectedHopeless) instead of admitted. The caller's
+     * pre-push cost estimate was judged against the queue state
+     * *before* the block; by the time a blocked submitter wakes, that
+     * estimate is stale (load may have surged while it slept), so the
+     * service re-evaluates it here and a now-doomed request is turned
+     * away instead of admitted on stale evidence. Never invoked when
+     * the push did not wait, or after close() (shutdown stays
+     * RejectedClosed). Must not touch the queue (it runs under mu_);
+     * reading leaf-locked state such as the cost estimator is fine.
      */
-    PushResult push(Pending &&p);
+    using DoomedAfterWait =
+        std::function<bool(const Pending &, std::size_t depth)>;
+
+    /**
+     * Admit @p p under the configured policy. Under Block this waits
+     * for space (or close()), then consults @p doomedAfterWait (see
+     * above) when the wait actually blocked; the returned shed entry,
+     * when present, must have its promise resolved by the caller.
+     */
+    PushResult push(Pending &&p,
+                    const DoomedAfterWait &doomedAfterWait = {});
 
     /** popWave() result: dispatchable entries + deadline casualties. */
     struct Wave

@@ -154,6 +154,24 @@ struct Submission
 {
     Admission admission = Admission::Admitted;
     std::future<EvalResponse> response;
+    /**
+     * Estimator-driven deadline assignment: on RejectedHopeless, the
+     * deadline (ms) the estimator predicts this request COULD meet if
+     * resubmitted — predicted queue wait + service time, scaled by the
+     * tenant's admission-factor headroom. A client that resubmits with
+     * `deadlineMs = suggestedDeadlineMs` passes the wait-based
+     * deadline gate by construction (under unchanged estimates), so
+     * it can retry purposefully instead of blind-retrying; the p95
+     * SLO gate still applies, so a resubmit into a still-hopeless
+     * queue is refused again (with a fresh, larger suggestion). The
+     * budget covers predicted queue drain + service, not the
+     * service's elective batching linger — a retry into an idle
+     * long-linger service should arrive with wave-mates (or the
+     * operator keeps lingers shorter than the budgets it suggests).
+     * 0 on every non-hopeless outcome, and when the estimator is
+     * cold.
+     */
+    double suggestedDeadlineMs = 0.0;
 
     bool admitted() const { return admission == Admission::Admitted; }
 };

@@ -70,11 +70,24 @@ normalized(ServiceConfig cfg)
     return cfg;
 }
 
+/** Any p95 target at all — global, or any tenant's own? */
+bool
+anySloConfigured(const ServiceConfig &cfg)
+{
+    if (cfg.sloP95Ms > 0.0)
+        return true;
+    for (const auto &[tag, slo] : cfg.tenantSlo)
+        if (slo.p95Ms > 0.0)
+            return true;
+    return false;
+}
+
 } // namespace
 
 EvalService::EvalService(ServiceConfig cfg)
     : cfg_(normalized(cfg)), queue_(cfg_.queue),
       cache_(cacheConfigFor(cfg_)), waveLimit_(cfg_.maxWave),
+      sloActive_(anySloConfigured(cfg_)),
       dispatcher_([this]() { dispatcherLoop(); })
 {}
 
@@ -114,6 +127,37 @@ EvalService::metrics() const
     s.sloWindows = sloWindows_.load(std::memory_order_relaxed);
     s.sloViolatedWindows =
         sloViolatedWindows_.load(std::memory_order_relaxed);
+    // Overlay the parts of the per-tenant SLO rows only the service
+    // knows: the effective target from the SLO table and the
+    // per-tenant violated-window counters from the adaptation loop. A
+    // tenant that violated windows without completing a request in
+    // the histogram cap still gets a row — violations must never be
+    // silently invisible.
+    {
+        std::lock_guard<std::mutex> lock(sloMu_);
+        for (auto &t : s.tenantSlo) {
+            t.sloP95Ms = sloFor(t.tag).p95Ms;
+            auto it = tenantViolatedWindows_.find(t.tag);
+            if (it != tenantViolatedWindows_.end())
+                t.violatedWindows = it->second;
+        }
+        for (const auto &[tag, violated] : tenantViolatedWindows_) {
+            const bool present = std::any_of(
+                s.tenantSlo.begin(), s.tenantSlo.end(),
+                [&](const auto &t) { return t.tag == tag; });
+            if (!present) {
+                MetricsSnapshot::TenantSloStat ts;
+                ts.tag = tag;
+                ts.sloP95Ms = sloFor(tag).p95Ms;
+                ts.violatedWindows = violated;
+                s.tenantSlo.push_back(std::move(ts));
+            }
+        }
+        std::sort(s.tenantSlo.begin(), s.tenantSlo.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.tag < b.tag;
+                  });
+    }
     const auto es = estimator_.snapshot();
     s.estServiceMs = es.serviceMs;
     s.estWaveMs = es.waveMs;
@@ -121,23 +165,39 @@ EvalService::metrics() const
     return s;
 }
 
-bool
-EvalService::hopeless(const EvalRequest &req,
-                      std::size_t queueDepth) const
+EvalService::SloView
+EvalService::sloFor(const std::string &tag) const
 {
-    if (cfg_.sloAdmissionFactor <= 0.0)
+    SloView v;
+    v.p95Ms = std::max(0.0, cfg_.sloP95Ms);
+    v.factor = cfg_.sloAdmissionFactor; // normalized() clamped >= 0
+    auto it = cfg_.tenantSlo.find(tag);
+    if (it == cfg_.tenantSlo.end())
+        return v;
+    const TenantSlo &t = it->second;
+    if (t.p95Ms != 0.0) // > 0 overrides; < 0 opts out entirely
+        v.p95Ms = std::max(0.0, t.p95Ms);
+    if (t.admissionFactor >= 0.0) // < 0 inherits; 0 disables
+        v.factor = t.admissionFactor;
+    v.defaultDeadlineMs = t.defaultDeadlineMs;
+    return v;
+}
+
+bool
+EvalService::hopeless(const std::string &shapeKey, double deadlineMs,
+                      std::size_t queueDepth, const SloView &slo) const
+{
+    if (slo.factor <= 0.0)
         return false;
-    const bool hasDeadline = req.deadlineMs > 0.0;
-    if (!hasDeadline && cfg_.sloP95Ms <= 0.0)
+    const bool hasDeadline = deadlineMs > 0.0;
+    if (!hasDeadline && slo.p95Ms <= 0.0)
         return false; // no budget to miss
     const double waitMs = estimator_.estimateQueueWaitMs(queueDepth);
-    if (hasDeadline &&
-        waitMs > cfg_.sloAdmissionFactor * req.deadlineMs)
+    if (hasDeadline && waitMs > slo.factor * deadlineMs)
         return true; // queue deadlines bound waiting, not service
-    if (cfg_.sloP95Ms > 0.0) {
-        const double serviceMs = estimator_.estimateServiceMs(
-            accel::requestShapeKey(req.model, req.batch));
-        if (waitMs + serviceMs > cfg_.sloAdmissionFactor * cfg_.sloP95Ms)
+    if (slo.p95Ms > 0.0) {
+        const double serviceMs = estimator_.estimateServiceMs(shapeKey);
+        if (waitMs + serviceMs > slo.factor * slo.p95Ms)
             return true;
     }
     return false;
@@ -148,8 +208,10 @@ EvalService::submit(EvalRequest req)
 {
     metrics_.recordSubmitted();
 
-    // SLO-aware admission: refuse work the estimator predicts cannot
-    // meet its deadline/SLO even if admitted right now — before the
+    // SLO-aware admission, judged against the submitting tenant's
+    // resolved SLO policy (sloFor: per-tag table entry, global knobs
+    // as fallback): refuse work the estimator predicts cannot meet
+    // its deadline/SLO even if admitted right now — before the
     // request costs a queue slot, a drain slot, or (under Block) a
     // blocked submitter. Decided from cheap O(1) reads (queue depth,
     // EWMAs, the coarse shape key); the expensive canonical key is
@@ -157,10 +219,53 @@ EvalService::submit(EvalRequest req)
     // RejectedClosed, never RejectedHopeless — shutdown must stay
     // distinguishable from load rejection (clients back off
     // differently) — hence the closed() guard. The depth is sampled
-    // once, so the hopeless verdict and the probe decision below are
-    // judged against the same queue state.
+    // once, so the deadline assignment, the hopeless verdict, and the
+    // probe decision below are all judged against the same queue
+    // state.
+    const SloView slo = sloFor(req.tag);
+    // The coarse shape key feeds the hopeless gate, the deadline
+    // suggestion, and the deadline default; compute it once, and only
+    // when some SLO machinery can actually consume it — a service
+    // with no SLO, no deadline, and no tenant default keeps the
+    // zero-allocation submit path. (It is the cheap key either way —
+    // the expensive canonical requestKey still waits for dispatch.)
+    const bool needShapeKey =
+        slo.defaultDeadlineMs != 0.0 ||
+        (slo.factor > 0.0 &&
+         (slo.p95Ms > 0.0 || req.deadlineMs > 0.0));
+    const std::string shapeKey =
+        needShapeKey ? accel::requestShapeKey(req.model, req.batch)
+                     : std::string();
     const std::size_t depthNow = queue_.depth();
-    if (!queue_.closed() && hopeless(req, depthNow)) {
+    const bool isClosed = queue_.closed();
+
+    // Estimator-driven deadline assignment: a request submitted
+    // without a deadline inherits its tenant's default — fixed, or
+    // derived from the cost estimator's current prediction (see
+    // TenantSlo::defaultDeadlineMs). Assigned before the hopeless
+    // gate, so an inherited deadline is enforced exactly like a
+    // client-provided one.
+    if (!isClosed && req.deadlineMs <= 0.0 &&
+        slo.defaultDeadlineMs != 0.0) {
+        req.deadlineMs = slo.defaultDeadlineMs > 0.0
+                             ? slo.defaultDeadlineMs
+                             : estimator_.suggestDeadlineMs(
+                                   shapeKey, depthNow, slo.factor);
+    }
+
+    // A hopeless rejection always carries the deadline a resubmission
+    // could meet (see Submission::suggestedDeadlineMs) instead of
+    // leaving the client to blind-retry; shared by the submit-time
+    // gate and the Block post-wait re-check below.
+    auto hopelessRejection = [&](std::size_t depth) {
+        Submission rejected{Admission::RejectedHopeless,
+                            std::future<EvalResponse>()};
+        rejected.suggestedDeadlineMs =
+            estimator_.suggestDeadlineMs(shapeKey, depth, slo.factor);
+        return rejected;
+    };
+
+    if (!isClosed && hopeless(shapeKey, req.deadlineMs, depthNow, slo)) {
         // Probe admission (see kHopelessProbeInterval): the streak
         // only advances — and a probe only fires — when the queue is
         // idle, so burst rejections under load stay rejections.
@@ -171,8 +276,7 @@ EvalService::submit(EvalRequest req)
                 kHopelessProbeInterval;
         if (!probe) {
             metrics_.recordRejectedHopeless();
-            return {Admission::RejectedHopeless,
-                    std::future<EvalResponse>()};
+            return hopelessRejection(depthNow);
         }
         hopelessStreak_.store(0, std::memory_order_relaxed);
     } else {
@@ -204,8 +308,59 @@ EvalService::submit(EvalRequest req)
         std::lock_guard<std::mutex> lock(drainMu_);
         ++unresolved_;
     }
-    auto pushed = queue_.push(std::move(p));
+    // Under Block, the hopeless verdict above was judged against the
+    // queue as it stood before any wait; if the push actually blocks,
+    // the queue re-judges the request against the state it wakes to —
+    // fresh depth, fresh EWMAs, and crucially the REMAINING deadline
+    // budget (the time spent blocked already burned part of it; a
+    // request whose deadline passed while it slept is refused here
+    // instead of occupying a slot just to expire). The callback runs
+    // under the queue lock and only reads leaf-locked estimator
+    // state. It is built only under the Block policy — the only
+    // policy that can wait — and only when there is a budget the
+    // re-check could find missed: a p95 target, or an (possibly
+    // tenant-default-assigned) deadline. A tenant that opted out of
+    // hopeless rejection (slo.factor == 0) skips it like every other
+    // hopeless gate, and the common Reject/Shed submit path stays
+    // free of the std::function allocation entirely.
+    RequestQueue::DoomedAfterWait doomedAfterWait;
+    if (cfg_.queue.policy == AdmissionPolicy::Block &&
+        slo.factor > 0.0 &&
+        (slo.p95Ms > 0.0 ||
+         p.deadline != Clock::time_point::max())) {
+        doomedAfterWait = [this, slo, shapeKey](const Pending &pending,
+                                                std::size_t depth) {
+            const auto now = Clock::now();
+            double leftMs = 0.0; // no deadline
+            if (pending.deadline != Clock::time_point::max()) {
+                leftMs = msBetween(now, pending.deadline);
+                if (leftMs <= 0.0)
+                    return true; // expired while blocked: doomed
+            }
+            // The p95 budget is end-to-end from submit, so the time
+            // already spent blocked has been spent from it too:
+            // doomed when elapsed + wait + service > factor * p95,
+            // expressed by shrinking the budget handed to the gate
+            // (elapsed / factor, since the gate scales the budget by
+            // factor). A budget fully burned while blocked is doomed
+            // outright.
+            SloView left = slo;
+            if (left.p95Ms > 0.0) {
+                left.p95Ms -=
+                    msBetween(pending.submitTime, now) / left.factor;
+                if (left.p95Ms <= 0.0)
+                    return true;
+            }
+            return hopeless(shapeKey, leftMs, depth, left);
+        };
+    }
+    auto pushed = queue_.push(std::move(p), doomedAfterWait);
     if (pushed.admission != Admission::Admitted) {
+        if (pushed.admission == Admission::RejectedHopeless) {
+            metrics_.rollbackAdmittedToHopeless();
+            releaseDrainSlot();
+            return hopelessRejection(queue_.depth());
+        }
         metrics_.rollbackAdmittedToRejected();
         releaseDrainSlot();
         return {pushed.admission, std::future<EvalResponse>()};
@@ -220,10 +375,11 @@ EvalService::resolve(Pending &&p, EvalResponse &&r)
 {
     switch (r.status) {
       case ResponseStatus::Ok:
-        metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced);
-        if (cfg_.sloP95Ms > 0.0) {
+        metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced,
+                                 r.tag);
+        if (sloActive_) {
             std::lock_guard<std::mutex> lock(sloMu_);
-            sloLatencies_.push_back(r.totalMs);
+            sloLatencies_.emplace_back(r.tag, r.totalMs);
         }
         break;
       case ResponseStatus::Shed:
@@ -264,7 +420,7 @@ EvalService::finish(Pending &&p, ResponseStatus status)
 std::chrono::milliseconds
 EvalService::effectiveLinger() const
 {
-    if (cfg_.sloP95Ms <= 0.0 || cfg_.linger.count() == 0)
+    if (!sloActive_ || cfg_.linger.count() == 0)
         return cfg_.linger;
     // Scale the batching delay with the adaptive cap: a halved wave
     // limit halves the time requests wait for wave-mates. Floored at
@@ -278,12 +434,30 @@ EvalService::effectiveLinger() const
                                    static_cast<long long>(cfg_.maxWave)));
 }
 
+namespace
+{
+
+/** Nearest-rank p95 of @p xs (destructive); NaN-safe via caller. */
+double
+p95Of(std::vector<double> &xs)
+{
+    const std::size_t rank = std::min(
+        xs.size() - 1,
+        static_cast<std::size_t>(std::ceil(0.95 * xs.size())) - 1);
+    std::nth_element(xs.begin(),
+                     xs.begin() + static_cast<std::ptrdiff_t>(rank),
+                     xs.end());
+    return xs[rank];
+}
+
+} // namespace
+
 void
 EvalService::adaptWaveLimit()
 {
-    if (cfg_.sloP95Ms <= 0.0)
+    if (!sloActive_)
         return;
-    std::vector<double> window;
+    std::vector<std::pair<std::string, double>> window;
     {
         std::lock_guard<std::mutex> lock(sloMu_);
         if (sloLatencies_.size() < cfg_.sloWindow)
@@ -292,26 +466,87 @@ EvalService::adaptWaveLimit()
     }
     if (window.empty())
         return; // defensive: an empty window carries no decision
-    const std::size_t rank = std::min(
-        window.size() - 1,
-        static_cast<std::size_t>(std::ceil(0.95 * window.size())) - 1);
-    std::nth_element(window.begin(),
-                     window.begin() + static_cast<std::ptrdiff_t>(rank),
-                     window.end());
-    const double p95 = window[rank];
-    if (!std::isfinite(p95))
-        return; // a NaN p95 is neither healthy nor violated: skip
+
+    // Group the window by SLO policy and judge each group against
+    // its own effective target. Tenants with their own tenantSlo
+    // entry get their own group; everyone else — untagged traffic
+    // and tenants inheriting the global target — pools into one
+    // group judged against the global SLO, exactly the pre-tenant
+    // pooled-window behavior (so many small tags sharing the global
+    // target can never starve adaptation of samples). The decision
+    // is driven by the strictest violated group: ANY violated group
+    // halves the cap — a latency-insensitive batch tenant's
+    // comfortable p95 must never average away an interactive
+    // tenant's violation — while growth requires every SLO-bearing
+    // group comfortably healthy (p95 under 80% of its own target).
+    // Per-tenant groups smaller than a handful of samples carry no
+    // stable p95 (a lone scheduling outlier from a 3% tenant must
+    // not halve the cap for everyone), so they are skipped; a sub-4
+    // sloWindow lowers the bar with it, and the pooled group — the
+    // legacy judgment — is exempt.
+    const std::size_t minGroup =
+        std::min<std::size_t>(4, cfg_.sloWindow);
+    std::map<std::string, std::vector<double>> groups;
+    for (auto &[tag, ms] : window) {
+        // Own group only for tenants that set their own p95 (> 0
+        // overrides, < 0 opts out — its group is then skipped as
+        // target-less); an entry that merely tunes the admission
+        // factor or default deadline still inherits the global
+        // target and pools with everyone else.
+        const auto it = cfg_.tenantSlo.find(tag);
+        const bool ownTarget =
+            it != cfg_.tenantSlo.end() && it->second.p95Ms != 0.0;
+        groups[ownTarget ? tag : std::string()].push_back(ms);
+    }
+    bool judged = false;     //!< Any group carried an SLO verdict.
+    bool violated = false;   //!< Some tenant over its own target.
+    bool comfortable = true; //!< Every judged group under 80%.
+    std::vector<std::string> violatedTags;
+    for (auto &[tag, xs] : groups) {
+        const bool pooled = tag.empty();
+        if (!pooled && xs.size() < minGroup)
+            continue; // too few samples for a stable verdict
+        const double slo = sloFor(tag).p95Ms;
+        if (slo <= 0.0)
+            continue; // no target for this tenant: no verdict
+        const double p95 = p95Of(xs);
+        if (!std::isfinite(p95))
+            continue; // a NaN p95 is neither healthy nor violated
+        judged = true;
+        if (p95 > slo) {
+            violated = true;
+            // Untagged traffic has no tenant row; its violations are
+            // visible in the global sloViolatedWindows counter.
+            if (!tag.empty())
+                violatedTags.push_back(tag);
+        } else if (p95 >= 0.8 * slo) {
+            comfortable = false;
+        }
+    }
+    if (!judged)
+        return; // a window of opted-out tenants decides nothing
 
     sloWindows_.fetch_add(1, std::memory_order_relaxed);
     std::size_t cap = waveLimit_.load(std::memory_order_relaxed);
-    if (p95 > cfg_.sloP95Ms) {
+    if (violated) {
         // Violated: halve the cap (multiplicative decrease) so queued
         // requests stop paying for large waves and long lingers.
         sloViolatedWindows_.fetch_add(1, std::memory_order_relaxed);
+        {
+            // Tags are client-controlled, so the per-tenant counter
+            // map is bounded; past the cap, violations still count in
+            // the global sloViolatedWindows_ above.
+            constexpr std::size_t kMaxViolatedTagRows = 256;
+            std::lock_guard<std::mutex> lock(sloMu_);
+            for (const auto &tag : violatedTags)
+                if (tenantViolatedWindows_.count(tag) > 0 ||
+                    tenantViolatedWindows_.size() < kMaxViolatedTagRows)
+                    ++tenantViolatedWindows_[tag];
+        }
         cap = std::max(cfg_.minWave, cap / 2);
-    } else if (p95 < 0.8 * cfg_.sloP95Ms) {
-        // Comfortably healthy: grow additively back toward maxWave
-        // for better coalescing/throughput.
+    } else if (comfortable) {
+        // Comfortably healthy across every judged tenant: grow
+        // additively back toward maxWave for better coalescing.
         cap = std::min(cfg_.maxWave, cap + 1);
     }
     waveLimit_.store(cap, std::memory_order_relaxed);

@@ -15,9 +15,14 @@
  *    with the corresponding status — nothing is silently dropped.
  *    SLO-aware admission (serve/estimator.hh) additionally refuses a
  *    request up front (RejectedHopeless) when the predicted queue
- *    wait + service time already exceeds its deadline or the p95 SLO:
- *    doomed work is turned away in microseconds instead of occupying
- *    a queue slot and failing slowly.
+ *    wait + service time already exceeds its deadline or its
+ *    tenant's p95 SLO (ServiceConfig::tenantSlo, global knobs as
+ *    fallback): doomed work is turned away in microseconds instead
+ *    of occupying a queue slot and failing slowly. A hopeless
+ *    rejection carries Submission::suggestedDeadlineMs — the budget
+ *    the estimator predicts a resubmission could meet — and requests
+ *    submitted without a deadline inherit their tenant's (optionally
+ *    estimator-derived) default.
  *  - Result caching: a sharded cache keyed on the canonical
  *    accel::requestKey, so repeated sweep points (figure grids, DSE
  *    re-runs) are served without re-evaluation. Identical requests in
@@ -36,6 +41,7 @@
 #define SMART_SERVE_SERVICE_HH
 
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "accel/batch.hh"
@@ -47,6 +53,44 @@
 
 namespace smart::serve
 {
+
+/**
+ * One tenant's SLO policy (ServiceConfig::tenantSlo, keyed on the
+ * request tag). Every field falls back to the corresponding global
+ * knob, so a table entry only overrides what it sets — the global
+ * sloP95Ms / sloAdmissionFactor remain the policy for tenants (and
+ * untagged traffic) without an entry.
+ */
+struct TenantSlo
+{
+    /**
+     * This tenant's p95 end-to-end latency target (ms): drives both
+     * SLO-aware admission and the adaptive wave sizing for requests
+     * carrying this tag. 0 inherits the global sloP95Ms; a negative
+     * value opts the tenant out of any p95 SLO entirely (a lax batch
+     * tenant under a strict global default).
+     */
+    double p95Ms = 0.0;
+    /**
+     * Admission headroom for this tenant (see sloAdmissionFactor).
+     * Negative inherits the global factor; 0 disables hopeless
+     * rejection for this tenant only.
+     */
+    double admissionFactor = -1.0;
+    /**
+     * Deadline assigned to this tenant's requests submitted without
+     * one. 0 assigns none (the global behavior); a positive value is
+     * a fixed queue-time budget in ms; a negative value derives the
+     * deadline from the cost estimator at submit time — the same
+     * wait-plus-service-over-factor formula as
+     * Submission::suggestedDeadlineMs — so an interactive tenant's
+     * requests expire promptly once the queue outgrows what the
+     * estimator believes they can survive, instead of languishing.
+     * (An estimator-derived deadline tracks load: while the estimator
+     * is cold no deadline is assigned.)
+     */
+    double defaultDeadlineMs = 0.0;
+};
 
 /** Service shape: queue bounds, wave policy, SLO, cache policy. */
 struct ServiceConfig
@@ -82,10 +126,13 @@ struct ServiceConfig
      * waiting only), or predicted wait + service time exceeds
      * sloAdmissionFactor * sloP95Ms. 1.0 rejects exactly at the
      * predicted budget; values < 1 reject earlier, buying headroom
-     * for estimation error. 0 disables hopeless rejection entirely.
-     * Requests with no deadline under sloP95Ms == 0 are never
-     * rejected as hopeless, and neither is anything while the
-     * estimator is cold (no completed evaluation yet). Rejected
+     * for estimation error. Both knobs here are the defaults a
+     * tenantSlo entry may override per tag, so the two guarantees
+     * that follow hold for tenants WITHOUT an override: 0 disables
+     * hopeless rejection entirely, and requests with no deadline
+     * under sloP95Ms == 0 are never rejected as hopeless. Nothing is
+     * rejected while the estimator is cold (no completed evaluation
+     * yet), for any tenant. Rejected
      * requests yield no samples, so an idle service admits every 8th
      * consecutive hopeless rejection as a probe — a stuck-high
      * estimate re-measures and admission self-heals instead of
@@ -95,6 +142,19 @@ struct ServiceConfig
      * keeping submit() free of the expensive canonical-key hash.
      */
     double sloAdmissionFactor = 1.0;
+    /**
+     * Per-tenant SLO table, keyed on the request tag. Tenants (and
+     * untagged requests) without an entry use the global knobs above;
+     * an entry overrides only the fields it sets (see TenantSlo). The
+     * adaptive wave sizing then judges each window per tenant against
+     * that tenant's own target and shrinks the wave cap when ANY
+     * tenant's SLO is violated — the strictest violated tenant drives
+     * the decision — while growth requires every SLO-bearing tenant
+     * to be comfortably healthy. SLO-aware (hopeless) admission and
+     * estimator-driven deadline assignment gate each submission
+     * against the submitting tenant's entry.
+     */
+    std::map<std::string, TenantSlo> tenantSlo;
     bool cacheEnabled = true;
     /**
      * Result-cache entry budget, enforced by per-shard LRU eviction
@@ -163,6 +223,15 @@ class EvalService
         return waveLimit_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The service's cost estimator. Exposed so operators can
+     * warm-start a fresh service from a sibling's observed costs (or
+     * tests can inject known samples); injected samples fold into the
+     * EWMAs exactly like observed ones, and admission decisions pick
+     * them up on the next submit.
+     */
+    CostEstimator &costEstimator() { return estimator_; }
+
   private:
     void dispatcherLoop();
     /**
@@ -181,22 +250,44 @@ class EvalService
     void serveWave(std::vector<Pending> &&wave);
     /**
      * One SLO adaptation step (no-op until a full window of Ok
-     * completions has accumulated): compare the window's p95 against
-     * the SLO and resize the wave cap. Called from the dispatcher
-     * between waves.
+     * completions has accumulated): group the window's latencies by
+     * tenant, judge each group against that tenant's effective SLO,
+     * and resize the wave cap — any violated tenant (the strictest
+     * violated one drives the decision) halves it; growth requires
+     * every SLO-bearing tenant comfortably healthy. Called from the
+     * dispatcher between waves.
      */
     void adaptWaveLimit();
     /** The linger for the current wave cap (scaled under an SLO). */
     std::chrono::milliseconds effectiveLinger() const;
 
     /**
-     * True when the estimator predicts @p req cannot meet its budget
-     * even if admitted now behind @p queueDepth queued requests (see
-     * ServiceConfig::sloAdmissionFactor). The depth is sampled once
-     * by submit() so the verdict and the probe decision built on it
-     * agree.
+     * @p tag's SLO policy with the global-knob fallbacks resolved
+     * (see TenantSlo): p95Ms and factor are directly usable (0 means
+     * none/disabled), defaultDeadlineMs keeps the table's tri-state.
      */
-    bool hopeless(const EvalRequest &req, std::size_t queueDepth) const;
+    struct SloView
+    {
+        double p95Ms = 0.0;
+        double factor = 0.0;
+        double defaultDeadlineMs = 0.0;
+    };
+    SloView sloFor(const std::string &tag) const;
+
+    /**
+     * True when the estimator predicts a request of @p shapeKey with
+     * @p deadlineMs of queue budget left (<= 0 = none) cannot meet
+     * that budget even if admitted now behind @p queueDepth queued
+     * requests, judged against @p slo — the submitting tenant's
+     * resolved policy (see ServiceConfig::sloAdmissionFactor /
+     * tenantSlo). The depth is sampled once by submit() so the
+     * verdict and the probe decision built on it agree; the
+     * Block-policy post-wait re-check passes the REMAINING deadline
+     * budget, not the original one, so time spent blocked counts
+     * against the request.
+     */
+    bool hopeless(const std::string &shapeKey, double deadlineMs,
+                  std::size_t queueDepth, const SloView &slo) const;
 
     ServiceConfig cfg_;
     RequestQueue queue_;
@@ -212,8 +303,13 @@ class EvalService
     std::atomic<std::size_t> waveLimit_;
     /** Consecutive idle hopeless rejections (probe admission). */
     std::atomic<std::uint32_t> hopelessStreak_{0};
-    std::mutex sloMu_;
-    std::vector<double> sloLatencies_; //!< Current adaptation window.
+    /** Any p95 SLO configured (global or per-tenant)? Set once. */
+    bool sloActive_ = false;
+    mutable std::mutex sloMu_; //!< Guards the window + tenant rows.
+    /** Current adaptation window: (tenant tag, end-to-end ms). */
+    std::vector<std::pair<std::string, double>> sloLatencies_;
+    /** Windows in which each tenant violated its own SLO. sloMu_. */
+    std::map<std::string, std::uint64_t> tenantViolatedWindows_;
     std::atomic<std::uint64_t> sloWindows_{0};
     std::atomic<std::uint64_t> sloViolatedWindows_{0};
 

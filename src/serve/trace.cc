@@ -42,6 +42,9 @@ makeSyntheticTrace(const TraceConfig &cfg)
     smart_assert(cfg.tenantWeights.empty() ||
                      cfg.tenantWeights.size() == cfg.tenants.size(),
                  "tenantWeights must align with tenants");
+    smart_assert(cfg.tenantDeadlineMs.empty() ||
+                     cfg.tenantDeadlineMs.size() == cfg.tenants.size(),
+                 "tenantDeadlineMs must align with tenants");
     std::vector<double> cumulative(cfg.tenants.size(), 0.0);
     double weight_sum = 0.0;
     for (std::size_t t = 0; t < cfg.tenants.size(); ++t) {
@@ -54,12 +57,12 @@ makeSyntheticTrace(const TraceConfig &cfg)
     // All-zero weights would silently route everything to the last
     // tenant, invalidating the fairness experiment being configured.
     smart_assert(weight_sum > 0.0, "tenant weights must not sum to 0");
-    auto drawTenant = [&]() -> const std::string & {
+    auto drawTenant = [&]() -> std::size_t {
         const double u = rng.uniform() * weight_sum;
         for (std::size_t t = 0; t < cumulative.size(); ++t)
             if (u < cumulative[t])
-                return cfg.tenants[t];
-        return cfg.tenants.back();
+                return t;
+        return cfg.tenants.size() - 1;
     };
 
     std::vector<TraceRequest> trace;
@@ -89,9 +92,18 @@ makeSyntheticTrace(const TraceConfig &cfg)
                     ? Priority::High
                     : (rng.uniform() < 0.5 ? Priority::Normal
                                            : Priority::Low);
-            if (rng.uniform() < cfg.deadlineFraction)
+            // The deadline-fraction draw is consumed either way so a
+            // trace with tenantDeadlineMs differs from its global-
+            // deadline twin only in the deadlines, not in every later
+            // draw of the stream.
+            const bool drawDeadline =
+                rng.uniform() < cfg.deadlineFraction;
+            const std::size_t tenant = drawTenant();
+            tr.req.tag = cfg.tenants[tenant];
+            if (!cfg.tenantDeadlineMs.empty())
+                tr.req.deadlineMs = cfg.tenantDeadlineMs[tenant];
+            else if (drawDeadline)
                 tr.req.deadlineMs = cfg.deadlineMs;
-            tr.req.tag = drawTenant();
             trace.push_back(std::move(tr));
             clock_ms += cfg.intraGapMs;
         }
@@ -102,7 +114,7 @@ makeSyntheticTrace(const TraceConfig &cfg)
 
 ReplayReport
 replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
-            double timeScale)
+            const ReplayOptions &opts)
 {
     using Clock = std::chrono::steady_clock;
     const auto start = Clock::now();
@@ -116,13 +128,16 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
     };
     std::vector<Outstanding> outstanding;
     outstanding.reserve(trace.size());
+    /** Hopeless rejections to retry: (trace index, suggested ms). */
+    std::vector<std::pair<std::size_t, double>> retries;
 
-    for (const auto &tr : trace) {
-        if (timeScale > 0.0) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &tr = trace[i];
+        if (opts.timeScale > 0.0) {
             const auto due =
                 start + std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double, std::milli>(
-                                tr.arrivalMs * timeScale));
+                                tr.arrivalMs * opts.timeScale));
             std::this_thread::sleep_until(due);
         }
         ++rep.tenants[tr.req.tag].submitted;
@@ -136,6 +151,9 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
             if (sub.admission == Admission::RejectedHopeless) {
                 ++rep.rejectedHopeless;
                 ++rep.tenants[tr.req.tag].rejectedHopeless;
+                if (opts.resubmitOnSuggestion &&
+                    sub.suggestedDeadlineMs > 0.0)
+                    retries.emplace_back(i, sub.suggestedDeadlineMs);
             }
         }
     }
@@ -175,11 +193,46 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
         rep.responses.push_back(std::move(r));
     }
 
+    // Resubmit-on-suggestion: each hopeless rejection is retried once
+    // with the deadline the estimator suggested, serialized so each
+    // retry is judged against a drained queue — the way independent
+    // clients that waited out their suggested budget would trickle
+    // back in, rather than re-flooding the queue they were just
+    // turned away from. Retried requests are extra submissions on
+    // top of the trace; they never touch the consistent() buckets.
+    for (const auto &[idx, suggestedMs] : retries) {
+        EvalRequest req = trace[idx].req;
+        req.deadlineMs = suggestedMs;
+        TenantTally &tally = rep.tenants[req.tag];
+        ++rep.resubmitted;
+        ++tally.resubmitted;
+        auto sub = svc.submit(std::move(req));
+        if (!sub.admitted())
+            continue;
+        try {
+            if (sub.response.get().status == ResponseStatus::Ok) {
+                ++rep.resubmitOk;
+                ++tally.resubmitOk;
+            }
+        } catch (...) {
+            // A failed retry wave counts as a non-Ok retry outcome.
+        }
+    }
+
     rep.metrics = svc.metrics();
     rep.wallMs = std::chrono::duration<double, std::milli>(Clock::now() -
                                                            start)
                      .count();
     return rep;
+}
+
+ReplayReport
+replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
+            double timeScale)
+{
+    ReplayOptions opts;
+    opts.timeScale = timeScale;
+    return replayTrace(svc, trace, opts);
 }
 
 } // namespace smart::serve

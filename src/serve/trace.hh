@@ -4,9 +4,13 @@
  * over a mixed (model, scheme, batch) working set with a configurable
  * repeat fraction, so replays exercise admission control, wave
  * coalescing, and the result cache the way figure-sweep traffic does.
- * Deterministic per seed (common/rng.hh). replayTrace() drives a
- * service with a trace and reports full accounting — every submitted
- * request ends up in exactly one bucket, nothing is silently dropped.
+ * Deterministic per seed (common/rng.hh). Tenant mixes carry
+ * per-tenant weights and (optionally) per-tenant deadline budgets.
+ * replayTrace() drives a service with a trace and reports full
+ * accounting — every submitted request ends up in exactly one
+ * bucket, nothing is silently dropped — and can act on
+ * estimator-suggested deadlines (ReplayOptions::resubmitOnSuggestion
+ * retries each hopeless rejection once with its suggested budget).
  */
 
 #ifndef SMART_SERVE_TRACE_HH
@@ -53,6 +57,16 @@ struct TraceConfig
     double deadlineFraction = 0.1;
     double deadlineMs = 10e3;
     /**
+     * Per-tenant deadline mix, aligned with tenants: when non-empty,
+     * a request from tenant t carries deadline tenantDeadlineMs[t]
+     * (0 = none), REPLACING the global deadlineFraction/deadlineMs
+     * draw — so a trace can give an interactive tenant tight budgets
+     * and a batch tenant none, the shape the per-tenant SLO work
+     * targets. Empty (the default) keeps the global draw and the
+     * byte-identical request stream of earlier traces.
+     */
+    std::vector<double> tenantDeadlineMs;
+    /**
      * Tenant labels; each request's tag is drawn from these, so the
      * trace exercises per-tenant quotas and fair shedding. A single
      * entry reproduces the one-tenant traffic of earlier traces.
@@ -81,6 +95,10 @@ struct TenantTally
     std::size_t shed = 0;
     std::size_t expired = 0;
     std::size_t failed = 0;
+    /** Hopeless rejections retried with their suggested deadline. */
+    std::size_t resubmitted = 0;
+    /** Resubmissions that were admitted and completed Ok. */
+    std::size_t resubmitOk = 0;
 };
 
 /** Everything a replay observed, with full accounting. */
@@ -96,6 +114,17 @@ struct ReplayReport
     std::size_t shed = 0;     //!< Admitted, then evicted.
     std::size_t expired = 0;  //!< Admitted, deadline passed.
     std::size_t failed = 0;   //!< Future carried an exception.
+    /**
+     * Resubmit-on-suggestion accounting (ReplayOptions::
+     * resubmitOnSuggestion): hopeless rejections retried once with
+     * their suggestedDeadlineMs after the main pass drained, and how
+     * many of those retries completed Ok. Retries are additional
+     * submissions on top of the trace, so they are tallied here (and
+     * per tenant) but excluded from consistent() — every ORIGINAL
+     * request still lands in exactly one terminal bucket.
+     */
+    std::size_t resubmitted = 0;
+    std::size_t resubmitOk = 0;
     /** The same buckets sliced per tenant tag (fairness evidence). */
     std::map<std::string, TenantTally> tenants;
     /**
@@ -113,12 +142,40 @@ struct ReplayReport
     }
 };
 
+/** How replayTrace drives the service. */
+struct ReplayOptions
+{
+    /**
+     * Arrival-time scale: 1 replays in real time, 0 submits
+     * back-to-back with no sleeping.
+     */
+    double timeScale = 1.0;
+    /**
+     * Act on estimator-driven deadline suggestions: a request
+     * rejected RejectedHopeless whose Submission carried a
+     * suggestedDeadlineMs is resubmitted ONCE with that deadline
+     * after the main pass has drained, serialized (each retry waits
+     * for its own future before the next is sent) the way
+     * independent clients retrying after backoff would arrive. The
+     * retry outcomes land in ReplayReport::resubmitted/resubmitOk
+     * (and the per-tenant tallies); the original rejection stays
+     * counted as rejected, so consistent() is unaffected.
+     */
+    bool resubmitOnSuggestion = false;
+};
+
 /**
  * Replay @p trace against @p svc: submit each request at its arrival
- * time scaled by @p timeScale (0 submits back-to-back with no
- * sleeping), wait for every admitted future, and tally. The service
- * is left running (callers may replay again to measure cache reuse).
+ * time scaled by opts.timeScale, wait for every admitted future,
+ * optionally retry hopeless rejections with their suggested deadline
+ * (opts.resubmitOnSuggestion), and tally. The service is left running
+ * (callers may replay again to measure cache reuse).
  */
+ReplayReport replayTrace(EvalService &svc,
+                         const std::vector<TraceRequest> &trace,
+                         const ReplayOptions &opts);
+
+/** Back-compat shim: options with just the time scale set. */
 ReplayReport replayTrace(EvalService &svc,
                          const std::vector<TraceRequest> &trace,
                          double timeScale = 1.0);

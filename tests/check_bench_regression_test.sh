@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# Smoke test for scripts/check_bench_regression.sh, run from CTest.
+#
+# Usage: check_bench_regression_test.sh /path/to/check_bench_regression.sh
+#
+# Exercises the gate's edge contracts: first runs (missing, empty,
+# single-line, and newline-less histories) must pass cleanly and say
+# so; comparable lines must pass when flat, fail on a wall-time
+# regression, fail on a >10-point ratio drop, and tolerate a small
+# ratio dip; host-stamp mismatches must skip rather than judge.
+set -eu
+
+script="${1:?usage: $0 /path/to/check_bench_regression.sh}"
+[ -f "$script" ] || { echo "no script at $script" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+failures=0
+
+check() {
+    desc="$1"; want="$2"; shift 2
+    set +e
+    out=$(sh "$script" "$@" 2>&1)
+    got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL [$desc]: exit $got, wanted $want"
+        echo "$out" | sed 's/^/    /'
+        failures=$((failures + 1))
+    else
+        echo "  ok [$desc]"
+    fi
+}
+
+line() {
+    # One history line for host "$1" with the given metric overrides.
+    printf '{"sha": "%s", "host": "%s", "report": {"metrics": {"serve_replay_cold_ms": %s, "serve_replay_warm_ms": 1.0, "serve_mt_replay_cold_ms": 2.0, "serve_mt_replay_warm_ms": 1.0, "serve_tslo_replay_ms": %s, "serve_cache_hit_rate": %s, "serve_mt_cache_hit_rate": 0.5, "serve_tslo_resubmit_ok_rate": %s}}}\n' \
+        "$2" "$1" "$3" "$4" "$5" "$6"
+}
+
+# --- first-run shapes must pass cleanly and say why -----------------
+check "missing history" 0 "$tmp/absent.jsonl" 25
+
+: > "$tmp/empty.jsonl"
+check "empty history" 0 "$tmp/empty.jsonl" 25
+
+line hostA aaaa 5.0 5.0 0.9 1.0 > "$tmp/single.jsonl"
+check "single-line history" 0 "$tmp/single.jsonl" 25
+
+printf '%s' "$(line hostA aaaa 5.0 5.0 0.9 1.0)" > "$tmp/noeol.jsonl"
+check "single line without trailing newline" 0 "$tmp/noeol.jsonl" 25
+
+sh "$script" "$tmp/empty.jsonl" 25 | grep -q "first run passes" || {
+    echo "FAIL [empty history message]: missing first-run wording"
+    failures=$((failures + 1))
+}
+
+# --- candidate mode against an empty history ------------------------
+printf '{"metrics": {"serve_replay_cold_ms": 5.0}}\n' > "$tmp/cand.json"
+check "candidate vs empty history" 0 "$tmp/cand.json" "$tmp/empty.jsonl" 25
+
+# --- comparable lines ------------------------------------------------
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.1 5.1 0.9 1.0
+} > "$tmp/flat.jsonl"
+check "flat trajectory passes" 0 "$tmp/flat.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 50.0 5.0 0.9 1.0
+} > "$tmp/wallreg.jsonl"
+check "wall-time regression fails" 1 "$tmp/wallreg.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.0 50.0 0.9 1.0
+} > "$tmp/tsloreg.jsonl"
+check "serve_tslo wall regression fails" 1 "$tmp/tsloreg.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.0 5.0 0.6 1.0
+} > "$tmp/ratioreg.jsonl"
+check "cache hit-rate drop > 10 pts fails" 1 "$tmp/ratioreg.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.0 5.0 0.9 0.5
+} > "$tmp/resubreg.jsonl"
+check "resubmit-ok-rate drop > 10 pts fails" 1 "$tmp/resubreg.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.0 5.0 0.85 0.95
+} > "$tmp/ratiodip.jsonl"
+check "ratio dip within 10 pts passes" 0 "$tmp/ratiodip.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostB bbbb 500.0 500.0 0.9 1.0
+} > "$tmp/hosts.jsonl"
+check "host mismatch skips the wall-time gate" 0 "$tmp/hosts.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostB bbbb 5.0 5.0 0.9 0.5
+} > "$tmp/hostsratio.jsonl"
+check "ratio drop still fails across hosts" 1 "$tmp/hostsratio.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 5.1 5.1 0.9 1.0
+    printf '\n'
+} > "$tmp/blanktail.jsonl"
+check "trailing blank line compares the real lines" 0 "$tmp/blanktail.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    printf '\n'
+} > "$tmp/blanksingle.jsonl"
+check "single line plus blank tail is a first run" 0 "$tmp/blanksingle.jsonl" 25
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures smoke case(s) failed" >&2
+    exit 1
+fi
+echo "all check_bench_regression smoke cases passed"

@@ -457,6 +457,91 @@ TEST(LruCache, RefreshMovesEntryBetweenTenants)
     EXPECT_EQ(v, 2);
 }
 
+TEST(LruCache, OwnershipTransferWithSizeChangeRebalancesByteAccounts)
+{
+    // Regression for per-tag byte accounting on overwrite: one put()
+    // that both transfers ownership to a different tenant AND changes
+    // the value size must debit the old tag by the OLD bytes and
+    // credit the new tag with the NEW bytes, atomically — a mismatch
+    // on either side would let repeated cross-tenant refreshes drift
+    // a tag's accounted bytes away from its resident set and quietly
+    // corrupt budget enforcement.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.tagBytes = 4096;
+    cfg.valueBytes = [](const int &v) {
+        return v < 0 ? std::size_t{300} : std::size_t{100};
+    };
+    LruCache<int> cache(cfg);
+
+    cache.put("k", 1, "a"); // 100-byte value owned by "a"
+    const auto s1 = cache.stats();
+    ASSERT_EQ(s1.tags.at("a").entries, 1u);
+    const std::size_t smallBytes = s1.tags.at("a").bytes;
+    ASSERT_EQ(s1.bytes, smallBytes); // only entry: tag == global
+
+    cache.put("k", -1, "b"); // 300-byte value, new owner, one put
+    const auto s2 = cache.stats();
+    // Old tag fully debited (row dropped: no entries, no evictions).
+    EXPECT_EQ(s2.tags.count("a"), 0u);
+    // New tag credited with the NEW size, not the old one.
+    ASSERT_EQ(s2.tags.count("b"), 1u);
+    EXPECT_EQ(s2.tags.at("b").entries, 1u);
+    EXPECT_EQ(s2.tags.at("b").bytes, smallBytes + 200);
+    // Global bytes track the same change, and entry count is stable.
+    EXPECT_EQ(s2.bytes, smallBytes + 200);
+    EXPECT_EQ(s2.entries, 1u);
+    EXPECT_EQ(s2.evictions, 0u);
+
+    // Shrinking refresh within one tag debits the difference.
+    cache.put("k", 2, "b");
+    const auto s3 = cache.stats();
+    EXPECT_EQ(s3.tags.at("b").bytes, smallBytes);
+    EXPECT_EQ(s3.bytes, smallBytes);
+
+    // Transfer to untagged: the tag side empties, global holds.
+    cache.put("k", -2, std::string());
+    const auto s4 = cache.stats();
+    EXPECT_EQ(s4.tags.count("b"), 0u);
+    EXPECT_EQ(s4.bytes, smallBytes + 200);
+    EXPECT_EQ(s4.entries, 1u);
+    int v = 0;
+    EXPECT_TRUE(cache.get("k", v));
+    EXPECT_EQ(v, -2);
+}
+
+TEST(LruCache, OwnershipTransferCannotOverflowNewTenantBudget)
+{
+    // The transferring put() must enforce the NEW tenant's budget
+    // after the credit: if the adopted entry pushes the new owner
+    // over its slice, the new owner's own LRU tail pays — never the
+    // old owner, whose account was already settled.
+    LruCache<int>::Config cfg;
+    cfg.shards = 1;
+    cfg.valueBytes = [](const int &) { return std::size_t{100}; };
+    LruCache<int> probe(cfg);
+    probe.put("k1", 0, "t");
+    const std::size_t per = probe.stats().bytes;
+
+    cfg.tagBytes = 2 * per + 8; // two entries per tenant, plus slack
+    LruCache<int> cache(cfg);
+    cache.put("b1", 1, "b");
+    cache.put("b2", 2, "b");
+    cache.put("a1", 3, "a");
+    // "a1" changes hands: b now holds b1, b2, a1 — one over budget.
+    cache.put("a1", 4, "b");
+    int v = 0;
+    EXPECT_FALSE(cache.get("b1", v)); // b's LRU tail paid
+    EXPECT_TRUE(cache.get("b2", v));
+    EXPECT_TRUE(cache.get("a1", v));
+    EXPECT_EQ(v, 4);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.tags.at("b").entries, 2u);
+    EXPECT_LE(s.tags.at("b").bytes, cfg.tagBytes);
+    EXPECT_EQ(s.tags.at("b").evictions, 1u);
+    EXPECT_EQ(s.tags.count("a"), 0u); // settled, nothing to report
+}
+
 TEST(LruCache, TransientTagRowsAreDroppedFromStats)
 {
     // A tag whose last entry leaves without ever evicting carries no
