@@ -17,9 +17,11 @@
 #include <future>
 #include <vector>
 
+#include "accel/hash.hh"
 #include "accel/perf.hh"
 #include "bench_util.hh"
 #include "cnn/models.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "compiler/ilpsched.hh"
 #include "cryomem/dse.hh"
@@ -462,6 +464,120 @@ jsonMain(int argc, char **argv)
         metrics.push_back(
             {"serve_tslo_tenant_" + t.tag + "_violated_windows",
              static_cast<double>(t.violatedWindows)});
+
+    // Graceful degradation: the same hopeless burst against a
+    // degradePolicy Off service and an Auto one. The fault injector
+    // stalls every ILP solve so the optimal path is genuinely slow on
+    // any machine, and both services are taught that cost up front
+    // (plus a fast drain rate, so the verdict is about the SERVICE
+    // term, not the queue). Off must turn the burst away wholesale
+    // (modulo the deliberate every-8th idle probe admissions); Auto
+    // must rescue it onto the greedy path — serve_degrade_rate is the
+    // fraction of the burst served degraded (ratio-gated, expected
+    // 1.0), serve_degrade_wall_ms the wall clock of draining the
+    // degraded burst (wall-gated: greedy scheduling keeps it cheap).
+    // Admission counts are timing-nudgeable (probe cadence interacts
+    // with dispatcher pacing), so nothing here enters the checksum.
+    {
+        FaultInjector::Config faults;
+        faults.ilpStallMs = 2.0;
+        FaultInjector::global().configure(faults);
+        auto degNet = cnn::convLayersOnly(cnn::makeModel("AlexNet"));
+        const std::string degShape = accel::requestShapeKey(degNet, 1);
+        // Distinct request keys over ONE shape class: nudge an SPM
+        // capacity per request so nothing coalesces or cache-hits,
+        // while the estimator still judges them as one shape.
+        auto degReq = [&](int i) {
+            serve::EvalRequest r;
+            r.cfg = accel::makeScheme(accel::Scheme::Smart);
+            r.cfg.inputSpm.capacityBytes += 64u * (i + 1);
+            r.model = degNet;
+            r.batch = 1;
+            r.tag = "degrade";
+            return r;
+        };
+        double probedIlpMs = 0.0;
+        {
+            serve::EvalService probe;
+            for (int i = 900; i < 903; ++i)
+                probe.submit(degReq(i)).response.get();
+            probedIlpMs = probe.metrics().estServiceMs;
+        }
+        const double degSloMs = 0.8 * probedIlpMs;
+        auto degConfig = [&](serve::DegradePolicy policy) {
+            serve::ServiceConfig c;
+            c.queue.maxDepth = 128;
+            c.maxWave = 8;
+            c.sloP95Ms = degSloMs;
+            c.degradePolicy = policy;
+            return c;
+        };
+        const int degBurst = 48;
+
+        serve::EvalService off(degConfig(serve::DegradePolicy::Off));
+        off.costEstimator().recordService(degShape, probedIlpMs);
+        off.costEstimator().recordWave(1.0, 100);
+        std::size_t offHopeless = 0;
+        std::vector<std::future<serve::EvalResponse>> offProbes;
+        for (int i = 0; i < degBurst; ++i) {
+            auto sub = off.submit(degReq(i));
+            if (sub.admission == serve::Admission::RejectedHopeless)
+                ++offHopeless;
+            else if (sub.admitted())
+                offProbes.push_back(std::move(sub.response));
+        }
+        for (auto &f : offProbes)
+            f.get();
+
+        serve::EvalService deg(degConfig(serve::DegradePolicy::Auto));
+        deg.costEstimator().recordService(degShape, probedIlpMs);
+        deg.costEstimator().recordWave(1.0, 100);
+        timer.reset();
+        std::size_t degServed = 0;
+        std::vector<std::future<serve::EvalResponse>> degAdmitted;
+        for (int i = 0; i < degBurst; ++i) {
+            auto sub = deg.submit(degReq(i));
+            if (sub.admission == serve::Admission::ServedDegraded)
+                degAdmitted.push_back(std::move(sub.response));
+            else if (sub.admitted())
+                sub.response.get();
+        }
+        std::vector<double> degMs;
+        for (auto &f : degAdmitted) {
+            const auto resp = f.get();
+            if (resp.status == serve::ResponseStatus::Ok &&
+                resp.degraded)
+                ++degServed;
+            if (resp.status == serve::ResponseStatus::Ok)
+                degMs.push_back(resp.totalMs);
+        }
+        metrics.push_back({"serve_degrade_wall_ms", timer.ms()});
+        metrics.push_back({"serve_degrade_slo_ms", degSloMs});
+        metrics.push_back(
+            {"serve_degrade_off_rejected_hopeless",
+             static_cast<double>(offHopeless)});
+        metrics.push_back(
+            {"serve_degrade_rate",
+             static_cast<double>(degServed) / degBurst});
+        double degP95 = 0.0;
+        if (!degMs.empty()) {
+            std::sort(degMs.begin(), degMs.end());
+            degP95 = degMs[static_cast<std::size_t>(
+                0.95 * (degMs.size() - 1))];
+        }
+        metrics.push_back({"serve_degrade_admitted_p95_ms", degP95});
+        const auto dm = deg.metrics();
+        metrics.push_back(
+            {"serve_degrade_served",
+             static_cast<double>(dm.servedDegraded)});
+        metrics.push_back(
+            {"serve_degrade_latency_p95_ms", dm.degradedLatencyP95Ms});
+        FaultInjector::global().reset();
+        // The capacity-nudged burst left ~100 junk schedules in the
+        // process-wide ILP memo; drop them so nothing downstream
+        // accidentally reuses a stall-era entry.
+        accel::clearIlpCache();
+    }
 
     metrics.push_back({"total_ms", total.ms()});
 

@@ -17,6 +17,13 @@
  * snapshot is also written in the BENCH_micro.json-compatible schema
  * (SERVE_metrics.json by default).
  *
+ * SMART_DISK_CACHE=<path> enables the persistent L2 schedule cache at
+ * that path, so a second run of this binary against the same file
+ * warm-starts from the first run's results (the crash-recovery CI leg
+ * runs exactly that, with torn writes injected via SMART_FAULT_*).
+ * SMART_EXPECT_WARM=1 additionally fails the smoke test when the run
+ * saw no L2 hits — the assertion that a restart actually warm-started.
+ *
  * Exits nonzero if the replay accounting is inconsistent (a request
  * neither completed nor reported rejected/shed/expired), if the warm
  * pass missed the cache entirely, if the bounded cache overflowed
@@ -27,6 +34,7 @@
  * just a demo.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
 #include <set>
@@ -93,6 +101,14 @@ main(int argc, char **argv)
     cfg.cacheMaxEntries = 8;
     cfg.cacheShards = 1;
     cfg.tenantCacheBytes = 5 * perEntryBytes + 64;
+    // Persistent L2 (opt-in): point SMART_DISK_CACHE at a file and a
+    // rerun of this binary warm-starts from it across the restart.
+    const char *diskEnv = std::getenv("SMART_DISK_CACHE");
+    if (diskEnv && *diskEnv)
+        cfg.diskCachePath = diskEnv;
+    const char *warmEnv = std::getenv("SMART_EXPECT_WARM");
+    const bool expectWarm =
+        warmEnv && *warmEnv && std::string(warmEnv) != "0";
     serve::EvalService svc(cfg);
 
     serve::TraceConfig tcfg;
@@ -232,6 +248,18 @@ main(int argc, char **argv)
     s.row().cell("throughput (req/s)").num(m.throughputRps, 1);
     s.row().cell("queue high water").integer(
         static_cast<long long>(m.queueHighWater));
+    if (!cfg.diskCachePath.empty()) {
+        s.row().cell("L2 hits").integer(
+            static_cast<long long>(m.l2Hits));
+        s.row().cell("L2 misses").integer(
+            static_cast<long long>(m.l2Misses));
+        s.row().cell("L2 puts").integer(
+            static_cast<long long>(m.l2Puts));
+        s.row().cell("L2 entries").integer(
+            static_cast<long long>(m.l2Entries));
+        s.row().cell("L2 corrupt skipped").integer(
+            static_cast<long long>(m.l2CorruptSkipped));
+    }
     s.print(std::cout);
 
     if (json) {
@@ -287,6 +315,14 @@ main(int argc, char **argv)
     if (!sawHogSlo || !sawMouseSlo) {
         std::cerr << "FAIL: per-tenant SLO rows missing or carrying "
                      "the wrong resolved target\n";
+        return 1;
+    }
+    // Crash-recovery leg: a rerun against a populated disk cache must
+    // actually warm-start (L2 hits promote into L1 and serve), even
+    // when the first run's log carries injected torn writes.
+    if (expectWarm && m.l2Hits == 0) {
+        std::cerr << "FAIL: SMART_EXPECT_WARM set but the run saw no "
+                     "L2 (disk cache) hits\n";
         return 1;
     }
     if (!suggestionDemoOk) {

@@ -29,6 +29,12 @@ date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 # Host stamp so the regression gate can refuse to compare wall times
 # measured on different machines (see check_bench_regression.sh).
 host=$(uname -n 2>/dev/null || echo unknown)
+# Boot stamp: a host name alone is not a machine identity — freshly
+# provisioned builders (containers, VMs) routinely share one
+# hostname while differing wildly in speed. The kernel boot id is
+# unique per boot, so wall times are only judged comparable when
+# both the host AND boot stamps match.
+boot=$(cat /proc/sys/kernel/random/boot_id 2>/dev/null || echo "")
 
 if [ "$sha" != unknown ] && [ -f "$history" ] &&
    grep -q "\"sha\": \"$sha\"" "$history"; then
@@ -42,6 +48,6 @@ else
     compact=$(sed 's/^[[:space:]]*//' "$report" | tr -d '\n')
 fi
 
-printf '{"sha": "%s", "date": "%s", "host": "%s", "report": %s}\n' \
-    "$sha" "$date" "$host" "$compact" >> "$history"
+printf '{"sha": "%s", "date": "%s", "host": "%s", "boot": "%s", "report": %s}\n' \
+    "$sha" "$date" "$host" "$boot" "$compact" >> "$history"
 echo "appended $report to $history ($sha)"

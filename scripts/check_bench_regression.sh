@@ -25,7 +25,9 @@
 #    millisecond-scale warm-cache timings from tripping the gate on
 #    scheduler noise while still catching a cache that stopped
 #    working (~100x, not 1.25x).
-#  - Ratios: cache hit rates and the tenant-SLO resubmit success rate
+#  - Ratios: cache hit rates, the tenant-SLO resubmit success rate,
+#    and the graceful-degradation rescue rate (the fraction of a
+#    hopeless burst served degraded under degradePolicy Auto)
 #    live in [0, 1] and regress by dropping, not slowing; a ratio
 #    fails when it falls more than 10 points (0.10) below the
 #    baseline. Ratios do not depend on machine speed, so they are
@@ -34,15 +36,23 @@
 # First runs pass cleanly: a missing, empty, or single-line history
 # has nothing to compare against, and the gate says so instead of
 # erroring. Metrics absent from either side are skipped, and lines
-# stamped by different hosts skip the WALL comparison only (wall
+# stamped by different machines skip the WALL comparison only (wall
 # times measured on different machines are not comparable): the gate
-# only judges comparable measurements.
+# only judges comparable measurements. "Same machine" means the host
+# AND boot stamps both match — a hostname alone is not a machine
+# identity, because freshly provisioned builders (containers, VMs)
+# routinely share one hostname while differing wildly in speed; the
+# kernel boot id disambiguates them. A boot stamp present on only
+# one side is a mismatch (legacy boot-less lines age out after one
+# PR, like unstamped hosts did); two boot-less lines fall back to
+# the host-only comparison.
 set -eu
 
 WALL_METRICS="serve_replay_cold_ms serve_replay_warm_ms \
-serve_mt_replay_cold_ms serve_mt_replay_warm_ms serve_tslo_replay_ms"
+serve_mt_replay_cold_ms serve_mt_replay_warm_ms serve_tslo_replay_ms \
+serve_degrade_wall_ms"
 RATIO_METRICS="serve_cache_hit_rate serve_mt_cache_hit_rate \
-serve_tslo_resubmit_ok_rate"
+serve_tslo_resubmit_ok_rate serve_degrade_rate"
 MIN_DELTA_MS=2
 MAX_RATIO_DROP=0.10
 
@@ -56,6 +66,13 @@ lines_of() {
 host_of() {
     printf '%s\n' "$1" |
         sed -n 's/.*"host": "\([^"]*\)".*/\1/p' | head -n 1
+}
+
+# The kernel boot id a history line was measured under ("" when
+# absent). Paired with the host stamp to decide wall comparability.
+boot_of() {
+    printf '%s\n' "$1" |
+        sed -n 's/.*"boot": "\([^"]*\)".*/\1/p' | head -n 1
 }
 
 case "${1:-}" in
@@ -79,6 +96,8 @@ case "${1:-}" in
     cur_label="$report"
     base_host=$(host_of "$base_line")
     cur_host=$(uname -n 2>/dev/null || echo "")
+    base_boot=$(boot_of "$base_line")
+    cur_boot=$(cat /proc/sys/kernel/random/boot_id 2>/dev/null || echo "")
     ;;
   *)
     history="${1:-BENCH_history.jsonl}"
@@ -97,6 +116,8 @@ case "${1:-}" in
     cur_label="$history:$lines"
     base_host=$(host_of "$base_line")
     cur_host=$(host_of "$cur_line")
+    base_boot=$(boot_of "$base_line")
+    cur_boot=$(boot_of "$cur_line")
     ;;
 esac
 
@@ -129,11 +150,16 @@ done
 
 # Wall times only compare when both sides are known to come from the
 # same machine; an unstamped (pre-gate) or mismatched line is not a
-# comparable baseline. Legacy unstamped lines age out after one PR.
+# comparable baseline. Same machine = same host stamp AND same boot
+# stamp (two boot-less lines fall back to host-only; a boot on one
+# side only is a mismatch). Legacy part-stamped lines age out after
+# one PR.
 if [ -z "$base_host" ] || [ -z "$cur_host" ] ||
-   [ "$base_host" != "$cur_host" ]; then
-    echo "host stamps missing or different" \
-         "('${base_host:-?}' vs '${cur_host:-?}');" \
+   [ "$base_host" != "$cur_host" ] ||
+   [ "${base_boot:-}" != "${cur_boot:-}" ]; then
+    echo "machine stamps missing or different" \
+         "(host '${base_host:-?}' vs '${cur_host:-?}'," \
+         "boot '${base_boot:-?}' vs '${cur_boot:-?}');" \
          "wall times are not comparable — skipping the wall-time gate"
     if [ "$status" -ne 0 ]; then
         echo "perf regression: $cur_label vs $base_label ratio drop" >&2

@@ -16,8 +16,8 @@ runBatch(const std::vector<BatchItem> &items, const BatchItemHook &onItem)
 {
     std::vector<InferenceResult> results(items.size());
     parallelFor(items.size(), [&](std::size_t i) {
-        results[i] =
-            runInference(items[i].cfg, items[i].model, items[i].batch);
+        results[i] = runInference(items[i].cfg, items[i].model,
+                                  items[i].batch, items[i].mode);
         if (onItem)
             onItem(i, results[i]);
     });

@@ -26,6 +26,7 @@ struct BatchItem
     AcceleratorConfig cfg;
     cnn::CnnModel model;
     int batch = 1;
+    SchedMode mode = SchedMode::Ilp; //!< Greedy = degraded serving.
 };
 
 /**

@@ -167,31 +167,42 @@ randomTiming(const AcceleratorConfig &cfg, const SpmSpec &spec,
 // variants reuse solved layers.
 // ----------------------------------------------------------------
 
-ShardedCache<std::pair<double, bool>> ilp_cache;
+/** Memoized outcome of scheduling one layer. */
+struct SchedOutcome
+{
+    double hidden = 0.0; //!< Prefetch-hidden fraction.
+    compiler::Quality quality = compiler::Quality::Greedy;
+    double gapBound = -1.0;
+};
 
-double
-cachedIlpHiddenFraction(const systolic::ConvLayer &layer,
-                        const systolic::ArrayDims &pe,
-                        const LayerDemand &d,
-                        const compiler::SchedParams &sp, bool &used_ilp)
+ShardedCache<SchedOutcome> ilp_cache;
+
+SchedOutcome
+cachedScheduleOutcome(const systolic::ConvLayer &layer,
+                      const systolic::ArrayDims &pe,
+                      const LayerDemand &d,
+                      const compiler::SchedParams &sp, SchedMode mode)
 {
     // The key must cover the full layer shape, the PE array the demand
-    // was analyzed against, and every SchedParams field: the
-    // scheduler's costs read all of them, and a sweep that mutates
-    // e.g. the staging bandwidth must not alias a cached entry.
-    const std::string key = layerKey(layer) + '|' +
-                            std::to_string(pe.rows) + 'x' +
-                            std::to_string(pe.cols) + '|' +
-                            sp.cacheKey();
-    const auto [hidden, from_ilp] =
-        ilp_cache.getOrCompute(key, [&]() {
-            compiler::LayerDag dag = compiler::buildLayerDag(layer, d);
-            compiler::Schedule sched = compiler::scheduleIlp(dag, sp);
-            return std::make_pair(sched.prefetchedFraction(dag),
-                                  sched.fromIlp);
-        });
-    used_ilp = from_ilp;
-    return hidden;
+    // was analyzed against, every SchedParams field, and the compiler
+    // pass requested: the scheduler's costs read all of them, and a
+    // sweep that mutates e.g. the staging bandwidth — or a degraded
+    // request forcing the greedy pass — must not alias a cached entry.
+    const std::string key =
+        layerKey(layer) + '|' + std::to_string(pe.rows) + 'x' +
+        std::to_string(pe.cols) + '|' + sp.cacheKey() +
+        (mode == SchedMode::Greedy ? "|greedy" : "");
+    return ilp_cache.getOrCompute(key, [&]() {
+        compiler::LayerDag dag = compiler::buildLayerDag(layer, d);
+        compiler::Schedule sched = mode == SchedMode::Greedy
+                                       ? compiler::scheduleGreedy(dag, sp)
+                                       : compiler::scheduleIlp(dag, sp);
+        SchedOutcome out;
+        out.hidden = sched.prefetchedFraction(dag);
+        out.quality = sched.quality;
+        out.gapBound = sched.gapBound;
+        return out;
+    });
 }
 
 /** DRAM spill beyond on-chip capacity, charged per layer (cycles). */
@@ -257,6 +268,13 @@ clearIlpCache()
 LayerResult
 runLayer(const AcceleratorConfig &cfg, const systolic::ConvLayer &layer,
          int batch)
+{
+    return runLayer(cfg, layer, batch, SchedMode::Ilp);
+}
+
+LayerResult
+runLayer(const AcceleratorConfig &cfg, const systolic::ConvLayer &layer,
+         int batch, SchedMode mode)
 {
     smart_assert(batch >= 1, "batch must be >= 1");
     const LayerDemand d = systolic::analyzeDemand(layer, cfg.pe);
@@ -403,8 +421,11 @@ runLayer(const AcceleratorConfig &cfg, const systolic::ConvLayer &layer,
             sp.dramBandwidthBytesPerCycle = cfg.dramBytesPerCycle();
             sp.prefetchIterations = cfg.prefetchIterations;
             sp.hasRandomArray = true;
-            hidden = cachedIlpHiddenFraction(layer, cfg.pe, d, sp,
-                                             r.usedIlp);
+            const SchedOutcome out =
+                cachedScheduleOutcome(layer, cfg.pe, d, sp, mode);
+            hidden = out.hidden;
+            r.schedQuality = out.quality;
+            r.schedGapBound = out.gapBound;
         } else if (cfg.prefetchIterations > 1) {
             hidden = 1.0; // idealized "+p" prefetching (Fig. 7)
         }
@@ -500,6 +521,13 @@ InferenceResult
 runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
              int batch)
 {
+    return runInference(cfg, model, batch, SchedMode::Ilp);
+}
+
+InferenceResult
+runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
+             int batch, SchedMode mode)
+{
     InferenceResult res;
     res.model = model.name;
     res.scheme = schemeName(cfg.scheme);
@@ -511,12 +539,21 @@ runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     // are bit-identical to a serial loop.
     res.layers.resize(model.layers.size());
     parallelFor(model.layers.size(), [&](std::size_t i) {
-        res.layers[i] = runLayer(cfg, model.layers[i], batch);
+        res.layers[i] = runLayer(cfg, model.layers[i], batch, mode);
     });
     for (const auto &lr : res.layers) {
         res.totalCycles += lr.totalCycles;
         res.weightDramCycles += lr.weightDramCycles;
         res.totalMacs += lr.counters.macs;
+        // Aggregate quality: one degraded layer degrades the result;
+        // the gap bound is the worst layer's (-1 poisons, unknown).
+        if (lr.schedQuality != compiler::Quality::Optimal)
+            res.schedQuality = compiler::Quality::Greedy;
+        if (lr.schedGapBound < 0.0 || res.schedGapBound < 0.0)
+            res.schedGapBound = -1.0;
+        else
+            res.schedGapBound =
+                std::max(res.schedGapBound, lr.schedGapBound);
     }
     // Oversized weights stream from DRAM while earlier layers compute;
     // the inference is bound by whichever finishes last.

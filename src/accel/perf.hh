@@ -53,7 +53,14 @@ struct LayerResult
     Cycles weightDramCycles = 0;
     Cycles totalCycles = 0;
     LayerCounters counters;
-    bool usedIlp = false;       //!< Layer scheduled by the ILP pass.
+    /**
+     * Who produced the layer's SPM schedule and how far from optimal
+     * it may be (see compiler::Schedule::gapBound). Layers that never
+     * invoke the compiler (non-SMART schemes, useIlpCompiler=false)
+     * have no scheduling choice and stay Optimal/0.
+     */
+    compiler::Quality schedQuality = compiler::Quality::Optimal;
+    double schedGapBound = 0.0;
 };
 
 /** Whole-inference result. */
@@ -67,6 +74,14 @@ struct InferenceResult
     double seconds = 0.0;
     double totalMacs = 0.0;
     std::vector<LayerResult> layers;
+    /**
+     * Aggregate schedule quality: Optimal only when every scheduled
+     * layer was ILP-optimal; Greedy as soon as any layer degraded.
+     * The gap bound is the max over layers (-1 when any layer's gap
+     * is unknown).
+     */
+    compiler::Quality schedQuality = compiler::Quality::Optimal;
+    double schedGapBound = 0.0;
 
     /** Achieved throughput (TMAC/s). */
     double throughputTmacs() const;
@@ -77,13 +92,34 @@ struct InferenceResult
     LayerCounters totals() const;
 };
 
+/**
+ * Which compiler pass schedules SPM placements: the ILP (optimal,
+ * slow) or the greedy heuristic (anytime, fast). The serving tier's
+ * graceful-degradation path selects Greedy under deadline pressure.
+ */
+enum class SchedMode
+{
+    Ilp,
+    Greedy
+};
+
 /** Run one model at the given batch size on a configuration. */
 InferenceResult runInference(const AcceleratorConfig &cfg,
                              const cnn::CnnModel &model, int batch);
 
+/** Same, with an explicit scheduling mode (degraded serving). */
+InferenceResult runInference(const AcceleratorConfig &cfg,
+                             const cnn::CnnModel &model, int batch,
+                             SchedMode mode);
+
 /** Run a single layer (exposed for tests and benches). */
 LayerResult runLayer(const AcceleratorConfig &cfg,
                      const systolic::ConvLayer &layer, int batch);
+
+/** Same, with an explicit scheduling mode. */
+LayerResult runLayer(const AcceleratorConfig &cfg,
+                     const systolic::ConvLayer &layer, int batch,
+                     SchedMode mode);
 
 /** Clear the internal SHIFT-replay memo cache (tests). */
 void clearReplayCache();

@@ -1,0 +1,185 @@
+#include "accel/serdes.hh"
+
+#include <cstring>
+
+namespace smart::accel
+{
+
+namespace
+{
+
+constexpr std::uint32_t kVersion = 1;
+/** Sanity caps against corrupt length prefixes. */
+constexpr std::uint32_t kMaxString = 1u << 20;
+constexpr std::uint32_t kMaxLayers = 1u << 16;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putDouble(std::string &out, double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+struct Reader
+{
+    const std::string &buf;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool u32(std::uint32_t &v)
+    {
+        if (!ok || pos + 4 > buf.size())
+            return ok = false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(buf[pos + i]))
+                 << (8 * i);
+        pos += 4;
+        return true;
+    }
+    bool u64(std::uint64_t &v)
+    {
+        if (!ok || pos + 8 > buf.size())
+            return ok = false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return true;
+    }
+    bool d(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+    bool str(std::string &s)
+    {
+        std::uint32_t len = 0;
+        if (!u32(len) || len > kMaxString ||
+            pos + static_cast<std::size_t>(len) > buf.size())
+            return ok = false;
+        s = buf.substr(pos, len);
+        pos += len;
+        return true;
+    }
+};
+
+void
+putLayer(std::string &out, const LayerResult &l)
+{
+    putString(out, l.name);
+    putU64(out, l.computeCycles);
+    putU64(out, l.inputService);
+    putU64(out, l.weightService);
+    putU64(out, l.outputService);
+    putU64(out, l.serialOverhead);
+    putU64(out, l.weightDramCycles);
+    putU64(out, l.totalCycles);
+    putDouble(out, l.counters.shiftSteps);
+    putDouble(out, l.counters.shiftLaneBytes);
+    putDouble(out, l.counters.randomReadBytes);
+    putDouble(out, l.counters.randomWriteBytes);
+    putDouble(out, l.counters.dramBytes);
+    putDouble(out, l.counters.macs);
+    putU32(out, static_cast<std::uint32_t>(l.schedQuality));
+    putDouble(out, l.schedGapBound);
+}
+
+bool
+readLayer(Reader &r, LayerResult &l)
+{
+    std::uint32_t quality = 0;
+    const bool fields =
+        r.str(l.name) && r.u64(l.computeCycles) &&
+        r.u64(l.inputService) && r.u64(l.weightService) &&
+        r.u64(l.outputService) && r.u64(l.serialOverhead) &&
+        r.u64(l.weightDramCycles) && r.u64(l.totalCycles) &&
+        r.d(l.counters.shiftSteps) && r.d(l.counters.shiftLaneBytes) &&
+        r.d(l.counters.randomReadBytes) &&
+        r.d(l.counters.randomWriteBytes) && r.d(l.counters.dramBytes) &&
+        r.d(l.counters.macs) && r.u32(quality) &&
+        r.d(l.schedGapBound);
+    if (!fields || quality > 2)
+        return false;
+    l.schedQuality = static_cast<compiler::Quality>(quality);
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeInferenceResult(const InferenceResult &res)
+{
+    std::string out;
+    putU32(out, kVersion);
+    putString(out, res.model);
+    putString(out, res.scheme);
+    putU32(out, static_cast<std::uint32_t>(res.batch));
+    putU64(out, res.totalCycles);
+    putU64(out, res.weightDramCycles);
+    putDouble(out, res.seconds);
+    putDouble(out, res.totalMacs);
+    putU32(out, static_cast<std::uint32_t>(res.schedQuality));
+    putDouble(out, res.schedGapBound);
+    putU32(out, static_cast<std::uint32_t>(res.layers.size()));
+    for (const auto &l : res.layers)
+        putLayer(out, l);
+    return out;
+}
+
+bool
+deserializeInferenceResult(const std::string &bytes,
+                           InferenceResult &res)
+{
+    Reader r{bytes};
+    std::uint32_t version = 0;
+    if (!r.u32(version) || version != kVersion)
+        return false;
+    std::uint32_t batch = 0;
+    std::uint32_t quality = 0;
+    std::uint32_t layers = 0;
+    if (!r.str(res.model) || !r.str(res.scheme) || !r.u32(batch) ||
+        !r.u64(res.totalCycles) || !r.u64(res.weightDramCycles) ||
+        !r.d(res.seconds) || !r.d(res.totalMacs) || !r.u32(quality) ||
+        !r.d(res.schedGapBound) || !r.u32(layers))
+        return false;
+    if (quality > 2 || layers > kMaxLayers)
+        return false;
+    res.batch = static_cast<int>(batch);
+    res.schedQuality = static_cast<compiler::Quality>(quality);
+    res.layers.resize(layers);
+    for (auto &l : res.layers)
+        if (!readLayer(r, l))
+            return false;
+    return r.pos == bytes.size();
+}
+
+} // namespace smart::accel

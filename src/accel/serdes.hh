@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary serialization of InferenceResult for the persistent schedule
+ * cache (common/diskcache.hh) and any future wire protocol. Versioned
+ * and length-prefixed: strings carry a u32 length, integers are
+ * little-endian fixed width, doubles travel as their IEEE-754 bit
+ * pattern, so a round trip is bit-exact and the serving tier's
+ * determinism contract (a cached result is indistinguishable from
+ * re-evaluating) extends across process restarts. deserialize returns
+ * false on truncated, oversized, or version-mismatched input rather
+ * than throwing — a disk-cache record that decodes badly is treated
+ * as a miss, never a crash.
+ */
+
+#ifndef SMART_ACCEL_SERDES_HH
+#define SMART_ACCEL_SERDES_HH
+
+#include <string>
+
+#include "accel/perf.hh"
+
+namespace smart::accel
+{
+
+/** Serialize @p res to a self-contained byte string. */
+std::string serializeInferenceResult(const InferenceResult &res);
+
+/**
+ * Decode @p bytes into @p res; false (with @p res unspecified) on any
+ * malformed input.
+ */
+bool deserializeInferenceResult(const std::string &bytes,
+                                InferenceResult &res);
+
+} // namespace smart::accel
+
+#endif // SMART_ACCEL_SERDES_HH

@@ -1,0 +1,308 @@
+#include "common/diskcache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <system_error>
+
+#include "common/faultinject.hh"
+#include "common/logging.hh"
+
+namespace smart
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'M', 'D', 'C'};
+constexpr std::uint32_t kVersion = 1;
+/** Length sanity cap: anything above this is a corrupt prefix. */
+constexpr std::uint32_t kMaxLen = 1u << 30;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+recordChecksum(const std::string &key, const std::string &value)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    h = fnv1a(h, key);
+    h = fnv1a(h, value);
+    return h;
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+readU32(const std::string &buf, std::size_t &pos, std::uint32_t &v)
+{
+    if (pos + 4 > buf.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[pos + i]))
+             << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+readU64(const std::string &buf, std::size_t &pos, std::uint64_t &v)
+{
+    if (pos + 8 > buf.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[pos + i]))
+             << (8 * i);
+    pos += 8;
+    return true;
+}
+
+/** One serialized record: [keyLen][valLen][checksum][key][value]. */
+std::string
+encodeRecord(const std::string &key, const std::string &value)
+{
+    std::string rec;
+    rec.reserve(16 + key.size() + value.size());
+    appendU32(rec, static_cast<std::uint32_t>(key.size()));
+    appendU32(rec, static_cast<std::uint32_t>(value.size()));
+    appendU64(rec, recordChecksum(key, value));
+    rec.append(key);
+    rec.append(value);
+    return rec;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string path)
+    : path_(std::move(path))
+{
+    smart_assert(!path_.empty(), "disk cache needs a path");
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    load();
+}
+
+DiskCache::~DiskCache() = default;
+
+void
+DiskCache::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+
+    std::string buf;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in) {
+            buf.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+        }
+    }
+
+    bool dirty = false; // corruption seen -> compact on the way out
+    std::size_t pos = 0;
+    if (!buf.empty()) {
+        std::uint32_t version = 0;
+        if (buf.size() < sizeof(kMagic) ||
+            std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+            smart_warn("disk cache ", path_,
+                       ": bad magic; starting empty");
+            buf.clear();
+            dirty = true;
+        } else {
+            pos = sizeof(kMagic);
+            if (!readU32(buf, pos, version) || version != kVersion) {
+                smart_warn("disk cache ", path_,
+                           ": unsupported version; starting empty");
+                buf.clear();
+                pos = 0;
+                dirty = true;
+            }
+        }
+    }
+
+    while (pos < buf.size()) {
+        std::uint32_t key_len = 0;
+        std::uint32_t val_len = 0;
+        std::uint64_t sum = 0;
+        if (!readU32(buf, pos, key_len) || !readU32(buf, pos, val_len) ||
+            !readU64(buf, pos, sum) || key_len > kMaxLen ||
+            val_len > kMaxLen ||
+            pos + static_cast<std::size_t>(key_len) + val_len >
+                buf.size()) {
+            // Torn tail or insane lengths: nothing past here can be
+            // trusted (record framing is lost).
+            ++stats_.corruptSkipped;
+            dirty = true;
+            pos = buf.size();
+            break;
+        }
+        std::string key = buf.substr(pos, key_len);
+        pos += key_len;
+        std::string value = buf.substr(pos, val_len);
+        pos += val_len;
+        if (recordChecksum(key, value) != sum) {
+            // Bit flip inside one framed record: skip just it.
+            ++stats_.corruptSkipped;
+            dirty = true;
+            continue;
+        }
+        map_[std::move(key)] = std::move(value);
+    }
+    stats_.entries = map_.size();
+
+    if (dirty) {
+        smart_warn("disk cache ", path_, ": skipped ",
+                   stats_.corruptSkipped,
+                   " corrupt record(s); compacting");
+        compactLocked();
+    } else if (buf.empty()) {
+        // Fresh file: write the header via compaction so the append
+        // stream always lands after a valid header.
+        compactLocked();
+    } else {
+        out_.open(path_, std::ios::binary | std::ios::app);
+    }
+}
+
+void
+DiskCache::compactLocked()
+{
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream t(tmp,
+                        std::ios::binary | std::ios::trunc);
+        if (!t) {
+            smart_warn("disk cache ", path_,
+                       ": cannot write compaction temp ", tmp);
+            return;
+        }
+        t.write(kMagic, sizeof(kMagic));
+        std::string header;
+        appendU32(header, kVersion);
+        t.write(header.data(),
+                static_cast<std::streamsize>(header.size()));
+        for (const auto &[key, value] : map_) {
+            const std::string rec = encodeRecord(key, value);
+            t.write(rec.data(),
+                    static_cast<std::streamsize>(rec.size()));
+        }
+        t.flush();
+    }
+    if (out_.is_open())
+        out_.close();
+    // POSIX rename atomically replaces the target: readers see either
+    // the old log or the fully written new one, never a mix.
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        smart_warn("disk cache ", path_, ": compaction rename failed");
+        std::remove(tmp.c_str());
+    }
+    out_.open(path_, std::ios::binary | std::ios::app);
+    tornTail_ = false;
+}
+
+void
+DiskCache::compact()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    compactLocked();
+}
+
+void
+DiskCache::appendLocked(const std::string &key,
+                        const std::string &value)
+{
+    if (!out_.is_open())
+        return;
+    if (tornTail_) {
+        // The previous append was torn (a short write is detectable
+        // in-process); repair by rewriting the log from the map —
+        // which already holds this put — instead of appending after
+        // unreadable bytes. If the process dies before reaching this,
+        // the torn tail is exactly what a crash would leave and the
+        // next open's recovery path handles it.
+        compactLocked();
+        return;
+    }
+    std::string rec = encodeRecord(key, value);
+    if (FaultInjector::global().tornWrite()) {
+        // Simulate a crash mid-append: only a prefix reaches disk.
+        rec.resize(rec.size() / 2);
+        tornTail_ = true;
+    }
+    out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    out_.flush();
+}
+
+bool
+DiskCache::get(const std::string &key, std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (FaultInjector::global().tornRead()) {
+        // Checksum validation would reject the torn bytes; counted
+        // as corrupt and served as a miss.
+        ++stats_.corruptSkipped;
+        ++stats_.misses;
+        return false;
+    }
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    value = it->second;
+    return true;
+}
+
+void
+DiskCache::put(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[key] = value;
+    ++stats_.puts;
+    stats_.entries = map_.size();
+    appendLocked(key, value);
+}
+
+DiskCache::Stats
+DiskCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+DiskCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+} // namespace smart

@@ -1,0 +1,137 @@
+#include "common/faultinject.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace smart
+{
+
+namespace
+{
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double d = std::strtod(v, &end);
+    return end && *end == '\0' ? d : fallback;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long u = std::strtoull(v, &end, 0);
+    return end && *end == '\0' ? static_cast<std::uint64_t>(u)
+                               : fallback;
+}
+
+FaultInjector::Config
+envConfig()
+{
+    FaultInjector::Config cfg;
+    cfg.ilpThrowProb = envDouble("SMART_FAULT_ILP_THROW", 0.0);
+    cfg.ilpStallMs = envDouble("SMART_FAULT_ILP_STALL_MS", 0.0);
+    cfg.diskTornWriteProb =
+        envDouble("SMART_FAULT_DISK_TORN_WRITE", 0.0);
+    cfg.diskTornReadProb = envDouble("SMART_FAULT_DISK_TORN_READ", 0.0);
+    cfg.seed = envU64("SMART_FAULT_SEED", 0x5eed);
+    return cfg;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector()
+    : cfg_(envConfig()), rng_(cfg_.seed)
+{
+    armed_.store(cfg_.any(), std::memory_order_relaxed);
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const Config &cfg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cfg_ = cfg;
+    rng_ = Rng(cfg.seed);
+    armed_.store(cfg_.any(), std::memory_order_relaxed);
+}
+
+FaultInjector::Config
+FaultInjector::config() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cfg_;
+}
+
+bool
+FaultInjector::draw(double prob)
+{
+    if (prob <= 0.0)
+        return false;
+    if (prob >= 1.0)
+        return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    return rng_.uniform() < prob;
+}
+
+void
+FaultInjector::onIlpSolve()
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return;
+    double stall_ms;
+    double throw_prob;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stall_ms = cfg_.ilpStallMs;
+        throw_prob = cfg_.ilpThrowProb;
+    }
+    if (stall_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(stall_ms));
+    }
+    if (draw(throw_prob))
+        throw FaultInjected("injected ILP solver fault");
+}
+
+bool
+FaultInjector::tornWrite()
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    double prob;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        prob = cfg_.diskTornWriteProb;
+    }
+    return draw(prob);
+}
+
+bool
+FaultInjector::tornRead()
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    double prob;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        prob = cfg_.diskTornReadProb;
+    }
+    return draw(prob);
+}
+
+} // namespace smart

@@ -14,7 +14,8 @@ scheduleGreedy(const LayerDag &dag, const SchedParams &params)
 {
     Schedule sched;
     sched.decisions.assign(dag.objects.size(), ObjectDecision{});
-    sched.fromIlp = false;
+    sched.quality = Quality::Greedy;
+    sched.gapBound = -1.0; // no LP bound to measure against here
 
     // Savings density: saved cycles per byte when promoted from DRAM to
     // SHIFT (the best case).

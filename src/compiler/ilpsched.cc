@@ -1,8 +1,11 @@
 #include "compiler/ilpsched.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
 #include <vector>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "compiler/greedy.hh"
 #include "ilp/solver.hh"
@@ -21,6 +24,38 @@ struct ObjVars
     ilp::Var p;  //!< Staged >= 1 iteration early (prefetched).
     ilp::Var hp; //!< AND(h, p): SHIFT-resident and prefetched.
 };
+
+/**
+ * Upper bound on the relative optimality gap of @p objective against
+ * the solver's reported best bound (maximize direction); -1 when the
+ * solver produced no bound.
+ */
+double
+gapAgainstBound(const ilp::Solution &sol, double objective)
+{
+    if (!sol.hasBestBound)
+        return -1.0;
+    return std::max(0.0, (sol.bestBound - objective) /
+                             (std::fabs(sol.bestBound) + 1e-12));
+}
+
+/**
+ * Greedy fallback for a failed/faulted ILP solve, carrying whatever
+ * gap bound the partial solve produced (the satellite fix: an
+ * internal fallback must never silently look optimal).
+ */
+Schedule
+greedyFallback(const LayerDag &dag, const SchedParams &params,
+               const ilp::Solution *sol)
+{
+    Schedule sched = scheduleGreedy(dag, params);
+    sched.quality = Quality::Greedy;
+    sched.gapBound =
+        sol ? gapAgainstBound(*sol, sched.objective) : -1.0;
+    if (sol)
+        sched.bnbNodes = sol->bnbNodes;
+    return sched;
+}
 
 } // namespace
 
@@ -179,12 +214,20 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
     // A 0.5 % optimality gap is far below the model's fidelity and
     // keeps per-layer scheduling in the milliseconds.
     opts.gapTol = 5e-3;
-    ilp::Solution sol = ilp::solve(model, opts);
+    ilp::Solution sol;
+    try {
+        FaultInjector::global().onIlpSolve();
+        sol = ilp::solve(model, opts);
+    } catch (const std::exception &e) {
+        smart_warn("layer ILP threw (", e.what(),
+                   "); falling back to the greedy allocator");
+        return greedyFallback(dag, params, nullptr);
+    }
 
     if (!sol.feasible()) {
         smart_warn("layer ILP ", statusName(sol.status),
                    "; falling back to the greedy allocator");
-        return scheduleGreedy(dag, params);
+        return greedyFallback(dag, params, &sol);
     }
 
     Schedule sched;
@@ -198,12 +241,15 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
         sched.decisions[i].prefetched = sol.value(vars[i].p) > 0.5;
     }
     sched.objective = sol.objective;
-    sched.fromIlp = true;
+    sched.quality = Quality::Optimal;
+    // Conservative: measured against the root relaxation, so proven-
+    // optimal incumbents may still report a small positive bound.
+    sched.gapBound = std::max(0.0, gapAgainstBound(sol, sol.objective));
     sched.bnbNodes = sol.bnbNodes;
 
     if (!validateSchedule(dag, params, sched)) {
         smart_warn("ILP schedule failed validation; using greedy");
-        return scheduleGreedy(dag, params);
+        return greedyFallback(dag, params, &sol);
     }
     return sched;
 }

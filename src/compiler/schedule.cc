@@ -34,6 +34,20 @@ placementName(Placement p)
     smart_panic("unknown placement");
 }
 
+const char *
+qualityName(Quality q)
+{
+    switch (q) {
+      case Quality::Optimal:
+        return "optimal";
+      case Quality::Greedy:
+        return "greedy";
+      case Quality::CacheHit:
+        return "cache";
+    }
+    smart_panic("unknown quality");
+}
+
 double
 Schedule::servedFraction(const LayerDag &dag, ObjClass c,
                          Placement p) const

@@ -61,12 +61,39 @@ struct SchedParams
     std::string cacheKey() const;
 };
 
+/**
+ * Provenance/quality marker of a schedule (or of a result derived
+ * from one). Optimal means the ILP produced it, with `gapBound`
+ * bounding how far the incumbent may sit from the true optimum (0 =
+ * proven optimal). Greedy means the density heuristic produced it —
+ * either by request (anytime/degraded serving) or because the ILP
+ * fell back; the gap bound is then measured against the B&B root
+ * relaxation when one is available, else unknown. CacheHit marks
+ * results replayed from a cache without re-scheduling.
+ */
+enum class Quality
+{
+    Optimal,
+    Greedy,
+    CacheHit
+};
+
+/** Human-readable quality name ("optimal" / "greedy" / "cache"). */
+const char *qualityName(Quality q);
+
 /** A complete schedule for one layer DAG. */
 struct Schedule
 {
     std::vector<ObjectDecision> decisions; //!< One per dag.objects.
     double objective = 0.0;   //!< Scheduler objective (saved cycles).
-    bool fromIlp = false;     //!< Produced by the ILP (vs greedy).
+    Quality quality = Quality::Greedy; //!< Who produced it.
+    /**
+     * Upper bound on the relative optimality gap: 0 = proven optimal,
+     * positive = bounded (gapTol / node-limit incumbents, or greedy
+     * measured against the B&B root bound), -1 = unknown (plain
+     * greedy with no LP bound available).
+     */
+    double gapBound = -1.0;
     int bnbNodes = 0;         //!< ILP search effort.
 
     /** Fraction of class-c accesses served from @p placement. */

@@ -51,6 +51,14 @@ struct Solution
     std::vector<double> values; //!< One entry per model variable.
     int simplexIters = 0;       //!< Total simplex pivots.
     int bnbNodes = 0;           //!< Branch & bound nodes explored.
+    /**
+     * Objective-space bound in the model's optimization direction
+     * (the root LP relaxation for B&B solves, the objective itself
+     * for pure LPs). Lets callers compute an optimality-gap bound
+     * for incumbents accepted under gapTol or the node limit.
+     */
+    double bestBound = 0.0;
+    bool hasBestBound = false; //!< bestBound was actually computed.
 
     /** Value of a variable in this solution. */
     double value(Var v) const { return values[v.id]; }

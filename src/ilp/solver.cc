@@ -142,8 +142,14 @@ Solution
 solve(const Model &model, const SolverOptions &opts)
 {
     const std::vector<int> int_vars = integerVars(model);
-    if (int_vars.empty())
-        return solveLp(model, opts);
+    if (int_vars.empty()) {
+        Solution lp = solveLp(model, opts);
+        if (lp.status == SolveStatus::Optimal) {
+            lp.bestBound = lp.objective;
+            lp.hasBestBound = true;
+        }
+        return lp;
+    }
 
     Model work = model; // mutable copy for bound overrides
     LpWorkspace ws;     // reused across every node's LP solve
@@ -275,6 +281,10 @@ solve(const Model &model, const SolverOptions &opts)
     best.simplexIters = total_iters;
     if (have_incumbent && node_limit_hit)
         best.status = SolveStatus::NodeLimit;
+    // Report the root relaxation back in the model's direction so
+    // callers can bound the gap of gapTol / node-limit incumbents.
+    best.bestBound = dir > 0.0 ? root_bound : -root_bound;
+    best.hasBestBound = have_root_bound;
     return best;
 }
 

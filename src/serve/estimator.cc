@@ -62,6 +62,14 @@ CostEstimator::estimateServiceMs(const std::string &shapeKey) const
 }
 
 double
+CostEstimator::shapeEstimateMs(const std::string &shapeKey) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shapeMs_.find(shapeKey);
+    return it != shapeMs_.end() ? it->second : 0.0;
+}
+
+double
 CostEstimator::estimateQueueWaitMs(std::size_t queueDepth) const
 {
     if (queueDepth == 0)

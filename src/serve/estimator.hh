@@ -77,6 +77,16 @@ class CostEstimator
     double estimateServiceMs(const std::string &shapeKey) const;
 
     /**
+     * The shape's EWMA alone, 0 when untracked — no global fallback.
+     * The degraded-serving gate keys greedy-path costs under a
+     * distinct shape key ("<shape>|greedy"); falling back to the
+     * global (ILP-dominated) EWMA there would make degradation look
+     * as expensive as the thing it degrades from, so an untracked
+     * degraded shape must read as optimistically cheap instead.
+     */
+    double shapeEstimateMs(const std::string &shapeKey) const;
+
+    /**
      * Expected queue wait with @p queueDepth requests ahead:
      * queueDepth times the per-item drain EWMA (the global service
      * EWMA stands in before the first whole-wave sample, since

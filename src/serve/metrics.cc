@@ -55,6 +55,7 @@ MetricsSnapshot::toMetrics() const
         {"shed", static_cast<double>(shed)},
         {"expired", static_cast<double>(expired)},
         {"completed", static_cast<double>(completed)},
+        {"served_degraded", static_cast<double>(servedDegraded)},
         {"failed", static_cast<double>(failed)},
         {"cache_hits", static_cast<double>(cacheHits)},
         {"cache_misses", static_cast<double>(cacheMisses)},
@@ -62,6 +63,11 @@ MetricsSnapshot::toMetrics() const
         {"cache_evictions", static_cast<double>(cacheEvictions)},
         {"cache_entries", static_cast<double>(cacheEntries)},
         {"cache_bytes", static_cast<double>(cacheBytes)},
+        {"l2_hits", static_cast<double>(l2Hits)},
+        {"l2_misses", static_cast<double>(l2Misses)},
+        {"l2_puts", static_cast<double>(l2Puts)},
+        {"l2_corrupt_skipped", static_cast<double>(l2CorruptSkipped)},
+        {"l2_entries", static_cast<double>(l2Entries)},
         {"coalesced", static_cast<double>(coalesced)},
         {"waves", static_cast<double>(waves)},
         {"wave_items", static_cast<double>(waveItems)},
@@ -78,6 +84,10 @@ MetricsSnapshot::toMetrics() const
         {"latency_p99_ms", latencyP99Ms},
         {"latency_mean_ms", latencyMeanMs},
         {"latency_max_ms", latencyMaxMs},
+        {"degraded_latency_p50_ms", degradedLatencyP50Ms},
+        {"degraded_latency_p95_ms", degradedLatencyP95Ms},
+        {"optimal_latency_p50_ms", optimalLatencyP50Ms},
+        {"optimal_latency_p95_ms", optimalLatencyP95Ms},
         {"elapsed_ms", elapsedMs},
         {"throughput_rps", throughputRps},
         {"queue_depth", static_cast<double>(queueDepth)},
@@ -103,6 +113,8 @@ MetricsSnapshot::toMetrics() const
                        t.latencyP50Ms);
         m.emplace_back("tenant_" + tag + "_latency_p95_ms",
                        t.latencyP95Ms);
+        m.emplace_back("tenant_" + tag + "_degraded",
+                       static_cast<double>(t.degraded));
         m.emplace_back("tenant_" + tag + "_slo_p95_ms", t.sloP95Ms);
         m.emplace_back("tenant_" + tag + "_slo_violated_windows",
                        static_cast<double>(t.violatedWindows));
@@ -119,7 +131,9 @@ MetricsSnapshot::toJson(const std::string &bench) const
 }
 
 ServiceMetrics::ServiceMetrics()
-    : latency_(1e-3, 1e7, 1.25), start_(std::chrono::steady_clock::now())
+    : latency_(1e-3, 1e7, 1.25), degradedLatency_(1e-3, 1e7, 1.25),
+      optimalLatency_(1e-3, 1e7, 1.25),
+      start_(std::chrono::steady_clock::now())
 {}
 
 void
@@ -184,10 +198,13 @@ ServiceMetrics::recordFailed()
 
 void
 ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
-                                bool coalesced, const std::string &tag)
+                                bool coalesced, bool degraded,
+                                const std::string &tag)
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
+    if (degraded)
+        ++servedDegraded_;
     if (cacheHit)
         ++cacheHits_;
     else
@@ -195,6 +212,7 @@ ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
     if (coalesced)
         ++coalesced_;
     latency_.add(totalMs);
+    (degraded ? degradedLatency_ : optimalLatency_).add(totalMs);
     if (tag.empty())
         return;
     auto it = tenantLatency_.find(tag);
@@ -205,6 +223,8 @@ ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
     }
     it->second.latency.add(totalMs);
     ++it->second.completed;
+    if (degraded)
+        ++it->second.degraded;
 }
 
 void
@@ -228,6 +248,7 @@ ServiceMetrics::snapshot(std::size_t queueDepth,
     s.shed = shed_;
     s.expired = expired_;
     s.completed = completed_;
+    s.servedDegraded = servedDegraded_;
     s.failed = failed_;
     s.cacheHits = cacheHits_;
     s.cacheMisses = cacheMisses_;
@@ -244,10 +265,15 @@ ServiceMetrics::snapshot(std::size_t queueDepth,
     s.latencyP99Ms = latency_.quantile(0.99);
     s.latencyMeanMs = latency_.mean();
     s.latencyMaxMs = latency_.max();
+    s.degradedLatencyP50Ms = degradedLatency_.quantile(0.50);
+    s.degradedLatencyP95Ms = degradedLatency_.quantile(0.95);
+    s.optimalLatencyP50Ms = optimalLatency_.quantile(0.50);
+    s.optimalLatencyP95Ms = optimalLatency_.quantile(0.95);
     for (const auto &[tag, tl] : tenantLatency_) {
         MetricsSnapshot::TenantSloStat ts;
         ts.tag = tag;
         ts.completed = tl.completed;
+        ts.degraded = tl.degraded;
         ts.latencyP50Ms = tl.latency.quantile(0.50);
         ts.latencyP95Ms = tl.latency.quantile(0.95);
         // sloP95Ms / violatedWindows are the service's to fill: the

@@ -41,6 +41,14 @@ struct MetricsSnapshot
     std::uint64_t shed = 0;
     std::uint64_t expired = 0;
     std::uint64_t completed = 0;
+    /**
+     * Subset of completed served through the greedy (anytime)
+     * scheduler instead of the ILP — graceful degradation under
+     * deadline pressure (Admission::ServedDegraded). A degrade-marked
+     * request that was satisfied by a cached *optimal* result does not
+     * count here: it was served at full quality.
+     */
+    std::uint64_t servedDegraded = 0;
     /** Wave evaluation threw; futures carry the exception. */
     std::uint64_t failed = 0;
 
@@ -58,6 +66,16 @@ struct MetricsSnapshot
     std::uint64_t cacheEvictions = 0; //!< LRU entries evicted so far.
     std::size_t cacheEntries = 0;     //!< Resident entries.
     std::size_t cacheBytes = 0;       //!< Accounted resident bytes.
+
+    // Persistent (L2) schedule/result cache counters (filled by
+    // EvalService::metrics() from common/diskcache.hh when
+    // ServiceConfig::diskCachePath is set; all zero otherwise).
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l2Puts = 0;
+    /** Records skipped on load/read due to checksum/framing damage. */
+    std::uint64_t l2CorruptSkipped = 0;
+    std::size_t l2Entries = 0; //!< Live keys in the on-disk map.
 
     // SLO-driven wave sizing (see ServiceConfig::sloP95Ms).
     std::size_t waveLimit = 0;  //!< Current adaptive maxWave bound.
@@ -93,6 +111,8 @@ struct MetricsSnapshot
         std::uint64_t completed = 0;  //!< Ok completions for this tag.
         double latencyP50Ms = 0.0;
         double latencyP95Ms = 0.0;
+        /** Completions served degraded (greedy path) for this tag. */
+        std::uint64_t degraded = 0;
         /**
          * The tenant's effective p95 target — its tenantSlo entry,
          * else the global sloP95Ms it inherits; 0 when it has none
@@ -120,6 +140,13 @@ struct MetricsSnapshot
     double latencyP99Ms = 0.0;
     double latencyMeanMs = 0.0;
     double latencyMaxMs = 0.0;
+
+    // Degraded-vs-optimal latency split of the same completions: what
+    // did anytime scheduling actually buy under deadline pressure?
+    double degradedLatencyP50Ms = 0.0;
+    double degradedLatencyP95Ms = 0.0;
+    double optimalLatencyP50Ms = 0.0;
+    double optimalLatencyP95Ms = 0.0;
 
     double elapsedMs = 0.0;      //!< Since service start.
     double throughputRps = 0.0;  //!< completed / elapsed seconds.
@@ -167,10 +194,12 @@ class ServiceMetrics
      * the tenant label; non-empty tags additionally feed that tenant's
      * latency histogram (bounded at kMaxTenantStats distinct tags —
      * tags are client-controlled — beyond which samples fold into the
-     * global distribution only).
+     * global distribution only). @p degraded marks a completion served
+     * through the greedy (anytime) scheduler; it feeds the degraded
+     * latency histogram, all others feed the optimal one.
      */
     void recordCompleted(double totalMs, bool cacheHit, bool coalesced,
-                         const std::string &tag);
+                         bool degraded, const std::string &tag);
     /** One runBatch wave of @p uniqueItems evaluations dispatched. */
     void recordWave(std::size_t uniqueItems);
 
@@ -191,10 +220,13 @@ class ServiceMetrics
     {
         Histogram latency{1e-3, 1e7, 1.25};
         std::uint64_t completed = 0;
+        std::uint64_t degraded = 0;
     };
 
     mutable std::mutex mu_;
     Histogram latency_; //!< Milliseconds, 1 us .. ~3 h buckets.
+    Histogram degradedLatency_; //!< Completions served degraded.
+    Histogram optimalLatency_;  //!< Everything else.
     std::map<std::string, TenantLatency> tenantLatency_;
     std::uint64_t submitted_ = 0;
     std::uint64_t admitted_ = 0;
@@ -203,6 +235,7 @@ class ServiceMetrics
     std::uint64_t shed_ = 0;
     std::uint64_t expired_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t servedDegraded_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;

@@ -119,8 +119,17 @@ RequestQueue::push(Pending &&p, const DoomedAfterWait &doomedAfterWait)
     // A blocked push's admission cost was estimated against the queue
     // as it stood before the wait; re-judge it against the state the
     // submitter actually woke to (see DoomedAfterWait).
-    if (waited && doomedAfterWait && doomedAfterWait(p, q_.size()))
-        return {Admission::RejectedHopeless, std::nullopt};
+    if (waited && doomedAfterWait) {
+        switch (doomedAfterWait(p, q_.size())) {
+          case WaitVerdict::Admit:
+            break;
+          case WaitVerdict::Reject:
+            return {Admission::RejectedHopeless, std::nullopt};
+          case WaitVerdict::Degrade:
+            p.degrade = true;
+            break;
+        }
+    }
     if (quota && queuedFor(p.req.tag) >= cfg_.maxPerTenant)
         return {Admission::RejectedQuota, std::nullopt};
 
@@ -136,6 +145,7 @@ RequestQueue::push(Pending &&p, const DoomedAfterWait &doomedAfterWait)
         res.shed = std::move(q_[v]);
         q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(v));
     }
+    res.degraded = p.degrade;
     track(p);
     insertSorted(std::move(p));
     lock.unlock();

@@ -87,6 +87,13 @@ struct Pending
     /** Canonical accel::requestKey; filled at dispatch, not submit. */
     std::string key;
     std::uint64_t digest = 0; //!< accel::requestDigest of key.
+    /**
+     * Graceful degradation: serve through the greedy (anytime)
+     * scheduler instead of the ILP. Set at submit (policy/budget
+     * decision) or by a WaitVerdict::Degrade re-judge after a blocked
+     * wait; read by the dispatcher when building the wave.
+     */
+    bool degrade = false;
 };
 
 class RequestQueue
@@ -99,24 +106,43 @@ class RequestQueue
     {
         Admission admission = Admission::Admitted;
         std::optional<Pending> shed;
+        /**
+         * The entry was queued with Pending::degrade set — either by
+         * the submitter or by a WaitVerdict::Degrade re-judge — so
+         * the service can report Admission::ServedDegraded.
+         */
+        bool degraded = false;
+    };
+
+    /**
+     * Outcome of the post-block re-judge: admit as-is, refuse
+     * (RejectedHopeless), or admit degraded — the entry is re-routed
+     * through the greedy scheduler (Pending::degrade set) instead of
+     * being turned away.
+     */
+    enum class WaitVerdict
+    {
+        Admit,
+        Reject,
+        Degrade
     };
 
     /**
      * Re-admission check for Block-policy pushes that actually
      * blocked: called under the queue lock with the entry and the
-     * depth observed at wake, it returns true when the entry should
-     * be refused (RejectedHopeless) instead of admitted. The caller's
-     * pre-push cost estimate was judged against the queue state
-     * *before* the block; by the time a blocked submitter wakes, that
-     * estimate is stale (load may have surged while it slept), so the
-     * service re-evaluates it here and a now-doomed request is turned
-     * away instead of admitted on stale evidence. Never invoked when
-     * the push did not wait, or after close() (shutdown stays
+     * depth observed at wake. The caller's pre-push cost estimate was
+     * judged against the queue state *before* the block; by the time
+     * a blocked submitter wakes, that estimate is stale (load may
+     * have surged while it slept), so the service re-evaluates it
+     * here — a now-doomed request is turned away (Reject) or, under
+     * degradePolicy Auto, downgraded to the greedy path (Degrade)
+     * instead of admitted on stale evidence. Never invoked when the
+     * push did not wait, or after close() (shutdown stays
      * RejectedClosed). Must not touch the queue (it runs under mu_);
      * reading leaf-locked state such as the cost estimator is fine.
      */
     using DoomedAfterWait =
-        std::function<bool(const Pending &, std::size_t depth)>;
+        std::function<WaitVerdict(const Pending &, std::size_t depth)>;
 
     /**
      * Admit @p p under the configured policy. Under Block this waits

@@ -58,6 +58,15 @@ struct EvalRequest
      */
     double deadlineMs = 0.0;
     /**
+     * Quality budget in milliseconds: if the estimator predicts the
+     * ILP-optimal path alone costs more than this, the request is
+     * eligible for degraded (greedy-scheduled) serving under
+     * ServiceConfig::degradePolicy Auto. 0 inherits the tenant's
+     * TenantSlo::maxQualityMs (or the global ServiceConfig value);
+     * negative opts out of budget-driven degradation entirely.
+     */
+    double maxQualityMs = 0.0;
+    /**
      * Caller label, echoed in the response. Doubles as the tenant
      * identity for fair-share admission (QueueConfig::maxPerTenant)
      * and shed-victim selection: requests sharing a tag share one
@@ -107,6 +116,16 @@ struct EvalResponse
      */
     std::uint64_t digest = 0;
     std::string tag; //!< Echo of EvalRequest::tag.
+    /**
+     * Graceful degradation: true when this request was served through
+     * the greedy (anytime) scheduler instead of the ILP. quality and
+     * gapBound mirror InferenceResult::schedQuality/schedGapBound,
+     * with CacheHit substituted when the result came from a cache
+     * (the underlying schedule quality is inside `result`).
+     */
+    bool degraded = false;
+    compiler::Quality quality = compiler::Quality::Optimal;
+    double gapBound = 0.0;
 };
 
 /** Admission decision, reported synchronously by submit(). */
@@ -124,7 +143,16 @@ enum class Admission
      * queue slot and failing slowly. See ServiceConfig::
      * sloAdmissionFactor and serve/estimator.hh.
      */
-    RejectedHopeless
+    RejectedHopeless,
+    /**
+     * Graceful degradation: admitted, but routed through the greedy
+     * (anytime) scheduler because the ILP path was predicted to blow
+     * the deadline or quality budget — the request that would have
+     * been RejectedHopeless under degradePolicy Off. Counts as
+     * admitted(); the future resolves normally with
+     * EvalResponse::degraded set.
+     */
+    ServedDegraded
 };
 
 /** Admission name for logs and tables. */
@@ -142,6 +170,8 @@ admissionName(Admission a)
         return "rejected-closed";
       case Admission::RejectedHopeless:
         return "rejected-hopeless";
+      case Admission::ServedDegraded:
+        return "served-degraded";
     }
     return "?";
 }
@@ -173,7 +203,11 @@ struct Submission
      */
     double suggestedDeadlineMs = 0.0;
 
-    bool admitted() const { return admission == Admission::Admitted; }
+    bool admitted() const
+    {
+        return admission == Admission::Admitted ||
+               admission == Admission::ServedDegraded;
+    }
 };
 
 } // namespace smart::serve

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "accel/hash.hh"
+#include "accel/serdes.hh"
 #include "common/logging.hh"
 
 namespace smart::serve
@@ -86,8 +87,14 @@ anySloConfigured(const ServiceConfig &cfg)
 
 EvalService::EvalService(ServiceConfig cfg)
     : cfg_(normalized(cfg)), queue_(cfg_.queue),
-      cache_(cacheConfigFor(cfg_)), waveLimit_(cfg_.maxWave),
-      sloActive_(anySloConfigured(cfg_)),
+      cache_(cacheConfigFor(cfg_)),
+      // The persistent L2 loads (and, if damaged, self-heals) its
+      // on-disk state here, before the dispatcher thread below can
+      // consult it — restarts warm-start from the first wave.
+      diskCache_(cfg_.diskCachePath.empty()
+                     ? nullptr
+                     : std::make_unique<DiskCache>(cfg_.diskCachePath)),
+      waveLimit_(cfg_.maxWave), sloActive_(anySloConfigured(cfg_)),
       dispatcher_([this]() { dispatcherLoop(); })
 {}
 
@@ -162,6 +169,14 @@ EvalService::metrics() const
     s.estServiceMs = es.serviceMs;
     s.estWaveMs = es.waveMs;
     s.estServiceSamples = es.serviceSamples;
+    if (diskCache_) {
+        const auto ds = diskCache_->stats();
+        s.l2Hits = ds.hits;
+        s.l2Misses = ds.misses;
+        s.l2Puts = ds.puts;
+        s.l2CorruptSkipped = ds.corruptSkipped;
+        s.l2Entries = ds.entries;
+    }
     return s;
 }
 
@@ -171,6 +186,7 @@ EvalService::sloFor(const std::string &tag) const
     SloView v;
     v.p95Ms = std::max(0.0, cfg_.sloP95Ms);
     v.factor = cfg_.sloAdmissionFactor; // normalized() clamped >= 0
+    v.maxQualityMs = std::max(0.0, cfg_.maxQualityMs);
     auto it = cfg_.tenantSlo.find(tag);
     if (it == cfg_.tenantSlo.end())
         return v;
@@ -179,6 +195,8 @@ EvalService::sloFor(const std::string &tag) const
         v.p95Ms = std::max(0.0, t.p95Ms);
     if (t.admissionFactor >= 0.0) // < 0 inherits; 0 disables
         v.factor = t.admissionFactor;
+    if (t.maxQualityMs != 0.0) // > 0 overrides; < 0 opts out
+        v.maxQualityMs = std::max(0.0, t.maxQualityMs);
     v.defaultDeadlineMs = t.defaultDeadlineMs;
     return v;
 }
@@ -197,6 +215,36 @@ EvalService::hopeless(const std::string &shapeKey, double deadlineMs,
         return true; // queue deadlines bound waiting, not service
     if (slo.p95Ms > 0.0) {
         const double serviceMs = estimator_.estimateServiceMs(shapeKey);
+        if (waitMs + serviceMs > slo.factor * slo.p95Ms)
+            return true;
+    }
+    return false;
+}
+
+bool
+EvalService::hopelessWhenDegraded(const std::string &shapeKey,
+                                  double deadlineMs,
+                                  std::size_t queueDepth,
+                                  const SloView &slo) const
+{
+    if (slo.factor <= 0.0)
+        return false;
+    const bool hasDeadline = deadlineMs > 0.0;
+    if (!hasDeadline && slo.p95Ms <= 0.0)
+        return false; // no budget to miss
+    const double waitMs = estimator_.estimateQueueWaitMs(queueDepth);
+    // Degrading cannot make the queue ahead drain faster: a request
+    // doomed by waiting alone is doomed on either path.
+    if (hasDeadline && waitMs > slo.factor * deadlineMs)
+        return true;
+    if (slo.p95Ms > 0.0) {
+        // Greedy-path service estimate: the shape's own "|greedy"
+        // EWMA, optimistically 0 when untracked (see
+        // CostEstimator::shapeEstimateMs) — a cold degraded path is
+        // given the benefit of the doubt rather than inheriting the
+        // ILP-dominated global average it exists to undercut.
+        const double serviceMs =
+            estimator_.shapeEstimateMs(shapeKey + "|greedy");
         if (waitMs + serviceMs > slo.factor * slo.p95Ms)
             return true;
     }
@@ -223,16 +271,26 @@ EvalService::submit(EvalRequest req)
     // probe decision below are all judged against the same queue
     // state.
     const SloView slo = sloFor(req.tag);
+    // Resolved quality budget (graceful degradation, policy Auto):
+    // the request's own maxQualityMs when positive, none when
+    // negative, else the tenant/global budget from the SLO table.
+    const double qualityBudget =
+        req.maxQualityMs > 0.0
+            ? req.maxQualityMs
+            : (req.maxQualityMs < 0.0 ? 0.0 : slo.maxQualityMs);
     // The coarse shape key feeds the hopeless gate, the deadline
-    // suggestion, and the deadline default; compute it once, and only
-    // when some SLO machinery can actually consume it — a service
-    // with no SLO, no deadline, and no tenant default keeps the
-    // zero-allocation submit path. (It is the cheap key either way —
-    // the expensive canonical requestKey still waits for dispatch.)
+    // suggestion, the deadline default, and the quality-budget gate;
+    // compute it once, and only when some SLO machinery can actually
+    // consume it — a service with no SLO, no deadline, and no tenant
+    // default keeps the zero-allocation submit path. (It is the cheap
+    // key either way — the expensive canonical requestKey still waits
+    // for dispatch.)
     const bool needShapeKey =
         slo.defaultDeadlineMs != 0.0 ||
         (slo.factor > 0.0 &&
-         (slo.p95Ms > 0.0 || req.deadlineMs > 0.0));
+         (slo.p95Ms > 0.0 || req.deadlineMs > 0.0)) ||
+        (cfg_.degradePolicy == DegradePolicy::Auto &&
+         qualityBudget > 0.0);
     const std::string shapeKey =
         needShapeKey ? accel::requestShapeKey(req.model, req.batch)
                      : std::string();
@@ -265,7 +323,37 @@ EvalService::submit(EvalRequest req)
         return rejected;
     };
 
-    if (!isClosed && hopeless(shapeKey, req.deadlineMs, depthNow, slo)) {
+    // Graceful degradation decision (see DegradePolicy): Force routes
+    // every request through the greedy scheduler; Auto degrades one
+    // whose predicted ILP-path service time exceeds its resolved
+    // quality budget. Decided before the hopeless gate so the gate
+    // judges the path the request will actually take.
+    bool degrade = false;
+    if (!isClosed && cfg_.degradePolicy != DegradePolicy::Off) {
+        if (cfg_.degradePolicy == DegradePolicy::Force)
+            degrade = true;
+        else if (qualityBudget > 0.0 &&
+                 estimator_.estimateServiceMs(shapeKey) > qualityBudget)
+            degrade = true;
+    }
+
+    bool doomed =
+        !isClosed &&
+        (degrade ? hopelessWhenDegraded(shapeKey, req.deadlineMs,
+                                        depthNow, slo)
+                 : hopeless(shapeKey, req.deadlineMs, depthNow, slo));
+    // Anytime-scheduling rescue: a request the ILP path cannot serve
+    // in time is re-routed through the greedy path instead of being
+    // turned away, when that path is predicted to make the budget
+    // (degradePolicy Auto; Off keeps the strict reject behavior).
+    if (doomed && !degrade &&
+        cfg_.degradePolicy == DegradePolicy::Auto &&
+        !hopelessWhenDegraded(shapeKey, req.deadlineMs, depthNow,
+                              slo)) {
+        degrade = true;
+        doomed = false;
+    }
+    if (doomed) {
         // Probe admission (see kHopelessProbeInterval): the streak
         // only advances — and a probe only fires — when the queue is
         // idle, so burst rejections under load stay rejections.
@@ -293,6 +381,7 @@ EvalService::submit(EvalRequest req)
                           req.deadlineMs))
             : Clock::time_point::max();
     p.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    p.degrade = degrade;
     // The canonical key is deliberately NOT computed here: it is the
     // expensive part of submission and only dispatch needs it, so a
     // rejected request costs almost nothing (see serveWave).
@@ -324,18 +413,24 @@ EvalService::submit(EvalRequest req)
     // hopeless gate, and the common Reject/Shed submit path stays
     // free of the std::function allocation entirely.
     RequestQueue::DoomedAfterWait doomedAfterWait;
-    if (cfg_.queue.policy == AdmissionPolicy::Block &&
+    const bool wantHopelessRecheck =
         slo.factor > 0.0 &&
-        (slo.p95Ms > 0.0 ||
-         p.deadline != Clock::time_point::max())) {
-        doomedAfterWait = [this, slo, shapeKey](const Pending &pending,
-                                                std::size_t depth) {
+        (slo.p95Ms > 0.0 || p.deadline != Clock::time_point::max());
+    const bool wantQualityRecheck =
+        cfg_.degradePolicy == DegradePolicy::Auto && qualityBudget > 0.0;
+    if (cfg_.queue.policy == AdmissionPolicy::Block &&
+        (wantHopelessRecheck || wantQualityRecheck)) {
+        doomedAfterWait =
+            [this, slo, shapeKey, qualityBudget, wantHopelessRecheck](
+                const Pending &pending,
+                std::size_t depth) -> RequestQueue::WaitVerdict {
+            using Verdict = RequestQueue::WaitVerdict;
             const auto now = Clock::now();
             double leftMs = 0.0; // no deadline
             if (pending.deadline != Clock::time_point::max()) {
                 leftMs = msBetween(now, pending.deadline);
                 if (leftMs <= 0.0)
-                    return true; // expired while blocked: doomed
+                    return Verdict::Reject; // expired while blocked
             }
             // The p95 budget is end-to-end from submit, so the time
             // already spent blocked has been spent from it too:
@@ -343,15 +438,41 @@ EvalService::submit(EvalRequest req)
             // expressed by shrinking the budget handed to the gate
             // (elapsed / factor, since the gate scales the budget by
             // factor). A budget fully burned while blocked is doomed
-            // outright.
+            // outright — degrading cannot refund spent wall time.
             SloView left = slo;
-            if (left.p95Ms > 0.0) {
+            if (left.p95Ms > 0.0 && left.factor > 0.0) {
                 left.p95Ms -=
                     msBetween(pending.submitTime, now) / left.factor;
                 if (left.p95Ms <= 0.0)
-                    return true;
+                    return Verdict::Reject;
             }
-            return hopeless(shapeKey, leftMs, depth, left);
+            // A request already on the greedy path is never degraded
+            // again — the re-judge either confirms it or refuses it.
+            const bool canDegrade =
+                cfg_.degradePolicy == DegradePolicy::Auto &&
+                !pending.degrade;
+            if (wantHopelessRecheck) {
+                const bool stillDoomed =
+                    pending.degrade
+                        ? hopelessWhenDegraded(shapeKey, leftMs, depth,
+                                               left)
+                        : hopeless(shapeKey, leftMs, depth, left);
+                if (stillDoomed) {
+                    if (canDegrade &&
+                        !hopelessWhenDegraded(shapeKey, leftMs, depth,
+                                              left))
+                        return Verdict::Degrade;
+                    return Verdict::Reject;
+                }
+            }
+            // Quality-budget re-judge: the estimates moved while the
+            // submitter slept; a request now predicted past its
+            // quality budget joins the greedy path instead of
+            // blocking on toward a budget it will miss.
+            if (canDegrade && qualityBudget > 0.0 &&
+                estimator_.estimateServiceMs(shapeKey) > qualityBudget)
+                return Verdict::Degrade;
+            return Verdict::Admit;
         };
     }
     auto pushed = queue_.push(std::move(p), doomedAfterWait);
@@ -367,7 +488,12 @@ EvalService::submit(EvalRequest req)
     }
     if (pushed.shed)
         finish(std::move(*pushed.shed), ResponseStatus::Shed);
-    return {Admission::Admitted, std::move(fut)};
+    // PushResult::degraded echoes Pending::degrade — set above, or by
+    // a WaitVerdict::Degrade re-judge inside the blocked push — so
+    // the caller learns its request took the anytime path.
+    return {pushed.degraded ? Admission::ServedDegraded
+                            : Admission::Admitted,
+            std::move(fut)};
 }
 
 void
@@ -376,7 +502,7 @@ EvalService::resolve(Pending &&p, EvalResponse &&r)
     switch (r.status) {
       case ResponseStatus::Ok:
         metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced,
-                                 r.tag);
+                                 r.degraded, r.tag);
         if (sloActive_) {
             std::lock_guard<std::mutex> lock(sloMu_);
             sloLatencies_.emplace_back(r.tag, r.totalMs);
@@ -592,6 +718,16 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         r.result = res;
         r.cacheHit = cache_hit;
         r.coalesced = coalesced;
+        // Quality surfacing: a degrade-marked request only reports
+        // degraded when the result it got actually came off the
+        // greedy path — one satisfied by a cached optimal result was
+        // served at full quality and must not inflate the degraded
+        // counters.
+        r.quality = cache_hit ? compiler::Quality::CacheHit
+                              : res.schedQuality;
+        r.gapBound = res.schedGapBound;
+        r.degraded = p.degrade &&
+                     res.schedQuality == compiler::Quality::Greedy;
         r.queueMs = msBetween(p.submitTime, dispatch);
         r.serviceMs = msBetween(dispatch, now);
         r.totalMs = msBetween(p.submitTime, now);
@@ -600,16 +736,52 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         resolve(std::move(p), std::move(r));
     };
 
+    // A degrade-marked request is happily served by a cached OPTIMAL
+    // result — strictly better quality at cache-hit cost — so its
+    // lookup tries the optimal key first, then its own "|greedy"
+    // twin. The reverse never holds: degraded results live under the
+    // suffixed key and are invisible to full-quality requests. An L1
+    // miss consults the persistent L2 (same key order); a decodable
+    // L2 hit is promoted into the in-process cache under the key it
+    // was found with.
+    auto cacheLookup = [&](const Pending &p, const std::string &evalKey,
+                           accel::InferenceResult &out) {
+        if (cache_.get(p.key, out))
+            return true;
+        if (p.degrade && cache_.get(evalKey, out))
+            return true;
+        if (!diskCache_)
+            return false;
+        const std::string *keys[2] = {&p.key,
+                                      p.degrade ? &evalKey : nullptr};
+        for (const std::string *k : keys) {
+            if (!k)
+                continue;
+            std::string bytes;
+            if (diskCache_->get(*k, bytes) &&
+                accel::deserializeInferenceResult(bytes, out)) {
+                cache_.put(*k, out, p.req.tag);
+                return true;
+            }
+        }
+        return false;
+    };
+
     for (auto &p : wave) {
         p.key = accel::requestKey(p.req.cfg, p.req.model, p.req.batch);
         p.digest = accel::requestDigest(p.key);
+        // Degraded evaluations are keyed (L1, L2, and coalescing
+        // groups) under the canonical key plus "|greedy", so the two
+        // paths never collide in the cache or share a wave item.
+        const std::string evalKey =
+            p.degrade ? p.key + "|greedy" : p.key;
         accel::InferenceResult cached;
-        if (cfg_.cacheEnabled && cache_.get(p.key, cached)) {
+        if (cfg_.cacheEnabled && cacheLookup(p, evalKey, cached)) {
             resolveOk(std::move(p), cached, /*cache_hit=*/true,
                       /*coalesced=*/false);
             continue;
         }
-        auto [it, fresh] = group_of.emplace(p.key, groups.size());
+        auto [it, fresh] = group_of.emplace(evalKey, groups.size());
         if (fresh)
             groups.emplace_back();
         groups[it->second].members.push_back(std::move(p));
@@ -621,7 +793,9 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     items.reserve(groups.size());
     for (const auto &g : groups) {
         const Pending &head = g.members.front();
-        items.push_back({head.req.cfg, head.req.model, head.req.batch});
+        items.push_back({head.req.cfg, head.req.model, head.req.batch,
+                         head.degrade ? accel::SchedMode::Greedy
+                                      : accel::SchedMode::Ilp});
     }
     metrics_.recordWave(items.size());
 
@@ -639,12 +813,22 @@ EvalService::serveWave(std::vector<Pending> &&wave)
                 // Cache ownership and the cost sample both follow the
                 // group head (the request that triggered the
                 // evaluation); read its fields before resolveOk moves
-                // them into the response.
-                if (cfg_.cacheEnabled)
-                    cache_.put(head.key, res, head.req.tag);
+                // them into the response. Degraded groups write under
+                // the "|greedy" key and feed the greedy shape EWMA,
+                // keeping both paths' cost models separate.
+                const std::string evalKey =
+                    head.degrade ? head.key + "|greedy" : head.key;
+                if (cfg_.cacheEnabled) {
+                    cache_.put(evalKey, res, head.req.tag);
+                    if (diskCache_)
+                        diskCache_->put(
+                            evalKey,
+                            accel::serializeInferenceResult(res));
+                }
                 estimator_.recordService(
                     accel::requestShapeKey(head.req.model,
-                                           head.req.batch),
+                                           head.req.batch) +
+                        (head.degrade ? "|greedy" : ""),
                     msBetween(dispatch, Clock::now()));
                 bool first = true;
                 for (auto &p : g.members) {

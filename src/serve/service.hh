@@ -34,7 +34,12 @@
  * Determinism contract: an admitted request's result is bit-identical
  * to a direct runInference(cfg, model, batch) call — evaluation goes
  * through the same runBatch path, and the cache key covers every
- * result-relevant input byte (see accel/hash.hh).
+ * result-relevant input byte (see accel/hash.hh). A degraded request
+ * (graceful degradation, ServiceConfig::degradePolicy) is likewise
+ * bit-identical to runInference(cfg, model, batch, SchedMode::Greedy);
+ * degraded results live under a distinct cache key ("<key>|greedy"),
+ * though a degraded request is happy to take an already-cached
+ * optimal result — better quality at the same (cached, ~zero) cost.
  */
 
 #ifndef SMART_SERVE_SERVICE_HH
@@ -42,9 +47,11 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "accel/batch.hh"
+#include "common/diskcache.hh"
 #include "common/parallel.hh"
 #include "serve/estimator.hh"
 #include "serve/metrics.hh"
@@ -90,7 +97,49 @@ struct TenantSlo
      * is cold no deadline is assigned.)
      */
     double defaultDeadlineMs = 0.0;
+    /**
+     * Quality budget (ms) for this tenant's requests that don't carry
+     * their own EvalRequest::maxQualityMs: under degradePolicy Auto,
+     * a request whose predicted ILP-path service time exceeds the
+     * budget is routed through the greedy scheduler instead. 0
+     * inherits the global ServiceConfig::maxQualityMs; negative opts
+     * this tenant out of budget-driven degradation.
+     */
+    double maxQualityMs = 0.0;
 };
+
+/**
+ * When the service may serve a request through the greedy (anytime)
+ * scheduler instead of the ILP. See ServiceConfig::degradePolicy.
+ */
+enum class DegradePolicy
+{
+    Off,  //!< Never degrade; hopeless requests are rejected.
+    /**
+     * Degrade instead of rejecting: a request the estimator would
+     * refuse as hopeless (or whose predicted ILP service time blows
+     * its quality budget) is served greedy when the estimator
+     * predicts the greedy path CAN meet the budget — otherwise it is
+     * still rejected (degrading cannot fix a hopeless queue wait).
+     */
+    Auto,
+    Force //!< Every request is served greedy (load-shedding mode).
+};
+
+/** DegradePolicy name for logs and tables. */
+inline const char *
+degradePolicyName(DegradePolicy p)
+{
+    switch (p) {
+      case DegradePolicy::Off:
+        return "off";
+      case DegradePolicy::Auto:
+        return "auto";
+      case DegradePolicy::Force:
+        return "force";
+    }
+    return "?";
+}
 
 /** Service shape: queue bounds, wave policy, SLO, cache policy. */
 struct ServiceConfig
@@ -179,6 +228,30 @@ struct ServiceConfig
     std::size_t tenantCacheBytes = 0;
     /** Cache lock granularity; 1 gives a single exact LRU order. */
     std::size_t cacheShards = 16;
+    /**
+     * Graceful degradation policy (see DegradePolicy): Off preserves
+     * the reject-hopeless behavior, Auto converts would-be
+     * RejectedHopeless outcomes (and quality-budget overruns) into
+     * ServedDegraded greedy-scheduled evaluations, Force routes every
+     * request through the greedy path.
+     */
+    DegradePolicy degradePolicy = DegradePolicy::Off;
+    /**
+     * Global quality budget (ms): the default TenantSlo::maxQualityMs
+     * and EvalRequest::maxQualityMs fall back to. 0 = no budget
+     * (degradation then only triggers on hopeless-by-SLO/deadline
+     * requests under Auto).
+     */
+    double maxQualityMs = 0.0;
+    /**
+     * Path of the persistent L2 schedule cache (common/diskcache.hh).
+     * Empty disables it. When set, evaluated results are appended to
+     * the on-disk log and L1 misses consult it before evaluating, so
+     * a restarted process warm-starts instead of re-solving;
+     * hit/miss/corrupt-skipped counters surface in the metrics
+     * snapshot.
+     */
+    std::string diskCachePath;
 };
 
 class EvalService
@@ -271,8 +344,22 @@ class EvalService
         double p95Ms = 0.0;
         double factor = 0.0;
         double defaultDeadlineMs = 0.0;
+        double maxQualityMs = 0.0; //!< 0 = no quality budget.
     };
     SloView sloFor(const std::string &tag) const;
+
+    /**
+     * Degraded-path twin of hopeless(): would this request still be
+     * hopeless if served through the greedy scheduler? Uses the
+     * greedy shape EWMA ("<shape>|greedy", optimistically 0 when
+     * untracked — see CostEstimator::shapeEstimateMs) for the service
+     * term; the queue-wait term is unchanged, because degrading a
+     * request cannot make the queue in front of it drain faster.
+     */
+    bool hopelessWhenDegraded(const std::string &shapeKey,
+                              double deadlineMs,
+                              std::size_t queueDepth,
+                              const SloView &slo) const;
 
     /**
      * True when the estimator predicts a request of @p shapeKey with
@@ -292,6 +379,8 @@ class EvalService
     ServiceConfig cfg_;
     RequestQueue queue_;
     LruCache<accel::InferenceResult> cache_;
+    /** Persistent L2 under the in-process cache; null when disabled. */
+    std::unique_ptr<DiskCache> diskCache_;
     CostEstimator estimator_;
     ServiceMetrics metrics_;
 

@@ -174,6 +174,10 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
           case ResponseStatus::Ok:
             ++rep.completed;
             ++tally.completed;
+            if (r.degraded) {
+                ++rep.servedDegraded;
+                ++tally.servedDegraded;
+            }
             if (r.cacheHit) {
                 ++rep.cacheHits;
                 ++tally.cacheHits;
@@ -210,9 +214,12 @@ replayTrace(EvalService &svc, const std::vector<TraceRequest> &trace,
         if (!sub.admitted())
             continue;
         try {
-            if (sub.response.get().status == ResponseStatus::Ok) {
+            const EvalResponse retry = sub.response.get();
+            if (retry.status == ResponseStatus::Ok) {
                 ++rep.resubmitOk;
                 ++tally.resubmitOk;
+                if (retry.degraded)
+                    ++rep.resubmitDegraded;
             }
         } catch (...) {
             // A failed retry wave counts as a non-Ok retry outcome.

@@ -88,6 +88,8 @@ struct TenantTally
 {
     std::size_t submitted = 0;
     std::size_t completed = 0;
+    /** Completions served through the greedy (anytime) scheduler. */
+    std::size_t servedDegraded = 0;
     std::size_t cacheHits = 0;
     std::size_t rejected = 0;
     /** Subset of rejected refused by SLO-aware admission. */
@@ -106,6 +108,12 @@ struct ReplayReport
 {
     std::size_t total = 0;     //!< Trace length.
     std::size_t completed = 0; //!< Futures that resolved Ok.
+    /**
+     * Subset of completed with EvalResponse::degraded set — served
+     * through the greedy scheduler under graceful degradation
+     * (counted inside completed, so consistent() is unaffected).
+     */
+    std::size_t servedDegraded = 0;
     std::size_t cacheHits = 0;
     std::size_t coalesced = 0;
     std::size_t rejected = 0; //!< Refused at submit().
@@ -125,6 +133,8 @@ struct ReplayReport
      */
     std::size_t resubmitted = 0;
     std::size_t resubmitOk = 0;
+    /** Resubmissions whose completion came back degraded. */
+    std::size_t resubmitDegraded = 0;
     /** The same buckets sliced per tenant tag (fairness evidence). */
     std::map<std::string, TenantTally> tenants;
     /**

@@ -33,9 +33,11 @@ check() {
 }
 
 line() {
-    # One history line for host "$1" with the given metric overrides.
-    printf '{"sha": "%s", "host": "%s", "report": {"metrics": {"serve_replay_cold_ms": %s, "serve_replay_warm_ms": 1.0, "serve_mt_replay_cold_ms": 2.0, "serve_mt_replay_warm_ms": 1.0, "serve_tslo_replay_ms": %s, "serve_cache_hit_rate": %s, "serve_mt_cache_hit_rate": 0.5, "serve_tslo_resubmit_ok_rate": %s}}}\n' \
-        "$2" "$1" "$3" "$4" "$5" "$6"
+    # One history line for host "$1" with the given metric overrides;
+    # "$7" is an optional boot stamp (two boot-less lines compare by
+    # host alone, matching the gate's legacy fallback).
+    printf '{"sha": "%s", "host": "%s", "boot": "%s", "report": {"metrics": {"serve_replay_cold_ms": %s, "serve_replay_warm_ms": 1.0, "serve_mt_replay_cold_ms": 2.0, "serve_mt_replay_warm_ms": 1.0, "serve_tslo_replay_ms": %s, "serve_cache_hit_rate": %s, "serve_mt_cache_hit_rate": 0.5, "serve_tslo_resubmit_ok_rate": %s}}}\n' \
+        "$2" "$1" "${7:-}" "$3" "$4" "$5" "$6"
 }
 
 # --- first-run shapes must pass cleanly and say why -----------------
@@ -107,6 +109,33 @@ check "host mismatch skips the wall-time gate" 0 "$tmp/hosts.jsonl" 25
     line hostB bbbb 5.0 5.0 0.9 0.5
 } > "$tmp/hostsratio.jsonl"
 check "ratio drop still fails across hosts" 1 "$tmp/hostsratio.jsonl" 25
+
+# --- boot stamps: a hostname alone is not a machine identity --------
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0 boot1
+    line hostA bbbb 50.0 5.0 0.9 1.0 boot1
+} > "$tmp/bootsame.jsonl"
+check "same host+boot still judges wall times" 1 "$tmp/bootsame.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0 boot1
+    line hostA bbbb 500.0 500.0 0.9 1.0 boot2
+} > "$tmp/bootdiff.jsonl"
+check "same host, different boot skips the wall-time gate" 0 \
+      "$tmp/bootdiff.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0
+    line hostA bbbb 500.0 500.0 0.9 1.0 boot2
+} > "$tmp/bootone.jsonl"
+check "boot stamp on one side only skips the wall-time gate" 0 \
+      "$tmp/bootone.jsonl" 25
+
+{
+    line hostA aaaa 5.0 5.0 0.9 1.0 boot1
+    line hostA bbbb 5.0 5.0 0.6 1.0 boot2
+} > "$tmp/bootratio.jsonl"
+check "ratio drop still fails across boots" 1 "$tmp/bootratio.jsonl" 25
 
 {
     line hostA aaaa 5.0 5.0 0.9 1.0

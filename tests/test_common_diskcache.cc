@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the persistent schedule/result cache (common/diskcache.hh)
+ * and the InferenceResult serdes it stores: round trips, restart
+ * recovery, torn-tail and bit-flip tolerance, fault injection, and
+ * compaction. Every corruption case must load without crashing and
+ * account for what it skipped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "accel/serdes.hh"
+#include "common/diskcache.hh"
+#include "common/faultinject.hh"
+
+namespace
+{
+
+using namespace smart;
+
+std::string
+cachePath(const std::string &name)
+{
+    const std::string p = ::testing::TempDir() + "smart_dc_" + name;
+    std::remove(p.c_str());
+    std::remove((p + ".tmp").c_str());
+    return p;
+}
+
+/** Raw bytes of the log file. */
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(DiskCache, PutGetRoundTrip)
+{
+    const std::string path = cachePath("roundtrip");
+    DiskCache dc(path);
+    std::string v;
+    EXPECT_FALSE(dc.get("k", v));
+    const std::string binary("value\0bytes\x01\xff", 13);
+    dc.put("k", binary); // values are opaque bytes, NULs included
+    dc.put("other", std::string(4096, 'x'));
+    ASSERT_TRUE(dc.get("k", v));
+    EXPECT_EQ(v, binary);
+    ASSERT_TRUE(dc.get("other", v));
+    EXPECT_EQ(v.size(), 4096u);
+    const auto s = dc.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.puts, 2u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.corruptSkipped, 0u);
+}
+
+TEST(DiskCache, SurvivesReopenAndLaterRecordsWin)
+{
+    const std::string path = cachePath("reopen");
+    {
+        DiskCache dc(path);
+        dc.put("a", "one");
+        dc.put("b", "two");
+        dc.put("a", "three"); // overwrite: newest value must win
+    }
+    DiskCache dc(path);
+    EXPECT_EQ(dc.size(), 2u);
+    std::string v;
+    ASSERT_TRUE(dc.get("a", v));
+    EXPECT_EQ(v, "three");
+    ASSERT_TRUE(dc.get("b", v));
+    EXPECT_EQ(v, "two");
+    EXPECT_EQ(dc.stats().corruptSkipped, 0u);
+}
+
+TEST(DiskCache, TornTailIsDroppedOnLoad)
+{
+    const std::string path = cachePath("torntail");
+    {
+        DiskCache dc(path);
+        dc.put("keep", "me");
+        dc.put("tail", "casualty");
+    }
+    // Simulate a crash mid-append: chop the log mid-way through the
+    // last record.
+    std::string bytes = fileBytes(path);
+    ASSERT_GT(bytes.size(), 10u);
+    bytes.resize(bytes.size() - 7);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    DiskCache dc(path);
+    // One of the two records survived intact; the torn one was
+    // skipped and counted, and the log was compacted clean.
+    EXPECT_EQ(dc.size(), 1u);
+    EXPECT_GE(dc.stats().corruptSkipped, 1u);
+    DiskCache again(path); // compacted log reloads with no complaints
+    EXPECT_EQ(again.size(), 1u);
+    EXPECT_EQ(again.stats().corruptSkipped, 0u);
+}
+
+TEST(DiskCache, BitFlipSkipsOnlyThatRecord)
+{
+    const std::string path = cachePath("bitflip");
+    {
+        DiskCache dc(path);
+        dc.put("first", std::string(64, 'a'));
+        dc.put("second", std::string(64, 'b'));
+    }
+    // Flip one byte inside the FIRST record's value (past the header
+    // and the record's 16-byte prefix + 5-byte key).
+    std::string bytes = fileBytes(path);
+    const std::size_t flip_at = 4 + 4 + 16 + 5 + 10;
+    ASSERT_LT(flip_at, bytes.size());
+    bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x40);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    DiskCache dc(path);
+    // Framing was intact, so only the flipped record is lost.
+    EXPECT_EQ(dc.size(), 1u);
+    EXPECT_EQ(dc.stats().corruptSkipped, 1u);
+    std::string v;
+    ASSERT_TRUE(dc.get("second", v));
+    EXPECT_EQ(v, std::string(64, 'b'));
+}
+
+TEST(DiskCache, GarbageFileStartsEmptyWithoutCrashing)
+{
+    const std::string path = cachePath("garbage");
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "this is not a cache log at all, not even close";
+    }
+    DiskCache dc(path);
+    EXPECT_EQ(dc.size(), 0u);
+    dc.put("k", "v");
+    DiskCache again(path);
+    std::string v;
+    ASSERT_TRUE(again.get("k", v));
+    EXPECT_EQ(v, "v");
+}
+
+TEST(DiskCache, InjectedTornWriteHealsOnNextAppendAndOnReload)
+{
+    const std::string path = cachePath("faultwrite");
+    FaultInjector::Config faults;
+    faults.diskTornWriteProb = 1.0;
+    {
+        DiskCache dc(path);
+        FaultInjector::global().configure(faults);
+        dc.put("torn", "partial"); // append torn mid-record
+        FaultInjector::global().reset();
+        // In-process state is authoritative: the map still serves it.
+        std::string v;
+        ASSERT_TRUE(dc.get("torn", v));
+        EXPECT_EQ(v, "partial");
+        // The next append self-heals by compacting from the map.
+        dc.put("after", "clean");
+    }
+    DiskCache dc(path);
+    EXPECT_EQ(dc.size(), 2u);
+    EXPECT_EQ(dc.stats().corruptSkipped, 0u);
+    std::string v;
+    ASSERT_TRUE(dc.get("torn", v));
+    EXPECT_EQ(v, "partial");
+    ASSERT_TRUE(dc.get("after", v));
+    EXPECT_EQ(v, "clean");
+}
+
+TEST(DiskCache, InjectedTornWriteCrashRecoversOnReload)
+{
+    const std::string path = cachePath("faultcrash");
+    FaultInjector::Config faults;
+    faults.diskTornWriteProb = 1.0;
+    {
+        DiskCache dc(path);
+        dc.put("durable", "yes");
+        FaultInjector::global().configure(faults);
+        dc.put("lost", "torn-and-never-repaired");
+        FaultInjector::global().reset();
+        // Destructor runs with the torn tail on disk — the "crash".
+    }
+    DiskCache dc(path);
+    EXPECT_EQ(dc.size(), 1u);
+    EXPECT_GE(dc.stats().corruptSkipped, 1u);
+    std::string v;
+    ASSERT_TRUE(dc.get("durable", v));
+    EXPECT_EQ(v, "yes");
+    EXPECT_FALSE(dc.get("lost", v));
+}
+
+TEST(DiskCache, InjectedTornReadCountsAndMisses)
+{
+    const std::string path = cachePath("faultread");
+    DiskCache dc(path);
+    dc.put("k", "v");
+    FaultInjector::Config faults;
+    faults.diskTornReadProb = 1.0;
+    FaultInjector::global().configure(faults);
+    std::string v;
+    EXPECT_FALSE(dc.get("k", v));
+    FaultInjector::global().reset();
+    EXPECT_EQ(dc.stats().corruptSkipped, 1u);
+    EXPECT_EQ(dc.stats().misses, 1u);
+    ASSERT_TRUE(dc.get("k", v)); // disarmed: the data was never lost
+    EXPECT_EQ(v, "v");
+}
+
+TEST(DiskCache, CompactionBoundsOverwrittenLog)
+{
+    const std::string path = cachePath("compact");
+    DiskCache dc(path);
+    for (int i = 0; i < 200; ++i)
+        dc.put("same-key", std::string(128, static_cast<char>('a' + i % 26)));
+    const auto grown = fileBytes(path).size();
+    dc.compact();
+    const auto compacted = fileBytes(path).size();
+    EXPECT_LT(compacted, grown / 10); // 200 stale versions dropped
+    std::string v;
+    ASSERT_TRUE(dc.get("same-key", v));
+    EXPECT_EQ(v[0], 'a' + 199 % 26);
+}
+
+TEST(Serdes, InferenceResultRoundTrips)
+{
+    accel::InferenceResult res;
+    res.model = "AlexNet";
+    res.scheme = "SMART";
+    res.batch = 4;
+    res.totalCycles = 123456789ull;
+    res.weightDramCycles = 7777;
+    res.seconds = 0.0123456789;
+    res.totalMacs = 9.87654321e12;
+    res.schedQuality = compiler::Quality::Greedy;
+    res.schedGapBound = 0.0625;
+    accel::LayerResult l;
+    l.name = "conv1";
+    l.computeCycles = 1000;
+    l.inputService = 10;
+    l.weightService = 20;
+    l.outputService = 30;
+    l.serialOverhead = 5;
+    l.weightDramCycles = 40;
+    l.totalCycles = 1105;
+    l.schedQuality = compiler::Quality::Greedy;
+    l.schedGapBound = 0.0625;
+    res.layers.push_back(l);
+    l.name = "conv2";
+    l.schedQuality = compiler::Quality::Optimal;
+    l.schedGapBound = 0.0;
+    res.layers.push_back(l);
+
+    const std::string bytes = accel::serializeInferenceResult(res);
+    accel::InferenceResult back;
+    ASSERT_TRUE(accel::deserializeInferenceResult(bytes, back));
+    EXPECT_EQ(back.model, res.model);
+    EXPECT_EQ(back.scheme, res.scheme);
+    EXPECT_EQ(back.batch, res.batch);
+    EXPECT_EQ(back.totalCycles, res.totalCycles);
+    EXPECT_EQ(back.weightDramCycles, res.weightDramCycles);
+    EXPECT_EQ(back.seconds, res.seconds); // bit-exact doubles
+    EXPECT_EQ(back.totalMacs, res.totalMacs);
+    EXPECT_EQ(back.schedQuality, res.schedQuality);
+    EXPECT_EQ(back.schedGapBound, res.schedGapBound);
+    ASSERT_EQ(back.layers.size(), 2u);
+    EXPECT_EQ(back.layers[0].name, "conv1");
+    EXPECT_EQ(back.layers[0].totalCycles, res.layers[0].totalCycles);
+    EXPECT_EQ(back.layers[0].schedQuality, compiler::Quality::Greedy);
+    EXPECT_EQ(back.layers[1].schedQuality, compiler::Quality::Optimal);
+}
+
+TEST(Serdes, RejectsTruncatedTrailingAndCorruptBytes)
+{
+    accel::InferenceResult res;
+    res.model = "m";
+    res.scheme = "s";
+    const std::string bytes = accel::serializeInferenceResult(res);
+    accel::InferenceResult back;
+    // Truncation at every prefix must fail cleanly, never crash.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+        EXPECT_FALSE(accel::deserializeInferenceResult(
+            bytes.substr(0, cut), back))
+            << "prefix " << cut;
+    // Trailing garbage fails the exact-length check.
+    EXPECT_FALSE(
+        accel::deserializeInferenceResult(bytes + "x", back));
+    // Random garbage fails outright.
+    EXPECT_FALSE(accel::deserializeInferenceResult(
+        std::string(64, '\x7f'), back));
+}
+
+TEST(Serdes, RoundTripsThroughDiskCache)
+{
+    const std::string path = cachePath("serdes");
+    accel::InferenceResult res;
+    res.model = "MobileNet";
+    res.scheme = "SMART";
+    res.batch = 2;
+    res.totalCycles = 42;
+    {
+        DiskCache dc(path);
+        dc.put("req-key", accel::serializeInferenceResult(res));
+    }
+    DiskCache dc(path);
+    std::string bytes;
+    ASSERT_TRUE(dc.get("req-key", bytes));
+    accel::InferenceResult back;
+    ASSERT_TRUE(accel::deserializeInferenceResult(bytes, back));
+    EXPECT_EQ(back.model, "MobileNet");
+    EXPECT_EQ(back.totalCycles, 42u);
+}
+
+} // namespace

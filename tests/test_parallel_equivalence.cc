@@ -41,7 +41,8 @@ expectIdentical(const accel::LayerResult &a, const accel::LayerResult &b)
     EXPECT_EQ(a.serialOverhead, b.serialOverhead);
     EXPECT_EQ(a.weightDramCycles, b.weightDramCycles);
     EXPECT_EQ(a.totalCycles, b.totalCycles);
-    EXPECT_EQ(a.usedIlp, b.usedIlp);
+    EXPECT_EQ(a.schedQuality, b.schedQuality);
+    EXPECT_EQ(a.schedGapBound, b.schedGapBound);
     EXPECT_EQ(a.counters.shiftSteps, b.counters.shiftSteps);
     EXPECT_EQ(a.counters.randomReadBytes, b.counters.randomReadBytes);
     EXPECT_EQ(a.counters.randomWriteBytes, b.counters.randomWriteBytes);

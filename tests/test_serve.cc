@@ -419,7 +419,7 @@ TEST(RequestQueue, BlockRecheckRejectsDoomedAfterWait)
                 EXPECT_EQ(p.seq, 1u);
                 EXPECT_EQ(depth, 0u);
                 ++rechecks;
-                return true; // now doomed
+                return serve::RequestQueue::WaitVerdict::Reject;
             });
         EXPECT_EQ(res.admission, serve::Admission::RejectedHopeless);
         EXPECT_FALSE(res.shed.has_value());
@@ -444,7 +444,7 @@ TEST(RequestQueue, BlockRecheckSkippedWhenPushDidNotWait)
     auto res = q.push(makePending(serve::Priority::Normal, 0),
                       [&](const serve::Pending &, std::size_t) {
                           ++rechecks;
-                          return true;
+                          return serve::RequestQueue::WaitVerdict::Reject;
                       });
     EXPECT_EQ(res.admission, serve::Admission::Admitted);
     EXPECT_EQ(rechecks.load(), 0);
@@ -463,7 +463,8 @@ TEST(RequestQueue, BlockRecheckNeverMasksClose)
     std::thread pusher([&]() {
         auto res = q.push(makePending(serve::Priority::Normal, 1),
                           [&](const serve::Pending &, std::size_t) {
-                              return true;
+                              return serve::RequestQueue::WaitVerdict::
+                                  Reject;
                           });
         EXPECT_EQ(res.admission, serve::Admission::RejectedClosed);
     });
