@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
 #include <future>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "cnn/models.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/tracespan.hh"
 #include "compiler/ilpsched.hh"
 #include "cryomem/dse.hh"
 #include "cryomem/subbank.hh"
@@ -156,9 +158,13 @@ jsonMain(int argc, char **argv)
 {
     setInformEnabled(false);
     std::string out = "BENCH_micro.json";
-    for (int i = 1; i < argc - 1; ++i)
+    std::string traceOut;
+    for (int i = 1; i < argc - 1; ++i) {
         if (std::string(argv[i]) == "--out")
             out = argv[i + 1];
+        else if (std::string(argv[i]) == "--trace-out")
+            traceOut = argv[i + 1];
+    }
 
     std::vector<bench::JsonMetric> metrics;
     bench::Timer total;
@@ -352,10 +358,12 @@ jsonMain(int argc, char **argv)
     metrics.push_back({"serve_slo_est_wave_ms", lm.estWaveMs});
     for (const auto &t : lm.tenantCache) {
         metrics.push_back(
-            {"serve_slo_tenant_" + t.tag + "_cache_entries",
+            {"serve_slo_tenant_" + serve::metricSafeTag(t.tag) +
+                 "_cache_entries",
              static_cast<double>(t.entries)});
         metrics.push_back(
-            {"serve_slo_tenant_" + t.tag + "_cache_evictions",
+            {"serve_slo_tenant_" + serve::metricSafeTag(t.tag) +
+                 "_cache_evictions",
              static_cast<double>(t.evictions)});
     }
 
@@ -462,7 +470,8 @@ jsonMain(int argc, char **argv)
                  static_cast<double>(trep.resubmitted)});
     for (const auto &t : tsvc.metrics().tenantSlo)
         metrics.push_back(
-            {"serve_tslo_tenant_" + t.tag + "_violated_windows",
+            {"serve_tslo_tenant_" + serve::metricSafeTag(t.tag) +
+                 "_violated_windows",
              static_cast<double>(t.violatedWindows)});
 
     // Graceful degradation: the same hopeless burst against a
@@ -577,6 +586,110 @@ jsonMain(int argc, char **argv)
         // process-wide ILP memo; drop them so nothing downstream
         // accidentally reuses a stall-era entry.
         accel::clearIlpCache();
+    }
+
+    // Tracer overhead: the serve replay, untraced vs traced at a
+    // 1-in-16 sampling rate. Each timed replay runs cold — the
+    // service result cache refuses every insert (a 1-byte budget; 0
+    // would mean unbounded) and the process-wide schedule/replay
+    // memos are cleared per iteration — so every request re-solves
+    // and re-evaluates, and the pair compares tracer cost against
+    // genuine serve-path work (~hundreds of ms a loop, far above the
+    // gate's noise floor), not cache-lookup trivia. The untraced and
+    // traced replays are interleaved so slow machine drift (thermal,
+    // noisy neighbors) cancels out of the ratio, which is what
+    // check_bench_regression.sh gates at 5%.
+    //
+    // maxWave=1 serializes the drain, which makes the stage-p95
+    // coverage check below statistically sound: with every request
+    // dominated by its queue-drain position and a small own-service
+    // tail, queue_wait and end-to-end time are comonotone and stage
+    // p95s add. (Bigger waves put a ~wave-sized serve span on a
+    // DIFFERENT request than the longest queue wait — the stages
+    // turn anti-comonotone and the p95 sum structurally overshoots
+    // the end-to-end p95; batching behavior itself is covered by the
+    // serve_* scenarios above.) The traced run also exports the
+    // per-stage breakdown and, with --trace-out, the Chrome/Perfetto
+    // trace JSON. Nothing here enters the checksum: sampling makes
+    // no result-visible difference by contract, and the memo caches
+    // are left exactly as the degrade scenario leaves them (cleared).
+    {
+        const int tracedLoops = 3;
+
+        serve::ServiceConfig ucfg;
+        ucfg.queue.maxDepth = 256;
+        ucfg.cacheMaxBytes = 1; // refuse every insert: real work
+        ucfg.maxWave = 1;
+        serve::EvalService usvc(ucfg);
+
+        serve::ServiceConfig tcfg2 = ucfg;
+        tcfg2.traceSampleEvery = 16;
+        serve::EvalService tracedSvc(tcfg2);
+        serve::replayTrace(tracedSvc, trace, /*timeScale=*/0.0);
+        // Drop the warm-up pass's spans: the stage breakdown below
+        // must describe the same steady-state work the timer
+        // measures, not the memo-priming first replay.
+        TraceRecorder::global().clear();
+
+        // Per-loop wall times; the emitted metric is the per-loop
+        // MEDIAN, so a one-off scheduler hiccup landing on a single
+        // replay cannot fake a 5% overhead (or mask one).
+        std::vector<double> uLoopMs, tLoopMs;
+        std::vector<double> e2eMs;
+        for (int i = 0; i < tracedLoops; ++i) {
+            accel::clearIlpCache();
+            accel::clearReplayCache();
+            timer.reset();
+            serve::replayTrace(usvc, trace, /*timeScale=*/0.0);
+            uLoopMs.push_back(timer.ms());
+
+            accel::clearIlpCache();
+            accel::clearReplayCache();
+            timer.reset();
+            const auto rep =
+                serve::replayTrace(tracedSvc, trace, /*timeScale=*/0.0);
+            tLoopMs.push_back(timer.ms());
+            // Only sampled requests have stage spans, so the e2e p95
+            // they are judged against must come from the same
+            // population.
+            for (const auto &r : rep.responses)
+                if (r.status == serve::ResponseStatus::Ok &&
+                    r.traceId != 0)
+                    e2eMs.push_back(r.totalMs);
+        }
+        const auto medianOf = [](std::vector<double> v) {
+            std::sort(v.begin(), v.end());
+            return v[v.size() / 2];
+        };
+        metrics.push_back(
+            {"serve_traced_untraced_ms", medianOf(uLoopMs)});
+        metrics.push_back(
+            {"serve_traced_replay_ms", medianOf(tLoopMs)});
+
+        double e2eP95 = 0.0;
+        if (!e2eMs.empty()) {
+            std::sort(e2eMs.begin(), e2eMs.end());
+            e2eP95 = e2eMs[static_cast<std::size_t>(
+                0.95 * (e2eMs.size() - 1))];
+        }
+        double stageP95Sum = 0.0;
+        for (const auto &st : tracedSvc.metrics().stages) {
+            if (st.name == "queue_wait" || st.name == "serve") {
+                metrics.push_back(
+                    {"serve_traced_stage_" + st.name + "_p95_ms",
+                     st.p95Ms});
+                stageP95Sum += st.p95Ms;
+            }
+        }
+        metrics.push_back(
+            {"serve_traced_stage_p95_sum_ms", stageP95Sum});
+        metrics.push_back({"serve_traced_e2e_p95_ms", e2eP95});
+
+        if (!traceOut.empty()) {
+            std::ofstream tf(traceOut);
+            tf << TraceRecorder::global().chromeTraceJson();
+        }
+        TraceRecorder::global().reset();
     }
 
     metrics.push_back({"total_ms", total.ms()});

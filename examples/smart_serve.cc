@@ -101,6 +101,12 @@ main(int argc, char **argv)
     cfg.cacheMaxEntries = 8;
     cfg.cacheShards = 1;
     cfg.tenantCacheBytes = 5 * perEntryBytes + 64;
+    // End-to-end tracing: sample one submission in four, and keep a
+    // small flight-recorder log so the incident dump below stays
+    // readable (the bursty replay rejects plenty of requests as
+    // hopeless, and each sampled one captures its span history).
+    cfg.traceSampleEvery = 4;
+    cfg.incidentLogCap = 4;
     // Persistent L2 (opt-in): point SMART_DISK_CACHE at a file and a
     // rerun of this binary warm-starts from it across the restart.
     const char *diskEnv = std::getenv("SMART_DISK_CACHE");
@@ -261,6 +267,28 @@ main(int argc, char **argv)
             static_cast<long long>(m.l2CorruptSkipped));
     }
     s.print(std::cout);
+
+    // Per-stage latency breakdown from the sampled traces: the
+    // queue_wait + serve pair partitions each request's end-to-end
+    // time; the schedule/execute stages sit inside serve.
+    if (!m.stages.empty()) {
+        Table st({"stage", "count", "p50 (ms)", "p95 (ms)"});
+        for (const auto &stage : m.stages) {
+            st.row()
+                .cell(stage.name)
+                .integer(static_cast<long long>(stage.count))
+                .num(stage.p50Ms, 3)
+                .num(stage.p95Ms, 3);
+        }
+        st.print(std::cout);
+    }
+
+    // Flight recorder: every sampled request that expired or was
+    // refused as hopeless left its span history here ("[]" when the
+    // replay went cleanly).
+    std::cout << "incident log (" << "last "
+              << cfg.incidentLogCap << " max): "
+              << svc.dumpIncidents() << "\n";
 
     if (json) {
         std::ofstream os(out);

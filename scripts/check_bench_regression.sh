@@ -33,6 +33,12 @@
 #    baseline. Ratios do not depend on machine speed, so they are
 #    judged even when the host stamps differ.
 #
+# One within-line guard rides along: the tracer-overhead check
+# compares serve_traced_replay_ms against serve_traced_untraced_ms
+# from the SAME (current) report line — a machine-independent pair —
+# and fails when 1-in-16 sampling costs more than 5% (and 2 ms) over
+# the untraced twin.
+#
 # First runs pass cleanly: a missing, empty, or single-line history
 # has nothing to compare against, and the gate says so instead of
 # erroring. Metrics absent from either side are skipped, and lines
@@ -50,11 +56,14 @@ set -eu
 
 WALL_METRICS="serve_replay_cold_ms serve_replay_warm_ms \
 serve_mt_replay_cold_ms serve_mt_replay_warm_ms serve_tslo_replay_ms \
-serve_degrade_wall_ms"
+serve_degrade_wall_ms serve_traced_untraced_ms serve_traced_replay_ms"
 RATIO_METRICS="serve_cache_hit_rate serve_mt_cache_hit_rate \
 serve_tslo_resubmit_ok_rate serve_degrade_rate"
 MIN_DELTA_MS=2
 MAX_RATIO_DROP=0.10
+# Tracer-overhead budget: the traced uncached replay may cost at
+# most this percent over its untraced twin (same line, same machine).
+MAX_TRACE_OVERHEAD_PCT=5
 
 # Committed (non-blank) lines in a history file; robust to a missing
 # trailing newline, which `wc -l` would undercount.
@@ -147,6 +156,30 @@ for m in $RATIO_METRICS; do
         echo "  ok $m: $base -> $cur"
     fi
 done
+
+# Tracer overhead next: serve_traced_replay_ms and
+# serve_traced_untraced_ms come from the SAME report line, measured
+# back-to-back on one machine, so their ratio is comparable no matter
+# what the host stamps say — judge it before the stamp gate. The
+# absolute floor mirrors the wall gate: a few-ms warm replay must not
+# fail on scheduler noise.
+untraced=$(metric_of "$cur_line" "serve_traced_untraced_ms")
+traced=$(metric_of "$cur_line" "serve_traced_replay_ms")
+if [ -n "$untraced" ] && [ -n "$traced" ]; then
+    if awk -v t="$traced" -v u="$untraced" \
+           -v p="$MAX_TRACE_OVERHEAD_PCT" -v f="$MIN_DELTA_MS" \
+           'BEGIN { exit !(t > u * (1 + p / 100) && t - u > f) }'; then
+        echo "FAIL tracer overhead: untraced $untraced ms ->" \
+             "traced $traced ms (> ${MAX_TRACE_OVERHEAD_PCT}% and" \
+             "> ${MIN_DELTA_MS} ms slower)"
+        status=1
+    else
+        echo "  ok tracer overhead: untraced $untraced ms ->" \
+             "traced $traced ms"
+    fi
+else
+    echo "  tracer overhead: serve_traced_* not in the current line; skipped"
+fi
 
 # Wall times only compare when both sides are known to come from the
 # same machine; an unstamped (pre-gate) or mismatched line is not a

@@ -1,6 +1,7 @@
 #include "accel/batch.hh"
 
 #include "common/parallel.hh"
+#include "common/tracespan.hh"
 
 namespace smart::accel
 {
@@ -16,6 +17,10 @@ runBatch(const std::vector<BatchItem> &items, const BatchItemHook &onItem)
 {
     std::vector<InferenceResult> results(items.size());
     parallelFor(items.size(), [&](std::size_t i) {
+        // Ambient trace id for the worker evaluating this item:
+        // schedule/execute spans in accel/compiler attach to the
+        // originating request's trace (no-op when the id is 0).
+        TraceRecorder::TraceScope trace(items[i].traceId);
         results[i] = runInference(items[i].cfg, items[i].model,
                                   items[i].batch, items[i].mode);
         if (onItem)

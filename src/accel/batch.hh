@@ -27,6 +27,13 @@ struct BatchItem
     cnn::CnnModel model;
     int batch = 1;
     SchedMode mode = SchedMode::Ilp; //!< Greedy = degraded serving.
+    /**
+     * TraceRecorder id (0 = untraced): runBatch evaluates the item
+     * inside a TraceScope carrying this id, so schedule/execute spans
+     * recorded by accel/compiler layers attach to the originating
+     * request without threading the id through every signature.
+     */
+    std::uint64_t traceId = 0;
 };
 
 /**

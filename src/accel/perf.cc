@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/tracespan.hh"
 #include "compiler/greedy.hh"
 #include "compiler/ilpsched.hh"
 #include "cryomem/cmos_sfq_array.hh"
@@ -192,7 +193,16 @@ cachedScheduleOutcome(const systolic::ConvLayer &layer,
         layerKey(layer) + '|' + std::to_string(pe.rows) + 'x' +
         std::to_string(pe.cols) + '|' + sp.cacheKey() +
         (mode == SchedMode::Greedy ? "|greedy" : "");
-    return ilp_cache.getOrCompute(key, [&]() {
+    const std::uint64_t traceId = TraceRecorder::currentTrace();
+    bool computed = false;
+    SchedOutcome out = ilp_cache.getOrCompute(key, [&]() {
+        computed = true;
+        // The span name carries the pass taken (Ilp/Greedy); the gap
+        // bound rides as an integer arg in parts-per-million (-1 =
+        // unknown, greedy passes report no bound).
+        ScopedSpan span(traceId, mode == SchedMode::Greedy
+                                     ? "schedule_greedy"
+                                     : "schedule_ilp");
         compiler::LayerDag dag = compiler::buildLayerDag(layer, d);
         compiler::Schedule sched = mode == SchedMode::Greedy
                                        ? compiler::scheduleGreedy(dag, sp)
@@ -201,8 +211,15 @@ cachedScheduleOutcome(const systolic::ConvLayer &layer,
         out.hidden = sched.prefetchedFraction(dag);
         out.quality = sched.quality;
         out.gapBound = sched.gapBound;
+        span.setArg(out.gapBound < 0.0
+                        ? -1
+                        : static_cast<std::int64_t>(out.gapBound * 1e6),
+                    "gap_bound_ppm");
         return out;
     });
+    if (!computed)
+        TraceRecorder::global().instant(traceId, "schedule_memo_hit");
+    return out;
 }
 
 /** DRAM spill beyond on-chip capacity, charged per layer (cycles). */
@@ -533,12 +550,23 @@ runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     res.scheme = schemeName(cfg.scheme);
     res.batch = batch;
 
+    // The whole-model evaluation is the trace's "execute" stage. The
+    // ambient id is re-established inside each pool worker so the
+    // per-layer schedule spans recorded there attach to the same
+    // request (the lambda runs on threads that never saw the
+    // caller's TraceScope).
+    const std::uint64_t traceId = TraceRecorder::currentTrace();
+    ScopedSpan execSpan(traceId, "execute",
+                        static_cast<std::int64_t>(model.layers.size()),
+                        "layers");
+
     // Layers are independent in this model, so they evaluate in
     // parallel (the per-layer ILP scheduling dominates the cost) and
     // accumulate serially in layer order afterwards — parallel results
     // are bit-identical to a serial loop.
     res.layers.resize(model.layers.size());
     parallelFor(model.layers.size(), [&](std::size_t i) {
+        TraceRecorder::TraceScope scope(traceId);
         res.layers[i] = runLayer(cfg, model.layers[i], batch, mode);
     });
     for (const auto &lr : res.layers) {

@@ -11,6 +11,7 @@
 #ifndef SMART_COMMON_JSONREPORT_HH
 #define SMART_COMMON_JSONREPORT_HH
 
+#include <cstdio>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -21,17 +22,72 @@
 namespace smart
 {
 
-/** Write one flat (name, value) metric report to @p os. */
+/**
+ * Escape @p s for emission inside a JSON string literal: quotes,
+ * backslashes, and control characters (the tenant tag is a
+ * client-controlled string, and a hostile tag must corrupt a metric
+ * key, not the whole report). The common escapes use their two-char
+ * forms; remaining control bytes become \u00XX.
+ */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Write one flat (name, value) metric report to @p os. The bench name
+ * and every metric key are JSON-escaped here, at the one emitter, so
+ * no producer (bench drivers, the serving snapshot with its
+ * client-controlled tenant tags) can emit unparseable JSON.
+ */
 inline void
 writeFlatMetricsJson(std::ostream &os, const std::string &bench,
                      const std::vector<std::pair<std::string, double>>
                          &metrics)
 {
     os.precision(17); // full double resolution for trajectory diffs
-    os << "{\n  \"bench\": \"" << bench << "\",\n  \"threads\": "
-       << ThreadPool::global().size() << ",\n  \"metrics\": {";
+    os << "{\n  \"bench\": \"" << jsonEscape(bench)
+       << "\",\n  \"threads\": " << ThreadPool::global().size()
+       << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics.size(); ++i) {
-        os << (i ? "," : "") << "\n    \"" << metrics[i].first
+        os << (i ? "," : "") << "\n    \""
+           << jsonEscape(metrics[i].first)
            << "\": " << metrics[i].second;
     }
     os << "\n  }\n}\n";

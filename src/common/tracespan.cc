@@ -1,0 +1,490 @@
+#include "common/tracespan.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/jsonreport.hh"
+
+namespace smart
+{
+
+namespace
+{
+
+/** Smallest power of two >= @p n (>= 2, so a mask always works). */
+std::size_t
+pow2AtLeast(std::size_t n)
+{
+    std::size_t p = 2;
+    while (p < n && p < (std::size_t(1) << 30))
+        p <<= 1;
+    return p;
+}
+
+const char *
+kindName(TraceRecorder::EventKind k)
+{
+    switch (k) {
+      case TraceRecorder::EventKind::Begin:
+        return "begin";
+      case TraceRecorder::EventKind::End:
+        return "end";
+      case TraceRecorder::EventKind::Instant:
+        return "instant";
+    }
+    return "?";
+}
+
+} // namespace
+
+/**
+ * One ring slot. Every field is an individually-relaxed atomic: the
+ * owning thread is the only writer, but exporters read concurrently,
+ * and field-wise atomics keep that race benign (a torn slot mixes
+ * fields from two events; it never tears a single field or trips
+ * TSan). The name doubles as the validity sentinel — nulled before a
+ * rewrite, restored last — so a reader racing a wrap usually sees
+ * null and drops the slot.
+ */
+struct TraceRecorder::Slot
+{
+    std::atomic<std::uint64_t> tsNs{0};
+    std::atomic<std::uint64_t> durNs{0};
+    std::atomic<std::uint64_t> traceId{0};
+    std::atomic<const char *> name{nullptr};
+    std::atomic<const char *> argName{nullptr};
+    std::atomic<std::int64_t> arg{0};
+    std::atomic<std::uint32_t> kind{0};
+};
+
+struct TraceRecorder::Ring
+{
+    Ring(std::size_t slotCount, std::uint32_t tidIn)
+        : slots(slotCount), mask(slotCount - 1), tid(tidIn)
+    {}
+
+    std::vector<Slot> slots;
+    const std::size_t mask;
+    /** Next write index, monotonic; published with release order. */
+    std::atomic<std::uint64_t> head{0};
+    const std::uint32_t tid;
+};
+
+namespace
+{
+
+thread_local std::uint64_t tl_current_trace = 0;
+
+} // namespace
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void
+TraceRecorder::configure(const Config &cfg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cfg_ = cfg;
+        cfg_.ringSlots = pow2AtLeast(std::max<std::size_t>(
+            2, cfg.ringSlots));
+        cfg_.incidentLogCap =
+            std::max<std::size_t>(1, cfg.incidentLogCap);
+        rings_.clear();
+        incidents_.clear();
+        nextTid_ = 0;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stageMu_);
+        stages_.clear();
+    }
+    sampleEvery_.store(cfg.sampleEvery, std::memory_order_relaxed);
+    submitSeq_.store(0, std::memory_order_relaxed);
+    // Live threads re-create their rings on next use (the old ring
+    // stays alive through their shared_ptr until then, so a mid-write
+    // thread never touches freed memory).
+    generation_.fetch_add(1, std::memory_order_release);
+    armed_.store(cfg.sampleEvery > 0, std::memory_order_relaxed);
+}
+
+TraceRecorder::Config
+TraceRecorder::config() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cfg_;
+}
+
+void
+TraceRecorder::clear()
+{
+    Config cfg;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cfg = cfg_;
+    }
+    configure(cfg);
+}
+
+std::uint64_t
+TraceRecorder::startTrace()
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return 0; // disarmed: one relaxed load, nothing else
+    const std::uint64_t every =
+        sampleEvery_.load(std::memory_order_relaxed);
+    const std::uint64_t n =
+        submitSeq_.fetch_add(1, std::memory_order_relaxed);
+    if (every == 0 || n % every != 0)
+        return 0;
+    return n + 1; // nonzero, unique per sampled submission
+}
+
+std::uint64_t
+TraceRecorder::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TraceRecorder::Ring &
+TraceRecorder::localRing()
+{
+    // The shared_ptr keeps this thread's ring alive across a
+    // concurrent configure(); the generation stamp tells it to pick
+    // up the replacement on its next event.
+    thread_local std::shared_ptr<Ring> ring;
+    thread_local std::uint64_t ringGeneration = ~std::uint64_t(0);
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_acquire);
+    if (!ring || ringGeneration != gen) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ring = std::make_shared<Ring>(cfg_.ringSlots, nextTid_++);
+        rings_.push_back(ring);
+        ringGeneration = generation_.load(std::memory_order_relaxed);
+    }
+    return *ring;
+}
+
+void
+TraceRecorder::record(EventKind kind, std::uint64_t traceId,
+                      const char *name, std::uint64_t tsNs,
+                      std::uint64_t durNs, std::int64_t arg,
+                      const char *argName)
+{
+    if (traceId == 0 || name == nullptr)
+        return;
+    Ring &r = localRing();
+    const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+    Slot &s = r.slots[h & r.mask];
+    // Invalidate first, restore the name last: a reader racing this
+    // rewrite sees null and drops the slot instead of mixing events.
+    s.name.store(nullptr, std::memory_order_relaxed);
+    s.tsNs.store(tsNs, std::memory_order_relaxed);
+    s.durNs.store(durNs, std::memory_order_relaxed);
+    s.traceId.store(traceId, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.argName.store(argName, std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint32_t>(kind),
+                 std::memory_order_relaxed);
+    s.name.store(name, std::memory_order_relaxed);
+    r.head.store(h + 1, std::memory_order_release);
+}
+
+void
+TraceRecorder::beginSpan(std::uint64_t traceId, const char *name,
+                         std::int64_t arg, const char *argName)
+{
+    if (traceId == 0)
+        return;
+    record(EventKind::Begin, traceId, name, nowNs(), 0, arg, argName);
+}
+
+void
+TraceRecorder::endSpan(std::uint64_t traceId, const char *name,
+                       std::uint64_t beginNs, std::int64_t arg,
+                       const char *argName)
+{
+    if (traceId == 0)
+        return;
+    const std::uint64_t end = nowNs();
+    const std::uint64_t dur = end > beginNs ? end - beginNs : 0;
+    record(EventKind::End, traceId, name, end, dur, arg, argName);
+    foldStage(name, static_cast<double>(dur) / 1e6);
+}
+
+void
+TraceRecorder::instant(std::uint64_t traceId, const char *name,
+                       std::int64_t arg, const char *argName)
+{
+    if (traceId == 0)
+        return;
+    record(EventKind::Instant, traceId, name, nowNs(), 0, arg,
+           argName);
+}
+
+void
+TraceRecorder::recordSpan(std::uint64_t traceId, const char *name,
+                          std::uint64_t beginNs, std::uint64_t endNs,
+                          std::int64_t arg, const char *argName)
+{
+    if (traceId == 0)
+        return;
+    const std::uint64_t dur = endNs > beginNs ? endNs - beginNs : 0;
+    record(EventKind::End, traceId, name, endNs, dur, arg, argName);
+    foldStage(name, static_cast<double>(dur) / 1e6);
+}
+
+std::uint64_t
+TraceRecorder::currentTrace()
+{
+    return tl_current_trace;
+}
+
+TraceRecorder::TraceScope::TraceScope(std::uint64_t traceId)
+    : prev_(tl_current_trace)
+{
+    tl_current_trace = traceId;
+}
+
+TraceRecorder::TraceScope::~TraceScope()
+{
+    tl_current_trace = prev_;
+}
+
+void
+TraceRecorder::foldStage(const char *name, double ms)
+{
+    // Stage names are static strings from instrumentation sites, so
+    // the map stays small; the cap is purely defensive.
+    constexpr std::size_t kMaxStages = 256;
+    std::lock_guard<std::mutex> lock(stageMu_);
+    auto it = stages_.find(name);
+    if (it == stages_.end()) {
+        if (stages_.size() >= kMaxStages)
+            return;
+        it = stages_.emplace(name, Histogram(1e-3, 1e7, 1.25)).first;
+    }
+    it->second.add(ms);
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::events() const
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        rings = rings_;
+    }
+    std::vector<Event> out;
+    for (const auto &r : rings) {
+        const std::uint64_t h =
+            r->head.load(std::memory_order_acquire);
+        const std::uint64_t n =
+            std::min<std::uint64_t>(h, r->slots.size());
+        for (std::uint64_t i = h - n; i < h; ++i) {
+            const Slot &s = r->slots[i & r->mask];
+            Event e;
+            e.name = s.name.load(std::memory_order_relaxed);
+            if (e.name == nullptr)
+                continue; // torn slot mid-rewrite: drop it
+            e.tsNs = s.tsNs.load(std::memory_order_relaxed);
+            e.durNs = s.durNs.load(std::memory_order_relaxed);
+            e.traceId = s.traceId.load(std::memory_order_relaxed);
+            e.argName = s.argName.load(std::memory_order_relaxed);
+            e.arg = s.arg.load(std::memory_order_relaxed);
+            e.kind = static_cast<EventKind>(
+                s.kind.load(std::memory_order_relaxed));
+            e.tid = r->tid;
+            out.push_back(e);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Event &a, const Event &b) {
+                  return a.tsNs < b.tsNs;
+              });
+    return out;
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::eventsFor(std::uint64_t traceId,
+                         std::size_t lastN) const
+{
+    std::vector<Event> all = events();
+    std::vector<Event> out;
+    for (const Event &e : all)
+        if (e.traceId == traceId)
+            out.push_back(e);
+    if (out.size() > lastN)
+        out.erase(out.begin(),
+                  out.begin() +
+                      static_cast<std::ptrdiff_t>(out.size() - lastN));
+    return out;
+}
+
+namespace
+{
+
+void
+writeEventArgs(std::ostream &os, const TraceRecorder::Event &e)
+{
+    os << "\"trace_id\":" << e.traceId;
+    if (e.argName)
+        os << ",\"" << jsonEscape(e.argName) << "\":" << e.arg;
+}
+
+} // namespace
+
+std::string
+TraceRecorder::chromeTraceJson() const
+{
+    const std::vector<Event> evs = events();
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : evs) {
+        if (e.kind == EventKind::Begin)
+            continue; // the End event carries the whole slice
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"pid\":1"
+           << ",\"tid\":" << e.tid;
+        if (e.kind == EventKind::End) {
+            os << ",\"ph\":\"X\",\"ts\":"
+               << static_cast<double>(e.tsNs - e.durNs) / 1e3
+               << ",\"dur\":" << static_cast<double>(e.durNs) / 1e3;
+        } else {
+            os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+               << static_cast<double>(e.tsNs) / 1e3;
+        }
+        os << ",\"args\":{";
+        writeEventArgs(os, e);
+        os << "}}";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+std::vector<TraceRecorder::StageStat>
+TraceRecorder::stageStats() const
+{
+    std::lock_guard<std::mutex> lock(stageMu_);
+    std::vector<StageStat> out;
+    out.reserve(stages_.size());
+    for (const auto &[name, hist] : stages_) {
+        StageStat s;
+        s.name = name;
+        s.count = hist.count();
+        s.p50Ms = hist.quantile(0.50);
+        s.p95Ms = hist.quantile(0.95);
+        s.meanMs = hist.mean();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+TraceRecorder::recordIncident(std::uint64_t traceId,
+                              const char *reason,
+                              std::uint64_t digest,
+                              const std::string &tag)
+{
+    if (traceId == 0)
+        return; // unsampled request: no spans to capture
+    Incident inc;
+    inc.traceId = traceId;
+    inc.reason = reason ? reason : "?";
+    inc.digest = digest;
+    inc.tag = tag;
+    inc.capturedAtNs = nowNs();
+    inc.spans = eventsFor(traceId, kIncidentSpanCap);
+    std::lock_guard<std::mutex> lock(mu_);
+    incidents_.push_back(std::move(inc));
+    while (incidents_.size() > cfg_.incidentLogCap)
+        incidents_.erase(incidents_.begin());
+}
+
+std::vector<TraceRecorder::Incident>
+TraceRecorder::incidents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return incidents_;
+}
+
+std::string
+TraceRecorder::incidentsJson() const
+{
+    const std::vector<Incident> incs = incidents();
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "[";
+    for (std::size_t i = 0; i < incs.size(); ++i) {
+        const Incident &inc = incs[i];
+        os << (i ? ",\n" : "\n") << " {\"trace_id\":" << inc.traceId
+           << ",\"reason\":\"" << jsonEscape(inc.reason) << "\""
+           // 64-bit digests exceed JSON's interoperable integer
+           // range, so they travel as hex strings.
+           << ",\"digest\":\"0x" << std::hex << inc.digest << std::dec
+           << "\",\"tag\":\"" << jsonEscape(inc.tag)
+           << "\",\"captured_at_ms\":"
+           << static_cast<double>(inc.capturedAtNs) / 1e6
+           << ",\"spans\":[";
+        for (std::size_t j = 0; j < inc.spans.size(); ++j) {
+            const Event &e = inc.spans[j];
+            os << (j ? "," : "") << "{\"name\":\""
+               << jsonEscape(e.name) << "\",\"kind\":\""
+               << kindName(e.kind) << "\",\"tid\":" << e.tid
+               << ",\"ts_ms\":" << static_cast<double>(e.tsNs) / 1e6
+               << ",\"dur_ms\":" << static_cast<double>(e.durNs) / 1e6;
+            if (e.argName)
+                os << ",\"" << jsonEscape(e.argName)
+                   << "\":" << e.arg;
+            os << "}";
+        }
+        os << "]}";
+    }
+    if (incs.empty())
+        return "[]"; // The documented disarmed/clean dump.
+    os << "\n]\n";
+    return os.str();
+}
+
+ScopedSpan::ScopedSpan(std::uint64_t traceId, const char *name,
+                       std::int64_t arg, const char *argName)
+    : traceId_(traceId), name_(name), argName_(argName), arg_(arg),
+      beginNs_(0)
+{
+    if (traceId_ == 0)
+        return;
+    beginNs_ = TraceRecorder::nowNs();
+    TraceRecorder::global().beginSpan(traceId_, name_, arg_,
+                                      argName_);
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (traceId_ == 0)
+        return;
+    TraceRecorder::global().endSpan(traceId_, name_, beginNs_, arg_,
+                                    argName_);
+}
+
+void
+ScopedSpan::setArg(std::int64_t arg, const char *argName)
+{
+    arg_ = arg;
+    if (argName)
+        argName_ = argName;
+}
+
+} // namespace smart

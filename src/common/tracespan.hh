@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Low-overhead end-to-end request tracing: per-thread lock-free ring
+ * buffers of span events (monotonic timestamps, thread id, 64-bit
+ * trace id, static-string span names, optional integer args), a
+ * process-wide TraceRecorder with a sampling knob, and two exporters —
+ * Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+ * and an aggregated per-stage latency breakdown
+ * (stage_<name>_{p50,p95}_ms, folded into the serving layer's metrics
+ * snapshot via common/histogram).
+ *
+ * Fast-path contract (mirrors common/faultinject.hh): with tracing
+ * disarmed (sampleEvery == 0, the default) every hook is one relaxed
+ * atomic load; with tracing armed but a request unsampled (trace id
+ * 0), every hook is a branch on that zero. Only sampled requests pay
+ * the (handful-of-relaxed-atomic-stores) event cost.
+ *
+ * Concurrency: each ring has exactly one writer — its owning thread —
+ * so writes need no CAS loops; slots are made of relaxed atomics and
+ * the ring head is published with release order, so concurrent
+ * exporters read without data races (TSan-clean). A reader racing a
+ * wrapping writer can observe a torn slot; exporters tolerate that
+ * (an inconsistent slot is dropped, never UB) — the honest price of a
+ * wait-free hot path.
+ *
+ * On top of the recorder sits a flight recorder: when a request
+ * expires, is rejected hopeless, or a fault-injected failure fires,
+ * the last-N spans of that trace are snapshotted into a bounded
+ * in-memory incident log, dumpable as JSON
+ * (serve::EvalService::dumpIncidents).
+ */
+
+#ifndef SMART_COMMON_TRACESPAN_HH
+#define SMART_COMMON_TRACESPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace smart
+{
+
+class TraceRecorder
+{
+  public:
+    struct Config
+    {
+        /**
+         * Sample every Nth submission (1 = every request, 16 = one in
+         * sixteen). 0 disarms tracing entirely: startTrace() is one
+         * relaxed atomic load and returns 0, and every span hook
+         * carrying that 0 is a no-op branch.
+         */
+        std::uint64_t sampleEvery = 0;
+        /** Per-thread ring capacity in events (rounded up to 2^k). */
+        std::size_t ringSlots = 4096;
+        /** Most incidents the flight recorder retains (FIFO evict). */
+        std::size_t incidentLogCap = 32;
+    };
+
+    enum class EventKind : std::uint32_t
+    {
+        Begin = 0,  //!< Span opened (flight-recorder visibility).
+        End = 1,    //!< Span closed; carries the full duration.
+        Instant = 2 //!< Point event (verdicts, cache hits).
+    };
+
+    /** Reader-side copy of one ring slot (plain fields). */
+    struct Event
+    {
+        std::uint64_t tsNs = 0;  //!< Monotonic; End: the close time.
+        std::uint64_t durNs = 0; //!< End events only; else 0.
+        std::uint64_t traceId = 0;
+        const char *name = nullptr;    //!< Static string.
+        const char *argName = nullptr; //!< Static string; null = none.
+        std::int64_t arg = 0;
+        EventKind kind = EventKind::Instant;
+        std::uint32_t tid = 0; //!< Recorder-assigned thread index.
+    };
+
+    /** Aggregated per-stage duration breakdown (End events). */
+    struct StageStat
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double p50Ms = 0.0;
+        double p95Ms = 0.0;
+        double meanMs = 0.0;
+    };
+
+    /** One flight-recorder capture: why + the trace's last spans. */
+    struct Incident
+    {
+        std::uint64_t traceId = 0;
+        std::string reason; //!< "expired", "rejected_hopeless", ...
+        std::uint64_t digest = 0; //!< accel::requestDigest when known.
+        std::string tag;          //!< Tenant tag when known.
+        std::uint64_t capturedAtNs = 0; //!< Monotonic capture time.
+        std::vector<Event> spans;       //!< Oldest first.
+    };
+
+    /**
+     * The process-wide recorder (one per process, like FaultInjector:
+     * the serving config arms it, accel/compiler layers reach it
+     * without plumbing). First use reads no environment — tracing is
+     * armed programmatically (ServiceConfig::traceSampleEvery or
+     * configure()).
+     */
+    static TraceRecorder &global();
+
+    /** Replace the config; also clears events/stages/incidents. */
+    void configure(const Config &cfg);
+
+    /** Disarm and drop all recorded state (configure({})). */
+    void reset() { configure(Config{}); }
+
+    /** Point-in-time copy of the active configuration. */
+    Config config() const;
+
+    /** One relaxed atomic load: is any sampling configured? */
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Admission point of a new request: returns a nonzero 64-bit trace
+     * id when this submission is sampled, else 0. Disarmed cost is the
+     * armed() load alone.
+     */
+    std::uint64_t startTrace();
+
+    /** Monotonic now in ns (steady_clock, the Pending clock). */
+    static std::uint64_t nowNs();
+
+    /** Open a span (no-op when @p traceId is 0). */
+    void beginSpan(std::uint64_t traceId, const char *name,
+                   std::int64_t arg = 0,
+                   const char *argName = nullptr);
+
+    /**
+     * Close a span opened at @p beginNs: records an End event carrying
+     * the duration and folds it into the per-stage histogram under
+     * @p name.
+     */
+    void endSpan(std::uint64_t traceId, const char *name,
+                 std::uint64_t beginNs, std::int64_t arg = 0,
+                 const char *argName = nullptr);
+
+    /** Record a point event (verdicts, cache hits, fallbacks). */
+    void instant(std::uint64_t traceId, const char *name,
+                 std::int64_t arg = 0, const char *argName = nullptr);
+
+    /**
+     * Record a completed span with explicit begin/end times — for
+     * stages measured across threads, e.g. queue wait (submit time is
+     * stamped by the submitter, the dispatcher closes the span).
+     */
+    void recordSpan(std::uint64_t traceId, const char *name,
+                    std::uint64_t beginNs, std::uint64_t endNs,
+                    std::int64_t arg = 0,
+                    const char *argName = nullptr);
+
+    /**
+     * The calling thread's ambient trace id (0 when none). Set by
+     * TraceScope around evaluation work so accel/compiler spans
+     * inherit the request's id without threading it through every
+     * signature.
+     */
+    static std::uint64_t currentTrace();
+
+    /** RAII ambient-trace setter (see currentTrace()). */
+    class TraceScope
+    {
+      public:
+        explicit TraceScope(std::uint64_t traceId);
+        ~TraceScope();
+        TraceScope(const TraceScope &) = delete;
+        TraceScope &operator=(const TraceScope &) = delete;
+
+      private:
+        std::uint64_t prev_;
+    };
+
+    /** Snapshot every ring's events, oldest first (ts-sorted). */
+    std::vector<Event> events() const;
+
+    /** The newest (up to) @p lastN events of @p traceId, ts-sorted. */
+    std::vector<Event> eventsFor(std::uint64_t traceId,
+                                 std::size_t lastN) const;
+
+    /**
+     * Chrome trace-event JSON ({"traceEvents": [...]}) of every
+     * buffered event, loadable in Perfetto / chrome://tracing. End
+     * events export as complete ("X") slices, Instant events as "i";
+     * Begin events are flight-recorder detail and are skipped (their
+     * matching End, when it landed, already carries the full span).
+     */
+    std::string chromeTraceJson() const;
+
+    /** Per-stage duration breakdown, ordered by stage name. */
+    std::vector<StageStat> stageStats() const;
+
+    /**
+     * Flight recorder: snapshot the last spans of @p traceId together
+     * with @p reason into the bounded incident log (FIFO eviction at
+     * Config::incidentLogCap). No-op when @p traceId is 0 (the
+     * request was not sampled — there is nothing to capture).
+     */
+    void recordIncident(std::uint64_t traceId, const char *reason,
+                        std::uint64_t digest = 0,
+                        const std::string &tag = std::string());
+
+    /** Copy of the incident log, oldest first. */
+    std::vector<Incident> incidents() const;
+
+    /** The incident log as a JSON array (see README Observability). */
+    std::string incidentsJson() const;
+
+    /** Drop events, stage stats, and incidents; keep the config. */
+    void clear();
+
+  private:
+    struct Slot;
+    struct Ring;
+
+    TraceRecorder() = default;
+
+    void record(EventKind kind, std::uint64_t traceId,
+                const char *name, std::uint64_t tsNs,
+                std::uint64_t durNs, std::int64_t arg,
+                const char *argName);
+    Ring &localRing();
+    void foldStage(const char *name, double ms);
+
+    /** Most spans one incident snapshot retains. */
+    static constexpr std::size_t kIncidentSpanCap = 64;
+
+    std::atomic<bool> armed_{false};
+    std::atomic<std::uint64_t> sampleEvery_{0};
+    std::atomic<std::uint64_t> submitSeq_{0};
+    /** Bumped by configure/clear: threads re-create their rings. */
+    std::atomic<std::uint64_t> generation_{0};
+
+    mutable std::mutex mu_; //!< Guards cfg_, rings_, incidents_.
+    Config cfg_;
+    std::vector<std::shared_ptr<Ring>> rings_;
+    std::uint32_t nextTid_ = 0;
+    std::vector<Incident> incidents_;
+
+    mutable std::mutex stageMu_; //!< Guards the stage histograms.
+    std::map<std::string, Histogram> stages_;
+};
+
+/**
+ * RAII begin/end span: records Begin at construction and End (with
+ * the measured duration) at destruction. A 0 trace id makes both
+ * no-ops, so instrumentation sites need no branches of their own.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(std::uint64_t traceId, const char *name,
+               std::int64_t arg = 0, const char *argName = nullptr);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Update the arg reported on the End event (e.g. a gap bound). */
+    void setArg(std::int64_t arg, const char *argName = nullptr);
+
+  private:
+    std::uint64_t traceId_;
+    const char *name_;
+    const char *argName_;
+    std::int64_t arg_;
+    std::uint64_t beginNs_;
+};
+
+} // namespace smart
+
+#endif // SMART_COMMON_TRACESPAN_HH

@@ -7,6 +7,7 @@
 
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/tracespan.hh"
 #include "compiler/greedy.hh"
 #include "ilp/solver.hh"
 
@@ -214,19 +215,29 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
     // A 0.5 % optimality gap is far below the model's fidelity and
     // keeps per-layer scheduling in the milliseconds.
     opts.gapTol = 5e-3;
+    // The solve itself is the stage worth timing (model build above
+    // is linear); the span lands on whichever request's evaluation
+    // reached this layer (ambient trace id, 0 = untraced no-op).
+    const std::uint64_t traceId = TraceRecorder::currentTrace();
+    auto &trace = TraceRecorder::global();
     ilp::Solution sol;
     try {
+        ScopedSpan solveSpan(traceId, "ilp_solve");
         FaultInjector::global().onIlpSolve();
         sol = ilp::solve(model, opts);
+        solveSpan.setArg(static_cast<std::int64_t>(sol.bnbNodes),
+                         "bnb_nodes");
     } catch (const std::exception &e) {
         smart_warn("layer ILP threw (", e.what(),
                    "); falling back to the greedy allocator");
+        trace.instant(traceId, "ilp_fallback");
         return greedyFallback(dag, params, nullptr);
     }
 
     if (!sol.feasible()) {
         smart_warn("layer ILP ", statusName(sol.status),
                    "; falling back to the greedy allocator");
+        trace.instant(traceId, "ilp_fallback");
         return greedyFallback(dag, params, &sol);
     }
 
@@ -249,6 +260,7 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
 
     if (!validateSchedule(dag, params, sched)) {
         smart_warn("ILP schedule failed validation; using greedy");
+        trace.instant(traceId, "ilp_fallback");
         return greedyFallback(dag, params, &sol);
     }
     return sched;

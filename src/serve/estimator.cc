@@ -23,19 +23,46 @@ CostEstimator::CostEstimator(double alpha)
 {}
 
 void
+CostEstimator::foldInto(Ewma &e, double x) const
+{
+    if (e.samples == 0) {
+        e.ms = x;
+        e.var = 0.0; // one sample carries no spread evidence
+    } else {
+        // West's exponentially weighted mean/variance update: the
+        // same alpha discounts old squared deviations, so the
+        // interval tracks regime shifts at the pace the mean does.
+        const double diff = x - e.ms;
+        const double incr = alpha_ * diff;
+        e.ms += incr;
+        e.var = (1.0 - alpha_) * (e.var + diff * incr);
+    }
+    ++e.samples;
+}
+
+std::pair<double, double>
+CostEstimator::intervalOf(const Ewma &e)
+{
+    if (e.samples < 2)
+        return {0.0, 0.0}; // no spread evidence yet
+    const double half = 2.0 * std::sqrt(std::max(0.0, e.var));
+    return {std::max(0.0, e.ms - half), e.ms + half};
+}
+
+void
 CostEstimator::recordService(const std::string &shapeKey,
                              double serviceMs)
 {
     if (!std::isfinite(serviceMs) || serviceMs < 0.0)
         return; // a broken clock must not poison admission decisions
     std::lock_guard<std::mutex> lock(mu_);
-    serviceMs_ = fold(serviceMs_, serviceSamples_, alpha_, serviceMs);
-    ++serviceSamples_;
+    foldInto(service_, serviceMs);
     auto it = shapeMs_.find(shapeKey);
     if (it != shapeMs_.end())
-        it->second = fold(it->second, 1, alpha_, serviceMs);
+        foldInto(it->second, serviceMs);
     else if (shapeMs_.size() < kMaxShapes)
-        shapeMs_.emplace(shapeKey, serviceMs);
+        foldInto(shapeMs_.emplace(shapeKey, Ewma{}).first->second,
+                 serviceMs);
 }
 
 void
@@ -57,8 +84,8 @@ CostEstimator::estimateServiceMs(const std::string &shapeKey) const
     std::lock_guard<std::mutex> lock(mu_);
     auto it = shapeMs_.find(shapeKey);
     if (it != shapeMs_.end())
-        return it->second;
-    return serviceSamples_ ? serviceMs_ : 0.0;
+        return it->second.ms;
+    return service_.samples ? service_.ms : 0.0;
 }
 
 double
@@ -66,7 +93,19 @@ CostEstimator::shapeEstimateMs(const std::string &shapeKey) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = shapeMs_.find(shapeKey);
-    return it != shapeMs_.end() ? it->second : 0.0;
+    return it != shapeMs_.end() ? it->second.ms : 0.0;
+}
+
+std::pair<double, double>
+CostEstimator::estimateInterval(const std::string &shapeKey) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shapeKey.empty()) {
+        auto it = shapeMs_.find(shapeKey);
+        if (it != shapeMs_.end() && it->second.samples >= 2)
+            return intervalOf(it->second);
+    }
+    return intervalOf(service_);
 }
 
 double
@@ -82,7 +121,7 @@ CostEstimator::estimateQueueWaitMs(std::size_t queueDepth) const
     // so a submitter can observe a completed request while the wave
     // EWMA is still cold) — a deliberately serial, pessimistic guess.
     const double perItemMs =
-        waveSamples_ ? itemMs_ : (serviceSamples_ ? serviceMs_ : 0.0);
+        waveSamples_ ? itemMs_ : (service_.samples ? service_.ms : 0.0);
     if (perItemMs <= 0.0)
         return 0.0; // cold: no evidence, never reject on a guess
     return static_cast<double>(queueDepth) * perItemMs;
@@ -107,12 +146,14 @@ CostEstimator::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     Snapshot s;
-    s.serviceSamples = serviceSamples_;
+    s.serviceSamples = service_.samples;
     s.waveSamples = waveSamples_;
-    s.serviceMs = serviceMs_;
+    s.serviceMs = service_.ms;
     s.waveMs = waveMs_;
     s.drainMsPerItem = itemMs_;
     s.shapes = shapeMs_.size();
+    const auto interval = intervalOf(service_);
+    s.serviceIntervalMs = interval.second - interval.first;
     return s;
 }
 

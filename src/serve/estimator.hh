@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace smart::serve
 {
@@ -115,6 +116,23 @@ class CostEstimator
                              std::size_t queueDepth,
                              double factor) const;
 
+    /**
+     * Confidence interval of the service-time estimate for
+     * @p shapeKey (the shape's own EWMA statistics when tracked with
+     * at least two samples, else the global ones): {mean - 2 sigma,
+     * mean + 2 sigma}, where sigma is the square root of the
+     * exponentially weighted variance maintained alongside each EWMA
+     * (West's update: the same alpha discounts old squared
+     * deviations, so the interval tracks regime shifts like the mean
+     * does). The lower bound is clamped at 0; {0, 0} while cold or
+     * single-sampled. A wide interval means the estimate is volatile
+     * — SLO-aware admission tightens its effective admissionFactor
+     * proportionally (see EvalService), and the global interval's
+     * width is exported as est_service_interval_ms.
+     */
+    std::pair<double, double>
+    estimateInterval(const std::string &shapeKey = std::string()) const;
+
     /** Point-in-time copy of the EWMAs (metrics export). */
     struct Snapshot
     {
@@ -124,6 +142,8 @@ class CostEstimator
         double waveMs = 0.0;    //!< Whole-wave EWMA.
         double drainMsPerItem = 0.0; //!< Per-item drain EWMA.
         std::size_t shapes = 0; //!< Tracked shape classes.
+        /** Width (4 sigma) of the global estimate's interval, ms. */
+        double serviceIntervalMs = 0.0;
     };
     Snapshot snapshot() const;
 
@@ -135,14 +155,29 @@ class CostEstimator
      */
     static constexpr std::size_t kMaxShapes = 4096;
 
+    /**
+     * One EWMA with its exponentially weighted variance (West's
+     * update), the unit of every service-time estimate here.
+     */
+    struct Ewma
+    {
+        double ms = 0.0;
+        double var = 0.0; //!< Exponentially weighted variance (ms^2).
+        std::uint64_t samples = 0;
+    };
+
+    /** Fold @p x into @p e under alpha_ (mean and variance). */
+    void foldInto(Ewma &e, double x) const;
+    /** {mean - 2 sigma, mean + 2 sigma} of @p e; {0,0} under 2 samples. */
+    static std::pair<double, double> intervalOf(const Ewma &e);
+
     mutable std::mutex mu_;
     double alpha_;
-    double serviceMs_ = 0.0;
-    std::uint64_t serviceSamples_ = 0;
+    Ewma service_; //!< Global per-request service-time EWMA.
     double waveMs_ = 0.0;
     double itemMs_ = 0.0; //!< Drain cost per queued item.
     std::uint64_t waveSamples_ = 0;
-    std::unordered_map<std::string, double> shapeMs_;
+    std::unordered_map<std::string, Ewma> shapeMs_;
 };
 
 } // namespace smart::serve

@@ -9,20 +9,19 @@
 namespace smart::serve
 {
 
-namespace
-{
-
 /**
  * Tenant tags are client-controlled strings but metric names are
- * JSON identifiers written without escaping (and parsed by the
- * line-oriented trajectory tooling), so anything outside
- * [A-Za-z0-9_-] is mapped to '_' before the tag enters a name. When
- * sanitization actually changed the tag, a short FNV-1a suffix of
- * the original keeps distinct tags ("a.b" vs "a:b") from colliding
- * onto one metric name and emitting duplicate JSON keys.
+ * JSON identifiers parsed by the line-oriented trajectory tooling,
+ * so anything outside [A-Za-z0-9_-] is mapped to '_' before the tag
+ * enters a name. When sanitization actually changed the tag, a short
+ * FNV-1a suffix of the original keeps distinct tags ("a.b" vs "a:b")
+ * from colliding onto one metric name and emitting duplicate JSON
+ * keys. (The JSON emitter additionally escapes every key — see
+ * common/jsonreport.hh — so even a missed caller cannot corrupt the
+ * report itself.)
  */
 std::string
-metricSafe(const std::string &tag)
+metricSafeTag(const std::string &tag)
 {
     std::string safe = tag;
     for (char &c : safe) {
@@ -41,8 +40,6 @@ metricSafe(const std::string &tag)
     }
     return safe;
 }
-
-} // namespace
 
 std::vector<std::pair<std::string, double>>
 MetricsSnapshot::toMetrics() const
@@ -79,6 +76,7 @@ MetricsSnapshot::toMetrics() const
         {"est_service_ms", estServiceMs},
         {"est_wave_ms", estWaveMs},
         {"est_service_samples", static_cast<double>(estServiceSamples)},
+        {"est_service_interval_ms", estServiceIntervalMs},
         {"latency_p50_ms", latencyP50Ms},
         {"latency_p95_ms", latencyP95Ms},
         {"latency_p99_ms", latencyP99Ms},
@@ -96,7 +94,7 @@ MetricsSnapshot::toMetrics() const
     // Per-tenant cache slices ride at the end, one triple per tag, so
     // the fixed schema above stays byte-stable for trajectory diffs.
     for (const auto &t : tenantCache) {
-        const std::string tag = metricSafe(t.tag);
+        const std::string tag = metricSafeTag(t.tag);
         m.emplace_back("tenant_" + tag + "_cache_entries",
                        static_cast<double>(t.entries));
         m.emplace_back("tenant_" + tag + "_cache_bytes",
@@ -106,7 +104,7 @@ MetricsSnapshot::toMetrics() const
     }
     // Per-tenant latency/SLO slices follow, same stable-tail contract.
     for (const auto &t : tenantSlo) {
-        const std::string tag = metricSafe(t.tag);
+        const std::string tag = metricSafeTag(t.tag);
         m.emplace_back("tenant_" + tag + "_completed",
                        static_cast<double>(t.completed));
         m.emplace_back("tenant_" + tag + "_latency_p50_ms",
@@ -118,6 +116,17 @@ MetricsSnapshot::toMetrics() const
         m.emplace_back("tenant_" + tag + "_slo_p95_ms", t.sloP95Ms);
         m.emplace_back("tenant_" + tag + "_slo_violated_windows",
                        static_cast<double>(t.violatedWindows));
+    }
+    // Per-stage latency breakdown from the span recorder (empty when
+    // tracing is disarmed). Stage names are static instrumentation
+    // strings, but they pass through the same sanitizer as tags so a
+    // future span name cannot break the flat-metric grammar.
+    for (const auto &st : stages) {
+        const std::string name = metricSafeTag(st.name);
+        m.emplace_back("stage_" + name + "_p50_ms", st.p50Ms);
+        m.emplace_back("stage_" + name + "_p95_ms", st.p95Ms);
+        m.emplace_back("stage_" + name + "_count",
+                       static_cast<double>(st.count));
     }
     return m;
 }

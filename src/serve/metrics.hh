@@ -88,6 +88,30 @@ struct MetricsSnapshot
     double estServiceMs = 0.0;        //!< Global per-request EWMA.
     double estWaveMs = 0.0;           //!< Whole-wave EWMA.
     std::uint64_t estServiceSamples = 0;
+    /**
+     * Estimator confidence: the width (2 sigma each side) of the
+     * global service-time estimate's EWMA-variance interval, in ms.
+     * Wide = the estimator's predictions are volatile, and admission
+     * is correspondingly tightened (see CostEstimator::
+     * estimateInterval). 0 until two samples exist.
+     */
+    double estServiceIntervalMs = 0.0;
+
+    /** One traced pipeline stage's latency breakdown (tracespan). */
+    struct StageLatency
+    {
+        std::string name; //!< Span name: queue_wait, serve, ...
+        std::uint64_t count = 0;
+        double p50Ms = 0.0;
+        double p95Ms = 0.0;
+    };
+    /**
+     * Per-stage latency breakdown from the span recorder, ordered by
+     * stage name; empty when tracing is disarmed. Exported as
+     * stage_<name>_{p50,p95}_ms (filled by EvalService::metrics()
+     * from TraceRecorder::stageStats()).
+     */
+    std::vector<StageLatency> stages;
 
     /** One tenant's slice of the result cache (tagged entries). */
     struct TenantCache
@@ -162,6 +186,16 @@ struct MetricsSnapshot
      */
     std::string toJson(const std::string &bench) const;
 };
+
+/**
+ * Map a client-controlled tag into a metric-name-safe identifier:
+ * anything outside [A-Za-z0-9_-] becomes '_', and a tag the mapping
+ * actually changed gains a short FNV-1a suffix of the original so
+ * distinct hostile tags ("a.b" vs "a:b") cannot collide onto one
+ * metric name. Shared by the snapshot emitter and the bench drivers
+ * that build tenant_<tag>_* keys by hand.
+ */
+std::string metricSafeTag(const std::string &tag);
 
 /** Thread-safe metrics registry owned by the service. */
 class ServiceMetrics

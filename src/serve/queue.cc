@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/tracespan.hh"
 
 namespace smart::serve
 {
@@ -213,6 +214,25 @@ RequestQueue::popWave(std::size_t maxWave, std::chrono::milliseconds linger)
     q_.erase(q_.begin(), q_.begin() + static_cast<std::ptrdiff_t>(n));
     lock.unlock();
     spaceCv_.notify_all();
+
+    // Close the cross-thread queue_wait span for every sampled entry
+    // leaving the queue (dispatched or expired): the submitter stamped
+    // submitTime, this thread stamps the close. Outside the lock, and
+    // free for untraced entries (traceId 0 no-ops inside the recorder).
+    auto &rec = TraceRecorder::global();
+    const auto toNs = [](std::chrono::steady_clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t.time_since_epoch())
+                .count());
+    };
+    const std::uint64_t nowNs = TraceRecorder::nowNs();
+    for (const Pending &p : wave.items)
+        rec.recordSpan(p.traceId, "queue_wait", toNs(p.submitTime),
+                       nowNs);
+    for (const Pending &p : wave.expired)
+        rec.recordSpan(p.traceId, "queue_wait", toNs(p.submitTime),
+                       nowNs);
     return wave;
 }
 

@@ -94,6 +94,12 @@ struct Pending
      * wait; read by the dispatcher when building the wave.
      */
     bool degrade = false;
+    /**
+     * TraceRecorder id when this request is sampled, 0 otherwise.
+     * Carried through the queue so the dispatcher can close the
+     * cross-thread queue_wait span and tag downstream work.
+     */
+    std::uint64_t traceId = 0;
 };
 
 class RequestQueue

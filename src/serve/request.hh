@@ -126,6 +126,14 @@ struct EvalResponse
     bool degraded = false;
     compiler::Quality quality = compiler::Quality::Optimal;
     double gapBound = 0.0;
+    /**
+     * Nonzero when this request was sampled by the tracer
+     * (ServiceConfig::traceSampleEvery): the TraceRecorder trace id
+     * its spans carry, so callers can correlate a response with its
+     * slices in the Chrome trace export and with flight-recorder
+     * incidents. 0 = not sampled (or tracing disarmed).
+     */
+    std::uint64_t traceId = 0;
 };
 
 /** Admission decision, reported synchronously by submit(). */

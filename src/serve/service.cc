@@ -8,6 +8,7 @@
 #include "accel/hash.hh"
 #include "accel/serdes.hh"
 #include "common/logging.hh"
+#include "common/tracespan.hh"
 
 namespace smart::serve
 {
@@ -96,7 +97,20 @@ EvalService::EvalService(ServiceConfig cfg)
                      : std::make_unique<DiskCache>(cfg_.diskCachePath)),
       waveLimit_(cfg_.maxWave), sloActive_(anySloConfigured(cfg_)),
       dispatcher_([this]() { dispatcherLoop(); })
-{}
+{
+    // Arm the process-wide tracer (common/tracespan.hh) when this
+    // service wants sampling. Safe after the dispatcher started: no
+    // sampled request can exist before submit() is callable, and the
+    // recorder's configure() is thread-safe. A zero rate leaves the
+    // recorder exactly as it was (another service may own it).
+    if (cfg_.traceSampleEvery > 0) {
+        TraceRecorder::Config tc;
+        tc.sampleEvery = cfg_.traceSampleEvery;
+        tc.ringSlots = cfg_.traceRingSlots;
+        tc.incidentLogCap = cfg_.incidentLogCap;
+        TraceRecorder::global().configure(tc);
+    }
+}
 
 EvalService::~EvalService()
 {
@@ -169,6 +183,17 @@ EvalService::metrics() const
     s.estServiceMs = es.serviceMs;
     s.estWaveMs = es.waveMs;
     s.estServiceSamples = es.serviceSamples;
+    s.estServiceIntervalMs = es.serviceIntervalMs;
+    // Per-stage latency breakdown, when this service armed the
+    // process-wide tracer (stage histograms are recorder-global; a
+    // service that never armed it reports none rather than another
+    // service's).
+    if (cfg_.traceSampleEvery > 0 &&
+        TraceRecorder::global().armed()) {
+        for (auto &st : TraceRecorder::global().stageStats())
+            s.stages.push_back(
+                {std::move(st.name), st.count, st.p50Ms, st.p95Ms});
+    }
     if (diskCache_) {
         const auto ds = diskCache_->stats();
         s.l2Hits = ds.hits;
@@ -178,6 +203,12 @@ EvalService::metrics() const
         s.l2Entries = ds.entries;
     }
     return s;
+}
+
+std::string
+EvalService::dumpIncidents() const
+{
+    return TraceRecorder::global().incidentsJson();
 }
 
 EvalService::SloView
@@ -201,6 +232,22 @@ EvalService::sloFor(const std::string &tag) const
     return v;
 }
 
+double
+EvalService::tightenedFactor(const std::string &shapeKey,
+                             double factor) const
+{
+    if (factor <= 0.0)
+        return factor;
+    const auto [lo, hi] = estimator_.estimateInterval(shapeKey);
+    const double halfWidth = (hi - lo) / 2.0;
+    const double meanMs = estimator_.estimateServiceMs(shapeKey);
+    if (halfWidth <= 0.0 || meanMs <= 0.0)
+        return factor;
+    // Relative uncertainty, capped at 1: a 2-sigma half-width as
+    // large as the mean itself (or larger) halves the factor.
+    return factor / (1.0 + std::min(1.0, halfWidth / meanMs));
+}
+
 bool
 EvalService::hopeless(const std::string &shapeKey, double deadlineMs,
                       std::size_t queueDepth, const SloView &slo) const
@@ -210,12 +257,13 @@ EvalService::hopeless(const std::string &shapeKey, double deadlineMs,
     const bool hasDeadline = deadlineMs > 0.0;
     if (!hasDeadline && slo.p95Ms <= 0.0)
         return false; // no budget to miss
+    const double factor = tightenedFactor(shapeKey, slo.factor);
     const double waitMs = estimator_.estimateQueueWaitMs(queueDepth);
-    if (hasDeadline && waitMs > slo.factor * deadlineMs)
+    if (hasDeadline && waitMs > factor * deadlineMs)
         return true; // queue deadlines bound waiting, not service
     if (slo.p95Ms > 0.0) {
         const double serviceMs = estimator_.estimateServiceMs(shapeKey);
-        if (waitMs + serviceMs > slo.factor * slo.p95Ms)
+        if (waitMs + serviceMs > factor * slo.p95Ms)
             return true;
     }
     return false;
@@ -232,10 +280,14 @@ EvalService::hopelessWhenDegraded(const std::string &shapeKey,
     const bool hasDeadline = deadlineMs > 0.0;
     if (!hasDeadline && slo.p95Ms <= 0.0)
         return false; // no budget to miss
+    // Confidence-tightened like hopeless(), but against the greedy
+    // twin's own interval — the degraded path's volatility is its own.
+    const double factor =
+        tightenedFactor(shapeKey + "|greedy", slo.factor);
     const double waitMs = estimator_.estimateQueueWaitMs(queueDepth);
     // Degrading cannot make the queue ahead drain faster: a request
     // doomed by waiting alone is doomed on either path.
-    if (hasDeadline && waitMs > slo.factor * deadlineMs)
+    if (hasDeadline && waitMs > factor * deadlineMs)
         return true;
     if (slo.p95Ms > 0.0) {
         // Greedy-path service estimate: the shape's own "|greedy"
@@ -245,7 +297,7 @@ EvalService::hopelessWhenDegraded(const std::string &shapeKey,
         // ILP-dominated global average it exists to undercut.
         const double serviceMs =
             estimator_.shapeEstimateMs(shapeKey + "|greedy");
-        if (waitMs + serviceMs > slo.factor * slo.p95Ms)
+        if (waitMs + serviceMs > factor * slo.p95Ms)
             return true;
     }
     return false;
@@ -255,6 +307,17 @@ Submission
 EvalService::submit(EvalRequest req)
 {
     metrics_.recordSubmitted();
+
+    // Sampling decision for this submission (common/tracespan.hh).
+    // Disarmed (traceSampleEvery == 0) the gate is the plain config
+    // compare alone; armed, startTrace() is a relaxed load plus a
+    // relaxed fetch_add. traceTag is only copied for sampled requests
+    // — the flight recorder needs the tenant tag after req is moved.
+    const std::uint64_t traceId = cfg_.traceSampleEvery > 0
+                                      ? TraceRecorder::global().startTrace()
+                                      : 0;
+    const std::string traceTag = traceId ? req.tag : std::string();
+    ScopedSpan submitSpan(traceId, "submit");
 
     // SLO-aware admission, judged against the submitting tenant's
     // resolved SLO policy (sloFor: per-tag table entry, global knobs
@@ -270,6 +333,8 @@ EvalService::submit(EvalRequest req)
     // once, so the deadline assignment, the hopeless verdict, and the
     // probe decision below are all judged against the same queue
     // state.
+    const std::uint64_t estimateBegin =
+        traceId ? TraceRecorder::nowNs() : 0;
     const SloView slo = sloFor(req.tag);
     // Resolved quality budget (graceful degradation, policy Auto):
     // the request's own maxQualityMs when positive, none when
@@ -320,6 +385,15 @@ EvalService::submit(EvalRequest req)
                             std::future<EvalResponse>()};
         rejected.suggestedDeadlineMs =
             estimator_.suggestDeadlineMs(shapeKey, depth, slo.factor);
+        if (traceId) {
+            auto &rec = TraceRecorder::global();
+            rec.instant(traceId, "admission",
+                        static_cast<std::int64_t>(
+                            Admission::RejectedHopeless),
+                        "verdict");
+            rec.recordIncident(traceId, "rejected_hopeless", 0,
+                               traceTag);
+        }
         return rejected;
     };
 
@@ -353,6 +427,13 @@ EvalService::submit(EvalRequest req)
         degrade = true;
         doomed = false;
     }
+    // The estimate/admission-decision region: tenant policy resolve,
+    // deadline assignment, degrade decision, hopeless gate.
+    if (traceId)
+        TraceRecorder::global().endSpan(traceId, "estimate",
+                                        estimateBegin,
+                                        static_cast<std::int64_t>(depthNow),
+                                        "queue_depth");
     if (doomed) {
         // Probe admission (see kHopelessProbeInterval): the streak
         // only advances — and a probe only fires — when the queue is
@@ -382,6 +463,7 @@ EvalService::submit(EvalRequest req)
             : Clock::time_point::max();
     p.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     p.degrade = degrade;
+    p.traceId = traceId;
     // The canonical key is deliberately NOT computed here: it is the
     // expensive part of submission and only dispatch needs it, so a
     // rejected request costs almost nothing (see serveWave).
@@ -484,6 +566,10 @@ EvalService::submit(EvalRequest req)
         }
         metrics_.rollbackAdmittedToRejected();
         releaseDrainSlot();
+        if (traceId)
+            TraceRecorder::global().instant(
+                traceId, "admission",
+                static_cast<std::int64_t>(pushed.admission), "verdict");
         return {pushed.admission, std::future<EvalResponse>()};
     }
     if (pushed.shed)
@@ -491,9 +577,14 @@ EvalService::submit(EvalRequest req)
     // PushResult::degraded echoes Pending::degrade — set above, or by
     // a WaitVerdict::Degrade re-judge inside the blocked push — so
     // the caller learns its request took the anytime path.
-    return {pushed.degraded ? Admission::ServedDegraded
-                            : Admission::Admitted,
-            std::move(fut)};
+    const Admission verdict = pushed.degraded
+                                  ? Admission::ServedDegraded
+                                  : Admission::Admitted;
+    if (traceId)
+        TraceRecorder::global().instant(
+            traceId, "admission", static_cast<std::int64_t>(verdict),
+            "verdict");
+    return {verdict, std::move(fut)};
 }
 
 void
@@ -535,10 +626,23 @@ EvalService::finish(Pending &&p, ResponseStatus status)
     smart_assert(status != ResponseStatus::Ok,
                  "finish() is for terminal non-Ok states");
     const auto now = Clock::now();
+    if (p.traceId) {
+        auto &rec = TraceRecorder::global();
+        rec.instant(p.traceId,
+                    status == ResponseStatus::Expired ? "expired"
+                                                      : "shed");
+        // Flight recorder: an expired sampled request is an incident
+        // worth forensics (where did its budget go?); a shed one was
+        // displaced by policy, not lost to latency.
+        if (status == ResponseStatus::Expired)
+            rec.recordIncident(p.traceId, "expired", p.digest,
+                               p.req.tag);
+    }
     EvalResponse r;
     r.status = status;
     r.queueMs = r.totalMs = msBetween(p.submitTime, now);
     r.digest = p.digest;
+    r.traceId = p.traceId;
     r.tag = std::move(p.req.tag);
     resolve(std::move(p), std::move(r));
 }
@@ -713,6 +817,21 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     auto resolveOk = [&](Pending &&p, const accel::InferenceResult &res,
                          bool cache_hit, bool coalesced) {
         const auto now = Clock::now();
+        // One "serve" span per sampled request: wave dispatch →
+        // resolution. Together with queue_wait (submit → dispatch,
+        // closed in popWave) the two spans partition the request's
+        // end-to-end time.
+        if (p.traceId) {
+            const auto ns = [](Clock::time_point t) {
+                return static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(t.time_since_epoch())
+                        .count());
+            };
+            TraceRecorder::global().recordSpan(
+                p.traceId, "serve", ns(dispatch), ns(now),
+                cache_hit ? 1 : 0, "cache_hit");
+        }
         EvalResponse r;
         r.status = ResponseStatus::Ok;
         r.result = res;
@@ -732,6 +851,7 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         r.serviceMs = msBetween(dispatch, now);
         r.totalMs = msBetween(p.submitTime, now);
         r.digest = p.digest;
+        r.traceId = p.traceId;
         r.tag = std::move(p.req.tag);
         resolve(std::move(p), std::move(r));
     };
@@ -746,10 +866,12 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     // was found with.
     auto cacheLookup = [&](const Pending &p, const std::string &evalKey,
                            accel::InferenceResult &out) {
-        if (cache_.get(p.key, out))
+        auto &rec = TraceRecorder::global();
+        if (cache_.get(p.key, out) ||
+            (p.degrade && cache_.get(evalKey, out))) {
+            rec.instant(p.traceId, "schedule_cache_hit");
             return true;
-        if (p.degrade && cache_.get(evalKey, out))
-            return true;
+        }
         if (!diskCache_)
             return false;
         const std::string *keys[2] = {&p.key,
@@ -761,6 +883,7 @@ EvalService::serveWave(std::vector<Pending> &&wave)
             if (diskCache_->get(*k, bytes) &&
                 accel::deserializeInferenceResult(bytes, out)) {
                 cache_.put(*k, out, p.req.tag);
+                rec.instant(p.traceId, "schedule_l2_hit");
                 return true;
             }
         }
@@ -792,10 +915,15 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     std::vector<accel::BatchItem> items;
     items.reserve(groups.size());
     for (const auto &g : groups) {
+        // The evaluation runs under the group head's trace id (the
+        // request that triggered it); a sampled member coalesced
+        // behind an unsampled head still gets its serve span, just
+        // not the schedule/execute internals.
         const Pending &head = g.members.front();
         items.push_back({head.req.cfg, head.req.model, head.req.batch,
                          head.degrade ? accel::SchedMode::Greedy
-                                      : accel::SchedMode::Ilp});
+                                      : accel::SchedMode::Ilp,
+                         head.traceId});
     }
     metrics_.recordWave(items.size());
 
@@ -852,6 +980,12 @@ EvalService::serveWave(std::vector<Pending> &&wave)
                 } catch (const std::future_error &) {
                     continue;
                 }
+                // Flight recorder: a failed evaluation (including
+                // FaultInjector-style injected faults) snapshots the
+                // sampled request's span history for forensics.
+                if (p.traceId)
+                    TraceRecorder::global().recordIncident(
+                        p.traceId, "wave_failed", p.digest, p.req.tag);
                 metrics_.recordFailed();
                 releaseDrainSlot();
             }

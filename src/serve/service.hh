@@ -252,6 +252,22 @@ struct ServiceConfig
      * snapshot.
      */
     std::string diskCachePath;
+    /**
+     * Request-tracing sample rate: record a full span timeline
+     * (submit → admission → queue wait → schedule → execute →
+     * complete) for every Nth submission via the process-wide
+     * TraceRecorder (common/tracespan.hh). 1 traces every request,
+     * 16 one in sixteen; 0 (the default) disarms tracing — the
+     * disarmed cost on the submit path is one relaxed atomic load.
+     * Note the recorder is process-global (like FaultInjector): the
+     * last service constructed with a nonzero rate owns its
+     * configuration.
+     */
+    std::uint64_t traceSampleEvery = 0;
+    /** Tracer per-thread ring capacity in events (rounded to 2^k). */
+    std::size_t traceRingSlots = 4096;
+    /** Most flight-recorder incidents retained (FIFO eviction). */
+    std::size_t incidentLogCap = 32;
 };
 
 class EvalService
@@ -286,6 +302,14 @@ class EvalService
 
     /** Point-in-time metrics. */
     MetricsSnapshot metrics() const;
+
+    /**
+     * The flight recorder's incident log as a JSON array (one object
+     * per expired / hopeless-rejected / failed sampled request, each
+     * carrying the trace's last spans). "[]" when tracing is disarmed
+     * or nothing went wrong. See common/tracespan.hh.
+     */
+    std::string dumpIncidents() const;
 
     /** The configuration the service was built with. */
     const ServiceConfig &config() const { return cfg_; }
@@ -375,6 +399,18 @@ class EvalService
      */
     bool hopeless(const std::string &shapeKey, double deadlineMs,
                   std::size_t queueDepth, const SloView &slo) const;
+
+    /**
+     * Estimator-confidence tightening of an admission factor: when
+     * the service-time estimate for @p shapeKey carries a wide
+     * EWMA-variance interval (volatile predictions — see
+     * CostEstimator::estimateInterval), the effective factor shrinks
+     * by up to half, so admission under an unreliable estimate buys
+     * extra headroom instead of trusting the mean. A tight interval
+     * (or a cold/constant-latency estimator) leaves @p factor as is.
+     */
+    double tightenedFactor(const std::string &shapeKey,
+                           double factor) const;
 
     ServiceConfig cfg_;
     RequestQueue queue_;

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Confidence-interval tests for the cost estimator: the
+ * exponentially weighted variance (West's update) kept alongside
+ * every service-time EWMA, CostEstimator::estimateInterval's
+ * {mean - 2 sigma, mean + 2 sigma} contract, and the admission-side
+ * consequence — SLO-aware admission tightens its effective
+ * admissionFactor when the estimate is volatile, so the same mean
+ * service time is rejected under noisy evidence and admitted under
+ * stable evidence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "accel/hash.hh"
+#include "common/logging.hh"
+#include "serve/estimator.hh"
+#include "serve/service.hh"
+
+namespace
+{
+
+using namespace smart;
+
+const bool force_threads = []() {
+    setenv("SMART_THREADS", "4", 0);
+    return true;
+}();
+
+// ------------------------------------------------------------------
+// Interval shape: cold, single-sampled, constant, volatile
+// ------------------------------------------------------------------
+
+TEST(EstimatorInterval, ColdAndSingleSampledIntervalsAreZero)
+{
+    serve::CostEstimator est;
+    auto [lo, hi] = est.estimateInterval();
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 0.0);
+
+    // One sample seeds the mean but carries no spread evidence.
+    est.recordService("shape", 10.0);
+    std::tie(lo, hi) = est.estimateInterval();
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 0.0);
+    std::tie(lo, hi) = est.estimateInterval("shape");
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 0.0);
+}
+
+TEST(EstimatorInterval, ConstantSamplesCollapseToAZeroWidthInterval)
+{
+    serve::CostEstimator est;
+    for (int i = 0; i < 20; ++i)
+        est.recordService("shape", 8.0);
+
+    const auto [lo, hi] = est.estimateInterval("shape");
+    EXPECT_NEAR(lo, 8.0, 1e-9);
+    EXPECT_NEAR(hi, 8.0, 1e-9);
+    EXPECT_NEAR(est.snapshot().serviceIntervalMs, 0.0, 1e-9);
+}
+
+TEST(EstimatorInterval, VolatileSamplesWidenTheInterval)
+{
+    serve::CostEstimator est;
+    for (int i = 0; i < 40; ++i)
+        est.recordService("shape", i % 2 ? 18.0 : 2.0);
+
+    const double mean = est.estimateServiceMs("shape");
+    const auto [lo, hi] = est.estimateInterval("shape");
+    EXPECT_GT(hi - lo, 0.0);
+    EXPECT_LE(lo, mean);
+    EXPECT_GE(hi, mean);
+    EXPECT_GE(lo, 0.0); // Clamped: a service time cannot be negative.
+
+    // Spread of the alternating 2/18 stream: sigma must be on the
+    // order of the 8 ms half-gap, so the 4-sigma interval is wide.
+    EXPECT_GT(hi - lo, 10.0);
+
+    // The snapshot exports the global interval's width.
+    EXPECT_NEAR(est.snapshot().serviceIntervalMs, hi - lo, 1e-9);
+}
+
+TEST(EstimatorInterval, MatchesWestsRecurrenceExactly)
+{
+    const double alpha = 0.25; // CostEstimator's default.
+    serve::CostEstimator est(alpha);
+
+    const double samples[] = {10.0, 20.0, 5.0, 30.0, 12.0, 7.0};
+    double mean = 0.0;
+    double var = 0.0;
+    bool first = true;
+    for (const double x : samples) {
+        est.recordService("shape", x);
+        if (first) {
+            mean = x;
+            var = 0.0;
+            first = false;
+            continue;
+        }
+        const double diff = x - mean;
+        const double incr = alpha * diff;
+        mean += incr;
+        var = (1.0 - alpha) * (var + diff * incr);
+    }
+
+    const double sigma = std::sqrt(var);
+    const auto [lo, hi] = est.estimateInterval("shape");
+    EXPECT_NEAR(est.estimateServiceMs("shape"), mean, 1e-9);
+    EXPECT_NEAR(lo, std::max(0.0, mean - 2.0 * sigma), 1e-9);
+    EXPECT_NEAR(hi, mean + 2.0 * sigma, 1e-9);
+}
+
+TEST(EstimatorInterval, UnknownShapeFallsBackToTheGlobalInterval)
+{
+    serve::CostEstimator est;
+    for (int i = 0; i < 10; ++i)
+        est.recordService("known", i % 2 ? 14.0 : 6.0);
+
+    const auto global = est.estimateInterval();
+    const auto unknown = est.estimateInterval("never-seen");
+    EXPECT_EQ(unknown.first, global.first);
+    EXPECT_EQ(unknown.second, global.second);
+    EXPECT_GT(global.second - global.first, 0.0);
+
+    // A tracked shape uses its own statistics, not the global blend.
+    for (int i = 0; i < 10; ++i)
+        est.recordService("steady", 9.0);
+    const auto steady = est.estimateInterval("steady");
+    EXPECT_NEAR(steady.second - steady.first, 0.0, 1e-6);
+}
+
+// ------------------------------------------------------------------
+// Admission consequence: volatility tightens the effective factor
+// ------------------------------------------------------------------
+
+TEST(EstimatorInterval, VolatileEstimateTightensHopelessAdmission)
+{
+    setInformEnabled(false);
+
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    net.layers.resize(2);
+    const std::string shape = accel::requestShapeKey(net, 1);
+
+    serve::ServiceConfig cfg;
+    cfg.sloP95Ms = 12.0;
+    cfg.sloAdmissionFactor = 1.0;
+
+    serve::EvalRequest req;
+    req.cfg = accel::makeScheme(accel::Scheme::Smart);
+    req.model = net;
+    req.batch = 1;
+
+    // Stable evidence: mean ~10 ms, zero spread. 10 < 12 * 1.0, so
+    // the request is admitted.
+    {
+        serve::EvalService svc(cfg);
+        for (int i = 0; i < 20; ++i)
+            svc.costEstimator().recordService(shape, 10.0);
+        auto sub = svc.submit(req);
+        EXPECT_EQ(sub.admission, serve::Admission::Admitted);
+        sub.response.get();
+    }
+
+    // Volatile evidence with the SAME mean: samples alternate 2/18,
+    // so the 2-sigma half-width rivals the mean and the effective
+    // factor tightens toward 1/2 — now 10 > 12 * ~0.5 and the same
+    // request is refused up front.
+    {
+        serve::EvalService svc(cfg);
+        for (int i = 0; i < 40; ++i)
+            svc.costEstimator().recordService(shape,
+                                              i % 2 ? 18.0 : 2.0);
+        const double mean =
+            svc.costEstimator().estimateServiceMs(shape);
+        EXPECT_NEAR(mean, 10.0, 2.5); // Same regime as the stable run.
+
+        auto sub = svc.submit(req);
+        EXPECT_EQ(sub.admission, serve::Admission::RejectedHopeless);
+        // The estimator-driven retry contract still holds: a refusal
+        // carries a meetable suggested deadline.
+        EXPECT_GT(sub.suggestedDeadlineMs, 0.0);
+    }
+}
+
+} // namespace

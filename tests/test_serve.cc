@@ -1689,9 +1689,18 @@ TEST(EvalService, IdleProbeSelfHealsAPoisonedEstimate)
                   serve::ResponseStatus::Ok);
         svc.drain(); // keep the queue idle so the streak advances
         // Healed once the estimate is back inside the admission
-        // threshold — the next submits stop being rejected.
-        healed = svc.metrics().estServiceMs <
-                 cfg.sloAdmissionFactor * cfg.sloP95Ms;
+        // threshold — the next submits stop being rejected. The
+        // threshold mirrors the service's confidence tightening: a
+        // wide EWMA-variance interval (and this estimator's is huge,
+        // straddling the poisoned outlier and the real latencies)
+        // shrinks the effective factor by up to half.
+        const double meanMs = svc.metrics().estServiceMs;
+        const auto ival = svc.costEstimator().estimateInterval();
+        double eff = cfg.sloAdmissionFactor;
+        const double halfWidth = (ival.second - ival.first) / 2.0;
+        if (halfWidth > 0.0 && meanMs > 0.0)
+            eff /= 1.0 + std::min(1.0, halfWidth / meanMs);
+        healed = meanMs < eff * cfg.sloP95Ms;
     }
     EXPECT_TRUE(healed) << "estimate never recovered: est_service_ms="
                         << svc.metrics().estServiceMs

@@ -1,0 +1,685 @@
+/**
+ * @file
+ * Tracer tests: ring-buffer wraparound keeps the newest spans, span
+ * nesting/ordering survives concurrent waves (this binary also runs
+ * under the TSan CI leg), sampling == 0 records nothing and keeps the
+ * disarmed fast path, the Chrome/Perfetto export round-trips through
+ * a JSON parse check, and the flight recorder captures an incident
+ * when an injected ILP stall expires a queued request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faultinject.hh"
+#include "common/logging.hh"
+#include "common/tracespan.hh"
+#include "serve/service.hh"
+
+namespace
+{
+
+using namespace smart;
+
+// Evaluation waves fan out through the pool; keep it bounded so CI
+// machines don't oversubscribe.
+const bool force_threads = []() {
+    setenv("SMART_THREADS", "4", 0);
+    return true;
+}();
+
+/** Arm the process recorder for one test and disarm on exit. */
+class RecorderGuard
+{
+  public:
+    explicit RecorderGuard(TraceRecorder::Config cfg)
+    {
+        TraceRecorder::global().configure(cfg);
+    }
+    ~RecorderGuard() { TraceRecorder::global().reset(); }
+};
+
+/**
+ * Minimal recursive-descent JSON validator — enough to check that an
+ * exporter's output is well-formed (RFC 8259 grammar, no semantic
+ * model). Returns true iff the whole string is one JSON value.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s)
+        : s_(s)
+    {}
+
+    bool valid()
+    {
+        ws();
+        if (!value())
+            return false;
+        ws();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // Raw control char: invalid JSON.
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i])))
+                            return false;
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool digits()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p, ++pos_) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    void ws()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------
+// Disarmed fast path and sampling
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, DisarmedRecordsNothingAndStaysOnFastPath)
+{
+    auto &rec = TraceRecorder::global();
+    rec.reset(); // sampleEvery == 0: disarmed.
+
+    EXPECT_FALSE(rec.armed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rec.startTrace(), 0u);
+
+    // Every hook carrying the 0 id must be a no-op, not a crash and
+    // not a recorded event.
+    rec.beginSpan(0, "submit");
+    rec.endSpan(0, "submit", TraceRecorder::nowNs());
+    rec.instant(0, "admission", 1, "verdict");
+    rec.recordSpan(0, "queue_wait", 0, 1);
+    rec.recordIncident(0, "expired");
+    {
+        ScopedSpan span(0, "serve");
+        span.setArg(7, "cache_hit");
+    }
+
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_TRUE(rec.stageStats().empty());
+    EXPECT_TRUE(rec.incidents().empty());
+    EXPECT_EQ(rec.incidentsJson(), "[]");
+}
+
+TEST(TraceRecorder, SampleEveryNAdmitsExactlyOneInN)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 4;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    EXPECT_TRUE(rec.armed());
+    int sampled = 0;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 32; ++i) {
+        const std::uint64_t id = rec.startTrace();
+        if (id != 0) {
+            ++sampled;
+            ids.push_back(id);
+        }
+    }
+    EXPECT_EQ(sampled, 8);
+    // Sampled ids are distinct (they key the flight recorder).
+    for (std::size_t i = 1; i < ids.size(); ++i)
+        EXPECT_NE(ids[i], ids[i - 1]);
+}
+
+TEST(TraceRecorder, SampleEveryOneAdmitsEverySubmission)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    RecorderGuard guard(cfg);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NE(TraceRecorder::global().startTrace(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Ring wraparound
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, WraparoundKeepsTheNewestEvents)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    cfg.ringSlots = 8;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t id = rec.startTrace();
+    ASSERT_NE(id, 0u);
+    for (int i = 0; i < 50; ++i)
+        rec.instant(id, "tick", i, "seq");
+
+    const auto events = rec.events();
+    ASSERT_EQ(events.size(), 8u); // Capacity, not 50.
+    // The survivors are exactly the newest eight, in order.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_STREQ(events[i].name, "tick");
+        EXPECT_EQ(events[i].arg,
+                  static_cast<std::int64_t>(42 + i));
+    }
+}
+
+TEST(TraceRecorder, RingSlotsRoundUpToAPowerOfTwo)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    cfg.ringSlots = 5; // Rounds up to 8.
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t id = rec.startTrace();
+    for (int i = 0; i < 20; ++i)
+        rec.instant(id, "tick", i, "seq");
+    EXPECT_EQ(rec.events().size(), 8u);
+}
+
+// ------------------------------------------------------------------
+// Span structure: durations, stage folding, explicit-time spans
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, EndSpanCarriesDurationAndFoldsStageStats)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t id = rec.startTrace();
+    // Explicit-time spans give deterministic durations: 2 ms and 4 ms
+    // on one stage, 10 ms on another.
+    rec.recordSpan(id, "queue_wait", 0, 2'000'000);
+    rec.recordSpan(id, "queue_wait", 0, 4'000'000);
+    rec.recordSpan(id, "serve", 0, 10'000'000);
+
+    const auto stats = rec.stageStats();
+    ASSERT_EQ(stats.size(), 2u); // Ordered by name.
+    EXPECT_EQ(stats[0].name, "queue_wait");
+    EXPECT_EQ(stats[0].count, 2u);
+    EXPECT_GT(stats[0].p50Ms, 1.0);
+    EXPECT_LT(stats[0].p50Ms, 5.0);
+    EXPECT_EQ(stats[1].name, "serve");
+    EXPECT_EQ(stats[1].count, 1u);
+    EXPECT_GT(stats[1].p95Ms, 8.0);
+    EXPECT_LT(stats[1].p95Ms, 13.0);
+
+    // The End events themselves carry the durations.
+    int ends = 0;
+    for (const auto &e : rec.events()) {
+        if (e.kind == TraceRecorder::EventKind::End) {
+            ++ends;
+            EXPECT_GT(e.durNs, 0u);
+            EXPECT_EQ(e.traceId, id);
+        }
+    }
+    EXPECT_EQ(ends, 3);
+}
+
+TEST(TraceRecorder, ScopedSpanRecordsBeginAndEndWithLateArg)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t id = rec.startTrace();
+    {
+        ScopedSpan span(id, "schedule_ilp");
+        span.setArg(1234, "gap_bound_ppm");
+    }
+
+    const auto events = rec.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, TraceRecorder::EventKind::Begin);
+    EXPECT_EQ(events[1].kind, TraceRecorder::EventKind::End);
+    EXPECT_STREQ(events[1].name, "schedule_ilp");
+    EXPECT_EQ(events[1].arg, 1234);
+    ASSERT_NE(events[1].argName, nullptr);
+    EXPECT_STREQ(events[1].argName, "gap_bound_ppm");
+}
+
+TEST(TraceRecorder, AmbientTraceScopeNestsAndRestores)
+{
+    EXPECT_EQ(TraceRecorder::currentTrace(), 0u);
+    {
+        TraceRecorder::TraceScope outer(7);
+        EXPECT_EQ(TraceRecorder::currentTrace(), 7u);
+        {
+            TraceRecorder::TraceScope inner(9);
+            EXPECT_EQ(TraceRecorder::currentTrace(), 9u);
+        }
+        EXPECT_EQ(TraceRecorder::currentTrace(), 7u);
+    }
+    EXPECT_EQ(TraceRecorder::currentTrace(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Concurrency: nesting and ordering survive concurrent waves
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, ConcurrentWritersKeepPerTraceNestingAndOrdering)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    cfg.ringSlots = 4096;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    constexpr int kThreads = 8;
+    constexpr int kWaves = 32;
+    std::vector<std::uint64_t> ids(kThreads * kWaves);
+    for (auto &id : ids) {
+        id = rec.startTrace();
+        ASSERT_NE(id, 0u);
+    }
+
+    // A reader hammering the exporters while writers record — the
+    // TSan leg turns any ring race into a hard failure here.
+    std::atomic<bool> stop{false};
+    std::thread reader([&]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+            (void)rec.events();
+            (void)rec.chromeTraceJson();
+            (void)rec.stageStats();
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t]() {
+            for (int w = 0; w < kWaves; ++w) {
+                const std::uint64_t id = ids[t * kWaves + w];
+                ScopedSpan outer(id, "serve");
+                rec.instant(id, "schedule_cache_hit");
+                {
+                    ScopedSpan inner(id, "execute");
+                }
+            }
+        });
+    }
+    for (auto &th : writers)
+        th.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    // Quiescent snapshot: every trace shows its full wave, and the
+    // nesting invariant holds (outer span encloses the inner one).
+    for (const auto id : ids) {
+        const auto events = rec.eventsFor(id, 16);
+        ASSERT_EQ(events.size(), 5u) << "trace " << id;
+        const TraceRecorder::Event *outerEnd = nullptr;
+        const TraceRecorder::Event *innerEnd = nullptr;
+        for (const auto &e : events) {
+            if (e.kind != TraceRecorder::EventKind::End)
+                continue;
+            if (std::string(e.name) == "serve")
+                outerEnd = &e;
+            else if (std::string(e.name) == "execute")
+                innerEnd = &e;
+        }
+        ASSERT_NE(outerEnd, nullptr);
+        ASSERT_NE(innerEnd, nullptr);
+        EXPECT_GE(outerEnd->durNs, innerEnd->durNs);
+        EXPECT_GE(outerEnd->tsNs, innerEnd->tsNs);
+        // Events arrive ts-sorted from the exporter.
+        for (std::size_t i = 1; i < events.size(); ++i)
+            EXPECT_LE(events[i - 1].tsNs, events[i].tsNs);
+    }
+}
+
+// ------------------------------------------------------------------
+// Exporters: Perfetto/Chrome JSON round-trip
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, ChromeTraceJsonRoundTripsThroughAJsonParse)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t id = rec.startTrace();
+    rec.recordSpan(id, "queue_wait", 1'000'000, 3'000'000);
+    rec.instant(id, "admission", 0, "verdict");
+    {
+        ScopedSpan span(id, "serve", 1, "cache_hit");
+    }
+
+    const std::string json = rec.chromeTraceJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // End events export as complete slices, instants as "i".
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyRecorderStillExportsValidJson)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    RecorderGuard guard(cfg);
+    const std::string json = TraceRecorder::global().chromeTraceJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+// ------------------------------------------------------------------
+// Flight recorder
+// ------------------------------------------------------------------
+
+TEST(TraceRecorder, IncidentSnapshotsTheTracesLastSpans)
+{
+    TraceRecorder::Config cfg;
+    cfg.sampleEvery = 1;
+    cfg.incidentLogCap = 2;
+    RecorderGuard guard(cfg);
+    auto &rec = TraceRecorder::global();
+
+    const std::uint64_t a = rec.startTrace();
+    rec.instant(a, "submit");
+    rec.recordIncident(a, "expired", 0xabcdef, "tenant-a");
+
+    auto incidents = rec.incidents();
+    ASSERT_EQ(incidents.size(), 1u);
+    EXPECT_EQ(incidents[0].traceId, a);
+    EXPECT_EQ(incidents[0].reason, "expired");
+    EXPECT_EQ(incidents[0].digest, 0xabcdefu);
+    EXPECT_EQ(incidents[0].tag, "tenant-a");
+    ASSERT_EQ(incidents[0].spans.size(), 1u);
+    EXPECT_STREQ(incidents[0].spans[0].name, "submit");
+
+    // FIFO eviction at the cap: the oldest incident falls out.
+    const std::uint64_t b = rec.startTrace();
+    rec.instant(b, "submit");
+    rec.recordIncident(b, "wave_failed");
+    const std::uint64_t c = rec.startTrace();
+    rec.instant(c, "submit");
+    rec.recordIncident(c, "rejected_hopeless");
+
+    incidents = rec.incidents();
+    ASSERT_EQ(incidents.size(), 2u);
+    EXPECT_EQ(incidents[0].traceId, b);
+    EXPECT_EQ(incidents[1].traceId, c);
+
+    const std::string json = rec.incidentsJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"rejected_hopeless\""), std::string::npos);
+}
+
+TEST(TraceRecorder, FlightRecorderCapturesAnInjectedIlpStallExpiry)
+{
+    setInformEnabled(false);
+    FaultInjector::global().reset();
+
+    serve::ServiceConfig cfg;
+    cfg.traceSampleEvery = 1; // Arms the process recorder.
+    cfg.maxWave = 1;          // The stalled wave blocks the queue.
+    cfg.queue.maxDepth = 8;
+
+    // Small custom model: two conv layers, so an uncached evaluation
+    // pays the injected ILP-solve stall at least twice.
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    net.layers.resize(2);
+
+    {
+        serve::EvalService svc(cfg);
+
+        // Arm the stall only now: construction runs no waves.
+        FaultInjector::Config fault;
+        fault.ilpStallMs = 60.0;
+        FaultInjector::global().configure(fault);
+
+        serve::EvalRequest slow;
+        slow.cfg = accel::makeScheme(accel::Scheme::Smart);
+        slow.model = net;
+        slow.batch = 3;
+        auto first = svc.submit(slow);
+        ASSERT_TRUE(first.admitted());
+
+        // Queued behind the stalled wave with a deadline far shorter
+        // than the injected stall: must expire, and the flight
+        // recorder must capture it.
+        serve::EvalRequest doomed = slow;
+        doomed.batch = 4;
+        doomed.deadlineMs = 5.0;
+        doomed.tag = "victim";
+        auto second = svc.submit(doomed);
+        ASSERT_TRUE(second.admitted());
+
+        EXPECT_EQ(second.response.get().status,
+                  serve::ResponseStatus::Expired);
+        first.response.get();
+        FaultInjector::global().reset();
+
+        const std::string json = svc.dumpIncidents();
+        EXPECT_TRUE(JsonChecker(json).valid()) << json;
+        EXPECT_NE(json.find("\"expired\""), std::string::npos);
+        EXPECT_NE(json.find("\"victim\""), std::string::npos);
+
+        const auto incidents = TraceRecorder::global().incidents();
+        ASSERT_FALSE(incidents.empty());
+        bool sawExpired = false;
+        for (const auto &inc : incidents) {
+            if (inc.reason != "expired")
+                continue;
+            sawExpired = true;
+            EXPECT_EQ(inc.tag, "victim");
+            // The snapshot holds the trace's history: at least the
+            // submit-side spans recorded before it died in queue.
+            EXPECT_FALSE(inc.spans.empty());
+        }
+        EXPECT_TRUE(sawExpired);
+    }
+
+    FaultInjector::global().reset();
+    TraceRecorder::global().reset();
+}
+
+TEST(TraceRecorder, ServiceExportsStageBreakdownInMetrics)
+{
+    setInformEnabled(false);
+    FaultInjector::global().reset();
+
+    serve::ServiceConfig cfg;
+    cfg.traceSampleEvery = 1;
+
+    auto net = cnn::convLayersOnly(cnn::makeMobileNet());
+    net.layers.resize(2);
+
+    {
+        serve::EvalService svc(cfg);
+        serve::EvalRequest req;
+        req.cfg = accel::makeScheme(accel::Scheme::Smart);
+        req.model = net;
+        req.batch = 2;
+        auto sub = svc.submit(req);
+        ASSERT_TRUE(sub.admitted());
+        const auto resp = sub.response.get();
+        EXPECT_EQ(resp.status, serve::ResponseStatus::Ok);
+        EXPECT_NE(resp.traceId, 0u); // Sampled 1-in-1.
+
+        const auto snap = svc.metrics();
+        ASSERT_FALSE(snap.stages.empty());
+        bool sawServe = false;
+        for (const auto &st : snap.stages) {
+            if (st.name == "serve") {
+                sawServe = true;
+                EXPECT_GE(st.count, 1u);
+                EXPECT_GE(st.p95Ms, st.p50Ms);
+            }
+        }
+        EXPECT_TRUE(sawServe);
+    }
+
+    TraceRecorder::global().reset();
+}
+
+} // namespace
