@@ -14,6 +14,9 @@
 # Two metric families are gated:
 #
 #  - Wall times: the deterministic serving-path replay wall times
+#    plus the figure-grid evaluation (figure_grid_single_ms /
+#    figure_grid_batch_ms are each a median of N cold-cache runs
+#    emitted by bench_micro, so one noisy run cannot trip the gate)
 #    (serve_slo_replay_ms is deliberately NOT gated: its burst
 #    admission count is timing-dependent by design, so its wall time
 #    is not a regression signal; serve_tslo_replay_ms IS gated — its
@@ -56,7 +59,8 @@ set -eu
 
 WALL_METRICS="serve_replay_cold_ms serve_replay_warm_ms \
 serve_mt_replay_cold_ms serve_mt_replay_warm_ms serve_tslo_replay_ms \
-serve_degrade_wall_ms serve_traced_untraced_ms serve_traced_replay_ms"
+serve_degrade_wall_ms serve_traced_untraced_ms serve_traced_replay_ms \
+figure_grid_single_ms figure_grid_batch_ms"
 RATIO_METRICS="serve_cache_hit_rate serve_mt_cache_hit_rate \
 serve_tslo_resubmit_ok_rate serve_degrade_rate"
 MIN_DELTA_MS=2

@@ -1,6 +1,6 @@
 #include "accel/batch.hh"
 
-#include "common/parallel.hh"
+#include "common/taskgraph.hh"
 #include "common/tracespan.hh"
 
 namespace smart::accel
@@ -16,7 +16,7 @@ std::vector<InferenceResult>
 runBatch(const std::vector<BatchItem> &items, const BatchItemHook &onItem)
 {
     std::vector<InferenceResult> results(items.size());
-    parallelFor(items.size(), [&](std::size_t i) {
+    pFor(items.size(), [&](std::size_t i) {
         // Ambient trace id for the worker evaluating this item:
         // schedule/execute spans in accel/compiler attach to the
         // originating request's trace (no-op when the id is 0).

@@ -1,7 +1,6 @@
 #include "accel/hash.hh"
 
-#include <ios>
-#include <sstream>
+#include <cstdio>
 
 namespace smart::accel
 {
@@ -9,17 +8,42 @@ namespace smart::accel
 namespace
 {
 
-/** Serialize a double with full bit fidelity. */
+// The builders append with snprintf into small stack buffers instead
+// of streaming through an ostringstream: the serve dispatch path
+// builds one key per admitted request, and the stream's locale
+// machinery plus its internal buffer made every key cost several
+// allocations. With these helpers the only heap traffic is the
+// destination string's growth — and callers reserve that up front.
+
+/** Serialize a double with full bit fidelity (hexfloat). */
 void
-putD(std::ostringstream &os, double v)
+putD(std::string &out, double v)
 {
-    os << std::hexfloat << v << ',';
+    char buf[48];
+    out.append(buf, std::snprintf(buf, sizeof(buf), "%a,", v));
 }
 
 void
-putSpm(std::ostringstream &os, const SpmSpec &s)
+putI(std::string &out, long long v)
 {
-    os << s.capacityBytes << ',' << s.banks << ',';
+    char buf[24];
+    out.append(buf, std::snprintf(buf, sizeof(buf), "%lld", v));
+}
+
+void
+putU(std::string &out, unsigned long long v)
+{
+    char buf[24];
+    out.append(buf, std::snprintf(buf, sizeof(buf), "%llu", v));
+}
+
+void
+putSpm(std::string &out, const SpmSpec &s)
+{
+    putU(out, s.capacityBytes);
+    out += ',';
+    putU(out, s.banks);
+    out += ',';
 }
 
 /**
@@ -28,60 +52,102 @@ putSpm(std::ostringstream &os, const SpmSpec &s)
  * the same bytes.
  */
 void
-putS(std::ostringstream &os, const std::string &s)
+putS(std::string &out, const std::string &s)
 {
-    os << s.size() << ':' << s << ',';
+    putU(out, s.size());
+    out += ':';
+    out += s;
+    out += ',';
 }
 
 } // namespace
+
+void
+appendRequestKey(std::string &out, const AcceleratorConfig &cfg,
+                 const cnn::CnnModel &model, int batch)
+{
+    // One reserve covers the fixed config section plus a generous
+    // per-layer estimate; a pathological layer name can still grow
+    // the buffer, but the steady-state request never reallocates.
+    out.reserve(out.size() + 320 + model.name.size() +
+                model.layers.size() * 96);
+
+    // Configuration. cfg.name is display-only (never read by the
+    // model), so it is deliberately excluded: configs differing only
+    // in label evaluate bit-identically and should share a cache line.
+    out += "cfg{";
+    putI(out, static_cast<int>(cfg.scheme));
+    out += ',';
+    putI(out, cfg.pe.rows);
+    out += 'x';
+    putI(out, cfg.pe.cols);
+    out += ',';
+    putD(out, cfg.clockGhz);
+    putD(out, cfg.temperatureK);
+    putD(out, cfg.coolingFactor);
+    putSpm(out, cfg.inputSpm);
+    putSpm(out, cfg.outputSpm);
+    putSpm(out, cfg.weightSpm);
+    putI(out, cfg.spmsAreShift);
+    out += ',';
+    putSpm(out, cfg.randomArray);
+    putI(out, static_cast<int>(cfg.randomTech));
+    out += ',';
+    putD(out, cfg.randomWriteLatencyNsOverride);
+    putI(out, cfg.prefetchIterations);
+    out += ',';
+    putI(out, cfg.useIlpCompiler);
+    out += ',';
+    putD(out, cfg.dramBandwidthGBs);
+    putD(out, cfg.knobs.dauWindowBytes);
+    putD(out, cfg.knobs.interLayerReorderFactor);
+    putD(out, cfg.knobs.tpuEfficiency);
+    putD(out, cfg.knobs.shiftSegmentBytes);
+    putD(out, cfg.knobs.leakageActivityFactor);
+    putD(out, cfg.knobs.randomOutstanding);
+
+    // Model: the name and layer names flow into InferenceResult, so
+    // they are result-relevant and part of the key.
+    out += "}model{";
+    putS(out, model.name);
+    for (const auto &l : model.layers) {
+        putS(out, l.name);
+        putI(out, l.ifmapH);
+        out += ',';
+        putI(out, l.ifmapW);
+        out += ',';
+        putI(out, l.inChannels);
+        out += ',';
+        putI(out, l.filters);
+        out += ',';
+        putI(out, l.kernelH);
+        out += ',';
+        putI(out, l.kernelW);
+        out += ',';
+        putI(out, l.stride);
+        out += ',';
+        putI(out, l.pad);
+        out += ',';
+        putI(out, l.depthwise);
+        out += ';';
+    }
+    out += "}batch{";
+    putI(out, batch);
+    out += '}';
+}
 
 std::string
 requestKey(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
            int batch)
 {
-    std::ostringstream os;
-
-    // Configuration. cfg.name is display-only (never read by the
-    // model), so it is deliberately excluded: configs differing only
-    // in label evaluate bit-identically and should share a cache line.
-    os << "cfg{" << static_cast<int>(cfg.scheme) << ',' << cfg.pe.rows
-       << 'x' << cfg.pe.cols << ',';
-    putD(os, cfg.clockGhz);
-    putD(os, cfg.temperatureK);
-    putD(os, cfg.coolingFactor);
-    putSpm(os, cfg.inputSpm);
-    putSpm(os, cfg.outputSpm);
-    putSpm(os, cfg.weightSpm);
-    os << cfg.spmsAreShift << ',';
-    putSpm(os, cfg.randomArray);
-    os << static_cast<int>(cfg.randomTech) << ',';
-    putD(os, cfg.randomWriteLatencyNsOverride);
-    os << cfg.prefetchIterations << ',' << cfg.useIlpCompiler << ',';
-    putD(os, cfg.dramBandwidthGBs);
-    putD(os, cfg.knobs.dauWindowBytes);
-    putD(os, cfg.knobs.interLayerReorderFactor);
-    putD(os, cfg.knobs.tpuEfficiency);
-    putD(os, cfg.knobs.shiftSegmentBytes);
-    putD(os, cfg.knobs.leakageActivityFactor);
-    putD(os, cfg.knobs.randomOutstanding);
-
-    // Model: the name and layer names flow into InferenceResult, so
-    // they are result-relevant and part of the key.
-    os << "}model{";
-    putS(os, model.name);
-    for (const auto &l : model.layers) {
-        putS(os, l.name);
-        os << l.ifmapH << ',' << l.ifmapW << ','
-           << l.inChannels << ',' << l.filters << ',' << l.kernelH
-           << ',' << l.kernelW << ',' << l.stride << ',' << l.pad
-           << ',' << l.depthwise << ';';
-    }
-    os << "}batch{" << batch << '}';
-    return os.str();
+    std::string out;
+    appendRequestKey(out, cfg, model, batch);
+    return out;
 }
 
-std::string
-requestShapeKey(const cnn::CnnModel &model, int batch)
+void
+appendRequestShapeKey(std::string &out, const cnn::CnnModel &model,
+                      int batch)
 {
     // Cheap by design: submit() calls this on every request (including
     // ones about to be rejected), so unlike requestKey there is no
@@ -95,15 +161,27 @@ requestShapeKey(const cnn::CnnModel &model, int batch)
                static_cast<std::uint64_t>(l.inChannels) * l.filters +
                static_cast<std::uint64_t>(l.kernelH) * l.kernelW;
     }
-    std::ostringstream os;
-    os << "shape{";
-    putS(os, model.name);
-    os << model.layers.size() << ',' << dims << ",b" << batch << '}';
-    return os.str();
+    out.reserve(out.size() + 48 + model.name.size());
+    out += "shape{";
+    putS(out, model.name);
+    putU(out, model.layers.size());
+    out += ',';
+    putU(out, dims);
+    out += ",b";
+    putI(out, batch);
+    out += '}';
+}
+
+std::string
+requestShapeKey(const cnn::CnnModel &model, int batch)
+{
+    std::string out;
+    appendRequestShapeKey(out, model, batch);
+    return out;
 }
 
 std::uint64_t
-requestDigest(const std::string &key)
+requestDigest(std::string_view key)
 {
     std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
     for (unsigned char c : key) {

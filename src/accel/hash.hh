@@ -14,6 +14,11 @@
  * of the value; requestDigest() folds the key to 64 bits (FNV-1a) for
  * logging and shard selection only — never use the digest alone as a
  * cache key.
+ *
+ * The append* builders write into a caller-owned buffer with a single
+ * up-front reserve (no ostringstream, no intermediate temporaries), so
+ * the serving layer's per-request key build costs zero steady-state
+ * heap allocations when the buffer is reused across requests.
  */
 
 #ifndef SMART_ACCEL_HASH_HH
@@ -21,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "accel/config.hh"
 #include "cnn/models.hh"
@@ -39,6 +45,14 @@ std::string requestKey(const AcceleratorConfig &cfg,
                        const cnn::CnnModel &model, int batch);
 
 /**
+ * Append the canonical key to @p out (one reserve, no temporaries).
+ * Byte-identical to requestKey(); the allocation-free form the serve
+ * dispatch path uses with a reused scratch buffer + per-wave arena.
+ */
+void appendRequestKey(std::string &out, const AcceleratorConfig &cfg,
+                      const cnn::CnnModel &model, int batch);
+
+/**
  * Coarse (model, batch) shape class of a request — the model/batch
  * prefix dimensions of requestKey without the configuration fields or
  * the per-layer byte-exact serialization. Two requests sharing a shape
@@ -50,8 +64,12 @@ std::string requestKey(const AcceleratorConfig &cfg,
  */
 std::string requestShapeKey(const cnn::CnnModel &model, int batch);
 
+/** Append form of requestShapeKey (same bytes, caller's buffer). */
+void appendRequestShapeKey(std::string &out, const cnn::CnnModel &model,
+                           int batch);
+
 /** 64-bit FNV-1a digest of a canonical key (display/sharding only). */
-std::uint64_t requestDigest(const std::string &key);
+std::uint64_t requestDigest(std::string_view key);
 
 } // namespace smart::accel
 

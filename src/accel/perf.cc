@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/taskgraph.hh"
 #include "common/tracespan.hh"
 #include "compiler/greedy.hh"
 #include "compiler/ilpsched.hh"
@@ -551,22 +552,23 @@ runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     res.batch = batch;
 
     // The whole-model evaluation is the trace's "execute" stage. The
-    // ambient id is re-established inside each pool worker so the
-    // per-layer schedule spans recorded there attach to the same
-    // request (the lambda runs on threads that never saw the
-    // caller's TraceScope).
+    // scheduler carries the ambient id with each spawned task (see
+    // common/taskgraph.hh), so per-layer schedule spans recorded on
+    // whichever thread steals a layer attach to the same request
+    // without manual re-establishment here.
     const std::uint64_t traceId = TraceRecorder::currentTrace();
     ScopedSpan execSpan(traceId, "execute",
                         static_cast<std::int64_t>(model.layers.size()),
                         "layers");
 
-    // Layers are independent in this model, so they evaluate in
-    // parallel (the per-layer ILP scheduling dominates the cost) and
-    // accumulate serially in layer order afterwards — parallel results
-    // are bit-identical to a serial loop.
+    // Layers are independent in this model, so they evaluate as
+    // stealable tasks (the per-layer ILP scheduling dominates the
+    // cost) and accumulate serially in layer order afterwards —
+    // parallel results are bit-identical to a serial loop. Nested
+    // under runBatch's per-item tasks this is real parallelism now,
+    // not the inlined-serial collapse of the fixed-wave pool.
     res.layers.resize(model.layers.size());
-    parallelFor(model.layers.size(), [&](std::size_t i) {
-        TraceRecorder::TraceScope scope(traceId);
+    pFor(model.layers.size(), [&](std::size_t i) {
         res.layers[i] = runLayer(cfg, model.layers[i], batch, mode);
     });
     for (const auto &lr : res.layers) {

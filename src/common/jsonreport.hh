@@ -5,7 +5,7 @@
  * bench drivers (BENCH_micro.json) and the serving layer's metrics
  * snapshot so the schema cannot drift between producers. Values are
  * written at full double precision for trajectory diffs; the threads
- * field records the global pool size.
+ * field records the global TaskScheduler width.
  */
 
 #ifndef SMART_COMMON_JSONREPORT_HH
@@ -17,7 +17,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/parallel.hh"
+#include "common/taskgraph.hh"
 
 namespace smart
 {
@@ -83,7 +83,7 @@ writeFlatMetricsJson(std::ostream &os, const std::string &bench,
 {
     os.precision(17); // full double resolution for trajectory diffs
     os << "{\n  \"bench\": \"" << jsonEscape(bench)
-       << "\",\n  \"threads\": " << ThreadPool::global().size()
+       << "\",\n  \"threads\": " << TaskScheduler::global().size()
        << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics.size(); ++i) {
         os << (i ? "," : "") << "\n    \""

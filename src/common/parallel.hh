@@ -1,20 +1,11 @@
 /**
  * @file
- * Parallel evaluation engine: a fixed-size thread pool with task
- * futures and a parallelFor primitive, plus a sharded-mutex memo cache
- * shared by concurrent evaluation workers.
- *
- * The pool powers the batch/sweep workloads (design-space points,
- * per-layer ILP scheduling, multi-model benches). Determinism contract:
- * parallelFor partitions work by index and callers write results into
- * pre-sized slots, so parallel and serial execution produce bit-identical
- * output. Tasks submitted from inside a pool worker execute inline in
- * the caller (no re-queueing), which makes nested submission and nested
- * parallelFor deadlock-free by construction.
- *
- * The global pool size defaults to std::thread::hardware_concurrency()
- * and can be overridden with the SMART_THREADS environment variable
- * (SMART_THREADS=1 forces fully serial evaluation).
+ * Concurrency-safe caches shared by the parallel evaluation workers:
+ * a sharded-mutex memo cache (ShardedCache) and a byte-accounted
+ * sharded LRU (LruCache). The execution substrate itself — the
+ * work-stealing TaskScheduler, TaskGroup, and pFor — lives in
+ * common/taskgraph.hh; this header retains the caches those workers
+ * share.
  */
 
 #ifndef SMART_COMMON_PARALLEL_HH
@@ -23,8 +14,6 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,136 +21,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace smart
 {
-
-/** Fixed-size worker pool with future-returning task submission. */
-class ThreadPool
-{
-  public:
-    /** Spawn @p threads workers (values < 1 are clamped to 1). */
-    explicit ThreadPool(int threads);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    /** Number of worker threads (>= 1). */
-    int size() const { return static_cast<int>(workers_.size()); }
-
-    /** True when the calling thread is one of this pool's workers. */
-    bool onWorkerThread() const;
-
-    /**
-     * Submit a nullary task; the future carries its return value or
-     * exception. Called from a worker of this same pool, the task runs
-     * inline (the returned future is already ready), so waiting on it
-     * cannot deadlock the pool.
-     */
-    template <typename Fn>
-    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn &>>
-    {
-        using Ret = std::invoke_result_t<Fn &>;
-        auto task = std::make_shared<std::packaged_task<Ret()>>(
-            std::forward<Fn>(fn));
-        std::future<Ret> fut = task->get_future();
-        if (onWorkerThread() || size() <= 1) {
-            (*task)();
-            return fut;
-        }
-        enqueue([task]() { (*task)(); });
-        return fut;
-    }
-
-    /**
-     * Run fn(i) for every i in [0, n), distributing indices across the
-     * workers (the caller participates). Blocks until all indices are
-     * done; the first exception thrown by any fn(i) is rethrown in the
-     * caller after remaining work is abandoned. Nested calls (from
-     * inside a worker) run serially inline.
-     */
-    template <typename Fn>
-    void parallelFor(std::size_t n, Fn &&fn)
-    {
-        if (n == 0)
-            return;
-        if (n == 1 || size() <= 1 || onWorkerThread()) {
-            for (std::size_t i = 0; i < n; ++i)
-                fn(i);
-            return;
-        }
-
-        std::atomic<std::size_t> next{0};
-        std::atomic<bool> failed{false};
-        std::exception_ptr error;
-        std::mutex error_mu;
-
-        auto body = [&]() {
-            while (!failed.load(std::memory_order_relaxed)) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                try {
-                    fn(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mu);
-                    if (!error)
-                        error = std::current_exception();
-                    failed.store(true, std::memory_order_relaxed);
-                }
-            }
-        };
-
-        const std::size_t helpers =
-            std::min<std::size_t>(static_cast<std::size_t>(size()), n) -
-            1;
-        std::vector<std::future<void>> futures;
-        futures.reserve(helpers);
-        for (std::size_t w = 0; w < helpers; ++w)
-            futures.push_back(submit(body));
-        body();
-        for (auto &f : futures)
-            f.get();
-        if (error)
-            std::rethrow_exception(error);
-    }
-
-    /**
-     * The process-wide pool, created on first use. Its size comes from
-     * SMART_THREADS when set (clamped to [1, 256]), otherwise from
-     * std::thread::hardware_concurrency().
-     */
-    static ThreadPool &global();
-
-    /** The thread count global() uses (env parsing exposed for tests). */
-    static int configuredThreads();
-
-  private:
-    void enqueue(std::function<void()> task);
-    void workerLoop();
-
-    std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
-};
-
-/** parallelFor on the global pool. */
-template <typename Fn>
-void
-parallelFor(std::size_t n, Fn &&fn)
-{
-    ThreadPool::global().parallelFor(n, std::forward<Fn>(fn));
-}
 
 /**
  * String-keyed memo cache with sharded mutexes, shared by all
@@ -378,13 +244,13 @@ class LruCache
      * entry is evicted concurrently), so large values never serialize
      * a shard's hits against its inserts.
      */
-    bool get(const std::string &key, Value &out)
+    bool get(std::string_view key, Value &out)
     {
         std::shared_ptr<const Value> value;
         {
             Shard &shard = shardOf(key);
             std::lock_guard<std::mutex> lock(shard.mu);
-            auto it = shard.index.find(std::string_view(key));
+            auto it = shard.index.find(key);
             if (it == shard.index.end()) {
                 ++shard.misses;
                 return false;
@@ -421,21 +287,23 @@ class LruCache
      * new put()'s tag (ownership follows the latest writer). An empty
      * tag means untagged — global accounting only.
      */
-    void put(const std::string &key, Value value)
+    void put(std::string_view key, Value value)
     {
         put(key, std::move(value), std::string());
     }
 
-    void put(const std::string &key, Value value, const std::string &tag)
+    void put(std::string_view key, Value value, const std::string &tag)
     {
         // Size and wrap the value before taking the shard lock; the
-        // lock only covers pointer/bookkeeping updates.
+        // lock only covers pointer/bookkeeping updates. Keys are
+        // string_views (the serving layer passes arena-interned
+        // views); the node copies the bytes it keeps.
         const std::size_t bytes = entryBytes(key, value);
         auto holder =
             std::make_shared<const Value>(std::move(value));
         Shard &shard = shardOf(key);
         std::lock_guard<std::mutex> lock(shard.mu);
-        auto it = shard.index.find(std::string_view(key));
+        auto it = shard.index.find(key);
         // The tenant budget only constrains tags that are actually
         // tracked: when every tag slot holds live entries, an entry
         // with a fresh tag is cached untagged, so there is no
@@ -476,7 +344,7 @@ class LruCache
                 tagAdd(shard, n);
         } else {
             auto node = std::make_unique<Node>();
-            node->key = key;
+            node->key.assign(key.data(), key.size());
             node->value = std::move(holder);
             node->bytes = bytes;
             node->tag = tracked ? tag : std::string();
@@ -624,7 +492,7 @@ class LruCache
      */
     static constexpr std::size_t kMaxTags = 256;
 
-    std::size_t entryBytes(const std::string &key, const Value &value)
+    std::size_t entryBytes(std::string_view key, const Value &value)
     {
         return key.size() + cfg_.valueBytes(value) + kNodeOverhead;
     }
@@ -763,9 +631,10 @@ class LruCache
         removeNode(shard, shard.index.find(std::string_view(n->key)));
     }
 
-    Shard &shardOf(const std::string &key) const
+    Shard &shardOf(std::string_view key) const
     {
-        return shards_[std::hash<std::string>{}(key) % cfg_.shards];
+        return shards_[std::hash<std::string_view>{}(key) %
+                       cfg_.shards];
     }
 
     Config cfg_;

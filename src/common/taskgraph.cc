@@ -1,0 +1,401 @@
+/**
+ * @file
+ * TaskScheduler internals: the Chase-Lev deque, the worker loop, and
+ * the steal protocol. The deque follows the Chase-Lev/Lê algorithm
+ * with every cross-thread access on std::atomic (seq_cst where the
+ * algorithm needs a store-load ordering, instead of standalone
+ * fences, which TSan does not model) — the owner pushes and pops at
+ * the bottom, thieves CAS the top, and a lost CAS race is counted as
+ * a steal failure and retried by the caller's outer loop. Retired
+ * (outgrown) ring buffers are kept until the deque dies: a thief may
+ * still be reading a stale buffer, and its subsequent top CAS is
+ * what decides whether the value it read means anything.
+ */
+
+#include "common/taskgraph.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace smart
+{
+
+/** One unit of work: the closure, its join group, its trace context. */
+struct TaskScheduler::Task
+{
+    std::function<void()> fn;
+    TaskGroup *group = nullptr; //!< Null for detached submit()s.
+    std::uint64_t traceId = 0;  //!< Spawner's ambient trace id.
+};
+
+namespace
+{
+
+/**
+ * Chase-Lev work-stealing deque of Task pointers. Single owner
+ * (push/pop at the bottom), many thieves (steal at the top). The
+ * ring grows geometrically; old rings are retired, not freed, until
+ * destruction (see file comment).
+ */
+class TaskDeque
+{
+  public:
+    TaskDeque() : buf_(new Ring(kInitialCap))
+    {
+        retired_.emplace_back(buf_.load(std::memory_order_relaxed));
+    }
+
+    /** Owner only. Returns the post-push depth for the max gauge. */
+    std::size_t push(TaskScheduler::Task *task)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Ring *ring = buf_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(ring->cap))
+            ring = grow(ring, t, b);
+        ring->put(b, task);
+        // Publish the slot before the new bottom: a thief that
+        // acquires this bottom value must see the task pointer.
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return static_cast<std::size_t>(b + 1 - t);
+    }
+
+    /** Owner only: LIFO pop from the bottom (depth-first descent). */
+    TaskScheduler::Task *pop()
+    {
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        Ring *ring = buf_.load(std::memory_order_relaxed);
+        // The seq_cst store/load pair is the algorithm's store-load
+        // barrier: the reservation of slot b must be globally
+        // ordered against a thief's top read.
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t > b) { // empty: undo the reservation
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        TaskScheduler::Task *task = ring->get(b);
+        if (t == b) {
+            // Last element: race the thieves for it via the top.
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed))
+                task = nullptr; // a thief won
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return task;
+    }
+
+    /**
+     * Thief side: FIFO steal from the top. Sets @p contended when
+     * the CAS lost a race (retry-worthy) as opposed to the deque
+     * simply being empty.
+     */
+    TaskScheduler::Task *steal(bool &contended)
+    {
+        contended = false;
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return nullptr; // empty
+        Ring *ring = buf_.load(std::memory_order_acquire);
+        TaskScheduler::Task *task = ring->get(t);
+        // The CAS decides ownership; only a winner may use the value
+        // read above (a stale read loses the CAS by construction).
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            contended = true;
+            return nullptr;
+        }
+        return task;
+    }
+
+    /** Racy size estimate (sweep ordering only). */
+    bool emptyApprox() const
+    {
+        return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t kInitialCap = 64;
+
+    struct Ring
+    {
+        explicit Ring(std::size_t c)
+            : cap(c), mask(c - 1),
+              // Value-initialized: a thief holding a stale top may
+              // read a never-written slot of a freshly grown ring
+              // before its CAS fails — that read must be defined.
+              slots(new std::atomic<TaskScheduler::Task *>[c]())
+        {
+        }
+        TaskScheduler::Task *get(std::int64_t i) const
+        {
+            return slots[static_cast<std::size_t>(i) & mask].load(
+                std::memory_order_relaxed);
+        }
+        void put(std::int64_t i, TaskScheduler::Task *t)
+        {
+            slots[static_cast<std::size_t>(i) & mask].store(
+                t, std::memory_order_relaxed);
+        }
+        const std::size_t cap;
+        const std::size_t mask;
+        std::unique_ptr<std::atomic<TaskScheduler::Task *>[]> slots;
+    };
+
+    /** Owner only: double the ring, copying the live [t, b) window. */
+    Ring *grow(Ring *old, std::int64_t t, std::int64_t b)
+    {
+        auto bigger = std::make_unique<Ring>(old->cap * 2);
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        Ring *raw = bigger.get();
+        retired_.push_back(std::move(bigger));
+        buf_.store(raw, std::memory_order_release);
+        return raw;
+    }
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring *> buf_;
+    /** Every ring ever used; freed only with the deque. Owner only. */
+    std::vector<std::unique_ptr<Ring>> retired_;
+};
+
+} // namespace
+
+struct TaskScheduler::Worker
+{
+    TaskDeque deque;
+    std::size_t index = 0;
+};
+
+namespace
+{
+
+/** The worker identity of the current thread, if any. */
+thread_local TaskScheduler::Worker *tl_worker = nullptr;
+thread_local const TaskScheduler *tl_scheduler = nullptr;
+
+} // namespace
+
+TaskScheduler::TaskScheduler(int threads)
+{
+    width_ = std::max(1, threads);
+    if (width_ <= 1)
+        return; // fully serial: no workers, everything runs inline
+    workers_.reserve(width_);
+    for (int i = 0; i < width_; ++i) {
+        workers_.push_back(std::make_unique<Worker>());
+        workers_.back()->index = static_cast<std::size_t>(i);
+    }
+    threads_.reserve(width_);
+    for (int i = 0; i < width_; ++i)
+        threads_.emplace_back(
+            [this, w = workers_[i].get()]() { workerLoop(w); });
+}
+
+TaskScheduler::~TaskScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(idleMu_);
+        stopping_.store(true, std::memory_order_release);
+    }
+    idleCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+TaskScheduler::onWorkerThread() const
+{
+    return tl_scheduler == this;
+}
+
+void
+TaskScheduler::spawnImpl(std::function<void()> fn, TaskGroup *group)
+{
+    auto *task = new Task{std::move(fn), group,
+                          TraceRecorder::currentTrace()};
+    ready_.fetch_add(1, std::memory_order_seq_cst);
+    Worker *self = onWorkerThread() ? tl_worker : nullptr;
+    if (self) {
+        const std::size_t depth = self->deque.push(task);
+        std::size_t prev = maxDepth_.load(std::memory_order_relaxed);
+        while (prev < depth &&
+               !maxDepth_.compare_exchange_weak(
+                   prev, depth, std::memory_order_relaxed))
+            ;
+    } else {
+        std::lock_guard<std::mutex> lock(injectMu_);
+        injected_.push_back(task);
+    }
+    notifyWorkers();
+}
+
+void
+TaskScheduler::notifyWorkers()
+{
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        // Taking the mutex pairs with the sleeper's predicate check,
+        // so the ready_ bump above cannot fall into the gap between
+        // a worker's last look and its wait.
+        std::lock_guard<std::mutex> lock(idleMu_);
+        idleCv_.notify_one();
+    }
+}
+
+TaskScheduler::Task *
+TaskScheduler::popInjected()
+{
+    std::lock_guard<std::mutex> lock(injectMu_);
+    if (injectHead_ >= injected_.size())
+        return nullptr;
+    Task *t = injected_[injectHead_++];
+    if (injectHead_ == injected_.size()) {
+        injected_.clear();
+        injectHead_ = 0;
+    }
+    return t;
+}
+
+TaskScheduler::Task *
+TaskScheduler::stealTask(Worker *self)
+{
+    const std::size_t n = workers_.size();
+    if (n == 0)
+        return nullptr;
+    // Start the sweep after ourselves (or a thread-id-derived point
+    // for external thieves) so thieves spread over victims.
+    const std::size_t start =
+        self ? self->index + 1
+             : std::hash<std::thread::id>{}(
+                   std::this_thread::get_id());
+    for (std::size_t k = 0; k < n; ++k) {
+        Worker *victim = workers_[(start + k) % n].get();
+        if (victim == self)
+            continue;
+        bool contended = false;
+        Task *t = victim->deque.steal(contended);
+        if (t) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return t;
+        }
+        if (contended)
+            stealFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+}
+
+TaskScheduler::Task *
+TaskScheduler::findTask(Worker *self)
+{
+    Task *t = self ? self->deque.pop() : nullptr;
+    if (!t)
+        t = stealTask(self);
+    if (!t)
+        t = popInjected();
+    if (t)
+        ready_.fetch_sub(1, std::memory_order_seq_cst);
+    return t;
+}
+
+void
+TaskScheduler::runTask(Task *t)
+{
+    // Scheduler-native task context: the spawner's ambient trace id
+    // travels with the task across steals.
+    TraceRecorder::TraceScope trace(t->traceId);
+    TaskGroup *group = t->group;
+    try {
+        t->fn();
+    } catch (...) {
+        if (group)
+            group->fail(std::current_exception());
+        // Detached tasks wrap a packaged_task and cannot throw.
+    }
+    delete t;
+    tasksRun_.fetch_add(1, std::memory_order_relaxed);
+    if (group)
+        group->finish();
+}
+
+bool
+TaskScheduler::helpOne()
+{
+    Worker *self = onWorkerThread() ? tl_worker : nullptr;
+    Task *t = findTask(self);
+    if (!t)
+        return false;
+    runTask(t);
+    return true;
+}
+
+void
+TaskScheduler::workerLoop(Worker *self)
+{
+    tl_worker = self;
+    tl_scheduler = this;
+    for (;;) {
+        Task *t = findTask(self);
+        if (t) {
+            runTask(t);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(idleMu_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            if (ready_.load(std::memory_order_seq_cst) == 0)
+                return;
+            continue; // drain: tasks remain, sweep again
+        }
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        idleCv_.wait(lock, [&] {
+            return stopping_.load(std::memory_order_acquire) ||
+                   ready_.load(std::memory_order_seq_cst) > 0;
+        });
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        if (stopping_.load(std::memory_order_acquire) &&
+            ready_.load(std::memory_order_seq_cst) == 0)
+            return;
+    }
+}
+
+TaskScheduler::Stats
+TaskScheduler::stats() const
+{
+    Stats s;
+    s.tasksRun = tasksRun_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.stealFailures = stealFailures_.load(std::memory_order_relaxed);
+    s.maxDequeDepth = maxDepth_.load(std::memory_order_relaxed);
+    return s;
+}
+
+int
+TaskScheduler::configuredThreads()
+{
+    if (const char *env = std::getenv("SMART_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(std::min<long>(v, 256));
+        smart_warn("ignoring invalid SMART_THREADS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+TaskScheduler &
+TaskScheduler::global()
+{
+    static TaskScheduler sched(configuredThreads());
+    return sched;
+}
+
+} // namespace smart

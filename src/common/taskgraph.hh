@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Work-stealing task scheduler: the parallel substrate under every
+ * batch/sweep/serve workload. Each worker owns a Chase-Lev–style
+ * deque — tasks spawned on a worker push LIFO onto its own deque
+ * (hot caches, depth-first descent into nested work), idle workers
+ * steal FIFO from a victim's opposite end (the oldest, widest task),
+ * and a thread joining a TaskGroup helps while waiting: it executes
+ * pending tasks instead of sleeping, so a parent blocked on children
+ * is itself an execution lane. The payoff over the old fixed-wave
+ * ThreadPool is nested parallelism: a pFor spawned from inside
+ * another pFor's task used to collapse to serial inline execution —
+ * now its chunks are stealable like any other task, so per-model →
+ * per-layer nesting (figure grid, runBatch) and uneven DSE points
+ * fill the machine instead of serializing a wave.
+ *
+ * Three contracts carried over from the ThreadPool era:
+ *
+ *  - Determinism: pFor partitions work by index and callers write
+ *    results into pre-sized slots, so serial and stolen execution
+ *    produce bit-identical output regardless of which thread runs
+ *    which chunk (tests/test_parallel_equivalence.cc is the net).
+ *  - SMART_THREADS=1 means fully serial: no worker threads exist and
+ *    every task runs inline on the spawning thread, in spawn order.
+ *  - Trace context follows the TASK, not the worker thread: run()
+ *    and pFor capture the spawner's ambient trace id
+ *    (TraceRecorder::currentTrace()) at spawn time and re-establish
+ *    it around execution on whichever thread steals the task, so
+ *    spans recorded inside nested parallel work attach to the
+ *    originating request without per-call-site plumbing (PR 7's
+ *    manual re-establishment inside parallelFor bodies is now
+ *    scheduler-native).
+ *
+ * Scheduler counters (tasks run, steals, steal failures, max deque
+ * depth) are exported via stats() into the bench/metrics JSON schema
+ * so the nested-parallelism win is observable, not anecdotal.
+ */
+
+#ifndef SMART_COMMON_TASKGRAPH_HH
+#define SMART_COMMON_TASKGRAPH_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/tracespan.hh"
+
+namespace smart
+{
+
+class TaskGroup;
+
+/**
+ * The scheduler: @p threads workers, one Chase-Lev deque each, plus
+ * a mutex-protected injection queue for tasks spawned by threads
+ * that are not workers (the serve dispatcher, bench mains, test
+ * threads). Thread count 1 spawns no workers at all — every task
+ * runs inline on the spawning thread.
+ */
+class TaskScheduler
+{
+  public:
+    /** Point-in-time scheduler counters (monotonic since start). */
+    struct Stats
+    {
+        std::uint64_t tasksRun = 0; //!< Tasks executed to completion.
+        std::uint64_t steals = 0;   //!< Tasks taken from another lane.
+        /** CAS-aborted steal attempts (contended victim top). */
+        std::uint64_t stealFailures = 0;
+        std::size_t maxDequeDepth = 0; //!< Deepest any deque grew.
+    };
+
+    /** Spawn @p threads workers (values <= 1 mean fully serial). */
+    explicit TaskScheduler(int threads);
+
+    /** Joins the workers after draining already-spawned tasks. */
+    ~TaskScheduler();
+
+    TaskScheduler(const TaskScheduler &) = delete;
+    TaskScheduler &operator=(const TaskScheduler &) = delete;
+
+    /**
+     * Parallelism width (>= 1): the worker count, or 1 in serial
+     * mode. This is the "threads" every JSON report carries.
+     */
+    int size() const { return width_; }
+
+    /** True when the calling thread is one of this scheduler's workers. */
+    bool onWorkerThread() const;
+
+    /**
+     * Run fn(i) for every i in [0, n), subdividing the range into
+     * stealable chunks. Blocks until every index ran; the first
+     * exception thrown by any fn(i) is rethrown in the caller after
+     * remaining indices are abandoned. Nested calls (from inside a
+     * task) spawn real stealable tasks — they no longer serialize.
+     * Determinism: indices map to pre-partitioned chunks, so writes
+     * into pre-sized slot i are bit-identical to a serial loop.
+     */
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn &&fn);
+
+    /**
+     * Submit a detached nullary task; the future carries its return
+     * value or exception. In serial mode the task runs inline (the
+     * returned future is already ready).
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn &>>;
+
+    /**
+     * The process-wide scheduler, created on first use. Its width
+     * comes from SMART_THREADS when set (clamped to [1, 256]),
+     * otherwise from std::thread::hardware_concurrency().
+     */
+    static TaskScheduler &global();
+
+    /** The thread count global() uses (env parsing exposed for tests). */
+    static int configuredThreads();
+
+    /** Aggregate counters (relaxed reads; exact once quiescent). */
+    Stats stats() const;
+
+    /**
+     * Run one pending task on the calling thread if any is runnable
+     * (own deque first, then a steal sweep, then the injection
+     * queue). Returns false when nothing was found — the building
+     * block of the help-while-waiting join.
+     */
+    bool helpOne();
+
+    // Defined in taskgraph.cc; public so the implementation's
+    // file-local deque and thread-local worker slots can name them.
+    struct Task;
+    struct Worker;
+
+  private:
+    friend class TaskGroup;
+
+    /** Type-erased spawn: enqueue @p fn as a task owned by @p group. */
+    void spawnImpl(std::function<void()> fn, TaskGroup *group);
+
+    void runTask(Task *t);
+    Task *findTask(Worker *self);
+    Task *stealTask(Worker *self);
+    Task *popInjected();
+    void notifyWorkers();
+    void workerLoop(Worker *self);
+
+    int width_ = 1;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Tasks spawned by non-worker threads (FIFO). */
+    std::mutex injectMu_;
+    std::vector<Task *> injected_; //!< FIFO: take from the front.
+    std::size_t injectHead_ = 0;
+
+    /** Spawned-but-not-yet-acquired task count (wakeup predicate). */
+    std::atomic<std::size_t> ready_{0};
+    std::mutex idleMu_;
+    std::condition_variable idleCv_;
+    std::atomic<int> sleepers_{0};
+    std::atomic<bool> stopping_{false};
+
+    // Counters (relaxed; coarse tasks make contention irrelevant).
+    std::atomic<std::uint64_t> tasksRun_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> stealFailures_{0};
+    std::atomic<std::size_t> maxDepth_{0};
+};
+
+/**
+ * A join scope over spawned tasks: run() spawns, wait() blocks until
+ * every spawned task finished — executing pending tasks itself while
+ * it waits — then rethrows the first captured exception. Groups may
+ * nest arbitrarily (a task may open its own group); the group object
+ * must outlive its tasks, which wait() and the destructor guarantee.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(TaskScheduler &sched = TaskScheduler::global())
+        : sched_(sched)
+    {
+    }
+
+    /** Waits for stragglers; a pending exception is dropped here. */
+    ~TaskGroup()
+    {
+        if (pending_.load(std::memory_order_acquire) != 0)
+            waitNoThrow();
+    }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /**
+     * Spawn one child task. The spawner's ambient trace id is
+     * captured here and re-established around fn() on whichever
+     * thread executes it. In serial mode fn() runs inline now; its
+     * exception is still deferred to wait() for parity.
+     */
+    template <typename Fn>
+    void run(Fn &&fn)
+    {
+        if (sched_.size() <= 1) {
+            try {
+                fn();
+            } catch (...) {
+                fail(std::current_exception());
+            }
+            return;
+        }
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        sched_.spawnImpl(std::function<void()>(std::forward<Fn>(fn)),
+                         this);
+    }
+
+    /**
+     * Block until every run() task finished, helping with pending
+     * work (this group's or anyone's) instead of sleeping. Rethrows
+     * the first exception any child threw; the group is reusable
+     * afterwards.
+     */
+    void wait()
+    {
+        help();
+        if (failed_.load(std::memory_order_acquire)) {
+            std::exception_ptr e;
+            {
+                std::lock_guard<std::mutex> lock(errMu_);
+                std::swap(e, error_);
+                failed_.store(false, std::memory_order_release);
+            }
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+
+    /**
+     * Has any child thrown? pFor chunks poll this to abandon
+     * remaining indices after a failure (the pre-refactor
+     * parallelFor contract).
+     */
+    bool failed() const
+    {
+        return failed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class TaskScheduler;
+
+    void help()
+    {
+        for (;;) {
+            if (pending_.load(std::memory_order_acquire) != 0 &&
+                sched_.helpOne())
+                continue;
+            // Nothing runnable here: the stragglers are mid-flight
+            // on other threads. The ONLY exit is observing
+            // pending_ == 0 under waitMu_ — the last finish()
+            // decrements and notifies under the same mutex, so a
+            // finisher can never still be signalling this group
+            // after we return (and possibly destroy it). The
+            // timeout is insurance, not the wakeup path.
+            std::unique_lock<std::mutex> lock(waitMu_);
+            if (pending_.load(std::memory_order_acquire) == 0)
+                return;
+            lock.unlock();
+            if (sched_.helpOne())
+                continue;
+            lock.lock();
+            waitCv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+                return pending_.load(std::memory_order_acquire) == 0;
+            });
+            if (pending_.load(std::memory_order_acquire) == 0)
+                return;
+        }
+    }
+
+    void waitNoThrow()
+    {
+        help();
+        std::lock_guard<std::mutex> lock(errMu_);
+        error_ = nullptr;
+        failed_.store(false, std::memory_order_release);
+    }
+
+    /** Capture the first child exception (later ones are dropped). */
+    void fail(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(errMu_);
+        if (!error_) {
+            error_ = std::move(e);
+            failed_.store(true, std::memory_order_release);
+        }
+    }
+
+    /**
+     * One child retired; the last one wakes the joiner. The
+     * decrement happens under waitMu_ so the joiner (whose exit
+     * check also holds waitMu_) cannot observe zero, return, and
+     * destroy the group while this thread is still signalling it.
+     */
+    void finish()
+    {
+        std::lock_guard<std::mutex> lock(waitMu_);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            waitCv_.notify_all();
+    }
+
+    TaskScheduler &sched_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<bool> failed_{false};
+    std::mutex errMu_;
+    std::exception_ptr error_;
+    std::mutex waitMu_;
+    std::condition_variable waitCv_;
+};
+
+template <typename Fn>
+void
+TaskScheduler::parallelFor(std::size_t n, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || size() <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // Oversubdivide so uneven chunk costs rebalance by stealing, but
+    // keep chunks >= 1 index so tiny ranges spawn n tasks at most.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(size()) * 8));
+    TaskGroup group(*this);
+    for (std::size_t lo = 0; lo < n; lo += chunk) {
+        const std::size_t hi = std::min(n, lo + chunk);
+        group.run([&fn, &group, lo, hi] {
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (group.failed())
+                    return; // abandon after a failure elsewhere
+                fn(i);
+            }
+        });
+    }
+    group.wait();
+}
+
+template <typename Fn>
+auto
+TaskScheduler::submit(Fn &&fn)
+    -> std::future<std::invoke_result_t<Fn &>>
+{
+    using Ret = std::invoke_result_t<Fn &>;
+    auto task =
+        std::make_shared<std::packaged_task<Ret()>>(std::forward<Fn>(fn));
+    std::future<Ret> fut = task->get_future();
+    if (size() <= 1) {
+        (*task)();
+        return fut;
+    }
+    // packaged_task captures any exception into the future, so this
+    // detached task cannot throw into the scheduler.
+    spawnImpl([task]() { (*task)(); }, nullptr);
+    return fut;
+}
+
+/** pFor on the global scheduler (the substrate's workhorse verb). */
+template <typename Fn>
+void
+pFor(std::size_t n, Fn &&fn)
+{
+    TaskScheduler::global().parallelFor(n, std::forward<Fn>(fn));
+}
+
+} // namespace smart
+
+#endif // SMART_COMMON_TASKGRAPH_HH

@@ -1,6 +1,6 @@
 #include "cryomem/dse.hh"
 
-#include "common/parallel.hh"
+#include "common/taskgraph.hh"
 #include "common/units.hh"
 #include "sfq/devices.hh"
 
@@ -18,11 +18,12 @@ std::vector<DsePoint>
 sweepPipelineFrequency(const CmosSfqArrayConfig &base,
                        const std::vector<double> &freqs_ghz)
 {
-    // Design-space points are independent: evaluate them across the
-    // global thread pool, each writing its own pre-sized slot so the
-    // result order (and every bit of it) matches a serial sweep.
+    // Design-space points are independent: evaluate them as stealable
+    // tasks, each writing its own pre-sized slot so the result order
+    // (and every bit of it) matches a serial sweep. One uneven point
+    // no longer serializes the sweep — its neighbors get stolen.
     std::vector<DsePoint> points(freqs_ghz.size());
-    parallelFor(freqs_ghz.size(), [&](std::size_t i) {
+    pFor(freqs_ghz.size(), [&](std::size_t i) {
         const double f = freqs_ghz[i];
         DsePoint &p = points[i];
         p.targetFreqGhz = f;

@@ -28,6 +28,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -84,8 +85,15 @@ struct Pending
     std::chrono::steady_clock::time_point submitTime;
     /** Absolute queue deadline; time_point::max() when none. */
     std::chrono::steady_clock::time_point deadline;
-    /** Canonical accel::requestKey; filled at dispatch, not submit. */
-    std::string key;
+    /**
+     * Canonical accel::requestKey; filled at dispatch, not submit.
+     * A view into the dispatcher's wave-scoped key arena (one
+     * contiguous block also holds the "|greedy" twin), valid for
+     * the duration of serveWave — exactly the window in which the
+     * request is resolved. Code holding a Pending beyond its wave
+     * must not read key.
+     */
+    std::string_view key;
     std::uint64_t digest = 0; //!< accel::requestDigest of key.
     /**
      * Graceful degradation: serve through the greedy (anytime)

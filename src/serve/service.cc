@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "accel/hash.hh"
+#include "accel/perf.hh"
 #include "accel/serdes.hh"
+#include "common/arena.hh"
 #include "common/logging.hh"
+#include "common/taskgraph.hh"
 #include "common/tracespan.hh"
 
 namespace smart::serve
@@ -809,10 +812,13 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     // in one wave share a single evaluation (coalescing).
     struct Group
     {
+        /** Cache/coalescing key: the canonical key, or its "|greedy"
+         *  twin for degraded groups. View into the wave key arena. */
+        std::string_view evalKey;
         std::vector<Pending> members;
     };
     std::vector<Group> groups;
-    std::unordered_map<std::string, std::size_t> group_of;
+    std::unordered_map<std::string_view, std::size_t> group_of;
 
     auto resolveOk = [&](Pending &&p, const accel::InferenceResult &res,
                          bool cache_hit, bool coalesced) {
@@ -864,7 +870,7 @@ EvalService::serveWave(std::vector<Pending> &&wave)
     // miss consults the persistent L2 (same key order); a decodable
     // L2 hit is promoted into the in-process cache under the key it
     // was found with.
-    auto cacheLookup = [&](const Pending &p, const std::string &evalKey,
+    auto cacheLookup = [&](const Pending &p, std::string_view evalKey,
                            accel::InferenceResult &out) {
         auto &rec = TraceRecorder::global();
         if (cache_.get(p.key, out) ||
@@ -874,15 +880,17 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         }
         if (!diskCache_)
             return false;
-        const std::string *keys[2] = {&p.key,
-                                      p.degrade ? &evalKey : nullptr};
-        for (const std::string *k : keys) {
-            if (!k)
+        const std::string_view keys[2] = {
+            p.key, p.degrade ? evalKey : std::string_view()};
+        for (std::string_view k : keys) {
+            if (k.empty())
                 continue;
             std::string bytes;
-            if (diskCache_->get(*k, bytes) &&
+            // The persistent L2 is a cold-path file store; it keeps
+            // its std::string API and pays one key copy per probe.
+            if (diskCache_->get(std::string(k), bytes) &&
                 accel::deserializeInferenceResult(bytes, out)) {
-                cache_.put(*k, out, p.req.tag);
+                cache_.put(k, out, p.req.tag);
                 rec.instant(p.traceId, "schedule_l2_hit");
                 return true;
             }
@@ -890,14 +898,30 @@ EvalService::serveWave(std::vector<Pending> &&wave)
         return false;
     };
 
+    // One wave-scoped arena owns every request's canonical key bytes:
+    // the key and its "|greedy" degraded twin are interned as a single
+    // contiguous block per request, so Pending::key, the eval key, and
+    // the coalescing-map keys are all views of the same bytes — one
+    // bump allocation per request where key construction previously
+    // cost a handful of string allocations (ROADMAP hot-path (c)).
+    // The scratch build buffer is reused across the wave, so its
+    // growth amortizes to zero steady-state allocations.
+    static constexpr std::string_view kGreedySuffix = "|greedy";
+    Arena keyArena;
+    std::string keyScratch;
+
     for (auto &p : wave) {
-        p.key = accel::requestKey(p.req.cfg, p.req.model, p.req.batch);
+        keyScratch.clear();
+        accel::appendRequestKey(keyScratch, p.req.cfg, p.req.model,
+                                p.req.batch);
+        const std::string_view block =
+            keyArena.intern2(keyScratch, kGreedySuffix);
+        p.key = block.substr(0, keyScratch.size());
         p.digest = accel::requestDigest(p.key);
         // Degraded evaluations are keyed (L1, L2, and coalescing
         // groups) under the canonical key plus "|greedy", so the two
         // paths never collide in the cache or share a wave item.
-        const std::string evalKey =
-            p.degrade ? p.key + "|greedy" : p.key;
+        const std::string_view evalKey = p.degrade ? block : p.key;
         accel::InferenceResult cached;
         if (cfg_.cacheEnabled && cacheLookup(p, evalKey, cached)) {
             resolveOk(std::move(p), cached, /*cache_hit=*/true,
@@ -905,52 +929,55 @@ EvalService::serveWave(std::vector<Pending> &&wave)
             continue;
         }
         auto [it, fresh] = group_of.emplace(evalKey, groups.size());
-        if (fresh)
+        if (fresh) {
             groups.emplace_back();
+            groups.back().evalKey = evalKey;
+        }
         groups[it->second].members.push_back(std::move(p));
     }
     if (groups.empty())
         return;
 
-    std::vector<accel::BatchItem> items;
-    items.reserve(groups.size());
-    for (const auto &g : groups) {
-        // The evaluation runs under the group head's trace id (the
-        // request that triggered it); a sampled member coalesced
-        // behind an unsampled head still gets its serve span, just
-        // not the schedule/execute internals.
-        const Pending &head = g.members.front();
-        items.push_back({head.req.cfg, head.req.model, head.req.batch,
-                         head.degrade ? accel::SchedMode::Greedy
-                                      : accel::SchedMode::Ilp,
-                         head.traceId});
-    }
-    metrics_.recordWave(items.size());
+    metrics_.recordWave(groups.size());
 
     try {
-        // The hook runs on pool workers as each item finishes; group
-        // membership is disjoint per index, so fulfillment is
-        // race-free without extra locking. put() enforces the LRU
+        // Each coalescing group is one stealable task on the global
+        // work-stealing scheduler. The dispatcher joins by helping
+        // (TaskGroup::wait executes pending tasks instead of
+        // sleeping), so it contributes a lane exactly like the old
+        // pool-parallel runBatch — and nested per-layer pFor inside
+        // runInference now feeds the same deques instead of running
+        // serially. Fulfilment is race-free without extra locking:
+        // group membership is disjoint, and put() enforces the LRU
         // budget per shard, so a full cache evicts its coldest
-        // entries instead of wiping concurrent workers' inserts.
+        // entries instead of wiping concurrent tasks' inserts.
         const auto waveStart = Clock::now();
-        accel::runBatch(
-            items, [&](std::size_t i, const accel::InferenceResult &res) {
-                Group &g = groups[i];
+        TaskGroup tasks;
+        for (auto &g : groups) {
+            tasks.run([&]() {
+                // The evaluation runs under the group head's trace id
+                // (the request that triggered it); a sampled member
+                // coalesced behind an unsampled head still gets its
+                // serve span, just not the schedule/execute
+                // internals. The scheduler carries the spawner's
+                // ambient trace to the stealing thread; the explicit
+                // scope here narrows it to this group's head.
                 const Pending &head = g.members.front();
+                TraceRecorder::TraceScope trace(head.traceId);
+                const accel::InferenceResult res = accel::runInference(
+                    head.req.cfg, head.req.model, head.req.batch,
+                    head.degrade ? accel::SchedMode::Greedy
+                                 : accel::SchedMode::Ilp);
                 // Cache ownership and the cost sample both follow the
-                // group head (the request that triggered the
-                // evaluation); read its fields before resolveOk moves
+                // group head; read its fields before resolveOk moves
                 // them into the response. Degraded groups write under
                 // the "|greedy" key and feed the greedy shape EWMA,
                 // keeping both paths' cost models separate.
-                const std::string evalKey =
-                    head.degrade ? head.key + "|greedy" : head.key;
                 if (cfg_.cacheEnabled) {
-                    cache_.put(evalKey, res, head.req.tag);
+                    cache_.put(g.evalKey, res, head.req.tag);
                     if (diskCache_)
                         diskCache_->put(
-                            evalKey,
+                            std::string(g.evalKey),
                             accel::serializeInferenceResult(res));
                 }
                 estimator_.recordService(
@@ -965,8 +992,10 @@ EvalService::serveWave(std::vector<Pending> &&wave)
                     first = false;
                 }
             });
+        }
+        tasks.wait();
         estimator_.recordWave(msBetween(waveStart, Clock::now()),
-                              items.size());
+                              groups.size());
     } catch (...) {
         // A failed wave must still resolve every future: promises the
         // hook already satisfied throw future_error and are skipped.

@@ -14,7 +14,7 @@
 #include "accel/perf.hh"
 #include "cnn/models.hh"
 #include "common/logging.hh"
-#include "common/parallel.hh"
+#include "common/taskgraph.hh"
 #include "cryomem/dse.hh"
 #include "ilp/solver.hh"
 
@@ -101,6 +101,61 @@ TEST(ParallelEquivalence, RunBatchMatchesSerialRunInference)
         expectIdentical(serial[i], parallel[i]);
 }
 
+TEST(ParallelEquivalence, NestedGridRunBatchMatchesSerial)
+{
+    // Three genuinely nested parallel levels on the work-stealing
+    // scheduler: an outer grid sweep (a local TaskScheduler at width
+    // 1, 2, and 4) whose every cell calls runBatch (the GLOBAL
+    // scheduler's pFor over items), whose every item fans out
+    // per-layer inside runInference. Under the fixed-wave pool the
+    // inner levels ran serially; now inner chunks are stealable
+    // tasks, and the contract is that none of it is observable:
+    // every width produces bit-identical results to a serial loop.
+    setInformEnabled(false);
+    std::vector<std::vector<accel::BatchItem>> cells;
+    for (const char *name : {"AlexNet", "MobileNet", "ResNet50"}) {
+        auto net = cnn::convLayersOnly(cnn::makeModel(name));
+        for (auto s : {accel::Scheme::Sram, accel::Scheme::Smart}) {
+            std::vector<accel::BatchItem> cell;
+            accel::BatchItem item;
+            item.cfg = accel::makeScheme(s);
+            item.model = net;
+            item.batch = 1;
+            cell.push_back(item);
+            item.batch = 4;
+            cell.push_back(std::move(item));
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    accel::clearReplayCache();
+    accel::clearIlpCache();
+    std::vector<std::vector<accel::InferenceResult>> serial(
+        cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        for (const auto &item : cells[c])
+            serial[c].push_back(accel::runInference(
+                item.cfg, item.model, item.batch));
+
+    for (int width : {1, 2, 4}) {
+        SCOPED_TRACE("outer width " + std::to_string(width));
+        TaskScheduler outer(width);
+        accel::clearReplayCache();
+        accel::clearIlpCache();
+        std::vector<std::vector<accel::InferenceResult>> nested(
+            cells.size());
+        outer.parallelFor(cells.size(), [&](std::size_t c) {
+            nested[c] = accel::runBatch(cells[c]);
+        });
+        ASSERT_EQ(nested.size(), serial.size());
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            ASSERT_EQ(nested[c].size(), serial[c].size());
+            for (std::size_t i = 0; i < serial[c].size(); ++i)
+                expectIdentical(serial[c][i], nested[c][i]);
+        }
+    }
+}
+
 TEST(ParallelEquivalence, DseSweepMatchesPointwiseEvaluation)
 {
     cryo::CmosSfqArrayConfig base;
@@ -154,7 +209,7 @@ TEST(ParallelEquivalence, ConcurrentIlpSolvesMatchSerialObjectives)
         serial[t] = s.objective;
         serial_status[t] = static_cast<int>(s.status);
     }
-    parallelFor(n, [&](std::size_t t) {
+    pFor(n, [&](std::size_t t) {
         auto s = ilp::solve(knapsack(static_cast<int>(t)));
         parallel[t] = s.objective;
         parallel_status[t] = static_cast<int>(s.status);

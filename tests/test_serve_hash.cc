@@ -17,7 +17,7 @@
 
 #include "accel/hash.hh"
 #include "cnn/models.hh"
-#include "common/parallel.hh"
+#include "common/taskgraph.hh"
 
 namespace
 {
@@ -50,7 +50,7 @@ TEST(RequestHash, SameRequestSameKeyAcrossThreads)
 
     std::vector<std::string> keys(64);
     std::vector<std::uint64_t> digests(64);
-    parallelFor(keys.size(), [&](std::size_t i) {
+    pFor(keys.size(), [&](std::size_t i) {
         keys[i] = accel::requestKey(cfg, model, 4);
         digests[i] = accel::requestDigest(keys[i]);
     });
