@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Project lint for the SMART tree (registered as a CTest test).
+
+Rules
+-----
+naked-new      `new` expressions are banned outside common/arena.hh —
+               allocation goes through containers, smart pointers, or
+               the arena.  (Placement new counts: it is still manual
+               lifetime management.)
+naked-delete   `delete` expressions are banned outside common/arena.hh
+               (`= delete;` declarations are fine).
+endl           `std::endl` is banned: it is a flush, and the logging
+               layer already guarantees line-atomic writes.  Use '\\n'.
+memory-order   Every non-seq_cst std::memory_order use must carry a
+               `// memory_order:` rationale comment on the same line or
+               within the preceding RATIONALE_WINDOW lines — relaxed
+               atomics without a written pairing argument are how the
+               PR 8 join race happened.
+std-mutex      `std::mutex` members/locals are banned in src/ outside
+               common/threadsafety.hh: use the capability-annotated
+               smart::Mutex/LockGuard so clang -Wthread-safety can see
+               the lock.  (std::condition_variable still waits on the
+               wrapped mutex via LockGuard.)
+tsa-escape     `SMART_NO_THREAD_SAFETY_ANALYSIS` needs an adjacent
+               `// tsa:` justification — blanket escapes defeat the
+               analysis.
+
+Suppressions
+------------
+A violation is waived by a `// lint-allow(<rule>): <reason>` comment on
+the same line or within the preceding SUPPRESS_WINDOW lines (block
+comments directly above the site).  The reason is mandatory prose; the
+lint only checks the tag, reviewers check the reason.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+`--self-test` checks the rules against tests/lint_fixtures/ instead of
+linting the tree.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# How far above a site a lint-allow(...) block comment may start.
+SUPPRESS_WINDOW = 8
+# How far above a non-seq_cst atomic its memory_order: rationale may be.
+RATIONALE_WINDOW = 20
+
+# Files the naked-new/naked-delete rules skip entirely: the arena IS
+# the allocator, and the TSA header defines the Mutex wrapper itself.
+ARENA_FILES = {"src/common/arena.hh"}
+MUTEX_ALLOWED_FILES = {"src/common/threadsafety.hh"}
+
+NEW_RE = re.compile(r"\bnew\b\s*(\(|[A-Za-z_:<]|\[)")
+DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[\w(:*&]")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+ENDL_RE = re.compile(r"\bstd\s*::\s*endl\b")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order_(\w+)\b|\bmemory_order\s*::\s*(\w+)\b")
+STD_MUTEX_RE = re.compile(r"\bstd\s*::\s*(recursive_)?mutex\b")
+TSA_ESCAPE_RE = re.compile(r"\bSMART_NO_THREAD_SAFETY_ANALYSIS\b")
+RATIONALE_RE = re.compile(r"//.*\bmemory_order:")
+TSA_REASON_RE = re.compile(r"//\s*tsa:")
+ALLOW_RE = re.compile(r"//\s*lint-allow\((?P<rule>[a-z-]+)\)\s*:\s*\S")
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so the rules only see code.  (Suppressions and rationale
+    comments are read from the RAW lines instead.)"""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: skip to the matching delimiter verbatim.
+                if out and out[-1] == "R":
+                    m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1 :])
+                    if m:
+                        delim = ")" + m.group(1) + '"'
+                        end = text.find(delim, i)
+                        end = n if end < 0 else end + len(delim)
+                        out.append(
+                            "".join(ch if ch == "\n" else " " for ch in text[i:end])
+                        )
+                        i = end
+                        continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        else:  # string / char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def suppressed(raw_lines, lineno, rule):
+    """True when a lint-allow(rule) comment covers 1-based lineno."""
+    lo = max(0, lineno - 1 - SUPPRESS_WINDOW)
+    for raw in raw_lines[lo:lineno]:
+        m = ALLOW_RE.search(raw)
+        if m and m.group("rule") == rule:
+            return True
+    return False
+
+
+def lint_file(path, rel, violations):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_code(raw).splitlines()
+    in_src = rel.startswith("src/")
+
+    def report(lineno, rule, msg):
+        if not suppressed(raw_lines, lineno, rule):
+            violations.append((rel, lineno, rule, msg))
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+
+        if rel not in ARENA_FILES and in_src:
+            if NEW_RE.search(code):
+                report(lineno, "naked-new",
+                       "naked `new` outside common/arena.hh — use a "
+                       "container, smart pointer, or the arena")
+            if DELETE_RE.search(code) and not DELETED_FN_RE.search(code):
+                report(lineno, "naked-delete",
+                       "naked `delete` outside common/arena.hh")
+
+        if ENDL_RE.search(code):
+            report(lineno, "endl",
+                   "std::endl flushes per call — use '\\n' (logging is "
+                   "already line-atomic)")
+
+        if in_src:
+            for m in MEMORY_ORDER_RE.finditer(code):
+                order = m.group(1) or m.group(2)
+                if order == "seq_cst":
+                    continue
+                lo = max(0, idx - RATIONALE_WINDOW)
+                window = raw_lines[lo : idx + 1]
+                if not any(RATIONALE_RE.search(r) for r in window):
+                    report(lineno, "memory-order",
+                           f"memory_order_{order} without a nearby "
+                           "`// memory_order:` rationale comment")
+
+        if in_src and rel not in MUTEX_ALLOWED_FILES:
+            if STD_MUTEX_RE.search(code):
+                report(lineno, "std-mutex",
+                       "std::mutex in src/ — use smart::Mutex/LockGuard "
+                       "(common/threadsafety.hh) so -Wthread-safety "
+                       "sees the lock")
+
+        if rel not in MUTEX_ALLOWED_FILES and TSA_ESCAPE_RE.search(code):
+            lo = max(0, idx - SUPPRESS_WINDOW)
+            window = raw_lines[lo : idx + 1]
+            if not any(TSA_REASON_RE.search(r) for r in window):
+                report(lineno, "tsa-escape",
+                       "SMART_NO_THREAD_SAFETY_ANALYSIS without an "
+                       "adjacent `// tsa:` justification")
+
+
+def iter_targets(repo):
+    """(path, repo-relative) pairs the lint covers: all of src/, plus
+    bench/ and examples/ (the endl rule applies there too)."""
+    for top in ("src", "bench", "examples"):
+        root = repo / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".cc", ".hh", ".cpp", ".hpp", ".h"):
+                yield path, path.relative_to(repo).as_posix()
+
+
+def run_lint(repo):
+    violations = []
+    count = 0
+    for path, rel in iter_targets(repo):
+        count += 1
+        lint_file(path, rel, violations)
+    if count == 0:
+        print("lint_smart: no files found — wrong --repo?", file=sys.stderr)
+        return 2
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_smart: {len(violations)} violation(s) in {count} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint_smart: OK ({count} files)")
+    return 0
+
+
+def run_self_test(repo):
+    """Check each rule fires on the bad fixture and stays quiet on the
+    good one (which exercises every suppression/rationale form)."""
+    fixtures = repo / "tests" / "lint_fixtures"
+    bad = fixtures / "bad_fixture.cc"
+    good = fixtures / "good_fixture.cc"
+    for f in (bad, good):
+        if not f.is_file():
+            print(f"lint_smart --self-test: missing fixture {f}",
+                  file=sys.stderr)
+            return 2
+
+    violations = []
+    # Fixtures are linted as if they lived in src/.
+    lint_file(bad, "src/lint_fixtures/bad_fixture.cc", violations)
+    found = {rule for (_, _, rule, _) in violations}
+    expected = {"naked-new", "naked-delete", "endl", "memory-order",
+                "std-mutex", "tsa-escape"}
+    missing = expected - found
+    if missing:
+        print(f"lint_smart --self-test: rules did not fire on the bad "
+              f"fixture: {sorted(missing)}", file=sys.stderr)
+        return 1
+
+    violations = []
+    lint_file(good, "src/lint_fixtures/good_fixture.cc", violations)
+    if violations:
+        for rel, lineno, rule, msg in violations:
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+        print("lint_smart --self-test: good fixture must lint clean",
+              file=sys.stderr)
+        return 1
+
+    print("lint_smart --self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", type=pathlib.Path, default=REPO,
+                    help="repository root (default: script's parent)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixtures instead of the tree")
+    args = ap.parse_args()
+    repo = args.repo.resolve()
+    if args.self_test:
+        return run_self_test(repo)
+    return run_lint(repo)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

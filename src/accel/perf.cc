@@ -70,21 +70,6 @@ layerKey(const systolic::ConvLayer &layer)
 
 ShardedCache<systolic::ShiftReplayResult> replay_cache;
 
-systolic::ShiftReplayResult
-cachedReplay(const systolic::ConvLayer &layer,
-             const systolic::ArrayDims &pe,
-             const systolic::ShiftReplayParams &params)
-{
-    std::ostringstream key;
-    key << layerKey(layer) << '|' << pe.rows << 'x' << pe.cols << '|'
-        << params.banks << ',' << params.laneBytes << ','
-        << params.dauWindowBytes << ',' << params.imageInterleave << ','
-        << params.dataBytes;
-    return replay_cache.getOrCompute(key.str(), [&]() {
-        return systolic::replayInputShift(layer, pe, params);
-    });
-}
-
 // ----------------------------------------------------------------
 // RANDOM array timing, normalized to accelerator cycles.
 // ----------------------------------------------------------------

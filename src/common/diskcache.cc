@@ -113,7 +113,7 @@ DiskCache::~DiskCache() = default;
 void
 DiskCache::load()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     map_.clear();
 
     std::string buf;
@@ -230,7 +230,7 @@ DiskCache::compactLocked()
 void
 DiskCache::compact()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     compactLocked();
 }
 
@@ -263,7 +263,7 @@ DiskCache::appendLocked(const std::string &key,
 bool
 DiskCache::get(const std::string &key, std::string &value)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (FaultInjector::global().tornRead()) {
         // Checksum validation would reject the torn bytes; counted
         // as corrupt and served as a miss.
@@ -284,7 +284,7 @@ DiskCache::get(const std::string &key, std::string &value)
 void
 DiskCache::put(const std::string &key, const std::string &value)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     map_[key] = value;
     ++stats_.puts;
     stats_.entries = map_.size();
@@ -294,14 +294,14 @@ DiskCache::put(const std::string &key, const std::string &value)
 DiskCache::Stats
 DiskCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return stats_;
 }
 
 std::size_t
 DiskCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return map_.size();
 }
 

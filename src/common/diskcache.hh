@@ -29,9 +29,10 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/threadsafety.hh"
 
 namespace smart
 {
@@ -74,16 +75,20 @@ class DiskCache
     const std::string &path() const { return path_; }
 
   private:
-    void load();
-    void compactLocked();
-    void appendLocked(const std::string &key, const std::string &value);
+    /** Replay the log into map_ (ctor only; takes mu_ itself). */
+    void load() SMART_EXCLUDES(mu_);
+    void compactLocked() SMART_REQUIRES(mu_);
+    void appendLocked(const std::string &key, const std::string &value)
+        SMART_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::string path_;
-    std::ofstream out_; //!< Append stream onto the log.
-    bool tornTail_ = false; //!< Last append was torn; repair next.
-    std::unordered_map<std::string, std::string> map_;
-    Stats stats_;
+    mutable Mutex mu_;
+    std::string path_; //!< Immutable after construction.
+    /** Append stream onto the log. */
+    std::ofstream out_ SMART_GUARDED_BY(mu_);
+    /** Last append was torn; repair next. */
+    bool tornTail_ SMART_GUARDED_BY(mu_) = false;
+    std::unordered_map<std::string, std::string> map_ SMART_GUARDED_BY(mu_);
+    Stats stats_ SMART_GUARDED_BY(mu_);
 };
 
 } // namespace smart

@@ -51,6 +51,9 @@ envConfig()
 FaultInjector::FaultInjector()
     : cfg_(envConfig()), rng_(cfg_.seed)
 {
+    // memory_order: relaxed — armed_ is a monotonic hint; hooks that
+    // read it stale merely take (or skip) the slow path one call late,
+    // and the mutex orders every config read that actually matters.
     armed_.store(cfg_.any(), std::memory_order_relaxed);
 }
 
@@ -64,16 +67,17 @@ FaultInjector::global()
 void
 FaultInjector::configure(const Config &cfg)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     cfg_ = cfg;
     rng_ = Rng(cfg.seed);
+    // memory_order: relaxed — see the constructor; armed_ is advisory.
     armed_.store(cfg_.any(), std::memory_order_relaxed);
 }
 
 FaultInjector::Config
 FaultInjector::config() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return cfg_;
 }
 
@@ -84,19 +88,21 @@ FaultInjector::draw(double prob)
         return false;
     if (prob >= 1.0)
         return true;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return rng_.uniform() < prob;
 }
 
 void
 FaultInjector::onIlpSolve()
 {
+    // memory_order: relaxed — pure fast-path hint; a stale read only
+    // defers the armed transition by one call (config reads lock mu_).
     if (!armed_.load(std::memory_order_relaxed))
         return;
     double stall_ms;
     double throw_prob;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         stall_ms = cfg_.ilpStallMs;
         throw_prob = cfg_.ilpThrowProb;
     }
@@ -111,11 +117,12 @@ FaultInjector::onIlpSolve()
 bool
 FaultInjector::tornWrite()
 {
+    // memory_order: relaxed — fast-path hint, as in onIlpSolve().
     if (!armed_.load(std::memory_order_relaxed))
         return false;
     double prob;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         prob = cfg_.diskTornWriteProb;
     }
     return draw(prob);
@@ -124,11 +131,12 @@ FaultInjector::tornWrite()
 bool
 FaultInjector::tornRead()
 {
+    // memory_order: relaxed — fast-path hint, as in onIlpSolve().
     if (!armed_.load(std::memory_order_relaxed))
         return false;
     double prob;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         prob = cfg_.diskTornReadProb;
     }
     return draw(prob);

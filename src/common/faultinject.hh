@@ -22,10 +22,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 
 #include "common/rng.hh"
+#include "common/threadsafety.hh"
 
 namespace smart
 {
@@ -88,11 +88,11 @@ class FaultInjector
   private:
     FaultInjector();
 
-    bool draw(double prob);
+    bool draw(double prob) SMART_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    Config cfg_;
-    Rng rng_;
+    mutable Mutex mu_;
+    Config cfg_ SMART_GUARDED_BY(mu_);
+    Rng rng_ SMART_GUARDED_BY(mu_);
     std::atomic<bool> armed_{false}; //!< Fast path: no faults configured.
 };
 

@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/threadsafety.hh"
 
 namespace smart
 {
@@ -9,43 +12,81 @@ namespace smart
 namespace
 {
 
-bool informEnabled = true;
+// memory_order: relaxed — a pure on/off knob flipped by test/bench
+// setup; no data is published through it, and a racy read only prints
+// (or suppresses) one borderline info line.
+std::atomic<bool> informEnabled{true};
+
+/**
+ * Serializes log emission so one message is one write: concurrent
+ * worker threads (taskgraph lanes, the dispatcher, submitters) each
+ * get a whole line on stderr instead of interleaving mid-line. The
+ * line is fully formatted into a buffer BEFORE the lock is taken, so
+ * the critical section is a single fwrite.
+ */
+Mutex &
+logMutex()
+{
+    static Mutex mu;
+    return mu;
+}
+
+/** Emit "<tag>: <msg>\n[  @ file:line\n]" as one locked write. */
+void
+emitLine(const char *tag, const std::string &msg, const char *file,
+         int line)
+{
+    std::string buf;
+    buf.reserve(msg.size() + 64);
+    buf += tag;
+    buf += ": ";
+    buf += msg;
+    buf += '\n';
+    if (file != nullptr) {
+        char loc[256];
+        std::snprintf(loc, sizeof(loc), "  @ %s:%d\n", file, line);
+        buf += loc;
+    }
+    LockGuard lock(logMutex());
+    std::fwrite(buf.data(), 1, buf.size(), stderr);
+    std::fflush(stderr);
+}
 
 } // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emitLine("panic", msg, file, line);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emitLine("fatal", msg, file, line);
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg, nullptr, 0);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (informEnabled)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    // memory_order: relaxed — see informEnabled above.
+    if (informEnabled.load(std::memory_order_relaxed))
+        emitLine("info", msg, nullptr, 0);
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    // memory_order: relaxed — see informEnabled above.
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace smart

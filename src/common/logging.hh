@@ -6,6 +6,10 @@
  * (it aborts, so a debugger can catch it); fatal() is for user errors such
  * as invalid configurations (it exits cleanly with an error code). warn()
  * and inform() report conditions without stopping the program.
+ *
+ * Emission is line-atomic: each message is formatted into a single
+ * buffer and written under a process-wide mutex as one write, so logs
+ * from concurrent task-scheduler lanes never interleave mid-line.
  */
 
 #ifndef SMART_COMMON_LOGGING_HH

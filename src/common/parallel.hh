@@ -20,11 +20,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/threadsafety.hh"
 
 namespace smart
 {
@@ -54,7 +55,7 @@ class ShardedCache
         std::shared_future<Value> fut;
         bool compute = false;
         {
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             auto it = shard.map.find(key);
             if (it == shard.map.end()) {
                 fut = promise.get_future().share();
@@ -71,7 +72,7 @@ class ShardedCache
                 // Drop the failed entry so later calls retry, then
                 // deliver the error to anyone already waiting.
                 {
-                    std::lock_guard<std::mutex> lock(shard.mu);
+                    LockGuard lock(shard.mu);
                     shard.map.erase(key);
                 }
                 promise.set_exception(std::current_exception());
@@ -84,7 +85,7 @@ class ShardedCache
     void clear()
     {
         for (auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             shard.map.clear();
         }
     }
@@ -94,7 +95,7 @@ class ShardedCache
     {
         std::size_t n = 0;
         for (auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             n += shard.map.size();
         }
         return n;
@@ -105,8 +106,9 @@ class ShardedCache
 
     struct Shard
     {
-        std::mutex mu;
-        std::unordered_map<std::string, std::shared_future<Value>> map;
+        Mutex mu;
+        std::unordered_map<std::string, std::shared_future<Value>>
+            map SMART_GUARDED_BY(mu);
     };
 
     Shard &shardOf(const std::string &key)
@@ -249,7 +251,7 @@ class LruCache
         std::shared_ptr<const Value> value;
         {
             Shard &shard = shardOf(key);
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             auto it = shard.index.find(key);
             if (it == shard.index.end()) {
                 ++shard.misses;
@@ -302,7 +304,7 @@ class LruCache
         auto holder =
             std::make_shared<const Value>(std::move(value));
         Shard &shard = shardOf(key);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        LockGuard lock(shard.mu);
         auto it = shard.index.find(key);
         // The tenant budget only constrains tags that are actually
         // tracked: when every tag slot holds live entries, an entry
@@ -377,7 +379,7 @@ class LruCache
         Stats s;
         for (std::size_t i = 0; i < cfg_.shards; ++i) {
             Shard &shard = shards_[i];
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             s.hits += shard.hits;
             s.misses += shard.misses;
             s.insertions += shard.insertions;
@@ -399,8 +401,9 @@ class LruCache
     {
         std::size_t n = 0;
         for (std::size_t i = 0; i < cfg_.shards; ++i) {
-            std::lock_guard<std::mutex> lock(shards_[i].mu);
-            n += shards_[i].index.size();
+            Shard &shard = shards_[i];
+            LockGuard lock(shard.mu);
+            n += shard.index.size();
         }
         return n;
     }
@@ -410,7 +413,7 @@ class LruCache
     {
         for (std::size_t i = 0; i < cfg_.shards; ++i) {
             Shard &shard = shards_[i];
-            std::lock_guard<std::mutex> lock(shard.mu);
+            LockGuard lock(shard.mu);
             shard.index.clear();
             shard.head = shard.tail = nullptr;
             shard.bytes = 0;
@@ -465,22 +468,24 @@ class LruCache
 
     struct Shard
     {
-        mutable std::mutex mu;
-        Index index;
-        Node *head = nullptr; //!< Most recently used.
-        Node *tail = nullptr; //!< Least recently used (next victim).
+        mutable Mutex mu;
+        Index index SMART_GUARDED_BY(mu);
+        /** Most recently used. */
+        Node *head SMART_GUARDED_BY(mu) = nullptr;
+        /** Least recently used (next victim). */
+        Node *tail SMART_GUARDED_BY(mu) = nullptr;
         /**
          * Per-tag lists, kept after a tag's last eviction so its
          * cumulative eviction counter survives (rows with no entries
          * and no evictions are dropped). Tags are client-controlled,
          * so tracking is hard-capped at kMaxTags per shard.
          */
-        std::map<std::string, TagList> tags;
-        std::size_t bytes = 0;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
-        std::uint64_t evictions = 0;
+        std::map<std::string, TagList> tags SMART_GUARDED_BY(mu);
+        std::size_t bytes SMART_GUARDED_BY(mu) = 0;
+        std::uint64_t hits SMART_GUARDED_BY(mu) = 0;
+        std::uint64_t misses SMART_GUARDED_BY(mu) = 0;
+        std::uint64_t insertions SMART_GUARDED_BY(mu) = 0;
+        std::uint64_t evictions SMART_GUARDED_BY(mu) = 0;
     };
 
     /** Fixed per-entry overhead charged on top of key + value bytes. */
@@ -498,13 +503,14 @@ class LruCache
     }
 
     bool overBudget(const Shard &shard) const
+        SMART_REQUIRES(shard.mu)
     {
         return (shardMaxBytes_ && shard.bytes > shardMaxBytes_) ||
                (shardMaxEntries_ &&
                 shard.index.size() > shardMaxEntries_);
     }
 
-    static void detach(Shard &shard, Node *n)
+    static void detach(Shard &shard, Node *n) SMART_REQUIRES(shard.mu)
     {
         if (n->prev)
             n->prev->next = n->next;
@@ -518,6 +524,7 @@ class LruCache
     }
 
     static void pushFront(Shard &shard, Node *n)
+        SMART_REQUIRES(shard.mu)
     {
         n->next = shard.head;
         if (shard.head)
@@ -563,6 +570,7 @@ class LruCache
      * bounded reclaim scan runs only at the cap. mu held.
      */
     static bool trackTag(Shard &shard, const std::string &tag)
+        SMART_REQUIRES(shard.mu)
     {
         if (tag.empty())
             return false;
@@ -580,7 +588,7 @@ class LruCache
     }
 
     /** Charge @p n (already tagged and trackable) to its tag. mu held. */
-    static void tagAdd(Shard &shard, Node *n)
+    static void tagAdd(Shard &shard, Node *n) SMART_REQUIRES(shard.mu)
     {
         TagList &tl = shard.tags[n->tag];
         tl.bytes += n->bytes;
@@ -595,6 +603,7 @@ class LruCache
      * is dropped, so transient tags do not accumulate. mu held.
      */
     static void tagUnlink(Shard &shard, Node *n)
+        SMART_REQUIRES(shard.mu)
     {
         if (n->tag.empty())
             return;
@@ -614,6 +623,7 @@ class LruCache
      * stale one it drops. mu held.
      */
     static void removeNode(Shard &shard, typename Index::iterator it)
+        SMART_REQUIRES(shard.mu)
     {
         Node *n = it->second.get();
         detach(shard, n);
@@ -624,6 +634,7 @@ class LruCache
 
     /** Evict @p n LRU-style, counting it globally and per tag. */
     static void evictNode(Shard &shard, Node *n)
+        SMART_REQUIRES(shard.mu)
     {
         ++shard.evictions;
         if (!n->tag.empty())

@@ -42,14 +42,23 @@ namespace
 class TaskDeque
 {
   public:
+    // lint-allow(naked-new): the Ring's ownership is deliberately
+    // manual — the raw pointer is double-tracked (the atomic buf_ for
+    // thieves, retired_ for the owner's eventual free), which no
+    // single smart pointer can express; retired_ frees every ring.
     TaskDeque() : buf_(new Ring(kInitialCap))
     {
+        // memory_order: relaxed — ctor-local; nobody else can see
+        // buf_ before the deque itself is published.
         retired_.emplace_back(buf_.load(std::memory_order_relaxed));
     }
 
     /** Owner only. Returns the post-push depth for the max gauge. */
     std::size_t push(TaskScheduler::Task *task)
     {
+        // memory_order: bottom_/buf_ are owner-written, so the owner
+        // reads them relaxed; top_ is acquire so the slots a thief
+        // consumed are really gone before we reuse the space.
         const std::int64_t b = bottom_.load(std::memory_order_relaxed);
         const std::int64_t t = top_.load(std::memory_order_acquire);
         Ring *ring = buf_.load(std::memory_order_relaxed);
@@ -65,6 +74,9 @@ class TaskDeque
     /** Owner only: LIFO pop from the bottom (depth-first descent). */
     TaskScheduler::Task *pop()
     {
+        // memory_order: owner-side relaxed reads of owner-written
+        // state (bottom_/buf_); the seq_cst store/load below is the
+        // algorithm's required store-load barrier.
         const std::int64_t b =
             bottom_.load(std::memory_order_relaxed) - 1;
         Ring *ring = buf_.load(std::memory_order_relaxed);
@@ -73,6 +85,10 @@ class TaskDeque
         // ordered against a thief's top read.
         bottom_.store(b, std::memory_order_seq_cst);
         std::int64_t t = top_.load(std::memory_order_seq_cst);
+        // memory_order: the undo stores are relaxed (owner-only
+        // writes; thieves never read a bottom_ they must order on
+        // after losing the CAS), and the CAS failure order is relaxed
+        // because a loser discards everything it read.
         if (t > b) { // empty: undo the reservation
             bottom_.store(b + 1, std::memory_order_relaxed);
             return nullptr;
@@ -101,6 +117,9 @@ class TaskDeque
         const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
         if (t >= b)
             return nullptr; // empty
+        // memory_order: acquire on buf_ pairs with grow()'s release
+        // so the thief sees the copied slots of a fresh ring; the CAS
+        // failure order is relaxed — a loser uses nothing it read.
         Ring *ring = buf_.load(std::memory_order_acquire);
         TaskScheduler::Task *task = ring->get(t);
         // The CAS decides ownership; only a winner may use the value
@@ -117,6 +136,8 @@ class TaskDeque
     /** Racy size estimate (sweep ordering only). */
     bool emptyApprox() const
     {
+        // memory_order: relaxed — an advisory emptiness hint; every
+        // authoritative read happens inside pop()/steal().
         return bottom_.load(std::memory_order_relaxed) <=
                top_.load(std::memory_order_relaxed);
     }
@@ -131,16 +152,25 @@ class TaskDeque
               // Value-initialized: a thief holding a stale top may
               // read a never-written slot of a freshly grown ring
               // before its CAS fails — that read must be defined.
+              // lint-allow(naked-new): unique_ptr<T[]> takes the raw
+              // array; make_unique would zero-init identically but
+              // cannot be spelled in this member-init position with
+              // the comment the value-init subtlety needs.
               slots(new std::atomic<TaskScheduler::Task *>[c]())
         {
         }
         TaskScheduler::Task *get(std::int64_t i) const
         {
+            // memory_order: relaxed — slot reads/writes are ordered
+            // by the top_/bottom_ protocol, never by the slot itself
+            // (a stale read is discarded via a failed CAS).
             return slots[static_cast<std::size_t>(i) & mask].load(
                 std::memory_order_relaxed);
         }
         void put(std::int64_t i, TaskScheduler::Task *t)
         {
+            // memory_order: relaxed — see get(); the publishing
+            // store is the owner's seq_cst bottom_ bump.
             slots[static_cast<std::size_t>(i) & mask].store(
                 t, std::memory_order_relaxed);
         }
@@ -157,6 +187,8 @@ class TaskDeque
             bigger->put(i, old->get(i));
         Ring *raw = bigger.get();
         retired_.push_back(std::move(bigger));
+        // memory_order: release pairs with steal()'s acquire load so
+        // a thief that sees the new ring sees its copied slots.
         buf_.store(raw, std::memory_order_release);
         return raw;
     }
@@ -204,7 +236,9 @@ TaskScheduler::TaskScheduler(int threads)
 TaskScheduler::~TaskScheduler()
 {
     {
-        std::lock_guard<std::mutex> lock(idleMu_);
+        LockGuard lock(idleMu_);
+        // memory_order: release pairs with the workers' acquire loads
+        // (belt and braces — the mutex already orders the handoff).
         stopping_.store(true, std::memory_order_release);
     }
     idleCv_.notify_all();
@@ -221,19 +255,24 @@ TaskScheduler::onWorkerThread() const
 void
 TaskScheduler::spawnImpl(std::function<void()> fn, TaskGroup *group)
 {
+    // lint-allow(naked-new): tasks cross the lock-free deque as raw
+    // pointers by design; exactly one consumer frees each in
+    // runTask() (lint-allow(naked-delete) there).
     auto *task = new Task{std::move(fn), group,
                           TraceRecorder::currentTrace()};
     ready_.fetch_add(1, std::memory_order_seq_cst);
     Worker *self = onWorkerThread() ? tl_worker : nullptr;
     if (self) {
         const std::size_t depth = self->deque.push(task);
+        // memory_order: relaxed — maxDepth_ is a monotonic gauge read
+        // only by stats(); it orders nothing.
         std::size_t prev = maxDepth_.load(std::memory_order_relaxed);
         while (prev < depth &&
                !maxDepth_.compare_exchange_weak(
                    prev, depth, std::memory_order_relaxed))
             ;
     } else {
-        std::lock_guard<std::mutex> lock(injectMu_);
+        LockGuard lock(injectMu_);
         injected_.push_back(task);
     }
     notifyWorkers();
@@ -246,7 +285,7 @@ TaskScheduler::notifyWorkers()
         // Taking the mutex pairs with the sleeper's predicate check,
         // so the ready_ bump above cannot fall into the gap between
         // a worker's last look and its wait.
-        std::lock_guard<std::mutex> lock(idleMu_);
+        LockGuard lock(idleMu_);
         idleCv_.notify_one();
     }
 }
@@ -254,7 +293,7 @@ TaskScheduler::notifyWorkers()
 TaskScheduler::Task *
 TaskScheduler::popInjected()
 {
-    std::lock_guard<std::mutex> lock(injectMu_);
+    LockGuard lock(injectMu_);
     if (injectHead_ >= injected_.size())
         return nullptr;
     Task *t = injected_[injectHead_++];
@@ -283,6 +322,8 @@ TaskScheduler::stealTask(Worker *self)
             continue;
         bool contended = false;
         Task *t = victim->deque.steal(contended);
+        // memory_order: relaxed — steals_/stealFailures_ are stats()
+        // counters only; they order nothing.
         if (t) {
             steals_.fetch_add(1, std::memory_order_relaxed);
             return t;
@@ -320,7 +361,10 @@ TaskScheduler::runTask(Task *t)
             group->fail(std::current_exception());
         // Detached tasks wrap a packaged_task and cannot throw.
     }
+    // lint-allow(naked-delete): the matching lint-allow(naked-new) is
+    // in spawnImpl(); this is the pointer's unique consumer.
     delete t;
+    // memory_order: relaxed — tasksRun_ is a stats() counter only.
     tasksRun_.fetch_add(1, std::memory_order_relaxed);
     if (group)
         group->finish();
@@ -348,18 +392,23 @@ TaskScheduler::workerLoop(Worker *self)
             runTask(t);
             continue;
         }
-        std::unique_lock<std::mutex> lock(idleMu_);
+        LockGuard lock(idleMu_);
+        // memory_order: stopping_ is read acquire to pair with the
+        // destructor's release store; ready_/sleepers_ stay seq_cst —
+        // the sleep/notify protocol needs the store-load ordering
+        // between a spawner's ready_ bump and a sleeper's last look.
         if (stopping_.load(std::memory_order_acquire)) {
             if (ready_.load(std::memory_order_seq_cst) == 0)
                 return;
             continue; // drain: tasks remain, sweep again
         }
         sleepers_.fetch_add(1, std::memory_order_seq_cst);
-        idleCv_.wait(lock, [&] {
+        lock.wait(idleCv_, [&] {
             return stopping_.load(std::memory_order_acquire) ||
                    ready_.load(std::memory_order_seq_cst) > 0;
         });
         sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        // memory_order: acquire — see the loop-head comment above.
         if (stopping_.load(std::memory_order_acquire) &&
             ready_.load(std::memory_order_seq_cst) == 0)
             return;
@@ -370,6 +419,8 @@ TaskScheduler::Stats
 TaskScheduler::stats() const
 {
     Stats s;
+    // memory_order: relaxed — point-in-time counter snapshot; exact
+    // only once the scheduler is quiescent, as documented.
     s.tasksRun = tasksRun_.load(std::memory_order_relaxed);
     s.steals = steals_.load(std::memory_order_relaxed);
     s.stealFailures = stealFailures_.load(std::memory_order_relaxed);

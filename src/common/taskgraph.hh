@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/threadsafety.hh"
 #include "common/tracespan.hh"
 
 namespace smart
@@ -163,13 +164,15 @@ class TaskScheduler
     std::vector<std::thread> threads_;
 
     /** Tasks spawned by non-worker threads (FIFO). */
-    std::mutex injectMu_;
-    std::vector<Task *> injected_; //!< FIFO: take from the front.
-    std::size_t injectHead_ = 0;
+    Mutex injectMu_;
+    /** FIFO: take from the front. */
+    std::vector<Task *> injected_ SMART_GUARDED_BY(injectMu_);
+    std::size_t injectHead_ SMART_GUARDED_BY(injectMu_) = 0;
 
     /** Spawned-but-not-yet-acquired task count (wakeup predicate). */
     std::atomic<std::size_t> ready_{0};
-    std::mutex idleMu_;
+    /** Pure sleep/wake plumbing; idleCv_ predicates read atomics. */
+    Mutex idleMu_;
     std::condition_variable idleCv_;
     std::atomic<int> sleepers_{0};
     std::atomic<bool> stopping_{false};
@@ -199,6 +202,8 @@ class TaskGroup
     /** Waits for stragglers; a pending exception is dropped here. */
     ~TaskGroup()
     {
+        // memory_order: acquire pairs with finish()'s decrement so a
+        // zero read here means every child's effects are visible.
         if (pending_.load(std::memory_order_acquire) != 0)
             waitNoThrow();
     }
@@ -223,6 +228,9 @@ class TaskGroup
             }
             return;
         }
+        // memory_order: acq_rel — the increment must be ordered
+        // against the task publish and against finish()'s matching
+        // decrement (the joiner's pending_==0 read is an acquire).
         pending_.fetch_add(1, std::memory_order_acq_rel);
         sched_.spawnImpl(std::function<void()>(std::forward<Fn>(fn)),
                          this);
@@ -237,10 +245,14 @@ class TaskGroup
     void wait()
     {
         help();
+        // memory_order: the acquire load pairs with fail()'s release
+        // store so the error_ written before the flag is visible; the
+        // release reset keeps the flag/error_ pair ordered for the
+        // next reuse of the group.
         if (failed_.load(std::memory_order_acquire)) {
             std::exception_ptr e;
             {
-                std::lock_guard<std::mutex> lock(errMu_);
+                LockGuard lock(errMu_);
                 std::swap(e, error_);
                 failed_.store(false, std::memory_order_release);
             }
@@ -256,6 +268,8 @@ class TaskGroup
      */
     bool failed() const
     {
+        // memory_order: relaxed — an advisory early-abandon poll; the
+        // authoritative (acquire) read happens in wait().
         return failed_.load(std::memory_order_relaxed);
     }
 
@@ -264,6 +278,9 @@ class TaskGroup
 
     void help()
     {
+        // memory_order: every pending_ load is an acquire pairing
+        // with finish()'s acq_rel decrement, so observing zero also
+        // makes every finished child's writes visible to the joiner.
         for (;;) {
             if (pending_.load(std::memory_order_acquire) != 0 &&
                 sched_.helpOne())
@@ -275,14 +292,15 @@ class TaskGroup
             // finisher can never still be signalling this group
             // after we return (and possibly destroy it). The
             // timeout is insurance, not the wakeup path.
-            std::unique_lock<std::mutex> lock(waitMu_);
+            LockGuard lock(waitMu_);
             if (pending_.load(std::memory_order_acquire) == 0)
                 return;
             lock.unlock();
             if (sched_.helpOne())
                 continue;
             lock.lock();
-            waitCv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            // memory_order: acquire — see the loop-head comment.
+            lock.waitFor(waitCv_, std::chrono::milliseconds(1), [&] {
                 return pending_.load(std::memory_order_acquire) == 0;
             });
             if (pending_.load(std::memory_order_acquire) == 0)
@@ -293,17 +311,21 @@ class TaskGroup
     void waitNoThrow()
     {
         help();
-        std::lock_guard<std::mutex> lock(errMu_);
+        LockGuard lock(errMu_);
         error_ = nullptr;
+        // memory_order: release keeps the error_ reset ordered before
+        // any later acquire read of the flag (group reuse).
         failed_.store(false, std::memory_order_release);
     }
 
     /** Capture the first child exception (later ones are dropped). */
     void fail(std::exception_ptr e)
     {
-        std::lock_guard<std::mutex> lock(errMu_);
+        LockGuard lock(errMu_);
         if (!error_) {
             error_ = std::move(e);
+            // memory_order: release publishes error_ to the acquire
+            // load in wait() that observes the flag set.
             failed_.store(true, std::memory_order_release);
         }
     }
@@ -316,7 +338,10 @@ class TaskGroup
      */
     void finish()
     {
-        std::lock_guard<std::mutex> lock(waitMu_);
+        LockGuard lock(waitMu_);
+        // memory_order: acq_rel — releases this child's writes to the
+        // joiner's acquire load and orders the decrement against the
+        // notify below.
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
             waitCv_.notify_all();
     }
@@ -324,9 +349,10 @@ class TaskGroup
     TaskScheduler &sched_;
     std::atomic<std::size_t> pending_{0};
     std::atomic<bool> failed_{false};
-    std::mutex errMu_;
-    std::exception_ptr error_;
-    std::mutex waitMu_;
+    Mutex errMu_;
+    std::exception_ptr error_ SMART_GUARDED_BY(errMu_);
+    /** Orders the last finish() against the joiner's exit (help()). */
+    Mutex waitMu_;
     std::condition_variable waitCv_;
 };
 

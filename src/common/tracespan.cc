@@ -89,7 +89,7 @@ void
 TraceRecorder::configure(const Config &cfg)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         cfg_ = cfg;
         cfg_.ringSlots = pow2AtLeast(std::max<std::size_t>(
             2, cfg.ringSlots));
@@ -100,9 +100,14 @@ TraceRecorder::configure(const Config &cfg)
         nextTid_ = 0;
     }
     {
-        std::lock_guard<std::mutex> lock(stageMu_);
+        LockGuard lock(stageMu_);
         stages_.clear();
     }
+    // memory_order: sampleEvery_/submitSeq_/armed_ are advisory
+    // sampling knobs — relaxed is enough, a racing submitter merely
+    // samples against the old config for one call. generation_ is
+    // released so a thread that observes the bump (acquire load in
+    // localRing) also sees the cfg_/rings_ reset it publishes.
     sampleEvery_.store(cfg.sampleEvery, std::memory_order_relaxed);
     submitSeq_.store(0, std::memory_order_relaxed);
     // Live threads re-create their rings on next use (the old ring
@@ -115,7 +120,7 @@ TraceRecorder::configure(const Config &cfg)
 TraceRecorder::Config
 TraceRecorder::config() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return cfg_;
 }
 
@@ -124,7 +129,7 @@ TraceRecorder::clear()
 {
     Config cfg;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         cfg = cfg_;
     }
     configure(cfg);
@@ -133,6 +138,9 @@ TraceRecorder::clear()
 std::uint64_t
 TraceRecorder::startTrace()
 {
+    // memory_order: relaxed throughout — sampling is heuristic; no
+    // other memory is published through these counters, and a stale
+    // armed_/sampleEvery_ read just mis-samples one submission.
     if (!armed_.load(std::memory_order_relaxed))
         return 0; // disarmed: one relaxed load, nothing else
     const std::uint64_t every =
@@ -161,10 +169,13 @@ TraceRecorder::localRing()
     // up the replacement on its next event.
     thread_local std::shared_ptr<Ring> ring;
     thread_local std::uint64_t ringGeneration = ~std::uint64_t(0);
+    // memory_order: acquire pairs with configure()'s release bump so
+    // a thread that sees the new generation also sees the new cfg_;
+    // the relaxed re-read below runs under mu_, which orders it.
     const std::uint64_t gen =
         generation_.load(std::memory_order_acquire);
     if (!ring || ringGeneration != gen) {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         ring = std::make_shared<Ring>(cfg_.ringSlots, nextTid_++);
         rings_.push_back(ring);
         ringGeneration = generation_.load(std::memory_order_relaxed);
@@ -181,6 +192,10 @@ TraceRecorder::record(EventKind kind, std::uint64_t traceId,
     if (traceId == 0 || name == nullptr)
         return;
     Ring &r = localRing();
+    // memory_order: this thread is the ring's only writer, so the
+    // head read and the slot-field stores are relaxed; the final
+    // head store below is released so a reader that acquires the new
+    // head sees every field of the slot it frames.
     const std::uint64_t h = r.head.load(std::memory_order_relaxed);
     Slot &s = r.slots[h & r.mask];
     // Invalidate first, restore the name last: a reader racing this
@@ -264,7 +279,7 @@ TraceRecorder::foldStage(const char *name, double ms)
     // Stage names are static strings from instrumentation sites, so
     // the map stays small; the cap is purely defensive.
     constexpr std::size_t kMaxStages = 256;
-    std::lock_guard<std::mutex> lock(stageMu_);
+    LockGuard lock(stageMu_);
     auto it = stages_.find(name);
     if (it == stages_.end()) {
         if (stages_.size() >= kMaxStages)
@@ -279,11 +294,15 @@ TraceRecorder::events() const
 {
     std::vector<std::shared_ptr<Ring>> rings;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         rings = rings_;
     }
     std::vector<Event> out;
     for (const auto &r : rings) {
+        // memory_order: acquire on head pairs with the writer's
+        // release publish, making every slot at index < head visible;
+        // the relaxed field loads below are racy by contract — a slot
+        // being rewritten is detected via its nulled name and dropped.
         const std::uint64_t h =
             r->head.load(std::memory_order_acquire);
         const std::uint64_t n =
@@ -377,7 +396,7 @@ TraceRecorder::chromeTraceJson() const
 std::vector<TraceRecorder::StageStat>
 TraceRecorder::stageStats() const
 {
-    std::lock_guard<std::mutex> lock(stageMu_);
+    LockGuard lock(stageMu_);
     std::vector<StageStat> out;
     out.reserve(stages_.size());
     for (const auto &[name, hist] : stages_) {
@@ -407,7 +426,7 @@ TraceRecorder::recordIncident(std::uint64_t traceId,
     inc.tag = tag;
     inc.capturedAtNs = nowNs();
     inc.spans = eventsFor(traceId, kIncidentSpanCap);
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     incidents_.push_back(std::move(inc));
     while (incidents_.size() > cfg_.incidentLogCap)
         incidents_.erase(incidents_.begin());
@@ -416,7 +435,7 @@ TraceRecorder::recordIncident(std::uint64_t traceId,
 std::vector<TraceRecorder::Incident>
 TraceRecorder::incidents() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return incidents_;
 }
 

@@ -37,11 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/threadsafety.hh"
 
 namespace smart
 {
@@ -126,6 +126,9 @@ class TraceRecorder
     /** One relaxed atomic load: is any sampling configured? */
     bool armed() const
     {
+        // memory_order: relaxed — advisory fast-path gate; callers that
+        // actually read config pair localRing's acquire with
+        // configure's release instead.
         return armed_.load(std::memory_order_relaxed);
     }
 
@@ -236,8 +239,8 @@ class TraceRecorder
                 const char *name, std::uint64_t tsNs,
                 std::uint64_t durNs, std::int64_t arg,
                 const char *argName);
-    Ring &localRing();
-    void foldStage(const char *name, double ms);
+    Ring &localRing() SMART_EXCLUDES(mu_);
+    void foldStage(const char *name, double ms) SMART_EXCLUDES(stageMu_);
 
     /** Most spans one incident snapshot retains. */
     static constexpr std::size_t kIncidentSpanCap = 64;
@@ -248,14 +251,20 @@ class TraceRecorder
     /** Bumped by configure/clear: threads re-create their rings. */
     std::atomic<std::uint64_t> generation_{0};
 
-    mutable std::mutex mu_; //!< Guards cfg_, rings_, incidents_.
-    Config cfg_;
-    std::vector<std::shared_ptr<Ring>> rings_;
-    std::uint32_t nextTid_ = 0;
-    std::vector<Incident> incidents_;
+    mutable Mutex mu_;
+    Config cfg_ SMART_GUARDED_BY(mu_);
+    /**
+     * Ring registry (one per writer thread per generation). The
+     * shared_ptrs themselves are guarded; the slot contents they
+     * point to are lock-free single-writer state (see file comment).
+     */
+    std::vector<std::shared_ptr<Ring>> rings_ SMART_GUARDED_BY(mu_);
+    std::uint32_t nextTid_ SMART_GUARDED_BY(mu_) = 0;
+    std::vector<Incident> incidents_ SMART_GUARDED_BY(mu_);
 
-    mutable std::mutex stageMu_; //!< Guards the stage histograms.
-    std::map<std::string, Histogram> stages_;
+    mutable Mutex stageMu_;
+    /** Per-stage duration histograms. */
+    std::map<std::string, Histogram> stages_ SMART_GUARDED_BY(stageMu_);
 };
 
 /**

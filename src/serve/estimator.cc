@@ -55,7 +55,7 @@ CostEstimator::recordService(const std::string &shapeKey,
 {
     if (!std::isfinite(serviceMs) || serviceMs < 0.0)
         return; // a broken clock must not poison admission decisions
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     foldInto(service_, serviceMs);
     auto it = shapeMs_.find(shapeKey);
     if (it != shapeMs_.end())
@@ -70,7 +70,7 @@ CostEstimator::recordWave(double waveMs, std::size_t items)
 {
     if (!std::isfinite(waveMs) || waveMs < 0.0)
         return;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     waveMs_ = fold(waveMs_, waveSamples_, alpha_, waveMs);
     itemMs_ = fold(itemMs_, waveSamples_, alpha_,
                    waveMs / static_cast<double>(
@@ -81,7 +81,7 @@ CostEstimator::recordWave(double waveMs, std::size_t items)
 double
 CostEstimator::estimateServiceMs(const std::string &shapeKey) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = shapeMs_.find(shapeKey);
     if (it != shapeMs_.end())
         return it->second.ms;
@@ -91,7 +91,7 @@ CostEstimator::estimateServiceMs(const std::string &shapeKey) const
 double
 CostEstimator::shapeEstimateMs(const std::string &shapeKey) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = shapeMs_.find(shapeKey);
     return it != shapeMs_.end() ? it->second.ms : 0.0;
 }
@@ -99,7 +99,7 @@ CostEstimator::shapeEstimateMs(const std::string &shapeKey) const
 std::pair<double, double>
 CostEstimator::estimateInterval(const std::string &shapeKey) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (!shapeKey.empty()) {
         auto it = shapeMs_.find(shapeKey);
         if (it != shapeMs_.end() && it->second.samples >= 2)
@@ -113,7 +113,7 @@ CostEstimator::estimateQueueWaitMs(std::size_t queueDepth) const
 {
     if (queueDepth == 0)
         return 0.0;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     // Draining one queued item costs the per-item drain EWMA. Until
     // the first whole-wave sample lands, the global service EWMA
     // stands in (per-request samples are recorded before their
@@ -144,7 +144,7 @@ CostEstimator::suggestDeadlineMs(const std::string &shapeKey,
 CostEstimator::Snapshot
 CostEstimator::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     Snapshot s;
     s.serviceSamples = service_.samples;
     s.waveSamples = waveSamples_;

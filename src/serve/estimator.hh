@@ -36,10 +36,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "common/threadsafety.hh"
 
 namespace smart::serve
 {
@@ -167,17 +168,19 @@ class CostEstimator
     };
 
     /** Fold @p x into @p e under alpha_ (mean and variance). */
-    void foldInto(Ewma &e, double x) const;
+    void foldInto(Ewma &e, double x) const SMART_REQUIRES(mu_);
     /** {mean - 2 sigma, mean + 2 sigma} of @p e; {0,0} under 2 samples. */
     static std::pair<double, double> intervalOf(const Ewma &e);
 
-    mutable std::mutex mu_;
-    double alpha_;
-    Ewma service_; //!< Global per-request service-time EWMA.
-    double waveMs_ = 0.0;
-    double itemMs_ = 0.0; //!< Drain cost per queued item.
-    std::uint64_t waveSamples_ = 0;
-    std::unordered_map<std::string, Ewma> shapeMs_;
+    mutable Mutex mu_;
+    double alpha_; //!< Immutable after construction.
+    /** Global per-request service-time EWMA. */
+    Ewma service_ SMART_GUARDED_BY(mu_);
+    double waveMs_ SMART_GUARDED_BY(mu_) = 0.0;
+    /** Drain cost per queued item. */
+    double itemMs_ SMART_GUARDED_BY(mu_) = 0.0;
+    std::uint64_t waveSamples_ SMART_GUARDED_BY(mu_) = 0;
+    std::unordered_map<std::string, Ewma> shapeMs_ SMART_GUARDED_BY(mu_);
 };
 
 } // namespace smart::serve

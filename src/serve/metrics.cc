@@ -148,21 +148,21 @@ ServiceMetrics::ServiceMetrics()
 void
 ServiceMetrics::recordSubmitted()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++submitted_;
 }
 
 void
 ServiceMetrics::recordAdmitted()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++admitted_;
 }
 
 void
 ServiceMetrics::rollbackAdmittedToRejected()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     --admitted_;
     ++rejected_;
 }
@@ -170,7 +170,7 @@ ServiceMetrics::rollbackAdmittedToRejected()
 void
 ServiceMetrics::rollbackAdmittedToHopeless()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     --admitted_;
     ++rejected_;
     ++rejectedHopeless_;
@@ -179,7 +179,7 @@ ServiceMetrics::rollbackAdmittedToHopeless()
 void
 ServiceMetrics::recordRejectedHopeless()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++rejected_;
     ++rejectedHopeless_;
 }
@@ -187,21 +187,21 @@ ServiceMetrics::recordRejectedHopeless()
 void
 ServiceMetrics::recordShed()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++shed_;
 }
 
 void
 ServiceMetrics::recordExpired()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++expired_;
 }
 
 void
 ServiceMetrics::recordFailed()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++failed_;
 }
 
@@ -210,7 +210,7 @@ ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
                                 bool coalesced, bool degraded,
                                 const std::string &tag)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++completed_;
     if (degraded)
         ++servedDegraded_;
@@ -239,7 +239,7 @@ ServiceMetrics::recordCompleted(double totalMs, bool cacheHit,
 void
 ServiceMetrics::recordWave(std::size_t uniqueItems)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++waves_;
     waveItems_ += uniqueItems;
 }
@@ -248,7 +248,7 @@ MetricsSnapshot
 ServiceMetrics::snapshot(std::size_t queueDepth,
                          std::size_t queueHighWater) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     MetricsSnapshot s;
     s.submitted = submitted_;
     s.admitted = admitted_;

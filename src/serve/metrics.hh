@@ -14,12 +14,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/threadsafety.hh"
 
 namespace smart::serve
 {
@@ -257,26 +257,30 @@ class ServiceMetrics
         std::uint64_t degraded = 0;
     };
 
-    mutable std::mutex mu_;
-    Histogram latency_; //!< Milliseconds, 1 us .. ~3 h buckets.
-    Histogram degradedLatency_; //!< Completions served degraded.
-    Histogram optimalLatency_;  //!< Everything else.
-    std::map<std::string, TenantLatency> tenantLatency_;
-    std::uint64_t submitted_ = 0;
-    std::uint64_t admitted_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t rejectedHopeless_ = 0;
-    std::uint64_t shed_ = 0;
-    std::uint64_t expired_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t servedDegraded_ = 0;
-    std::uint64_t failed_ = 0;
-    std::uint64_t cacheHits_ = 0;
-    std::uint64_t cacheMisses_ = 0;
-    std::uint64_t coalesced_ = 0;
-    std::uint64_t waves_ = 0;
-    std::uint64_t waveItems_ = 0;
-    std::chrono::steady_clock::time_point start_;
+    mutable Mutex mu_;
+    /** Milliseconds, 1 us .. ~3 h buckets. */
+    Histogram latency_ SMART_GUARDED_BY(mu_);
+    /** Completions served degraded. */
+    Histogram degradedLatency_ SMART_GUARDED_BY(mu_);
+    /** Everything else. */
+    Histogram optimalLatency_ SMART_GUARDED_BY(mu_);
+    std::map<std::string, TenantLatency>
+        tenantLatency_ SMART_GUARDED_BY(mu_);
+    std::uint64_t submitted_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t admitted_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t rejected_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t rejectedHopeless_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t shed_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t expired_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t servedDegraded_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t failed_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t cacheHits_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t cacheMisses_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t coalesced_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t waves_ SMART_GUARDED_BY(mu_) = 0;
+    std::uint64_t waveItems_ SMART_GUARDED_BY(mu_) = 0;
+    std::chrono::steady_clock::time_point start_; //!< Immutable.
 };
 
 } // namespace smart::serve

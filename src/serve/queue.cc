@@ -97,23 +97,30 @@ RequestQueue::shedVictimFor(const Pending &newcomer) const
     return q_.size();
 }
 
+bool
+RequestQueue::admittable(const Pending &p) const
+{
+    if (closed_)
+        return true; // wake so the push can report RejectedClosed
+    if (q_.size() >= cfg_.maxDepth)
+        return false;
+    return cfg_.maxPerTenant == 0 ||
+           queuedFor(p.req.tag) < cfg_.maxPerTenant;
+}
+
 RequestQueue::PushResult
 RequestQueue::push(Pending &&p, const DoomedAfterWait &doomedAfterWait)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     const bool quota = cfg_.maxPerTenant > 0;
     bool waited = false;
     if (cfg_.policy == AdmissionPolicy::Block) {
-        spaceCv_.wait(lock, [&]() {
-            const bool ready =
-                closed_ ||
-                (q_.size() < cfg_.maxDepth &&
-                 (!quota ||
-                  queuedFor(p.req.tag) < cfg_.maxPerTenant));
-            if (!ready)
-                waited = true;
-            return ready;
-        });
+        // Spelled as an explicit loop (not a CV predicate lambda) so
+        // the thread-safety analysis sees admittable() run under mu_.
+        while (!admittable(p)) {
+            waited = true;
+            lock.wait(spaceCv_);
+        }
     }
     if (closed_)
         return {Admission::RejectedClosed, std::nullopt};
@@ -159,9 +166,10 @@ RequestQueue::popWave(std::size_t maxWave, std::chrono::milliseconds linger)
 {
     smart_assert(maxWave > 0, "wave size must be positive");
     Wave wave;
-    std::unique_lock<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     while (true) {
-        workCv_.wait(lock, [&]() { return closed_ || !q_.empty(); });
+        while (!closed_ && q_.empty())
+            lock.wait(workCv_);
         if (q_.empty())
             return wave; // closed and drained
 
@@ -178,7 +186,7 @@ RequestQueue::popWave(std::size_t maxWave, std::chrono::milliseconds linger)
                 auto until = lingerEnd;
                 if (!deadlines_.empty())
                     until = std::min(until, *deadlines_.begin());
-                if (workCv_.wait_until(lock, until) ==
+                if (lock.waitUntil(workCv_, until) ==
                     std::cv_status::timeout)
                     break; // linger over, or a deadline just passed
             }
@@ -240,7 +248,7 @@ void
 RequestQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         closed_ = true;
     }
     workCv_.notify_all();
@@ -250,28 +258,28 @@ RequestQueue::close()
 bool
 RequestQueue::closed() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return closed_;
 }
 
 std::size_t
 RequestQueue::depth() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return q_.size();
 }
 
 std::size_t
 RequestQueue::highWater() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return highWater_;
 }
 
 std::size_t
 RequestQueue::tenantDepth(const std::string &tag) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return queuedFor(tag);
 }
 

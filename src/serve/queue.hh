@@ -24,7 +24,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -32,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/threadsafety.hh"
 #include "serve/request.hh"
 
 namespace smart::serve
@@ -206,25 +206,29 @@ class RequestQueue
     std::size_t tenantDepth(const std::string &tag) const;
 
   private:
-    /** Insert preserving (priority desc, seq asc) order. mu_ held. */
-    void insertSorted(Pending &&p);
-    /** Queued-entry count for @p tag. mu_ held. */
-    std::size_t queuedFor(const std::string &tag) const;
-    /** Register @p p's tenant count and deadline. mu_ held. */
-    void track(const Pending &p);
-    /** Undo track() as @p p leaves the queue. mu_ held. */
-    void untrack(const Pending &p);
+    /** Insert preserving (priority desc, seq asc) order. */
+    void insertSorted(Pending &&p) SMART_REQUIRES(mu_);
+    /** Queued-entry count for @p tag. */
+    std::size_t queuedFor(const std::string &tag) const
+        SMART_REQUIRES(mu_);
+    /** Register @p p's tenant count and deadline. */
+    void track(const Pending &p) SMART_REQUIRES(mu_);
+    /** Undo track() as @p p leaves the queue. */
+    void untrack(const Pending &p) SMART_REQUIRES(mu_);
     /**
      * Index of the entry a full-queue Shed push should evict for
      * @p newcomer: among the lowest-priority entries, the most-queued
      * tenant's newest. Returns q_.size() when no entry is sheddable
      * (the newcomer neither outranks the victim's priority nor comes
-     * from a strictly lighter tenant). mu_ held.
+     * from a strictly lighter tenant).
      */
-    std::size_t shedVictimFor(const Pending &newcomer) const;
+    std::size_t shedVictimFor(const Pending &newcomer) const
+        SMART_REQUIRES(mu_);
+    /** Block-policy admission predicate for @p p (space + quota). */
+    bool admittable(const Pending &p) const SMART_REQUIRES(mu_);
 
     QueueConfig cfg_;
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     std::condition_variable workCv_;  //!< Signaled on push/close.
     /**
      * Signaled on pop/close. Wake contract for Block-policy pushers
@@ -238,18 +242,20 @@ class RequestQueue
      * queue-wide. Proven by the BlockedOnTenantQuota* regressions.
      */
     std::condition_variable spaceCv_;
-    std::vector<Pending> q_;
+    std::vector<Pending> q_ SMART_GUARDED_BY(mu_);
     /** Queued entries per tenant tag (erased at zero). */
-    std::unordered_map<std::string, std::size_t> tenants_;
+    std::unordered_map<std::string, std::size_t>
+        tenants_ SMART_GUARDED_BY(mu_);
     /**
      * Finite deadlines of queued entries, ordered. Lets popWave skip
      * the O(depth) expiry scan entirely unless the earliest pending
      * deadline has actually passed, and gives the linger wait its
      * wake-up time.
      */
-    std::multiset<std::chrono::steady_clock::time_point> deadlines_;
-    std::size_t highWater_ = 0;
-    bool closed_ = false;
+    std::multiset<std::chrono::steady_clock::time_point>
+        deadlines_ SMART_GUARDED_BY(mu_);
+    std::size_t highWater_ SMART_GUARDED_BY(mu_) = 0;
+    bool closed_ SMART_GUARDED_BY(mu_) = false;
 };
 
 } // namespace smart::serve

@@ -130,8 +130,11 @@ EvalService::close()
 void
 EvalService::drain()
 {
-    std::unique_lock<std::mutex> lock(drainMu_);
-    drainCv_.wait(lock, [&]() { return unresolved_ == 0; });
+    LockGuard lock(drainMu_);
+    // Explicit loop (not a CV predicate lambda) so the analysis sees
+    // unresolved_ read under drainMu_.
+    while (unresolved_ != 0)
+        lock.wait(drainCv_);
 }
 
 MetricsSnapshot
@@ -146,6 +149,8 @@ EvalService::metrics() const
     for (const auto &[tag, ts] : cs.tags)
         s.tenantCache.push_back(
             {tag, ts.entries, ts.bytes, ts.evictions});
+    // memory_order: relaxed — monitoring reads of independent counters;
+    // a snapshot is a statistical view, not a synchronization point.
     s.waveLimit = waveLimit_.load(std::memory_order_relaxed);
     s.sloP95Ms = cfg_.sloP95Ms;
     s.sloWindows = sloWindows_.load(std::memory_order_relaxed);
@@ -158,7 +163,7 @@ EvalService::metrics() const
     // the histogram cap still gets a row — violations must never be
     // silently invisible.
     {
-        std::lock_guard<std::mutex> lock(sloMu_);
+        LockGuard lock(sloMu_);
         for (auto &t : s.tenantSlo) {
             t.sloP95Ms = sloFor(t.tag).p95Ms;
             auto it = tenantViolatedWindows_.find(t.tag);
@@ -441,6 +446,9 @@ EvalService::submit(EvalRequest req)
         // Probe admission (see kHopelessProbeInterval): the streak
         // only advances — and a probe only fires — when the queue is
         // idle, so burst rejections under load stay rejections.
+        // memory_order: relaxed — the streak is an advisory heuristic
+        // counter; a racy read admits (or skips) one probe early, which
+        // the self-healing design tolerates by construction.
         const bool probe =
             depthNow == 0 &&
             hopelessStreak_.fetch_add(1, std::memory_order_relaxed) +
@@ -464,6 +472,8 @@ EvalService::submit(EvalRequest req)
                       std::chrono::duration<double, std::milli>(
                           req.deadlineMs))
             : Clock::time_point::max();
+    // memory_order: relaxed — seq_ only needs uniqueness/monotonicity
+    // of the returned values, not ordering of surrounding memory.
     p.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     p.degrade = degrade;
     p.traceId = traceId;
@@ -479,7 +489,7 @@ EvalService::submit(EvalRequest req)
     // shows completed > admitted. Both are rolled back on rejection.
     metrics_.recordAdmitted();
     {
-        std::lock_guard<std::mutex> lock(drainMu_);
+        LockGuard lock(drainMu_);
         ++unresolved_;
     }
     // Under Block, the hopeless verdict above was judged against the
@@ -598,7 +608,7 @@ EvalService::resolve(Pending &&p, EvalResponse &&r)
         metrics_.recordCompleted(r.totalMs, r.cacheHit, r.coalesced,
                                  r.degraded, r.tag);
         if (sloActive_) {
-            std::lock_guard<std::mutex> lock(sloMu_);
+            LockGuard lock(sloMu_);
             sloLatencies_.emplace_back(r.tag, r.totalMs);
         }
         break;
@@ -617,7 +627,7 @@ void
 EvalService::releaseDrainSlot()
 {
     {
-        std::lock_guard<std::mutex> lock(drainMu_);
+        LockGuard lock(drainMu_);
         --unresolved_;
     }
     drainCv_.notify_all();
@@ -660,6 +670,8 @@ EvalService::effectiveLinger() const
     // 1 ms so a short configured linger degrades to minimal
     // coalescing rather than none (integer division would otherwise
     // zero it on the first halving).
+    // memory_order: relaxed — the cap is an independent tuning knob; a
+    // stale read just sizes one linger from the previous window.
     const auto cap = waveLimit_.load(std::memory_order_relaxed);
     return std::chrono::milliseconds(
         std::max<long long>(1, static_cast<long long>(cfg_.linger.count()) *
@@ -692,7 +704,7 @@ EvalService::adaptWaveLimit()
         return;
     std::vector<std::pair<std::string, double>> window;
     {
-        std::lock_guard<std::mutex> lock(sloMu_);
+        LockGuard lock(sloMu_);
         if (sloLatencies_.size() < cfg_.sloWindow)
             return;
         window.swap(sloLatencies_);
@@ -759,6 +771,9 @@ EvalService::adaptWaveLimit()
     if (!judged)
         return; // a window of opted-out tenants decides nothing
 
+    // memory_order: relaxed — window/violation counters and the wave
+    // cap are independent statistics; only the dispatcher writes the
+    // cap, so the load-modify-store below has no concurrent writer.
     sloWindows_.fetch_add(1, std::memory_order_relaxed);
     std::size_t cap = waveLimit_.load(std::memory_order_relaxed);
     if (violated) {
@@ -770,7 +785,7 @@ EvalService::adaptWaveLimit()
             // map is bounded; past the cap, violations still count in
             // the global sloViolatedWindows_ above.
             constexpr std::size_t kMaxViolatedTagRows = 256;
-            std::lock_guard<std::mutex> lock(sloMu_);
+            LockGuard lock(sloMu_);
             for (const auto &tag : violatedTags)
                 if (tenantViolatedWindows_.count(tag) > 0 ||
                     tenantViolatedWindows_.size() < kMaxViolatedTagRows)
@@ -782,6 +797,8 @@ EvalService::adaptWaveLimit()
         // additively back toward maxWave for better coalescing.
         cap = std::min(cfg_.maxWave, cap + 1);
     }
+    // memory_order: relaxed — readers (dispatcher, snapshots, linger
+    // scaling) tolerate a stale cap for one wave by design.
     waveLimit_.store(cap, std::memory_order_relaxed);
 }
 
@@ -789,6 +806,8 @@ void
 EvalService::dispatcherLoop()
 {
     while (true) {
+        // memory_order: relaxed — the adaptive cap is written by this
+        // same thread (adaptWaveLimit); no cross-thread ordering needed.
         auto wave =
             queue_.popWave(waveLimit_.load(std::memory_order_relaxed),
                            effectiveLinger());

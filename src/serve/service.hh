@@ -53,6 +53,7 @@
 #include "accel/batch.hh"
 #include "common/diskcache.hh"
 #include "common/parallel.hh"
+#include "common/threadsafety.hh"
 #include "serve/estimator.hh"
 #include "serve/metrics.hh"
 #include "serve/queue.hh"
@@ -317,6 +318,8 @@ class EvalService
     /** Current adaptive wave cap (== maxWave when no SLO is set). */
     std::size_t waveLimit() const
     {
+        // memory_order: relaxed — monitoring read of an independent
+        // counter; no other memory is published through it.
         return waveLimit_.load(std::memory_order_relaxed);
     }
 
@@ -420,9 +423,10 @@ class EvalService
     CostEstimator estimator_;
     ServiceMetrics metrics_;
 
-    std::mutex drainMu_;
+    Mutex drainMu_;
     std::condition_variable drainCv_;
-    std::uint64_t unresolved_ = 0; //!< Admitted, future not yet set.
+    /** Admitted, future not yet set. */
+    std::uint64_t unresolved_ SMART_GUARDED_BY(drainMu_) = 0;
     std::atomic<std::uint64_t> seq_{0};
 
     std::atomic<std::size_t> waveLimit_;
@@ -430,11 +434,13 @@ class EvalService
     std::atomic<std::uint32_t> hopelessStreak_{0};
     /** Any p95 SLO configured (global or per-tenant)? Set once. */
     bool sloActive_ = false;
-    mutable std::mutex sloMu_; //!< Guards the window + tenant rows.
+    mutable Mutex sloMu_; //!< Guards the window + tenant rows.
     /** Current adaptation window: (tenant tag, end-to-end ms). */
-    std::vector<std::pair<std::string, double>> sloLatencies_;
-    /** Windows in which each tenant violated its own SLO. sloMu_. */
-    std::map<std::string, std::uint64_t> tenantViolatedWindows_;
+    std::vector<std::pair<std::string, double>>
+        sloLatencies_ SMART_GUARDED_BY(sloMu_);
+    /** Windows in which each tenant violated its own SLO. */
+    std::map<std::string, std::uint64_t>
+        tenantViolatedWindows_ SMART_GUARDED_BY(sloMu_);
     std::atomic<std::uint64_t> sloWindows_{0};
     std::atomic<std::uint64_t> sloViolatedWindows_{0};
 

@@ -1,0 +1,35 @@
+// Lint self-test fixture: exercises every compliant form — deleted
+// functions, suppressions, rationale comments, tsa justifications,
+// and rule-triggering tokens inside comments/strings (which the lint
+// must ignore: new, delete, std::endl, std::mutex, memory_order_relaxed).
+// Must lint clean. Never built.
+
+#include <atomic>
+
+struct NoCopy
+{
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) = delete;
+};
+
+void
+good()
+{
+    // lint-allow(naked-new): fixture for the suppression syntax — the
+    // reason prose is mandatory.
+    int *p = new int(3);
+    // lint-allow(naked-delete): matching free for the fixture above.
+    delete p;
+
+    const char *s = "std::endl and new and delete and std::mutex";
+    (void)s;
+
+    std::atomic<int> x{0};
+    // memory_order: relaxed — fixture counter, no ordering required.
+    (void)x.load(std::memory_order_relaxed);
+
+    (void)x.load(); // seq_cst default needs no rationale
+}
+
+// tsa: fixture for the justified-escape form.
+void justified() SMART_NO_THREAD_SAFETY_ANALYSIS;

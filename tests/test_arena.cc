@@ -32,6 +32,13 @@ std::atomic<std::size_t> g_allocs{0};
 std::atomic<bool> g_counting{false};
 } // namespace
 
+// GCC pairs these replaced operators against the default allocator and
+// flags the free() as mismatched; with new() above also malloc-backed,
+// the pairing is exactly right.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void *
 operator new(std::size_t n)
 {

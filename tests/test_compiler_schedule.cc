@@ -53,8 +53,9 @@ TEST(Greedy, PsumsNeverInDram)
     SchedParams p = smartParams();
     Schedule s = scheduleGreedy(dag, p);
     for (std::size_t i = 0; i < dag.objects.size(); ++i) {
-        if (dag.objects[i].cls == ObjClass::Psum)
+        if (dag.objects[i].cls == ObjClass::Psum) {
             EXPECT_NE(s.decisions[i].placement, Placement::Dram);
+        }
     }
 }
 

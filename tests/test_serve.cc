@@ -582,8 +582,9 @@ TEST(EvalService, RepeatedSweepServedFromCache)
             // Later passes must be pure hits: pass 0 resolved every
             // future, so every key is cached (hits or coalesced
             // within-wave shares notwithstanding).
-            if (pass > 0)
+            if (pass > 0) {
                 EXPECT_TRUE(resp.cacheHit);
+            }
             (pass == 0 ? first : third).push_back(std::move(resp));
         }
     }

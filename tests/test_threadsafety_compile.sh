@@ -1,0 +1,94 @@
+#!/bin/sh
+# Negative-compile test for the thread-safety annotations: an unguarded
+# access to a SMART_GUARDED_BY field must FAIL to compile under clang
+# -Werror=thread-safety, and the guarded twin must succeed (positive
+# control, proving the failure comes from the annotation and not from
+# a broken compile line). Skips (exit 77) when no clang is available —
+# the clang CI leg is where this always runs.
+
+set -eu
+
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+src="$here/../src"
+
+CXX=${SMART_CLANGXX:-clang++}
+if ! command -v "$CXX" >/dev/null 2>&1; then
+    echo "SKIP: no clang++ in PATH (set SMART_CLANGXX to override)"
+    exit 77
+fi
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+    echo "SKIP: $CXX is not clang (thread-safety analysis needs clang)"
+    exit 77
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+flags="-std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety -I$src"
+
+# Positive control: guarded access compiles clean.
+cat > "$tmp/guarded.cc" <<'EOF'
+#include "common/threadsafety.hh"
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        smart::LockGuard lock(mu_);
+        ++value_;
+    }
+
+  private:
+    smart::Mutex mu_;
+    int value_ SMART_GUARDED_BY(mu_) = 0;
+};
+
+int main()
+{
+    Counter c;
+    c.bump();
+    return 0;
+}
+EOF
+if ! "$CXX" $flags "$tmp/guarded.cc"; then
+    echo "FAIL: guarded access did not compile (broken control)"
+    exit 1
+fi
+
+# The negative: same class, lock not taken. Must be rejected.
+cat > "$tmp/unguarded.cc" <<'EOF'
+#include "common/threadsafety.hh"
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        ++value_; // no lock: -Wthread-safety must reject this
+    }
+
+  private:
+    smart::Mutex mu_;
+    int value_ SMART_GUARDED_BY(mu_) = 0;
+};
+
+int main()
+{
+    Counter c;
+    c.bump();
+    return 0;
+}
+EOF
+if "$CXX" $flags "$tmp/unguarded.cc" 2> "$tmp/err.txt"; then
+    echo "FAIL: unguarded access to a GUARDED_BY field compiled"
+    exit 1
+fi
+if ! grep -q "thread-safety" "$tmp/err.txt"; then
+    echo "FAIL: compile failed, but not with a thread-safety diagnostic:"
+    cat "$tmp/err.txt"
+    exit 1
+fi
+
+echo "PASS: -Wthread-safety rejects unguarded access, accepts guarded"
+exit 0
