@@ -25,16 +25,16 @@ main()
             // Un-pipelined: the tree must settle end to end per access,
             // approximated by a 1 GHz target (no repeater insertion
             // pressure) and a cycle equal to the full read latency.
-            cfg.targetFreqGhz = pipelined ? 9.6 : 1.0;
+            cfg.targetFreqGhz = Gigahertz{pipelined ? 9.6 : 1.0};
             CmosSfqArrayModel arr(cfg);
             const double freq =
-                pipelined ? arr.pipelineFreqGhz()
-                          : 1.0 / (arr.readLatencyNs());
+                pipelined ? arr.pipelineFreqGhz().value()
+                          : 1.0 / arr.readLatencyNs().value();
             t.row()
                 .cell(std::to_string(mb) + " MB")
                 .cell(pipelined ? "pipelined" : "flat")
                 .num(freq, 2)
-                .num(arr.readLatencyNs(), 3)
+                .num(arr.readLatencyNs().value(), 3)
                 .num(units::wToMw(arr.leakageW()), 1)
                 .num(units::jToPj(arr.readEnergyJ()), 1);
         }

@@ -20,8 +20,8 @@ main()
     setInformEnabled(false);
 
     SchedParams params;
-    params.shiftCapacityBytes = 32 * 1024;
-    params.randomCapacityBytes = 28ull * 1024 * 1024;
+    params.shiftCapacityBytes = ByteCount{32 * 1024};
+    params.randomCapacityBytes = ByteCount{28ull * 1024 * 1024};
     params.prefetchIterations = 3;
 
     Table t({"model", "layers", "ILP wins", "ties", "greedy wins",

@@ -22,12 +22,12 @@ main()
                        200.0}) {
         t.row()
             .num(len, 0)
-            .num(ptl.delayPs(len), 3)
-            .num(JtlModel::delayPs(len), 2)
-            .num(CmosWireModel::delayPs(len), 1)
-            .sci(ptl.energyPerPulseJ(len), 2)
-            .sci(JtlModel::energyPerPulseJ(len), 2)
-            .sci(CmosWireModel::energyPerBitJ(len), 2);
+            .num(ptl.delayPs(len).value(), 3)
+            .num(JtlModel::delayPs(len).value(), 2)
+            .num(CmosWireModel::delayPs(len).value(), 1)
+            .sci(ptl.energyPerPulseJ(len).value(), 2)
+            .sci(JtlModel::energyPerPulseJ(len).value(), 2)
+            .sci(CmosWireModel::energyPerBitJ(len).value(), 2);
     }
 
     printBanner(std::cout,

@@ -57,14 +57,14 @@ main()
         rc.banks = 64;
         cryo::RandomArrayModel arr(rc);
         const auto &b = arr.area();
-        const double tot = b.totalUm2();
+        const double tot = b.totalUm2().value();
         a.row()
             .cell(cryo::techParams(m).name)
-            .num(100 * b.cellsUm2 / tot, 1)
-            .num(100 * b.sfqDecoderUm2 / tot, 1)
-            .num(100 * b.cmosPeriphUm2 / tot, 1)
-            .num(100 * b.htreeUm2 / tot, 1)
-            .num(100 * b.otherUm2 / tot, 1)
+            .num(100 * b.cellsUm2.value() / tot, 1)
+            .num(100 * b.sfqDecoderUm2.value() / tot, 1)
+            .num(100 * b.cmosPeriphUm2.value() / tot, 1)
+            .num(100 * b.htreeUm2.value() / tot, 1)
+            .num(100 * b.otherUm2.value() / tot, 1)
             .num(units::um2ToMm2(tot), 2);
     }
     printBanner(std::cout, "Fig. 5(c): SPM area breakdown (12 MB)");

@@ -21,28 +21,32 @@ main()
     cfg.banks = 256;
     RandomArrayModel arr(cfg);
 
-    const double lat_total = arr.readLatencyNs();
-    const double e_total = arr.htreeEnergyJ() + arr.subbankEnergyJ();
+    const double lat_total = arr.readLatencyNs().value();
+    const double e_total =
+        (arr.htreeEnergyJ() + arr.subbankEnergyJ()).value();
 
     Table t({"component", "latency (ns)", "latency %", "energy (pJ)",
              "energy %"});
     t.row()
         .cell("CMOS H-tree")
-        .num(arr.htreeLatencyNs(), 3)
-        .num(100 * arr.htreeLatencyNs() / lat_total, 1)
+        .num(arr.htreeLatencyNs().value(), 3)
+        .num(100 * arr.htreeLatencyNs().value() / lat_total, 1)
         .num(units::jToPj(arr.htreeEnergyJ()), 1)
-        .num(100 * arr.htreeEnergyJ() / e_total, 1);
+        .num(100 * arr.htreeEnergyJ().value() / e_total, 1);
     t.row()
         .cell("sub-bank (dec+WL+BL+SA)")
-        .num(arr.subbankLatencyNs(), 3)
-        .num(100 * arr.subbankLatencyNs() / lat_total, 1)
+        .num(arr.subbankLatencyNs().value(), 3)
+        .num(100 * arr.subbankLatencyNs().value() / lat_total, 1)
         .num(units::jToPj(arr.subbankEnergyJ()), 1)
-        .num(100 * arr.subbankEnergyJ() / e_total, 1);
+        .num(100 * arr.subbankEnergyJ().value() / e_total, 1);
     t.row()
         .cell("SFQ decoder + conversion")
-        .num(arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs(), 3)
+        .num((arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs())
+                 .value(),
+             3)
         .num(100 *
-                 (arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs()) /
+                 (arr.sfqDecoderLatencyNs() + arr.conversionLatencyNs())
+                     .value() /
                  lat_total,
              1)
         .cell("-")

@@ -40,7 +40,7 @@ main()
         cfg.nodeNm = 180.0;
         cfg.temperatureK = 4.0;
         SubbankModel sub(cfg);
-        const double lat = sub.readLatencyNs();
+        const double lat = sub.readLatencyNs().value();
         const double e = units::jToPj(sub.energyPerAccessJ());
         t.row()
             .cell(p.name)

@@ -33,17 +33,20 @@ main()
         // window), through driver -> PTL -> splitter unit -> PTL ->
         // receiver.
         const double t0 =
-            driverParams().latencyPs + receiverParams().latencyPs;
-        const double model_f = ptl.maxOperatingFreqGhz(len_um);
+            (driverParams().latencyPs + receiverParams().latencyPs)
+                .value();
+        const double model_f = ptl.maxOperatingFreqGhz(len_um).value();
         const double window_ps =
-            2.0 * ptl.delayPs(len_um) + t0 + SplitterUnit::latencyPs();
-        const double static_w =
+            2.0 * ptl.delayPs(len_um).value() + t0 +
+            SplitterUnit::latencyPs().value();
+        const Watts static_w =
             driverParams().leakageW + SplitterUnit::leakageW();
         const double model_e =
             (driverParams().energyPerOpJ() +
              SplitterUnit::energyPerPulseJ() +
              2 * receiverParams().energyPerOpJ() +
-             static_w * units::psToS(window_ps)) /
+             static_w * units::psToS(Picoseconds{window_ps}))
+                .value() /
             units::jPerAj;
 
         // Pulse-level simulation of the same fixture.
@@ -56,9 +59,9 @@ main()
         // T' the simulated one-hop PTL time (includes dispersion and
         // fabrication spread).
         const double sim_ptl =
-            (arrival - t0 - SplitterUnit::latencyPs()) / 2.0;
+            (arrival - t0 - SplitterUnit::latencyPs().value()) / 2.0;
         const double sim_f = 0.9 * 1e3 / (2.0 * sim_ptl + t0);
-        const double sim_e = res.totalEnergyJ() / units::jPerAj;
+        const double sim_e = res.totalEnergyJ().value() / units::jPerAj;
 
         t.row()
             .num(len_mm, 2)

@@ -26,9 +26,9 @@ main()
              "area (mm^2)"});
     for (const auto &p : points) {
         auto r = t.row();
-        r.num(p.targetFreqGhz, 1).cell(p.feasible ? "yes" : "no");
+        r.num(p.targetFreqGhz.value(), 1).cell(p.feasible ? "yes" : "no");
         if (p.feasible) {
-            r.num(p.achievedFreqGhz, 2)
+            r.num(p.achievedFreqGhz.value(), 2)
                 .integer(p.matsPerSubbank)
                 .integer(p.repeaters)
                 .num(p.leakageMw, 3)

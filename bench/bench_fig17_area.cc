@@ -38,7 +38,7 @@ main()
         ShiftArrayConfig c;
         c.capacityBytes = cap;
         c.banks = banks;
-        npu_shift += ShiftArray(c).areaUm2();
+        npu_shift += ShiftArray(c).areaUm2().value();
     }
     const double npu_total = npu_shift + matrixAreaUm2();
 
@@ -46,12 +46,12 @@ main()
     ShiftArrayConfig sc;
     sc.capacityBytes = 32 * units::kib;
     sc.banks = 256;
-    const double smart_shift = 3.0 * ShiftArray(sc).areaUm2();
+    const double smart_shift = 3.0 * ShiftArray(sc).areaUm2().value();
     CmosSfqArrayConfig rc;
     CmosSfqArrayModel arr(rc);
     const auto &a = arr.area();
-    const double smart_total = smart_shift + a.totalUm2() +
-                               matrixAreaUm2();
+    const double smart_total =
+        smart_shift + a.totalUm2().value() + matrixAreaUm2();
 
     Table t({"component", "SuperNPU (mm^2)", "SMART (mm^2)"});
     t.row()

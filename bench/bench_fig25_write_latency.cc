@@ -19,7 +19,7 @@ main()
     for (double ns : {0.11, 2.0, 3.0}) {
         auto [s, b] = smartSensitivity([&](accel::AcceleratorConfig &c) {
             if (ns > 0.2)
-                c.randomWriteLatencyNsOverride = ns;
+                c.randomWriteLatencyNsOverride = Nanoseconds{ns};
         });
         t.row().cell(formatNum(ns, 2) + " ns").num(s, 2).num(b, 2);
     }

@@ -26,21 +26,21 @@ main()
 
     row("Read Latency (ns)", [](const TechParams &p) {
         return p.tech == MemTech::JcsSram ? std::string("2~4")
-                                          : formatNum(p.readLatencyNs, 2);
+                                          : formatNum(p.readLatencyNs.value(), 2);
     });
     row("Write Latency (ns)", [](const TechParams &p) {
         return p.tech == MemTech::JcsSram
                    ? std::string("2~4")
-                   : formatNum(p.writeLatencyNs, 2);
+                   : formatNum(p.writeLatencyNs.value(), 2);
     });
     row("Cell Size (F^2)", [](const TechParams &p) {
         return formatNum(p.cellSizeF2, 0);
     });
     row("Read Energy (J)", [](const TechParams &p) {
-        return formatSci(p.readEnergyJ, 1);
+        return formatSci(p.readEnergyJ.value(), 1);
     });
     row("Write Energy (J)", [](const TechParams &p) {
-        return formatSci(p.writeEnergyJ, 1);
+        return formatSci(p.writeEnergyJ.value(), 1);
     });
     row("Leakage", [](const TechParams &p) {
         return leakageClassName(p.leakage);

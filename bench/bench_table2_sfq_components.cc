@@ -22,9 +22,9 @@ main()
           &ntronParams()}) {
         t.row()
             .cell(p->name)
-            .num(p->latencyPs, 2)
-            .num(p->leakageW / units::wPerUw, 3)
-            .num(p->dynamicW / units::wPerNw, 3)
+            .num(p->latencyPs.value(), 2)
+            .num(p->leakageW.value() / units::wPerUw, 3)
+            .num(p->dynamicW.value() / units::wPerNw, 3)
             .integer(p->jjCount);
     }
 
@@ -36,14 +36,14 @@ main()
              "Energy/pulse (aJ)"});
     u.row()
         .cell("splitter unit")
-        .num(SplitterUnit::latencyPs(), 2)
-        .num(SplitterUnit::leakageW() / units::wPerUw, 3)
-        .num(SplitterUnit::energyPerPulseJ() / units::jPerAj, 2);
+        .num(SplitterUnit::latencyPs().value(), 2)
+        .num(SplitterUnit::leakageW().value() / units::wPerUw, 3)
+        .num(SplitterUnit::energyPerPulseJ().value() / units::jPerAj, 2);
     u.row()
         .cell("repeater")
-        .num(Repeater::latencyPs(), 2)
-        .num(Repeater::leakageW() / units::wPerUw, 3)
-        .num(Repeater::energyPerPulseJ() / units::jPerAj, 2);
+        .num(Repeater::latencyPs().value(), 2)
+        .num(Repeater::leakageW().value() / units::wPerUw, 3)
+        .num(Repeater::energyPerPulseJ().value() / units::jPerAj, 2);
     u.print(std::cout);
     return 0;
 }

@@ -25,7 +25,7 @@ main()
         };
         t.row()
             .cell(c.name)
-            .num(c.clockGhz, 1)
+            .num(c.clockGhz.value(), 1)
             .num(c.peakTmacs(), 0)
             .cell(std::to_string(c.pe.rows) + "x" +
                   std::to_string(c.pe.cols))

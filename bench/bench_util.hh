@@ -134,7 +134,7 @@ runModel(const accel::AcceleratorConfig &cfg, const std::string &model,
     RunPoint p;
     p.throughputTmacs = r.throughputTmacs();
     p.utilization = r.utilization(cfg);
-    p.energyPerImageJ = e.totalJ(cfg.coolingFactor) / batch;
+    p.energyPerImageJ = e.totalJ(cfg.coolingFactor).value() / batch;
     p.breakdown = e;
     p.seconds = r.seconds;
     return p;
@@ -197,7 +197,8 @@ toRunPoint(const accel::BatchItem &item,
     RunPoint p;
     p.throughputTmacs = r.throughputTmacs();
     p.utilization = r.utilization(item.cfg);
-    p.energyPerImageJ = e.totalJ(item.cfg.coolingFactor) / item.batch;
+    p.energyPerImageJ =
+        e.totalJ(item.cfg.coolingFactor).value() / item.batch;
     p.breakdown = e;
     p.seconds = r.seconds;
     return p;
@@ -274,10 +275,10 @@ printEnergyFigure(const std::string &title, bool batch_mode)
             cols[i].push_back(norm);
             row.sci(norm, 2);
         }
-        const double phys = smart_p.breakdown.physicalJ();
-        row.num(100.0 * smart_p.breakdown.matrixJ / phys, 0);
-        row.num(100.0 * smart_p.breakdown.spmDynamicJ / phys, 0);
-        row.num(100.0 * smart_p.breakdown.spmStaticJ / phys, 0);
+        const double phys = smart_p.breakdown.physicalJ().value();
+        row.num(100.0 * smart_p.breakdown.matrixJ.value() / phys, 0);
+        row.num(100.0 * smart_p.breakdown.spmDynamicJ.value() / phys, 0);
+        row.num(100.0 * smart_p.breakdown.spmStaticJ.value() / phys, 0);
     }
     auto g = t.row();
     g.cell("gmean");

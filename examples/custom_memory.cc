@@ -46,7 +46,7 @@ main()
     };
     for (const auto &c : candidates) {
         accel::AcceleratorConfig cfg = accel::makeSmart();
-        cfg.randomWriteLatencyNsOverride = c.writeNs;
+        cfg.randomWriteLatencyNsOverride = Nanoseconds{c.writeNs};
         const double thr =
             accel::runInference(cfg, model, 1).throughputTmacs();
         t.row()
@@ -66,9 +66,9 @@ main()
     rc.capacityBytes = 4 * units::mib;
     cryo::RandomArrayModel arr(rc);
     std::cout << "\nstandalone 4 MB VTM array: read "
-              << formatNum(arr.readLatencyNs(), 2) << " ns, area "
+              << formatNum(arr.readLatencyNs().value(), 2) << " ns, area "
               << formatNum(units::um2ToMm2(arr.area().totalUm2()), 2)
               << " mm^2, leakage "
-              << formatSci(arr.leakageW(), 2) << " W\n";
+              << formatSci(arr.leakageW().value(), 2) << " W\n";
     return 0;
 }

@@ -54,7 +54,7 @@ main()
                 .num(area_mm2, 1)
                 .cell(fits ? "yes" : "no")
                 .num(thr, 1)
-                .num(e.totalJ(cfg.coolingFactor) / 20 * 1e6, 2);
+                .num(e.totalJ(cfg.coolingFactor).value() / 20 * 1e6, 2);
             if (fits && thr > best_thr) {
                 best_thr = thr;
                 best = std::to_string(mb) + " MB RANDOM / " +

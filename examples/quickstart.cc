@@ -40,7 +40,7 @@ main()
     t.row().cell("PE utilization (%)").num(
         100.0 * r.utilization(cfg), 1);
     t.row().cell("energy, cooled (uJ)").num(
-        e.totalJ(cfg.coolingFactor) * 1e6, 2);
+        e.totalJ(cfg.coolingFactor).value() * 1e6, 2);
     t.row().cell("  matrix share (%)").num(
         100.0 * e.matrixJ / e.physicalJ(), 1);
     t.row().cell("  SPM dynamic share (%)").num(

@@ -25,8 +25,8 @@ main()
     auto model = cnn::convLayersOnly(cnn::makeResNet50());
 
     SchedParams params;
-    params.shiftCapacityBytes = 32 * 1024;
-    params.randomCapacityBytes = 28ull * 1024 * 1024;
+    params.shiftCapacityBytes = ByteCount{32 * 1024};
+    params.randomCapacityBytes = ByteCount{28ull * 1024 * 1024};
     params.prefetchIterations = 3;
 
     Table t({"layer", "iters", "beta place", "alpha place",

@@ -24,6 +24,14 @@ std-mutex      `std::mutex` members/locals are banned in src/ outside
 tsa-escape     `SMART_NO_THREAD_SAFETY_ANALYSIS` needs an adjacent
                `// tsa:` justification — blanket escapes defeat the
                analysis.
+raw-unit-double
+               Raw `double` declarations whose camelCase name carries a
+               unit suffix (Ps, Ns, Ghz, J, Pj, W, Um2) are banned in
+               src/ outside common/units.hh and the byte-exact serdes
+               boundaries: use the typed quantities (smart::Picoseconds,
+               smart::Joules, ...) so a unit mix-up is a compile error.
+               Densities and report-only figure-scale fields take a
+               `lint-allow(raw-unit-double)` with the reason.
 
 Suppressions
 ------------
@@ -53,6 +61,13 @@ RATIONALE_WINDOW = 20
 # the allocator, and the TSA header defines the Mutex wrapper itself.
 ARENA_FILES = {"src/common/arena.hh"}
 MUTEX_ALLOWED_FILES = {"src/common/threadsafety.hh"}
+# The typed-unit vocabulary itself plus the byte-exact serialization
+# boundaries, where quantities are unwrapped to raw doubles on purpose.
+UNIT_BOUNDARY_FILES = {
+    "src/common/units.hh",
+    "src/accel/hash.cc",
+    "src/accel/serdes.cc",
+}
 
 NEW_RE = re.compile(r"\bnew\b\s*(\(|[A-Za-z_:<]|\[)")
 DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[\w(:*&]")
@@ -61,6 +76,11 @@ ENDL_RE = re.compile(r"\bstd\s*::\s*endl\b")
 MEMORY_ORDER_RE = re.compile(r"\bmemory_order_(\w+)\b|\bmemory_order\s*::\s*(\w+)\b")
 STD_MUTEX_RE = re.compile(r"\bstd\s*::\s*(recursive_)?mutex\b")
 TSA_ESCAPE_RE = re.compile(r"\bSMART_NO_THREAD_SAFETY_ANALYSIS\b")
+# camelCase identifier ending in a unit suffix, declared as a raw
+# double (field, parameter, local, or function return). snake_case
+# names (time_ps) and figure-scale suffixes (Mw, Nj, Mm2) don't match.
+UNIT_DOUBLE_RE = re.compile(
+    r"\bdouble\s+([a-z]\w*(?:Ps|Ns|Ghz|J|Pj|W|Um2))\b")
 RATIONALE_RE = re.compile(r"//.*\bmemory_order:")
 TSA_REASON_RE = re.compile(r"//\s*tsa:")
 ALLOW_RE = re.compile(r"//\s*lint-allow\((?P<rule>[a-z-]+)\)\s*:\s*\S")
@@ -195,6 +215,14 @@ def lint_file(path, rel, violations):
                        "(common/threadsafety.hh) so -Wthread-safety "
                        "sees the lock")
 
+        if in_src and rel not in UNIT_BOUNDARY_FILES:
+            for m in UNIT_DOUBLE_RE.finditer(code):
+                report(lineno, "raw-unit-double",
+                       f"raw double `{m.group(1)}` carries a unit "
+                       "suffix — use the typed quantity from "
+                       "common/units.hh (or lint-allow with a reason "
+                       "for densities/report-only fields)")
+
         if rel not in MUTEX_ALLOWED_FILES and TSA_ESCAPE_RE.search(code):
             lo = max(0, idx - SUPPRESS_WINDOW)
             window = raw_lines[lo : idx + 1]
@@ -252,7 +280,7 @@ def run_self_test(repo):
     lint_file(bad, "src/lint_fixtures/bad_fixture.cc", violations)
     found = {rule for (_, _, rule, _) in violations}
     expected = {"naked-new", "naked-delete", "endl", "memory-order",
-                "std-mutex", "tsa-escape"}
+                "std-mutex", "tsa-escape", "raw-unit-double"}
     missing = expected - found
     if missing:
         print(f"lint_smart --self-test: rules did not fire on the bad "

@@ -28,13 +28,13 @@ schemeName(Scheme s)
 double
 AcceleratorConfig::peakTmacs() const
 {
-    return static_cast<double>(pe.pes()) * clockGhz * 1e9 / 1e12;
+    return static_cast<double>(pe.pes()) * clockGhz.value() * 1e9 / 1e12;
 }
 
 double
 AcceleratorConfig::dramBytesPerCycle() const
 {
-    return dramBandwidthGBs * 1e9 / (clockGhz * 1e9);
+    return dramBandwidthGBs * 1e9 / (clockGhz.value() * 1e9);
 }
 
 std::uint64_t
@@ -51,7 +51,7 @@ makeTpu()
     c.scheme = Scheme::Tpu;
     c.name = "TPU";
     c.pe = {256, 256};
-    c.clockGhz = 0.7;
+    c.clockGhz = Gigahertz{0.7};
     c.temperatureK = 300.0;
     c.coolingFactor = 1.0;
     // Table 4: input, weight, and output 24 MB; PSum 4 MB (folded into
@@ -71,7 +71,7 @@ makeSuperNpu()
     c.scheme = Scheme::SuperNpu;
     c.name = "SuperNPU";
     c.pe = {64, 256};
-    c.clockGhz = 52.6;
+    c.clockGhz = Gigahertz{52.6};
     // Table 4: 64-bank 24 MB input, 256-bank 24 MB output/PSum,
     // 128 KB weight SHIFT buffers.
     c.inputSpm = {24 * units::mib, 64};

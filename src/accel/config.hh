@@ -5,8 +5,10 @@
  *
  * The calibration knobs declared here are the only free parameters of
  * the end-to-end model; they are tuned once against the published
- * anchors (SuperNPU at 16 % / 40 % of peak for single/batch inference)
- * and documented in DESIGN.md Sec. 3 and EXPERIMENTS.md.
+ * anchors (SuperNPU at 16 % / 40 % of peak for single/batch inference).
+ * The resulting model outputs are pinned bit-for-bit in
+ * tests/test_model_anchors.cc — retune a knob and that test must be
+ * re-anchored in the same change.
  */
 
 #ifndef SMART_ACCEL_CONFIG_HH
@@ -82,7 +84,7 @@ struct AcceleratorConfig
     Scheme scheme = Scheme::Smart;
     std::string name;
     systolic::ArrayDims pe{64, 256};
-    double clockGhz = 52.6;
+    Gigahertz clockGhz{52.6};
     double temperatureK = 4.0;
     double coolingFactor = 400.0; //!< 1.0 at room temperature.
 
@@ -94,7 +96,7 @@ struct AcceleratorConfig
     SpmSpec randomArray;            //!< Shared RANDOM array (0 = none).
     cryo::MemTech randomTech = cryo::MemTech::CmosSfq;
     /** Override for the Fig. 25 write-latency sensitivity (0 = model). */
-    double randomWriteLatencyNsOverride = 0.0;
+    Nanoseconds randomWriteLatencyNsOverride{};
 
     int prefetchIterations = 1; //!< a; 1 disables prefetching.
     bool useIlpCompiler = false;
@@ -104,8 +106,8 @@ struct AcceleratorConfig
 
     /** Peak throughput (TMAC/s). */
     double peakTmacs() const;
-    /** Accelerator cycle time (ps). */
-    double cyclePs() const { return units::ghzToPs(clockGhz); }
+    /** Accelerator cycle time. */
+    Picoseconds cyclePs() const { return units::ghzToPs(clockGhz); }
     /** DRAM bandwidth in bytes per accelerator cycle. */
     double dramBytesPerCycle() const;
     /** True if the configuration has a RANDOM array. */

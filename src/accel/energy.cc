@@ -9,13 +9,13 @@
 namespace smart::accel
 {
 
-double
+Joules
 EnergyBreakdown::physicalJ() const
 {
     return matrixJ + spmDynamicJ + spmStaticJ + dramJ;
 }
 
-double
+Joules
 EnergyBreakdown::totalJ(double cooling_factor) const
 {
     return physicalJ() * cooling_factor;
@@ -32,7 +32,7 @@ namespace
 {
 
 /** Per-byte dynamic energy of a RANDOM technology at system level. */
-double
+Joules
 randomPerByteJ(cryo::MemTech tech, bool write, const EnergyConstants &k)
 {
     switch (tech) {
@@ -56,14 +56,14 @@ randomPerByteJ(cryo::MemTech tech, bool write, const EnergyConstants &k)
     smart_panic("unknown technology");
 }
 
-/** Leakage power of the configuration's SPM system (W). */
-double
+/** Leakage power of the configuration's SPM system. */
+Watts
 spmLeakageW(const AcceleratorConfig &cfg, const EnergyConstants &k)
 {
     if (cfg.scheme == Scheme::Tpu)
         return k.tpuSpmLeakageW;
 
-    double leak = 0.0;
+    Watts leak{};
     if (!cfg.spmsAreShift) {
         // Random-access SPMs (the SRAM scheme and its Fig. 5 variants).
         for (const SpmSpec *s :
@@ -103,7 +103,7 @@ computeEnergy(const AcceleratorConfig &cfg, const InferenceResult &result,
     const LayerCounters t = result.totals();
 
     // Matrix unit.
-    const double mac_energy =
+    const Joules mac_energy =
         cfg.scheme == Scheme::Tpu ? k.macEnergyTpuJ : k.macEnergySfqJ;
     e.matrixJ = t.macs * mac_energy;
 
@@ -112,7 +112,7 @@ computeEnergy(const AcceleratorConfig &cfg, const InferenceResult &result,
         std::min(t.shiftLaneBytes > 0 ? t.shiftLaneBytes
                                       : cfg.knobs.shiftSegmentBytes,
                  cfg.knobs.shiftSegmentBytes);
-    const double step_j = seg_bytes * 8.0 * k.shiftCellJ;
+    const Joules step_j = seg_bytes * 8.0 * k.shiftCellJ;
     e.spmDynamicJ += t.shiftSteps * step_j;
 
     // RANDOM array / SRAM SPM traffic.
@@ -132,7 +132,7 @@ computeEnergy(const AcceleratorConfig &cfg, const InferenceResult &result,
     }
 
     // Static energy over the inference wall-clock time.
-    e.spmStaticJ = spmLeakageW(cfg, k) * result.seconds;
+    e.spmStaticJ = spmLeakageW(cfg, k) * Seconds{result.seconds};
 
     // Off-chip traffic.
     e.dramJ = t.dramBytes * k.dramPerByteJ;
@@ -141,9 +141,9 @@ computeEnergy(const AcceleratorConfig &cfg, const InferenceResult &result,
     // accounting; the component model above only sets the breakdown
     // shares.
     if (cfg.scheme == Scheme::Tpu) {
-        const double target = k.tpuAveragePowerW * result.seconds;
-        const double modeled = e.physicalJ();
-        if (modeled > 0) {
+        const Joules target = k.tpuAveragePowerW * Seconds{result.seconds};
+        const Joules modeled = e.physicalJ();
+        if (modeled > Joules{}) {
             const double scale = target / modeled;
             e.matrixJ *= scale;
             e.spmDynamicJ *= scale;

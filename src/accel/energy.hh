@@ -5,8 +5,9 @@
  * static energy, DRAM energy, and the 400x cryogenic cooling factor
  * (Holmes et al. [16]).
  *
- * Accounting notes (EXPERIMENTS.md discusses the source-paper
- * inconsistencies this reconciles):
+ * Accounting notes (source-paper inconsistencies this model
+ * reconciles; the resulting breakdown is pinned bit-for-bit in
+ * tests/test_model_anchors.cc):
  *  - SHIFT dynamic energy charges min(laneBytes, segment) * 8 cells *
  *    0.1 fJ per shift step: lanes are clock-gated in segments, so a
  *    SuperNPU 384 KB lane pays far more per step than SMART's 128 B
@@ -26,43 +27,43 @@ namespace smart::accel
 /** Energy decomposition of one inference. */
 struct EnergyBreakdown
 {
-    double matrixJ = 0.0;     //!< Matrix (PE array) dynamic energy.
-    double spmDynamicJ = 0.0; //!< SPM dynamic energy (all arrays).
-    double spmStaticJ = 0.0;  //!< SPM leakage over the inference.
-    double dramJ = 0.0;       //!< Off-chip access energy.
+    Joules matrixJ{};     //!< Matrix (PE array) dynamic energy.
+    Joules spmDynamicJ{}; //!< SPM dynamic energy (all arrays).
+    Joules spmStaticJ{};  //!< SPM leakage over the inference.
+    Joules dramJ{};       //!< Off-chip access energy.
 
     /** Physical (pre-cooling) energy. */
-    double physicalJ() const;
+    Joules physicalJ() const;
     /** Energy including the cooling overhead factor. */
-    double totalJ(double cooling_factor) const;
+    Joules totalJ(double cooling_factor) const;
 };
 
 /** Energy model constants; exposed for tests and ablations. */
 struct EnergyConstants
 {
-    /** SFQ 8-bit MAC: ~1000 JJ switches (J). */
-    double macEnergySfqJ = 1e-16;
-    /** CMOS 8-bit MAC at 28 nm incl. local registers (J). */
-    double macEnergyTpuJ = 0.4e-12;
+    /** SFQ 8-bit MAC: ~1000 JJ switches. */
+    Joules macEnergySfqJ{1e-16};
+    /** CMOS 8-bit MAC at 28 nm incl. local registers. */
+    Joules macEnergyTpuJ{0.4e-12};
     /** SHIFT cell transfer energy (Table 1: 0.1 fJ per bit cell). */
-    double shiftCellJ = 0.1e-15;
-    /** Effective CMOS-SFQ array energy per byte at 4 K (J). */
-    double cmosSfqPerByteJ = 5e-15;
-    /** Josephson-CMOS SRAM per byte incl. CMOS H-tree (J). */
-    double jcsSramPerByteJ = 80e-15;
-    /** Conventional SRAM per byte at 300 K (TPU SPMs) (J). */
-    double sram300PerByteJ = 250e-15;
-    /** DRAM energy per byte (J). */
-    double dramPerByteJ = 10e-12;
-    /** TPU SPM leakage at 300 K (W). */
-    double tpuSpmLeakageW = 1.1;
+    Joules shiftCellJ{0.1e-15};
+    /** Effective CMOS-SFQ array energy per byte at 4 K. */
+    Joules cmosSfqPerByteJ{5e-15};
+    /** Josephson-CMOS SRAM per byte incl. CMOS H-tree. */
+    Joules jcsSramPerByteJ{80e-15};
+    /** Conventional SRAM per byte at 300 K (TPU SPMs). */
+    Joules sram300PerByteJ{250e-15};
+    /** DRAM energy per byte. */
+    Joules dramPerByteJ{10e-12};
+    /** TPU SPM leakage at 300 K. */
+    Watts tpuSpmLeakageW{1.1};
     /**
      * TPU average power (W), the paper's accounting for the CMOS
      * baseline (Sec. 5 quotes 40 W from Jouppi et al.): TPU inference
      * energy is power x time, with the component model used only for
      * the breakdown shares.
      */
-    double tpuAveragePowerW = 40.0;
+    Watts tpuAveragePowerW{40.0};
 };
 
 /** Default constants used by computeEnergy(). */

@@ -82,7 +82,7 @@ appendRequestKey(std::string &out, const AcceleratorConfig &cfg,
     out += 'x';
     putI(out, cfg.pe.cols);
     out += ',';
-    putD(out, cfg.clockGhz);
+    putD(out, cfg.clockGhz.value());
     putD(out, cfg.temperatureK);
     putD(out, cfg.coolingFactor);
     putSpm(out, cfg.inputSpm);
@@ -93,7 +93,7 @@ appendRequestKey(std::string &out, const AcceleratorConfig &cfg,
     putSpm(out, cfg.randomArray);
     putI(out, static_cast<int>(cfg.randomTech));
     out += ',';
-    putD(out, cfg.randomWriteLatencyNsOverride);
+    putD(out, cfg.randomWriteLatencyNsOverride.value());
     putI(out, cfg.prefetchIterations);
     out += ',';
     putI(out, cfg.useIlpCompiler);

@@ -105,7 +105,7 @@ randomTiming(const AcceleratorConfig &cfg, const SpmSpec &spec,
 {
     RandomTiming rt;
     rt.banks = std::max(1, spec.banks);
-    const double cycle_ps = cfg.cyclePs();
+    const Picoseconds cycle_ps = cfg.cyclePs();
 
     if (tech == cryo::MemTech::CmosSfq) {
         cryo::CmosSfqArrayConfig ac;
@@ -139,7 +139,7 @@ randomTiming(const AcceleratorConfig &cfg, const SpmSpec &spec,
         rt.outstanding = cfg.knobs.randomOutstanding;
         rt.lineBytes = tech == cryo::MemTech::JcsSram ? 16.0 : 4.0;
     }
-    if (cfg.randomWriteLatencyNsOverride > 0) {
+    if (cfg.randomWriteLatencyNsOverride > Nanoseconds{}) {
         const double lat =
             units::nsToPs(cfg.randomWriteLatencyNsOverride) / cycle_ps;
         rt.busyWriteCycles = lat;
@@ -414,8 +414,8 @@ runLayer(const AcceleratorConfig &cfg, const systolic::ConvLayer &layer,
         double hidden = 0.0;
         if (cfg.useIlpCompiler) {
             compiler::SchedParams sp;
-            sp.shiftCapacityBytes = cfg.inputSpm.capacityBytes;
-            sp.randomCapacityBytes = cfg.randomArray.capacityBytes;
+            sp.shiftCapacityBytes = ByteCount{cfg.inputSpm.capacityBytes};
+            sp.randomCapacityBytes = ByteCount{cfg.randomArray.capacityBytes};
             sp.shiftCyclesPerAccess = 1.0 / cfg.inputSpm.banks;
             sp.randomCyclesPerAccess = rt.busyReadCycles / rt.banks;
             sp.dramCyclesPerAccess = 1.0 / cfg.dramBytesPerCycle();
@@ -574,7 +574,7 @@ runInference(const AcceleratorConfig &cfg, const cnn::CnnModel &model,
     // the inference is bound by whichever finishes last.
     res.totalCycles = std::max(res.totalCycles, res.weightDramCycles);
     res.seconds =
-        static_cast<double>(res.totalCycles) * cfg.cyclePs() * 1e-12;
+        (static_cast<double>(res.totalCycles) * cfg.cyclePs()).value() * 1e-12;
     return res;
 }
 

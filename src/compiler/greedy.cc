@@ -63,7 +63,7 @@ scheduleGreedy(const LayerDag &dag, const SchedParams &params)
         bool fits_shift = true;
         for (int n : occupied_iters(o, can_prefetch)) {
             if (shift_used[n][cls] + o.bytes >
-                params.shiftCapacityBytes) {
+                params.shiftCapacityBytes.value()) {
                 fits_shift = false;
                 break;
             }
@@ -83,7 +83,7 @@ scheduleGreedy(const LayerDag &dag, const SchedParams &params)
         // Try RANDOM.
         if (params.hasRandomArray &&
             random_used[o.iteration] + o.bytes <=
-                params.randomCapacityBytes) {
+                params.randomCapacityBytes.value()) {
             d.placement = Placement::Random;
             d.prefetched = can_prefetch;
             random_used[o.iteration] += o.bytes;

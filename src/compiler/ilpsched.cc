@@ -139,7 +139,7 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
             if (any) {
                 model.addConstr(
                     occ, Sense::Le,
-                    static_cast<double>(params.shiftCapacityBytes),
+                    static_cast<double>(params.shiftCapacityBytes.value()),
                     "shiftcap");
             }
         }
@@ -157,7 +157,7 @@ scheduleIlp(const LayerDag &dag, const SchedParams &params)
         if (rany) {
             model.addConstr(
                 rocc, Sense::Le,
-                static_cast<double>(params.randomCapacityBytes),
+                static_cast<double>(params.randomCapacityBytes.value()),
                 "randcap");
         }
 

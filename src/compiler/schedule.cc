@@ -12,7 +12,8 @@ SchedParams::cacheKey() const
 {
     std::ostringstream os;
     os.precision(17);
-    os << shiftCapacityBytes << ',' << randomCapacityBytes << ','
+    os << shiftCapacityBytes.value() << ',' << randomCapacityBytes.value()
+       << ','
        << shiftCyclesPerAccess << ',' << randomCyclesPerAccess << ','
        << dramCyclesPerAccess << ',' << hrBandwidthBytesPerCycle << ','
        << dramBandwidthBytesPerCycle << ',' << prefetchIterations << ','
@@ -133,9 +134,9 @@ validateSchedule(const LayerDag &dag, const SchedParams &params,
             else if (d.placement == Placement::Random)
                 random_bytes += o.bytes;
         }
-        if (shift_bytes > params.shiftCapacityBytes * 4)
+        if (shift_bytes > params.shiftCapacityBytes.value() * 4)
             return false; // 4 classes, each with a private SHIFT array
-        if (random_bytes > params.randomCapacityBytes)
+        if (random_bytes > params.randomCapacityBytes.value())
             return false;
     }
 

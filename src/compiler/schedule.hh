@@ -37,8 +37,8 @@ struct ObjectDecision
 /** Resource/cost parameters the scheduler optimizes against. */
 struct SchedParams
 {
-    std::uint64_t shiftCapacityBytes = 32 * 1024;
-    std::uint64_t randomCapacityBytes = 28ull * 1024 * 1024;
+    ByteCount shiftCapacityBytes{32 * 1024};
+    ByteCount randomCapacityBytes{28ull * 1024 * 1024};
     /** Effective port cycles per access by placement. */
     double shiftCyclesPerAccess = 1.0;
     double randomCyclesPerAccess = 5.5;   //!< 0.103 ns / 0.019 ns.

@@ -9,7 +9,7 @@
 namespace smart::cryo
 {
 
-double
+Picoseconds
 PipelineBreakdown::totalPs() const
 {
     return requestTreePs + ntronPs + subbankPs + dcSfqPs + replyTreePs;
@@ -34,7 +34,7 @@ CmosSfqArrayModel::chooseMats(const CmosSfqArrayConfig &cfg)
     // one pipeline stage at the target frequency (Sec. 4.2.2: "limit the
     // latency of each sub-bank within ~0.1 ns by adjusting the number of
     // MATs inside a sub-bank").
-    const double stage_budget_ps =
+    const Picoseconds stage_budget_ps =
         std::max(units::ghzToPs(cfg.targetFreqGhz),
                  sfq::ntronParams().latencyPs);
     for (int mats = 1; mats <= 4096; mats *= 2) {
@@ -58,12 +58,12 @@ CmosSfqArrayModel::CmosSfqArrayModel(const CmosSfqArrayConfig &cfg)
                  "capacity must divide across banks");
 
     // --- Floorplan -------------------------------------------------
-    const double banks_area = subbank_.areaUm2() * cfg_.banks;
-    const double conv_area = units::f2ToUm2(
+    const SquareMicrons banks_area = subbank_.areaUm2() * cfg_.banks;
+    const SquareMicrons conv_area = units::f2ToUm2(
         cfg_.banks * (4 * 30.0 + cfg_.outputBits * 90.0), cfg_.featureNm);
     // Preliminary side estimate from sub-banks; the H-trees route over
     // and beside the banks.
-    const double side_um = std::sqrt(banks_area * 1.1);
+    const double side_um = std::sqrt(banks_area.value() * 1.1);
 
     // --- H-trees ---------------------------------------------------
     sfq::SfqHTreeConfig ht;
@@ -110,23 +110,23 @@ CmosSfqArrayModel::CmosSfqArrayModel(const CmosSfqArrayConfig &cfg)
     area_.cellsUm2 = bits * tp.cellAreaUm2(cfg_.featureNm);
     area_.cmosPeriphUm2 = banks_area - area_.cellsUm2;
     area_.htreeUm2 = req_stats_.areaUm2 + reply_stats_.areaUm2;
-    area_.sfqDecoderUm2 = 0.0; // The whole point: no SFQ decoders.
+    area_.sfqDecoderUm2 = SquareMicrons{}; // The point: no SFQ decoders.
     area_.otherUm2 = conv_area;
 }
 
-double
+Gigahertz
 CmosSfqArrayModel::pipelineFreqGhz() const
 {
     return units::psToGhz(stage_ps_);
 }
 
-double
+Nanoseconds
 CmosSfqArrayModel::readLatencyNs() const
 {
     return units::psToNs(breakdown_.totalPs());
 }
 
-double
+Nanoseconds
 CmosSfqArrayModel::writeLatencyNs() const
 {
     // Writes traverse the request tree, the nTron, and the sub-bank;
@@ -135,7 +135,7 @@ CmosSfqArrayModel::writeLatencyNs() const
                          breakdown_.subbankPs);
 }
 
-double
+Joules
 CmosSfqArrayModel::readEnergyJ() const
 {
     return req_energy_j_ + sfq::ntronParams().energyPerOpJ() +
@@ -144,17 +144,17 @@ CmosSfqArrayModel::readEnergyJ() const
            reply_energy_j_;
 }
 
-double
+Joules
 CmosSfqArrayModel::writeEnergyJ() const
 {
     return req_energy_j_ + sfq::ntronParams().energyPerOpJ() +
            subbank_.energyPerAccessJ();
 }
 
-double
+Watts
 CmosSfqArrayModel::leakageW() const
 {
-    const double conv_leak =
+    const Watts conv_leak =
         cfg_.banks * (sfq::ntronParams().leakageW +
                       cfg_.outputBits * sfq::dcSfqParams().leakageW);
     return subbank_.leakageW() * cfg_.banks + tree_leakage_w_ + conv_leak;

@@ -31,7 +31,7 @@ struct CmosSfqArrayConfig
     int banks = 256;
     double featureNm = defaultFeatureNm;
     double temperatureK = 4.0;
-    double targetFreqGhz = 9.6; //!< Desired pipeline frequency.
+    Gigahertz targetFreqGhz{9.6}; //!< Desired pipeline frequency.
     int matsPerSubbank = 0;     //!< 0 = choose automatically.
     int outputBits = 8;         //!< 1 byte per bank per cycle (Sec. 4.4).
 };
@@ -39,14 +39,14 @@ struct CmosSfqArrayConfig
 /** Pipeline stage breakdown of one access (Fig. 11c). */
 struct PipelineBreakdown
 {
-    double requestTreePs = 0.0; //!< Array edge to sub-bank (SFQ H-tree).
-    double ntronPs = 0.0;       //!< SFQ-to-CMOS conversion.
-    double subbankPs = 0.0;     //!< CMOS sub-bank access.
-    double dcSfqPs = 0.0;       //!< CMOS-to-SFQ conversion.
-    double replyTreePs = 0.0;   //!< Sub-bank to array edge.
+    Picoseconds requestTreePs{}; //!< Array edge to sub-bank (SFQ H-tree).
+    Picoseconds ntronPs{};       //!< SFQ-to-CMOS conversion.
+    Picoseconds subbankPs{};     //!< CMOS sub-bank access.
+    Picoseconds dcSfqPs{};       //!< CMOS-to-SFQ conversion.
+    Picoseconds replyTreePs{};   //!< Sub-bank to array edge.
 
-    /** End-to-end unloaded access latency (ps). */
-    double totalPs() const;
+    /** End-to-end unloaded access latency. */
+    Picoseconds totalPs() const;
 };
 
 /**
@@ -60,26 +60,26 @@ class CmosSfqArrayModel
     /** Build the model; chooses MAT count if not pinned. */
     explicit CmosSfqArrayModel(const CmosSfqArrayConfig &cfg);
 
-    /** Achieved pipeline frequency (GHz). */
-    double pipelineFreqGhz() const;
-    /** Pipeline stage (cycle) time (ps). */
-    double stageTimePs() const { return stage_ps_; }
+    /** Achieved pipeline frequency. */
+    Gigahertz pipelineFreqGhz() const;
+    /** Pipeline stage (cycle) time. */
+    Picoseconds stageTimePs() const { return stage_ps_; }
     /** Unloaded read latency breakdown. */
     const PipelineBreakdown &breakdown() const { return breakdown_; }
-    /** Unloaded read latency (ns). */
-    double readLatencyNs() const;
-    /** Write latency (ns): same path, no reply data. */
-    double writeLatencyNs() const;
+    /** Unloaded read latency. */
+    Nanoseconds readLatencyNs() const;
+    /** Write latency: same path, no reply data. */
+    Nanoseconds writeLatencyNs() const;
 
-    /** Dynamic energy of one read access (J). */
-    double readEnergyJ() const;
-    /** Dynamic energy of one write access (J). */
-    double writeEnergyJ() const;
+    /** Dynamic energy of one read access. */
+    Joules readEnergyJ() const;
+    /** Dynamic energy of one write access. */
+    Joules writeEnergyJ() const;
 
-    /** Static leakage power of the whole array (W). */
-    double leakageW() const;
+    /** Static leakage power of the whole array. */
+    Watts leakageW() const;
 
-    /** Area decomposition (um^2). */
+    /** Area decomposition. */
     const AreaBreakdown &area() const { return area_; }
 
     /** Chosen MATs per sub-bank. */
@@ -106,10 +106,10 @@ class CmosSfqArrayModel
     sfq::SfqHTreeStats reply_stats_;
     PipelineBreakdown breakdown_;
     AreaBreakdown area_;
-    double stage_ps_;
-    double req_energy_j_;
-    double reply_energy_j_;
-    double tree_leakage_w_;
+    Picoseconds stage_ps_;
+    Joules req_energy_j_;
+    Joules reply_energy_j_;
+    Watts tree_leakage_w_;
 };
 
 } // namespace smart::cryo

@@ -7,7 +7,7 @@
 namespace smart::cryo
 {
 
-double
+Gigahertz
 maxPipelineFreqGhz()
 {
     // The nTron stage cannot be split further (Sec. 4.2.4).
@@ -24,10 +24,10 @@ sweepPipelineFrequency(const CmosSfqArrayConfig &base,
     // no longer serializes the sweep — its neighbors get stolen.
     std::vector<DsePoint> points(freqs_ghz.size());
     pFor(freqs_ghz.size(), [&](std::size_t i) {
-        const double f = freqs_ghz[i];
+        const Gigahertz f{freqs_ghz[i]};
         DsePoint &p = points[i];
         p.targetFreqGhz = f;
-        if (f > maxPipelineFreqGhz() + 1e-9)
+        if (f > maxPipelineFreqGhz() + Gigahertz{1e-9})
             return;
         CmosSfqArrayConfig cfg = base;
         cfg.targetFreqGhz = f;
@@ -45,7 +45,7 @@ sweepPipelineFrequency(const CmosSfqArrayConfig &base,
         p.leakageMw = units::wToMw(
             model.subbank().peripheralLeakageW() * cfg.banks +
             model.requestTree().leakageW * 2.0);
-        p.energyPerAccessNj = model.readEnergyJ() / units::jPerNj;
+        p.energyPerAccessNj = units::jToNj(model.readEnergyJ());
         p.areaMm2 = units::um2ToMm2(model.area().totalUm2());
     });
     return points;

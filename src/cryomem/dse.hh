@@ -17,12 +17,16 @@
 namespace smart::cryo
 {
 
-/** One point of the Fig. 14 design space sweep. */
+/**
+ * One point of the Fig. 14 design space sweep. The report-only fields
+ * (mW / nJ / mm^2) hold figure-scale values converted at this boundary,
+ * so they stay raw doubles by design.
+ */
 struct DsePoint
 {
-    double targetFreqGhz = 0.0;  //!< Requested pipeline frequency.
+    Gigahertz targetFreqGhz{};   //!< Requested pipeline frequency.
     bool feasible = false;       //!< nTron allows this frequency.
-    double achievedFreqGhz = 0.0; //!< Frequency actually reached.
+    Gigahertz achievedFreqGhz{}; //!< Frequency actually reached.
     int matsPerSubbank = 0;      //!< MATs chosen to fit the stage.
     int repeaters = 0;           //!< H-tree repeaters inserted.
     double leakageMw = 0.0;      //!< Peripheral + tree leakage (mW).
@@ -30,8 +34,8 @@ struct DsePoint
     double areaMm2 = 0.0;        //!< Total array area (mm^2).
 };
 
-/** Maximum feasible pipeline frequency (GHz), set by the nTron. */
-double maxPipelineFreqGhz();
+/** Maximum feasible pipeline frequency, set by the nTron. */
+Gigahertz maxPipelineFreqGhz();
 
 /**
  * Sweep the design space at the given frequencies. Infeasible points

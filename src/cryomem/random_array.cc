@@ -12,7 +12,7 @@
 namespace smart::cryo
 {
 
-double
+SquareMicrons
 AreaBreakdown::totalUm2() const
 {
     return cellsUm2 + sfqDecoderUm2 + cmosPeriphUm2 + htreeUm2 + otherUm2;
@@ -26,16 +26,16 @@ namespace
  * classes. "Tiny" covers superconducting selects (hTron bias), "medium"
  * covers CMOS SRAM cells already reduced >90 % at 4 K (Sec. 3).
  */
-double
+Watts
 leakPerBitW(LeakageClass c)
 {
     switch (c) {
       case LeakageClass::None:
-        return 0.0;
+        return Watts{};
       case LeakageClass::Tiny:
-        return 4e-12;    // hTron/bias selects
+        return Watts{4e-12};    // hTron/bias selects
       case LeakageClass::Medium:
-        return 434e-12;  // 21.7 nW/bit at 300 K x 0.02 at 4 K
+        return Watts{434e-12};  // 21.7 nW/bit at 300 K x 0.02 at 4 K
     }
     smart_panic("unknown leakage class");
 }
@@ -72,10 +72,10 @@ RandomArrayModel::RandomArrayModel(const RandomArrayConfig &cfg) : cfg_(cfg)
     sfq_dec_ns_ = units::psToNs(
         std::ceil(std::log2(static_cast<double>(
             std::max(2, cfg_.banks)))) *
-        (sfq::splitterParams().latencyPs + 4.0));
+        (sfq::splitterParams().latencyPs + Picoseconds{4.0}));
 
-    double cell_read_ns = tp.readLatencyNs;
-    double cell_write_ns = tp.writeLatencyNs;
+    Nanoseconds cell_read_ns = tp.readLatencyNs;
+    Nanoseconds cell_write_ns = tp.writeLatencyNs;
 
     if (cfg_.tech == MemTech::JcsSram) {
         SubbankConfig sc;
@@ -85,16 +85,18 @@ RandomArrayModel::RandomArrayModel(const RandomArrayConfig &cfg) : cfg_(cfg)
         sc.temperatureK = cfg_.temperatureK;
         SubbankModel sub(sc);
 
-        const double cells_per_bank_um2 =
+        const SquareMicrons cells_per_bank_um2 =
             bank_bytes * 8.0 * tp.cellAreaUm2(cfg_.featureNm);
         area_.cmosPeriphUm2 =
             (sub.areaUm2() - cells_per_bank_um2) * cfg_.banks;
 
-        const double side_um = std::sqrt(
-            area_.cellsUm2 + area_.cmosPeriphUm2 + area_.sfqDecoderUm2);
+        const double side_um =
+            std::sqrt((area_.cellsUm2 + area_.cmosPeriphUm2 +
+                       area_.sfqDecoderUm2)
+                          .value());
         const double path_um = sfq::CmosHTree::pathLengthUm(side_um);
-        area_.htreeUm2 =
-            sfq::CmosHTree::totalWireUm(side_um, cfg_.banks) * 1.2;
+        area_.htreeUm2 = SquareMicrons{
+            sfq::CmosHTree::totalWireUm(side_um, cfg_.banks) * 1.2};
 
         htree_lat_ns_ = units::psToNs(sfq::CmosHTree::latencyPs(path_um));
         htree_energy_j_ =
@@ -115,21 +117,21 @@ RandomArrayModel::RandomArrayModel(const RandomArrayConfig &cfg) : cfg_(cfg)
     write_latency_ns_ = sfq_dec_ns_ + cell_write_ns;
 }
 
-double
+Nanoseconds
 RandomArrayModel::bankBusyReadNs() const
 {
     const TechParams &tp = techParams(cfg_.tech);
     // Bank occupancy excludes the shared H-tree / decoder traversal,
     // which overlaps across banks.
-    double busy = cfg_.tech == MemTech::JcsSram
-                      ? subbank_lat_ns_ + conv_ns_
-                      : tp.readLatencyNs;
+    Nanoseconds busy = cfg_.tech == MemTech::JcsSram
+                           ? subbank_lat_ns_ + conv_ns_
+                           : tp.readLatencyNs;
     if (tp.destructiveRead)
         busy += tp.writeLatencyNs;
     return busy;
 }
 
-double
+Nanoseconds
 RandomArrayModel::bankBusyWriteNs() const
 {
     const TechParams &tp = techParams(cfg_.tech);
@@ -137,19 +139,19 @@ RandomArrayModel::bankBusyWriteNs() const
                                          : tp.writeLatencyNs;
 }
 
-double
+Joules
 RandomArrayModel::readEnergyJ() const
 {
     const TechParams &tp = techParams(cfg_.tech);
     if (cfg_.tech == MemTech::JcsSram)
         return subbank_energy_j_ + htree_energy_j_;
-    double e = tp.readEnergyJ;
+    Joules e = tp.readEnergyJ;
     if (tp.destructiveRead)
         e += tp.writeEnergyJ; // restore after destructive read
     return e;
 }
 
-double
+Joules
 RandomArrayModel::writeEnergyJ() const
 {
     const TechParams &tp = techParams(cfg_.tech);
@@ -161,7 +163,7 @@ RandomArrayModel::writeEnergyJ() const
 double
 RandomArrayModel::arraySideUm() const
 {
-    return std::sqrt(area_.totalUm2());
+    return std::sqrt(area_.totalUm2().value());
 }
 
 } // namespace smart::cryo

@@ -35,14 +35,14 @@ struct RandomArrayConfig
 /** Area decomposition used by the Fig. 5(c) and Fig. 17 benches. */
 struct AreaBreakdown
 {
-    double cellsUm2 = 0.0;       //!< Storage cell array.
-    double sfqDecoderUm2 = 0.0;  //!< SFQ decoders + multiplexers.
-    double cmosPeriphUm2 = 0.0;  //!< CMOS decoders/SAs (SRAM only).
-    double htreeUm2 = 0.0;       //!< Interconnect tree.
-    double otherUm2 = 0.0;       //!< Drivers, converters, pads.
+    SquareMicrons cellsUm2{};       //!< Storage cell array.
+    SquareMicrons sfqDecoderUm2{};  //!< SFQ decoders + multiplexers.
+    SquareMicrons cmosPeriphUm2{};  //!< CMOS decoders/SAs (SRAM only).
+    SquareMicrons htreeUm2{};       //!< Interconnect tree.
+    SquareMicrons otherUm2{};       //!< Drivers, converters, pads.
 
     /** Sum of all components. */
-    double totalUm2() const;
+    SquareMicrons totalUm2() const;
 };
 
 /**
@@ -55,61 +55,61 @@ class RandomArrayModel
     /** Build the model for the given configuration. */
     explicit RandomArrayModel(const RandomArrayConfig &cfg);
 
-    /** Read access latency (ns), including periphery. */
-    double readLatencyNs() const { return read_latency_ns_; }
-    /** Write access latency (ns), including periphery. */
-    double writeLatencyNs() const { return write_latency_ns_; }
+    /** Read access latency, including periphery. */
+    Nanoseconds readLatencyNs() const { return read_latency_ns_; }
+    /** Write access latency, including periphery. */
+    Nanoseconds writeLatencyNs() const { return write_latency_ns_; }
 
     /**
-     * Time the addressed bank stays busy on a read (ns): the cell/
+     * Time the addressed bank stays busy on a read: the cell/
      * sub-bank occupancy, excluding the shared tree traversal. For SNM
      * this includes the restore write forced by its destructive read.
      */
-    double bankBusyReadNs() const;
-    /** Time the addressed bank stays busy on a write (ns). */
-    double bankBusyWriteNs() const;
+    Nanoseconds bankBusyReadNs() const;
+    /** Time the addressed bank stays busy on a write. */
+    Nanoseconds bankBusyWriteNs() const;
 
-    /** Dynamic energy of one read (J); SNM includes the restore. */
-    double readEnergyJ() const;
-    /** Dynamic energy of one write (J). */
-    double writeEnergyJ() const;
+    /** Dynamic energy of one read; SNM includes the restore. */
+    Joules readEnergyJ() const;
+    /** Dynamic energy of one write. */
+    Joules writeEnergyJ() const;
 
-    /** Static leakage power of the whole array (W). */
-    double leakageW() const { return leakage_w_; }
+    /** Static leakage power of the whole array. */
+    Watts leakageW() const { return leakage_w_; }
 
-    /** Area decomposition (um^2). */
+    /** Area decomposition. */
     const AreaBreakdown &area() const { return area_; }
 
     /** Physical side of the (square) array floorplan (um). */
     double arraySideUm() const;
 
     /** CMOS H-tree share of the read latency (J-CMOS SRAM only). */
-    double htreeLatencyNs() const { return htree_lat_ns_; }
+    Nanoseconds htreeLatencyNs() const { return htree_lat_ns_; }
     /** CMOS H-tree share of the access energy (J-CMOS SRAM only). */
-    double htreeEnergyJ() const { return htree_energy_j_; }
+    Joules htreeEnergyJ() const { return htree_energy_j_; }
     /** Sub-bank share of the read latency (J-CMOS SRAM only). */
-    double subbankLatencyNs() const { return subbank_lat_ns_; }
+    Nanoseconds subbankLatencyNs() const { return subbank_lat_ns_; }
     /** Sub-bank share of the access energy (J-CMOS SRAM only). */
-    double subbankEnergyJ() const { return subbank_energy_j_; }
-    /** SFQ decoder share of the read latency (ns). */
-    double sfqDecoderLatencyNs() const { return sfq_dec_ns_; }
-    /** nTron + DC/SFQ conversion latency (J-CMOS SRAM only, ns). */
-    double conversionLatencyNs() const { return conv_ns_; }
+    Joules subbankEnergyJ() const { return subbank_energy_j_; }
+    /** SFQ decoder share of the read latency. */
+    Nanoseconds sfqDecoderLatencyNs() const { return sfq_dec_ns_; }
+    /** nTron + DC/SFQ conversion latency (J-CMOS SRAM only). */
+    Nanoseconds conversionLatencyNs() const { return conv_ns_; }
 
     /** Configuration used to build the model. */
     const RandomArrayConfig &config() const { return cfg_; }
 
   private:
     RandomArrayConfig cfg_;
-    double read_latency_ns_ = 0.0;
-    double write_latency_ns_ = 0.0;
-    double leakage_w_ = 0.0;
-    double htree_lat_ns_ = 0.0;
-    double htree_energy_j_ = 0.0;
-    double subbank_lat_ns_ = 0.0;
-    double subbank_energy_j_ = 0.0;
-    double sfq_dec_ns_ = 0.0;
-    double conv_ns_ = 0.0;
+    Nanoseconds read_latency_ns_{};
+    Nanoseconds write_latency_ns_{};
+    Watts leakage_w_{};
+    Nanoseconds htree_lat_ns_{};
+    Joules htree_energy_j_{};
+    Nanoseconds subbank_lat_ns_{};
+    Joules subbank_energy_j_{};
+    Nanoseconds sfq_dec_ns_{};
+    Nanoseconds conv_ns_{};
     AreaBreakdown area_;
 };
 

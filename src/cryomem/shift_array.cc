@@ -61,7 +61,7 @@ ShiftArray::reset()
         lane.reset();
 }
 
-double
+Joules
 ShiftArray::laneStepEnergyJ() const
 {
     // laneBytes * 8 bit cells, 0.1 fJ each (Table 1), all of which
@@ -70,16 +70,16 @@ ShiftArray::laneStepEnergyJ() const
            techParams(MemTech::Shift).readEnergyJ;
 }
 
-double
+SquareMicrons
 ShiftArray::areaUm2() const
 {
     const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
-    const double cells =
+    const SquareMicrons cells =
         bits * units::f2ToUm2(techParams(MemTech::Shift).cellSizeF2,
                               cfg_.featureNm);
     // A few SFQ splitters/mergers select among banks; model one splitter
     // unit worth of area per bank.
-    const double selects =
+    const SquareMicrons selects =
         cfg_.banks * units::f2ToUm2(360.0, cfg_.featureNm);
     return cells + selects;
 }

@@ -63,7 +63,7 @@ struct ShiftArrayConfig
     std::uint64_t capacityBytes = 32 * units::kib;
     int banks = 256;
     double featureNm = 28.0;   //!< JJ diameter (scaling hypothesis).
-    double clockGhz = 52.6;    //!< Shift clock = accelerator clock.
+    Gigahertz clockGhz{52.6};  //!< Shift clock = accelerator clock.
 };
 
 /** Banked SHIFT array: per-bank lanes plus area/energy accounting. */
@@ -77,8 +77,8 @@ class ShiftArray
     std::uint64_t laneBytes() const { return lane_bytes_; }
     /** Number of banks. */
     int banks() const { return cfg_.banks; }
-    /** One shift step duration (ps). */
-    double stepPs() const { return units::ghzToPs(cfg_.clockGhz); }
+    /** One shift step duration. */
+    Picoseconds stepPs() const { return units::ghzToPs(cfg_.clockGhz); }
 
     /**
      * Serve an access to flat byte address @p addr (byte-interleaved
@@ -96,16 +96,16 @@ class ShiftArray
     void reset();
 
     /**
-     * Lane-step dynamic energy (J): every DFF in the lane transfers on a
+     * Lane-step dynamic energy: every DFF in the lane transfers on a
      * shift, 0.1 fJ per bit cell (Table 1). This is what Fig. 16 plots.
      */
-    double laneStepEnergyJ() const;
+    Joules laneStepEnergyJ() const;
 
-    /** Layout area (um^2): 39 F^2 per bit cell plus bank selects. */
-    double areaUm2() const;
+    /** Layout area: 39 F^2 per bit cell plus bank selects. */
+    SquareMicrons areaUm2() const;
 
-    /** Static power (W): ERSFQ SHIFT lanes have no leakage. */
-    double leakageW() const { return 0.0; }
+    /** Static power: ERSFQ SHIFT lanes have no leakage. */
+    Watts leakageW() const { return Watts{}; }
 
     /** Configuration used to build the array. */
     const ShiftArrayConfig &config() const { return cfg_; }

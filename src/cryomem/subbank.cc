@@ -56,18 +56,18 @@ SubbankModel::SubbankModel(const SubbankConfig &cfg) : cfg_(cfg)
     vddV_ = mos.vddV;
 }
 
-double
+Nanoseconds
 SubbankModel::readLatencyNs() const
 {
     const double node_scale = cfg_.nodeNm / 180.0;
     const double levels = std::log2(rows_);
-    const double ps = (decPerLevelPs180 * levels + fixedPs180 +
-                       blPerRowPs180 * rows_) *
-                      node_scale / ionFactor_;
+    const Picoseconds ps{(decPerLevelPs180 * levels + fixedPs180 +
+                          blPerRowPs180 * rows_) *
+                         node_scale / ionFactor_};
     return units::psToNs(ps);
 }
 
-double
+Joules
 SubbankModel::energyPerAccessJ() const
 {
     // Scale from the 28 nm anchor by wire width and Vdd^2; cryogenic
@@ -80,35 +80,35 @@ SubbankModel::energyPerAccessJ() const
     return units::pjToJ(pj);
 }
 
-double
+Watts
 SubbankModel::cellLeakageW() const
 {
     const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
     const double node_scale = (cfg_.nodeNm / 28.0) * (vddV_ / 0.8);
-    return leakPerBitW28 * bits * node_scale * leakFactor_;
+    return Watts{leakPerBitW28 * bits * node_scale * leakFactor_};
 }
 
-double
+Watts
 SubbankModel::peripheralLeakageW() const
 {
     const double node_scale = (cfg_.nodeNm / 28.0) * (vddV_ / 0.8);
-    return leakPerMatW28 * cfg_.mats * node_scale * leakFactor_;
+    return Watts{leakPerMatW28 * cfg_.mats * node_scale * leakFactor_};
 }
 
-double
+Watts
 SubbankModel::leakageW() const
 {
     return cellLeakageW() + peripheralLeakageW();
 }
 
-double
+SquareMicrons
 SubbankModel::areaUm2() const
 {
     const double bits = static_cast<double>(cfg_.capacityBytes) * 8.0;
-    const double cell_um2 =
+    const SquareMicrons cell_um2 =
         units::f2ToUm2(techParams(MemTech::JcsSram).cellSizeF2,
                        cfg_.nodeNm);
-    const double cells = bits * cell_um2;
+    const SquareMicrons cells = bits * cell_um2;
 
     // Per-MAT peripherals: a CMOS row decoder (per decoded output) plus
     // sense amplifiers per column.

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
+
 namespace smart::cryo
 {
 
@@ -40,23 +42,23 @@ class SubbankModel
     /** Rows (= columns) of one square MAT. */
     double rows() const { return rows_; }
 
-    /** Read access latency (ns): decoder + wordline + bitline + sense. */
-    double readLatencyNs() const;
-    /** Write access latency (ns); equal to read for SRAM. */
-    double writeLatencyNs() const { return readLatencyNs(); }
+    /** Read access latency: decoder + wordline + bitline + sense. */
+    Nanoseconds readLatencyNs() const;
+    /** Write access latency; equal to read for SRAM. */
+    Nanoseconds writeLatencyNs() const { return readLatencyNs(); }
 
-    /** Dynamic energy of one access (J). */
-    double energyPerAccessJ() const;
+    /** Dynamic energy of one access. */
+    Joules energyPerAccessJ() const;
 
-    /** Static leakage power of the whole sub-bank (W). */
-    double leakageW() const;
-    /** Leakage of the cell array alone (W), for DSE breakdowns. */
-    double cellLeakageW() const;
-    /** Leakage of the per-MAT peripherals alone (W). */
-    double peripheralLeakageW() const;
+    /** Static leakage power of the whole sub-bank. */
+    Watts leakageW() const;
+    /** Leakage of the cell array alone, for DSE breakdowns. */
+    Watts cellLeakageW() const;
+    /** Leakage of the per-MAT peripherals alone. */
+    Watts peripheralLeakageW() const;
 
-    /** Layout area (um^2) including peripherals. */
-    double areaUm2() const;
+    /** Layout area including peripherals. */
+    SquareMicrons areaUm2() const;
 
     /** Configuration used to build the model. */
     const SubbankConfig &config() const { return cfg_; }

@@ -6,7 +6,7 @@
 namespace smart::cryo
 {
 
-double
+SquareMicrons
 TechParams::cellAreaUm2(double f_nm) const
 {
     return units::f2ToUm2(cellSizeF2, f_nm);
@@ -15,25 +15,24 @@ TechParams::cellAreaUm2(double f_nm) const
 namespace
 {
 
-using units::fjToJ;
-using units::pjToJ;
+using namespace units::literals;
 
 // Paper Table 1. SRAM read/write latency is the 2-4 ns range for a large
 // (28 MB) array; the CACTI-lite sub-bank model refines it per capacity,
 // and 3 ns is the representative midpoint used for flat estimates.
 const std::vector<TechParams> tech_table = {
-    {MemTech::Shift, "SHIFT", 0.02, 0.02, 39.0, fjToJ(0.1), fjToJ(0.1),
+    {MemTech::Shift, "SHIFT", 0.02_ns, 0.02_ns, 39.0, 0.1_fj, 0.1_fj,
      LeakageClass::None, false, false},
-    {MemTech::Vtm, "VTM", 0.1, 0.1, 203.0, pjToJ(0.1), pjToJ(0.1),
+    {MemTech::Vtm, "VTM", 0.1_ns, 0.1_ns, 203.0, 0.1_pj, 0.1_pj,
      LeakageClass::Tiny, true, false},
-    {MemTech::JcsSram, "SRAM", 3.0, 3.0, 146.0, pjToJ(0.1), pjToJ(0.1),
+    {MemTech::JcsSram, "SRAM", 3.0_ns, 3.0_ns, 146.0, 0.1_pj, 0.1_pj,
      LeakageClass::Medium, true, false},
-    {MemTech::Mram, "MRAM", 0.1, 2.0, 89.0, pjToJ(1.0), pjToJ(8.0),
+    {MemTech::Mram, "MRAM", 0.1_ns, 2.0_ns, 89.0, 1.0_pj, 8.0_pj,
      LeakageClass::Tiny, true, false},
-    {MemTech::Snm, "SNM", 0.1, 3.0, 54.0, fjToJ(10.0), fjToJ(10.0),
+    {MemTech::Snm, "SNM", 0.1_ns, 3.0_ns, 54.0, 10.0_fj, 10.0_fj,
      LeakageClass::Tiny, true, true},
-    {MemTech::CmosSfq, "CMOS-SFQ", 0.11, 0.11, 146.0, pjToJ(0.1),
-     pjToJ(0.1), LeakageClass::Medium, true, false},
+    {MemTech::CmosSfq, "CMOS-SFQ", 0.11_ns, 0.11_ns, 146.0, 0.1_pj,
+     0.1_pj, LeakageClass::Medium, true, false},
 };
 
 } // namespace

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hh"
+
 namespace smart::cryo
 {
 
@@ -37,17 +39,17 @@ struct TechParams
 {
     MemTech tech;
     std::string name;
-    double readLatencyNs;  //!< Cell/array read latency.
-    double writeLatencyNs; //!< Cell/array write latency.
-    double cellSizeF2;     //!< Cell area in F^2 (F = JJ diameter / node).
-    double readEnergyJ;    //!< Energy of one read access.
-    double writeEnergyJ;   //!< Energy of one write access.
-    LeakageClass leakage;  //!< Qualitative leakage class.
-    bool randomAccess;     //!< Supports random access.
-    bool destructiveRead;  //!< Reads destroy the cell contents (SNM).
+    Nanoseconds readLatencyNs;  //!< Cell/array read latency.
+    Nanoseconds writeLatencyNs; //!< Cell/array write latency.
+    double cellSizeF2;          //!< Cell area in F^2 (F = JJ diameter).
+    Joules readEnergyJ;         //!< Energy of one read access.
+    Joules writeEnergyJ;        //!< Energy of one write access.
+    LeakageClass leakage;       //!< Qualitative leakage class.
+    bool randomAccess;          //!< Supports random access.
+    bool destructiveRead;       //!< Reads destroy the cell contents (SNM).
 
-    /** Cell area in um^2 at feature size @p f_nm. */
-    double cellAreaUm2(double f_nm) const;
+    /** Cell area at feature size @p f_nm. */
+    SquareMicrons cellAreaUm2(double f_nm) const;
 };
 
 /** Look up the Table 1 parameters of one technology. */

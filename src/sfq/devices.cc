@@ -5,14 +5,16 @@
 namespace smart::sfq
 {
 
-double
+using namespace units::literals;
+
+Joules
 ComponentParams::energyPerOpJ() const
 {
     // Dynamic power in Table 2 is quoted at the pipeline reference
     // frequency; one operation therefore costs P_dyn / f_ref, floored by
     // the physical JJ switching energy of the component.
-    double from_power = dynamicW / (refPipelineFreqGhz * 1e9);
-    double from_jjs = jjCount * constants::jjSwitchEnergyJ;
+    Joules from_power = dynamicW / refPipelineFreqGhz;
+    Joules from_jjs = jjCount * constants::jjSwitchEnergyJ;
     return from_power > from_jjs ? from_power : from_jjs;
 }
 
@@ -21,33 +23,30 @@ namespace
 
 // Areas assume the paper's scaling hypothesis (Sec. 3): JJs shrink to
 // 28 nm, one JJ plus its inductor/bias footprint ~= 30 F^2.
-constexpr double jjFootprintUm2 = 30 * 0.028 * 0.028;
+constexpr SquareMicrons jjFootprintUm2{30 * 0.028 * 0.028};
 
 const ComponentParams splitter_params = {
-    "splitter", 7.0, 0.0, units::nwToW(0.15), 3, 3 * jjFootprintUm2,
+    "splitter", 7.0_ps, 0.0_w, 0.15_nw, 3, 3 * jjFootprintUm2,
 };
 
 const ComponentParams driver_params = {
-    "driver", 3.5, units::uwToW(0.874), units::nwToW(0.181), 2,
-    2 * jjFootprintUm2,
+    "driver", 3.5_ps, 0.874_uw, 0.181_nw, 2, 2 * jjFootprintUm2,
 };
 
 const ComponentParams receiver_params = {
-    "receiver", 5.25, 0.0, units::nwToW(0.275), 3, 3 * jjFootprintUm2,
+    "receiver", 5.25_ps, 0.0_w, 0.275_nw, 3, 3 * jjFootprintUm2,
 };
 
 const ComponentParams ntron_params = {
-    "nTron", 103.02, units::uwToW(8.8), units::nwToW(13.0), 0,
-    4 * jjFootprintUm2,
+    "nTron", 103.02_ps, 8.8_uw, 13.0_nw, 0, 4 * jjFootprintUm2,
 };
 
 const ComponentParams dcsfq_params = {
-    "DC/SFQ", 100.0, units::uwToW(0.5), units::nwToW(5.0), 2,
-    3 * jjFootprintUm2,
+    "DC/SFQ", 100.0_ps, 0.5_uw, 5.0_nw, 2, 3 * jjFootprintUm2,
 };
 
 const ComponentParams dff_params = {
-    "DFF", 2.0, 0.0, units::nwToW(0.1), 2, 2 * jjFootprintUm2,
+    "DFF", 2.0_ps, 0.0_w, 0.1_nw, 2, 2 * jjFootprintUm2,
 };
 
 } // namespace
@@ -59,21 +58,21 @@ const ComponentParams &ntronParams() { return ntron_params; }
 const ComponentParams &dcSfqParams() { return dcsfq_params; }
 const ComponentParams &dffParams() { return dff_params; }
 
-double
+Picoseconds
 SplitterUnit::latencyPs()
 {
     return receiverParams().latencyPs + splitterParams().latencyPs +
            driverParams().latencyPs;
 }
 
-double
+Watts
 SplitterUnit::leakageW()
 {
     return 2 * driverParams().leakageW + receiverParams().leakageW +
            splitterParams().leakageW;
 }
 
-double
+Joules
 SplitterUnit::energyPerPulseJ()
 {
     return receiverParams().energyPerOpJ() +
@@ -88,26 +87,26 @@ SplitterUnit::jjCount()
            2 * driverParams().jjCount;
 }
 
-double
+SquareMicrons
 SplitterUnit::areaUm2()
 {
     return receiverParams().areaUm2 + splitterParams().areaUm2 +
            2 * driverParams().areaUm2;
 }
 
-double
+Picoseconds
 Repeater::latencyPs()
 {
     return driverParams().latencyPs + receiverParams().latencyPs;
 }
 
-double
+Watts
 Repeater::leakageW()
 {
     return driverParams().leakageW + receiverParams().leakageW;
 }
 
-double
+Joules
 Repeater::energyPerPulseJ()
 {
     return driverParams().energyPerOpJ() + receiverParams().energyPerOpJ();

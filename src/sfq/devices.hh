@@ -14,11 +14,13 @@
 
 #include <string>
 
+#include "common/units.hh"
+
 namespace smart::sfq
 {
 
 /** Reference pipeline frequency used to convert dynamic power to energy. */
-constexpr double refPipelineFreqGhz = 9.6;
+constexpr Gigahertz refPipelineFreqGhz{9.6};
 
 /**
  * Static description of one SFQ component type. All components are
@@ -28,14 +30,14 @@ constexpr double refPipelineFreqGhz = 9.6;
 struct ComponentParams
 {
     std::string name;     //!< Component name for reports.
-    double latencyPs;     //!< Propagation latency (ps), Table 2.
-    double leakageW;      //!< Static (bias) power (W), Table 2.
-    double dynamicW;      //!< Dynamic power at 9.6 GHz (W), Table 2.
-    int jjCount;          //!< Josephson junctions in the component.
-    double areaUm2;       //!< Layout area (um^2) at 28 nm-equivalent JJs.
+    Picoseconds latencyPs;  //!< Propagation latency, Table 2.
+    Watts leakageW;         //!< Static (bias) power, Table 2.
+    Watts dynamicW;         //!< Dynamic power at 9.6 GHz, Table 2.
+    int jjCount;            //!< Josephson junctions in the component.
+    SquareMicrons areaUm2;  //!< Layout area at 28 nm-equivalent JJs.
 
-    /** Dynamic switching energy of one operation (J). */
-    double energyPerOpJ() const;
+    /** Dynamic switching energy of one operation. */
+    Joules energyPerOpJ() const;
 };
 
 /** Splitter: 3 JJs, 7 ps, no bias resistors (Table 2, Fig. 11g). */
@@ -63,15 +65,15 @@ const ComponentParams &dffParams();
 struct SplitterUnit
 {
     /** Latency through the unit, input receiver to one output driver. */
-    static double latencyPs();
+    static Picoseconds latencyPs();
     /** Static power of the unit (two biased drivers). */
-    static double leakageW();
+    static Watts leakageW();
     /** Dynamic energy of passing one pulse (both outputs fire). */
-    static double energyPerPulseJ();
+    static Joules energyPerPulseJ();
     /** Total JJ count of the unit. */
     static int jjCount();
-    /** Layout area of the unit (um^2). */
-    static double areaUm2();
+    /** Layout area of the unit. */
+    static SquareMicrons areaUm2();
 };
 
 /**
@@ -81,11 +83,11 @@ struct SplitterUnit
 struct Repeater
 {
     /** Latency through driver + receiver. */
-    static double latencyPs();
+    static Picoseconds latencyPs();
     /** Static power (the driver's bias network). */
-    static double leakageW();
+    static Watts leakageW();
     /** Dynamic energy of forwarding one pulse. */
-    static double energyPerPulseJ();
+    static Joules energyPerPulseJ();
     /** Total JJ count. */
     static int jjCount();
 };

@@ -13,7 +13,8 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
 {
     smart_assert(cfg_.leaves >= 2, "H-tree needs at least two leaves");
     smart_assert(cfg_.arraySideUm > 0, "array side must be positive");
-    smart_assert(cfg_.targetFreqGhz > 0, "target frequency must be > 0");
+    smart_assert(cfg_.targetFreqGhz > Gigahertz{},
+                 "target frequency must be > 0");
 
     const PtlModel ptl(cfg_.geom);
     const int levels =
@@ -25,10 +26,11 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
     // Longest PTL a single driver/receiver link may span at the target
     // frequency: max operating frequency (90 % of resonance) >= target.
     // Solve 0.9 / (2T + t0) >= f  =>  T <= (0.9/f - t0) / 2.
-    const double t0 = driverParams().latencyPs + receiverParams().latencyPs;
-    const double period_ps = 1e3 / cfg_.targetFreqGhz;
-    double max_link_delay_ps = (0.9 * period_ps - t0) / 2.0;
-    smart_assert(max_link_delay_ps > 0,
+    const Picoseconds t0 =
+        driverParams().latencyPs + receiverParams().latencyPs;
+    const Picoseconds period_ps = units::ghzToPs(cfg_.targetFreqGhz);
+    Picoseconds max_link_delay_ps = (0.9 * period_ps - t0) / 2.0;
+    smart_assert(max_link_delay_ps > Picoseconds{},
                  "target frequency unreachable with this PTL process");
     // The stage budget also caps the link delay.
     max_link_delay_ps =
@@ -37,8 +39,8 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
     const double max_link_um =
         max_link_delay_ps / ptl.delayPs(1.0);
 
-    double path_latency = 0.0;
-    double max_stage = 0.0;
+    Picoseconds path_latency{};
+    Picoseconds max_stage{};
     int path_stages = 0;
 
     for (int level = 0; level < levels; ++level) {
@@ -54,9 +56,9 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
             1, static_cast<int>(std::ceil(seg_um / max_link_um)));
         const int seg_repeaters = links - 1;
         const double link_um = seg_um / links;
-        const double link_delay =
+        const Picoseconds link_delay =
             ptl.delayPs(link_um) + Repeater::latencyPs();
-        const double seg_delay =
+        const Picoseconds seg_delay =
             links * ptl.delayPs(link_um) +
             seg_repeaters * Repeater::latencyPs();
 
@@ -83,13 +85,13 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
     // Request network: a pulse entering the root is broadcast by the
     // splitters, so every segment and unit in the tree fires once per
     // request bit.
-    const double per_bit_broadcast =
+    const Joules per_bit_broadcast =
         stats_.splitterUnits * SplitterUnit::energyPerPulseJ() +
         stats_.repeaters * Repeater::energyPerPulseJ();
     stats_.requestEnergyJ = cfg_.requestBits * per_bit_broadcast;
 
     // Reply network: only the selected bank's root-to-leaf path fires.
-    double per_bit_path = 0.0;
+    Joules per_bit_path{};
     for (int level = 0; level < levels; ++level) {
         const double seg_um = segmentLengthUm(level);
         const int links = std::max(
@@ -100,7 +102,7 @@ SfqHTree::SfqHTree(const SfqHTreeConfig &cfg) : cfg_(cfg)
     }
     stats_.replyEnergyJ = cfg_.replyBits * per_bit_path;
 
-    stats_.areaUm2 = stats_.totalWireUm * cfg_.geom.pitchUm +
+    stats_.areaUm2 = SquareMicrons{stats_.totalWireUm * cfg_.geom.pitchUm} +
                      stats_.splitterUnits * SplitterUnit::areaUm2() +
                      stats_.repeaters *
                          (driverParams().areaUm2 +
@@ -125,16 +127,16 @@ CmosHTree::pathLengthUm(double array_side_um)
     return 0.85 * array_side_um;
 }
 
-double
+Picoseconds
 CmosHTree::latencyPs(double path_um)
 {
-    return delayPsPerMm * path_um * 1e-3;
+    return Picoseconds{delayPsPerMm * path_um * 1e-3};
 }
 
-double
+Joules
 CmosHTree::energyJ(double path_um, int bits)
 {
-    return energyPerBitMmJ * path_um * 1e-3 * bits;
+    return Joules{energyPerBitMmJ * path_um * 1e-3 * bits};
 }
 
 double

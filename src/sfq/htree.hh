@@ -27,8 +27,8 @@ struct SfqHTreeConfig
 {
     int leaves = 256;            //!< Number of sub-banks (tree leaves).
     double arraySideUm = 5000.0; //!< Physical side of the bank array.
-    double targetFreqGhz = 9.6;  //!< Pipeline frequency to sustain.
-    double stageBudgetPs = 103.02; //!< Per-stage latency budget (nTron).
+    Gigahertz targetFreqGhz{9.6};  //!< Pipeline frequency to sustain.
+    Picoseconds stageBudgetPs{103.02}; //!< Per-stage latency budget (nTron).
     int requestBits = 149;       //!< Address + data + R/W pulses down.
     int replyBits = 128;         //!< Data pulses up.
     PtlGeometry geom;            //!< PTL process parameters.
@@ -42,13 +42,13 @@ struct SfqHTreeStats
     int repeaters = 0;           //!< Driver+receiver pairs inserted.
     int segments = 0;            //!< PTL tree edges.
     double totalWireUm = 0.0;    //!< Total PTL length in the tree.
-    double rootToLeafLatencyPs = 0.0; //!< One-way propagation latency.
+    Picoseconds rootToLeafLatencyPs{}; //!< One-way propagation latency.
     int pipelineStages = 0;      //!< Stages along a root-to-leaf path.
-    double maxStageLatencyPs = 0.0; //!< Slowest stage on the path.
-    double leakageW = 0.0;       //!< Bias power of all drivers.
-    double requestEnergyJ = 0.0; //!< Broadcast energy of one request.
-    double replyEnergyJ = 0.0;   //!< One-path energy of one reply.
-    double areaUm2 = 0.0;        //!< Wire + component layout area.
+    Picoseconds maxStageLatencyPs{}; //!< Slowest stage on the path.
+    Watts leakageW{};            //!< Bias power of all drivers.
+    Joules requestEnergyJ{};     //!< Broadcast energy of one request.
+    Joules replyEnergyJ{};       //!< One-path energy of one reply.
+    SquareMicrons areaUm2{};     //!< Wire + component layout area.
 };
 
 /**
@@ -90,21 +90,24 @@ class CmosHTree
     /** Delay per millimeter of repeated wire at 4 K (ps/mm). */
     static constexpr double delayPsPerMm = 420.0;
     /**
-     * Switching energy per bit per millimeter (J). Calibrated together
-     * with delayPsPerMm so the 256-bank 28 MB Josephson-CMOS array
-     * reproduces the paper's Fig. 9 breakdown: H-tree = 84 % of access
-     * latency and 49 % of access energy.
+     * Switching energy per bit per millimeter (J/(bit*mm)) — a linear
+     * density, not an energy, hence not a Joules quantity. Calibrated
+     * together with delayPsPerMm so the 256-bank 28 MB Josephson-CMOS
+     * array reproduces the paper's Fig. 9 breakdown: H-tree = 84 % of
+     * access latency and 49 % of access energy.
      */
+    // lint-allow(raw-unit-double): per-bit-mm density, not an energy
     static constexpr double energyPerBitMmJ = 1.8e-13;
-    /** Leakage of repeater banks per millimeter of tree wire (W/mm). */
+    /** Leakage per millimeter of tree wire (W/mm) — a linear density. */
+    // lint-allow(raw-unit-double): per-mm density, not a power
     static constexpr double leakagePerMmW = 1.2e-4;
 
     /** Root-to-leaf path length for a square array (um). */
     static double pathLengthUm(double array_side_um);
-    /** One-way latency over the given path (ps). */
-    static double latencyPs(double path_um);
-    /** Energy of moving @p bits over the given path (J). */
-    static double energyJ(double path_um, int bits);
+    /** One-way latency over the given path. */
+    static Picoseconds latencyPs(double path_um);
+    /** Energy of moving @p bits over the given path. */
+    static Joules energyJ(double path_um, int bits);
     /** Total tree wire length for @p leaves over the array (um). */
     static double totalWireUm(double array_side_um, int leaves);
 };

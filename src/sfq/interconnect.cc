@@ -55,42 +55,42 @@ PtlModel::velocityMps() const
     return 1.0 / std::sqrt(l_per_m_ * c_per_m_);
 }
 
-double
+Picoseconds
 PtlModel::delayPs(double length_um) const
 {
     smart_assert(length_um >= 0.0, "negative PTL length");
     // Eq. 4: T = N * sqrt(L*C) with N LC sections; in the continuum limit
     // this is length / velocity.
     const double length_m = length_um * 1e-6;
-    return length_m / velocityMps() * 1e12;
+    return Picoseconds{length_m / velocityMps() * 1e12};
 }
 
-double
+Gigahertz
 PtlModel::resonanceFreqGhz(double length_um) const
 {
-    const double t_ps = delayPs(length_um);
-    const double t0_ps = driverParams().latencyPs +
-                         receiverParams().latencyPs;
-    return 1e3 / (2.0 * t_ps + t0_ps);
+    const Picoseconds t_ps = delayPs(length_um);
+    const Picoseconds t0_ps = driverParams().latencyPs +
+                              receiverParams().latencyPs;
+    return units::psToGhz(2.0 * t_ps + t0_ps);
 }
 
-double
+Gigahertz
 PtlModel::maxOperatingFreqGhz(double length_um) const
 {
     return 0.9 * resonanceFreqGhz(length_um);
 }
 
-double
+Joules
 PtlModel::energyPerPulseJ(double length_um) const
 {
     (void)length_um; // The PTL itself is lossless (no DC resistance).
     return driverParams().energyPerOpJ() + receiverParams().energyPerOpJ();
 }
 
-double
+SquareMicrons
 PtlModel::areaUm2(double length_um) const
 {
-    return length_um * geom_.pitchUm;
+    return SquareMicrons{length_um * geom_.pitchUm};
 }
 
 int
@@ -100,32 +100,32 @@ JtlModel::stages(double length_um)
     return static_cast<int>(std::ceil(length_um / stagePitchUm));
 }
 
-double
+Picoseconds
 JtlModel::delayPs(double length_um)
 {
     return stages(length_um) * stageDelayPs;
 }
 
-double
+Joules
 JtlModel::energyPerPulseJ(double length_um)
 {
     return stages(length_um) * stageEnergyJ;
 }
 
-double
+Picoseconds
 CmosWireModel::delayPs(double length_um)
 {
     smart_assert(length_um >= 0.0, "negative wire length");
     // Distributed Elmore delay: 0.38 * R_total * C_total.
     const double r = resistancePerUm * length_um;
     const double c = capacitancePerUm * length_um;
-    return 0.38 * r * c * 1e12;
+    return Picoseconds{0.38 * r * c * 1e12};
 }
 
-double
+Joules
 CmosWireModel::energyPerBitJ(double length_um)
 {
-    return 0.5 * capacitancePerUm * length_um * supplyV * supplyV;
+    return Joules{0.5 * capacitancePerUm * length_um * supplyV * supplyV};
 }
 
 } // namespace smart::sfq

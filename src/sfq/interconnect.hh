@@ -9,6 +9,8 @@
 #ifndef SMART_SFQ_INTERCONNECT_HH
 #define SMART_SFQ_INTERCONNECT_HH
 
+#include "common/units.hh"
+
 namespace smart::sfq
 {
 
@@ -50,30 +52,30 @@ class PtlModel
     /** Propagation velocity (m/s). */
     double velocityMps() const;
 
-    /** Delay of a line of the given length (ps), Eq. 4. */
-    double delayPs(double length_um) const;
+    /** Delay of a line of the given length, Eq. 4. */
+    Picoseconds delayPs(double length_um) const;
 
     /**
-     * Resonance frequency of a driver + PTL + receiver link (GHz):
+     * Resonance frequency of a driver + PTL + receiver link:
      * f = 1 / (2T + t0) with T the PTL delay and t0 the driver+receiver
      * delay (Sec. 4.2.3).
      */
-    double resonanceFreqGhz(double length_um) const;
+    Gigahertz resonanceFreqGhz(double length_um) const;
 
     /**
-     * Maximum safe operating frequency (GHz): 90 % of the resonance
+     * Maximum safe operating frequency: 90 % of the resonance
      * frequency, past which reflections cause timing jitter.
      */
-    double maxOperatingFreqGhz(double length_um) const;
+    Gigahertz maxOperatingFreqGhz(double length_um) const;
 
     /**
-     * Dynamic energy of sending one pulse across the line (J): the line
+     * Dynamic energy of sending one pulse across the line: the line
      * itself is lossless; the cost is the driver and receiver switching.
      */
-    double energyPerPulseJ(double length_um) const;
+    Joules energyPerPulseJ(double length_um) const;
 
-    /** Layout area of a line of the given length (um^2). */
-    double areaUm2(double length_um) const;
+    /** Layout area of a line of the given length. */
+    SquareMicrons areaUm2(double length_um) const;
 
     /** Geometry this model was built from. */
     const PtlGeometry &geometry() const { return geom_; }
@@ -94,20 +96,20 @@ class JtlModel
   public:
     /** Physical pitch of one JTL stage (um). */
     static constexpr double stagePitchUm = 10.0;
-    /** Delay of one JTL stage (ps); matches driver = 2 stages = 3.5 ps. */
-    static constexpr double stageDelayPs = 1.75;
+    /** Delay of one JTL stage; matches driver = 2 stages = 3.5 ps. */
+    static constexpr Picoseconds stageDelayPs{1.75};
     /**
-     * Energy of one stage forwarding a pulse (J), dominated by the bias
+     * Energy of one stage forwarding a pulse, dominated by the bias
      * network dissipation; fitted to the 100x PTL ratio at 200 um.
      */
-    static constexpr double stageEnergyJ = 2.5e-18;
+    static constexpr Joules stageEnergyJ{2.5e-18};
 
     /** Number of stages needed to span the given length. */
     static int stages(double length_um);
-    /** Delay of a JTL of the given length (ps). */
-    static double delayPs(double length_um);
-    /** Energy of one pulse traversing the given length (J). */
-    static double energyPerPulseJ(double length_um);
+    /** Delay of a JTL of the given length. */
+    static Picoseconds delayPs(double length_um);
+    /** Energy of one pulse traversing the given length. */
+    static Joules energyPerPulseJ(double length_um);
 };
 
 /**
@@ -125,10 +127,10 @@ class CmosWireModel
     /** Logic supply voltage (V). */
     static constexpr double supplyV = 0.8;
 
-    /** Elmore delay of an unrepeated distributed RC line (ps). */
-    static double delayPs(double length_um);
-    /** Switching energy of one full-swing transition (J). */
-    static double energyPerBitJ(double length_um);
+    /** Elmore delay of an unrepeated distributed RC line. */
+    static Picoseconds delayPs(double length_um);
+    /** Switching energy of one full-swing transition. */
+    static Joules energyPerBitJ(double length_um);
 };
 
 } // namespace smart::sfq

@@ -10,7 +10,7 @@
 namespace smart::sfq
 {
 
-double
+Joules
 PulseSimResult::totalEnergyJ() const
 {
     return dynamicEnergyJ + staticPowerW * units::psToS(endTimePs);
@@ -135,21 +135,23 @@ PulseNetlist::inject(NodeId source, double time_ps)
     injections_.emplace_back(time_ps, source);
 }
 
-double
+Picoseconds
 PulseNetlist::nodeDelayPs(const Node &n) const
 {
     switch (n.kind) {
       case NodeKind::Source:
       case NodeKind::Sink:
-        return 0.0;
+        return Picoseconds{};
       case NodeKind::Jtl:
         return JtlModel::delayPs(n.lengthUm) * n.delayFactor;
       case NodeKind::Ptl: {
         // Analytical delay plus a small dispersion term: finite LC
-        // sections slightly slow the pulse edge on long lines.
-        double t = ptl_.delayPs(n.lengthUm);
+        // sections slightly slow the pulse edge on long lines. The
+        // empirical fit is dimensionally inhomogeneous (t^2 / (t + 20)),
+        // so it is computed on the raw value.
+        double t = ptl_.delayPs(n.lengthUm).value();
         double dispersion = 0.015 * t * t / (t + 20.0);
-        return (t + dispersion) * n.delayFactor;
+        return Picoseconds{(t + dispersion) * n.delayFactor};
       }
       case NodeKind::Splitter:
         return splitterParams().latencyPs * n.delayFactor;
@@ -165,17 +167,17 @@ PulseNetlist::nodeDelayPs(const Node &n) const
     smart_panic("unhandled node kind");
 }
 
-double
+Joules
 PulseNetlist::nodeEnergyJ(const Node &n) const
 {
     switch (n.kind) {
       case NodeKind::Source:
       case NodeKind::Sink:
-        return 0.0;
+        return Joules{};
       case NodeKind::Jtl:
         return JtlModel::energyPerPulseJ(n.lengthUm);
       case NodeKind::Ptl:
-        return 0.0; // Lossless; drivers/receivers pay the cost.
+        return Joules{}; // Lossless; drivers/receivers pay the cost.
       case NodeKind::Splitter:
         return splitterParams().energyPerOpJ();
       case NodeKind::Driver:
@@ -190,14 +192,14 @@ PulseNetlist::nodeEnergyJ(const Node &n) const
     smart_panic("unhandled node kind");
 }
 
-double
+Watts
 PulseNetlist::nodeLeakageW(const Node &n) const
 {
     switch (n.kind) {
       case NodeKind::Driver:
         return driverParams().leakageW;
       default:
-        return 0.0;
+        return Watts{};
     }
 }
 
@@ -208,7 +210,7 @@ PulseNetlist::run(double until_ps)
         queue;
 
     for (auto &[t, src] : injections_)
-        queue.push(Event{t, src, 0});
+        queue.push(Event{Picoseconds{t}, src, 0});
 
     PulseSimResult res;
     for (const Node &n : nodes_)
@@ -222,7 +224,7 @@ PulseNetlist::run(double until_ps)
     while (!queue.empty()) {
         Event ev = queue.top();
         queue.pop();
-        if (ev.timePs > until_ps)
+        if (ev.timePs > Picoseconds{until_ps})
             break;
         res.endTimePs = std::max(res.endTimePs, ev.timePs);
 
@@ -230,11 +232,11 @@ PulseNetlist::run(double until_ps)
         ++res.pulseCount;
         res.dynamicEnergyJ += nodeEnergyJ(n);
 
-        double out_time = ev.timePs + nodeDelayPs(n);
+        const Picoseconds out_time = ev.timePs + nodeDelayPs(n);
 
         switch (n.kind) {
           case NodeKind::Sink:
-            n.arrivalLog.push_back(ev.timePs);
+            n.arrivalLog.push_back(ev.timePs.value());
             break;
           case NodeKind::Dff:
             if (ev.inPort == 0) {

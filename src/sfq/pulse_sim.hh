@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/units.hh"
 #include "sfq/interconnect.hh"
 
 namespace smart::sfq
@@ -46,13 +47,13 @@ enum class NodeKind
 /** Result of a pulse simulation run. */
 struct PulseSimResult
 {
-    double dynamicEnergyJ = 0.0;   //!< Total switching energy.
-    double staticPowerW = 0.0;     //!< Sum of bias (leakage) power.
-    double endTimePs = 0.0;        //!< Time of the last processed event.
+    Joules dynamicEnergyJ{};       //!< Total switching energy.
+    Watts staticPowerW{};          //!< Sum of bias (leakage) power.
+    Picoseconds endTimePs{};       //!< Time of the last processed event.
     std::uint64_t pulseCount = 0;  //!< Total component activations.
 
     /** Static energy over the simulated window plus dynamic energy. */
-    double totalEnergyJ() const;
+    Joules totalEnergyJ() const;
 };
 
 /**
@@ -127,7 +128,7 @@ class PulseNetlist
 
     struct Event
     {
-        double timePs;
+        Picoseconds timePs;
         NodeId node;
         int inPort;
         bool operator>(const Event &o) const { return timePs > o.timePs; }
@@ -135,13 +136,13 @@ class PulseNetlist
 
     NodeId addNode(NodeKind kind, const std::string &name,
                    double length_um, int out_ports);
-    /** Propagation delay through a node (ps). */
-    double nodeDelayPs(const Node &n) const;
-    /** Dynamic energy of one activation (J). */
-    double nodeEnergyJ(const Node &n) const;
-    /** Static power contribution (W). */
-    double nodeLeakageW(const Node &n) const;
-    void scheduleOutputs(const Node &n, double now_ps,
+    /** Propagation delay through a node. */
+    Picoseconds nodeDelayPs(const Node &n) const;
+    /** Dynamic energy of one activation. */
+    Joules nodeEnergyJ(const Node &n) const;
+    /** Static power contribution. */
+    Watts nodeLeakageW(const Node &n) const;
+    void scheduleOutputs(const Node &n, Picoseconds now_ps,
                          std::vector<Event> &heap);
 
     PtlModel ptl_;

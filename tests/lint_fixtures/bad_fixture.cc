@@ -18,6 +18,9 @@ bad()
 
     std::mutex mu;
     (void)mu;
+
+    double latencyPs = 7.0; // raw unit double: should be Picoseconds
+    (void)latencyPs;
 }
 
 void escape() SMART_NO_THREAD_SAFETY_ANALYSIS;

@@ -29,6 +29,15 @@ good()
     (void)x.load(std::memory_order_relaxed);
 
     (void)x.load(); // seq_cst default needs no rationale
+
+    double time_ps = 1.0;  // snake_case boundary locals stay raw
+    double leakageMw = 0.0; // figure-scale (mW) suffixes are exempt
+    // lint-allow(raw-unit-double): fixture for a density that has no
+    // single-quantity type (per-mm energy).
+    double energyPerBitMmJ = 1.8e-13;
+    (void)time_ps;
+    (void)leakageMw;
+    (void)energyPerBitMmJ;
 }
 
 // tsa: fixture for the justified-escape form.

@@ -29,12 +29,12 @@ energyOf(Scheme s, const std::string &model_name, int batch)
 TEST(Energy, BreakdownSumsToPhysical)
 {
     EnergyBreakdown e;
-    e.matrixJ = 1.0;
-    e.spmDynamicJ = 2.0;
-    e.spmStaticJ = 3.0;
-    e.dramJ = 4.0;
-    EXPECT_DOUBLE_EQ(e.physicalJ(), 10.0);
-    EXPECT_DOUBLE_EQ(e.totalJ(400.0), 4000.0);
+    e.matrixJ = Joules{1.0};
+    e.spmDynamicJ = Joules{2.0};
+    e.spmStaticJ = Joules{3.0};
+    e.dramJ = Joules{4.0};
+    EXPECT_DOUBLE_EQ(e.physicalJ().value(), 10.0);
+    EXPECT_DOUBLE_EQ(e.totalJ(400.0).value(), 4000.0);
 }
 
 TEST(Energy, CoolingAppliesOnlyAt4K)
@@ -48,14 +48,16 @@ TEST(Energy, CoolingAppliesOnlyAt4K)
 TEST(Energy, ErsfqShiftHasNoStaticPower)
 {
     EnergyBreakdown e = energyOf(Scheme::SuperNpu, "AlexNet", 1);
-    EXPECT_DOUBLE_EQ(e.spmStaticJ, 0.0);
-    EXPECT_GT(e.spmDynamicJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.spmStaticJ.value(), 0.0);
+    EXPECT_GT(e.spmDynamicJ.value(), 0.0);
 }
 
 TEST(Energy, CmosArraysLeak)
 {
-    EXPECT_GT(energyOf(Scheme::Smart, "AlexNet", 1).spmStaticJ, 0.0);
-    EXPECT_GT(energyOf(Scheme::Sram, "AlexNet", 1).spmStaticJ, 0.0);
+    EXPECT_GT(energyOf(Scheme::Smart, "AlexNet", 1).spmStaticJ.value(),
+              0.0);
+    EXPECT_GT(energyOf(Scheme::Sram, "AlexNet", 1).spmStaticJ.value(),
+              0.0);
 }
 
 TEST(Energy, Fig20SmartBeatsSuperNpu)
@@ -64,9 +66,9 @@ TEST(Energy, Fig20SmartBeatsSuperNpu)
     // (paper: -86 %; we require a substantial cut).
     for (const char *m : {"AlexNet", "ResNet50", "VGG16"}) {
         const double npu =
-            energyOf(Scheme::SuperNpu, m, 1).totalJ(400.0);
+            energyOf(Scheme::SuperNpu, m, 1).totalJ(400.0).value();
         const double smart_j =
-            energyOf(Scheme::Smart, m, 1).totalJ(400.0);
+            energyOf(Scheme::Smart, m, 1).totalJ(400.0).value();
         EXPECT_LT(smart_j, 0.6 * npu) << m;
     }
 }
@@ -79,9 +81,12 @@ TEST(Energy, Fig20SmartTinyFractionOfTpu)
     auto model = cnn::convLayersOnly(cnn::makeAlexNet());
     auto tpu_r = runInference(tpu_cfg, model, 1);
     const double tpu_j =
-        computeEnergy(tpu_cfg, tpu_r).totalJ(tpu_cfg.coolingFactor);
+        computeEnergy(tpu_cfg, tpu_r)
+            .totalJ(tpu_cfg.coolingFactor)
+            .value();
     const double smart_j = energyOf(Scheme::Smart, "AlexNet", 1)
-                               .totalJ(400.0);
+                               .totalJ(400.0)
+                               .value();
     EXPECT_LT(smart_j / tpu_j, 0.15);
     EXPECT_GT(smart_j / tpu_j, 0.001);
 }
@@ -91,9 +96,9 @@ TEST(Energy, SramSchemeWorseThanSuperNpu)
     // Fig. 20: the SRAM scheme burns more energy than SuperNPU (longer
     // latency and leaky arrays).
     const double npu =
-        energyOf(Scheme::SuperNpu, "AlexNet", 1).totalJ(400.0);
+        energyOf(Scheme::SuperNpu, "AlexNet", 1).totalJ(400.0).value();
     const double sram =
-        energyOf(Scheme::Sram, "AlexNet", 1).totalJ(400.0);
+        energyOf(Scheme::Sram, "AlexNet", 1).totalJ(400.0).value();
     EXPECT_GT(sram, npu);
 }
 
@@ -103,16 +108,17 @@ TEST(Energy, TpuUsesAveragePowerAccounting)
     auto model = cnn::convLayersOnly(cnn::makeAlexNet());
     auto r = runInference(cfg, model, 1);
     EnergyBreakdown e = computeEnergy(cfg, r);
-    EXPECT_NEAR(e.physicalJ(), 40.0 * r.seconds, 1e-9);
+    EXPECT_NEAR(e.physicalJ().value(), 40.0 * r.seconds, 1e-9);
 }
 
 TEST(Energy, BatchEnergyPerImageDropsForSuperNpu)
 {
     // Weight loads and drains amortize across the batch.
     const double e1 =
-        energyOf(Scheme::SuperNpu, "AlexNet", 1).totalJ(400.0);
+        energyOf(Scheme::SuperNpu, "AlexNet", 1).totalJ(400.0).value();
     const double e30 =
-        energyOf(Scheme::SuperNpu, "AlexNet", 30).totalJ(400.0) / 30.0;
+        energyOf(Scheme::SuperNpu, "AlexNet", 30).totalJ(400.0).value() /
+        30.0;
     EXPECT_LT(e30, e1);
 }
 
@@ -125,7 +131,8 @@ TEST(Energy, ConstantsAreOverridable)
     k.macEnergySfqJ *= 10.0;
     EnergyBreakdown base = computeEnergy(cfg, r);
     EnergyBreakdown inflated = computeEnergy(cfg, r, k);
-    EXPECT_NEAR(inflated.matrixJ, 10.0 * base.matrixJ, 1e-12);
+    EXPECT_NEAR(inflated.matrixJ.value(), 10.0 * base.matrixJ.value(),
+                1e-12);
 }
 
 TEST(Energy, DramChargedPerByte)
@@ -137,7 +144,7 @@ TEST(Energy, DramChargedPerByte)
     auto model = cnn::makeAlexNet();
     auto r = runInference(cfg, model, 1);
     EnergyBreakdown e = computeEnergy(cfg, r);
-    EXPECT_GT(e.dramJ, 0.0);
+    EXPECT_GT(e.dramJ.value(), 0.0);
 }
 
 /** Parameterized: energy strictly positive for every scheme. */
@@ -149,8 +156,8 @@ TEST_P(EnergySweep, PositiveAndFinite)
 {
     EnergyBreakdown e = energyOf(static_cast<Scheme>(GetParam()),
                                  "GoogleNet", 2);
-    EXPECT_GT(e.physicalJ(), 0.0);
-    EXPECT_TRUE(std::isfinite(e.totalJ(400.0)));
+    EXPECT_GT(e.physicalJ().value(), 0.0);
+    EXPECT_TRUE(std::isfinite(e.totalJ(400.0).value()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, EnergySweep, ::testing::Range(0, 6));

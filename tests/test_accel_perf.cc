@@ -21,12 +21,12 @@ TEST(Config, Table4Values)
     AcceleratorConfig tpu = makeTpu();
     EXPECT_EQ(tpu.pe.rows, 256);
     EXPECT_EQ(tpu.pe.cols, 256);
-    EXPECT_DOUBLE_EQ(tpu.clockGhz, 0.7);
+    EXPECT_DOUBLE_EQ(tpu.clockGhz.value(), 0.7);
     EXPECT_NEAR(tpu.peakTmacs(), 45.9, 0.5);
 
     AcceleratorConfig npu = makeSuperNpu();
     EXPECT_EQ(npu.pe.rows, 64);
-    EXPECT_DOUBLE_EQ(npu.clockGhz, 52.6);
+    EXPECT_DOUBLE_EQ(npu.clockGhz.value(), 52.6);
     EXPECT_NEAR(npu.peakTmacs(), 862.0, 1.0);
     EXPECT_EQ(npu.inputSpm.banks, 64);
     EXPECT_EQ(npu.inputSpm.capacityBytes, 24 * units::mib);
@@ -112,7 +112,7 @@ TEST(Perf, Fig25WriteLatencyHurts)
     auto model = cnn::convLayersOnly(cnn::makeAlexNet());
     auto fast_cfg = makeSmart();
     auto slow_cfg = makeSmart();
-    slow_cfg.randomWriteLatencyNsOverride = 3.0;
+    slow_cfg.randomWriteLatencyNsOverride = Nanoseconds{3.0};
     const double fast =
         runInference(fast_cfg, model, 1).throughputTmacs();
     const double slow =

@@ -26,8 +26,8 @@ TEST(Units, TimeConversionsRoundTrip)
 
 TEST(Units, EnergyConversions)
 {
-    EXPECT_DOUBLE_EQ(units::fjToJ(1.0), 1e-15);
-    EXPECT_DOUBLE_EQ(units::pjToJ(2.0), 2e-12);
+    EXPECT_DOUBLE_EQ(units::fjToJ(1.0).value(), 1e-15);
+    EXPECT_DOUBLE_EQ(units::pjToJ(2.0).value(), 2e-12);
     EXPECT_DOUBLE_EQ(units::jToPj(units::pjToJ(7.5)), 7.5);
 }
 
@@ -41,7 +41,7 @@ TEST(Units, FrequencyCycleDuality)
 TEST(Units, CellAreaFromF2)
 {
     // A 39 F^2 SHIFT cell at F = 28 nm.
-    const double um2 = units::f2ToUm2(39.0, 28.0);
+    const double um2 = units::f2ToUm2(39.0, 28.0).value();
     EXPECT_NEAR(um2, 39.0 * 0.028 * 0.028, 1e-12);
 }
 

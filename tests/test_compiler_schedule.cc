@@ -29,8 +29,8 @@ SchedParams
 smartParams()
 {
     SchedParams p;
-    p.shiftCapacityBytes = 32 * 1024;
-    p.randomCapacityBytes = 28ull * 1024 * 1024;
+    p.shiftCapacityBytes = ByteCount{32 * 1024};
+    p.randomCapacityBytes = ByteCount{28ull * 1024 * 1024};
     p.prefetchIterations = 3;
     return p;
 }
@@ -127,8 +127,8 @@ TEST(Ilp, TinyCapacityPushesDataOffChip)
     LayerDag dag = dagOf(l);
     SchedParams roomy = smartParams();
     SchedParams tight = smartParams();
-    tight.shiftCapacityBytes = 512;
-    tight.randomCapacityBytes = 64 * 1024;
+    tight.shiftCapacityBytes = ByteCount{512};
+    tight.randomCapacityBytes = ByteCount{64 * 1024};
     Schedule s_roomy = scheduleIlp(dag, roomy);
     Schedule s_tight = scheduleIlp(dag, tight);
     EXPECT_GE(s_tight.dramBytes(dag), s_roomy.dramBytes(dag));
@@ -158,7 +158,7 @@ TEST(Schedule, ValidateCatchesOverflow)
     Schedule s = scheduleGreedy(dag, p);
     // Corrupt: force everything into SHIFT.
     SchedParams tiny = p;
-    tiny.shiftCapacityBytes = 1;
+    tiny.shiftCapacityBytes = ByteCount{1};
     for (auto &d : s.decisions)
         d.placement = Placement::Shift;
     EXPECT_FALSE(validateSchedule(dag, tiny, s));
@@ -226,7 +226,8 @@ TEST(Greedy, OversizedObjectsFallBackToAllDram)
     // input.
     SchedParams p = smartParams();
     const std::uint64_t huge =
-        std::max(p.shiftCapacityBytes * 8, p.randomCapacityBytes * 2);
+        std::max(p.shiftCapacityBytes * 8, p.randomCapacityBytes * 2)
+            .value();
     LayerDag dag = handDag(
         {{ObjClass::Weight, 0, huge, 1024, false},
          {ObjClass::Input, 0, huge, 512, false},

@@ -39,9 +39,10 @@ TEST(CrossModule, HtreeLatencyConsistentWithPtlPhysics)
     for (int l = 0; l < tree.stats().levels; ++l)
         path_um += tree.segmentLengthUm(l);
     const double floor_ps =
-        ptl.delayPs(path_um) +
-        tree.stats().levels * sfq::SplitterUnit::latencyPs();
-    EXPECT_GE(tree.stats().rootToLeafLatencyPs, floor_ps - 1e-6);
+        (ptl.delayPs(path_um) +
+         tree.stats().levels * sfq::SplitterUnit::latencyPs())
+            .value();
+    EXPECT_GE(tree.stats().rootToLeafLatencyPs.value(), floor_ps - 1e-6);
 }
 
 TEST(CrossModule, CmosSfqThroughputMatchesSchemeTiming)
@@ -99,8 +100,8 @@ TEST(CrossModule, SnmBusyMatchesTechTable)
     rc.tech = cryo::MemTech::Snm;
     cryo::RandomArrayModel arr(rc);
     const auto &tp = cryo::techParams(cryo::MemTech::Snm);
-    EXPECT_NEAR(arr.bankBusyReadNs(),
-                tp.readLatencyNs + tp.writeLatencyNs, 1e-9);
+    EXPECT_NEAR(arr.bankBusyReadNs().value(),
+                (tp.readLatencyNs + tp.writeLatencyNs).value(), 1e-9);
 }
 
 TEST(CrossModule, EnergyScalesWithBatch)

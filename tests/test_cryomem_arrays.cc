@@ -21,21 +21,21 @@ using namespace smart::cryo;
 TEST(Tech, Table1Values)
 {
     const TechParams &shift = techParams(MemTech::Shift);
-    EXPECT_DOUBLE_EQ(shift.readLatencyNs, 0.02);
+    EXPECT_DOUBLE_EQ(shift.readLatencyNs.value(), 0.02);
     EXPECT_DOUBLE_EQ(shift.cellSizeF2, 39.0);
     EXPECT_FALSE(shift.randomAccess);
 
     const TechParams &vtm = techParams(MemTech::Vtm);
-    EXPECT_DOUBLE_EQ(vtm.readLatencyNs, 0.1);
+    EXPECT_DOUBLE_EQ(vtm.readLatencyNs.value(), 0.1);
     EXPECT_DOUBLE_EQ(vtm.cellSizeF2, 203.0);
 
     const TechParams &mram = techParams(MemTech::Mram);
-    EXPECT_DOUBLE_EQ(mram.readLatencyNs, 0.1);
-    EXPECT_DOUBLE_EQ(mram.writeLatencyNs, 2.0);
+    EXPECT_DOUBLE_EQ(mram.readLatencyNs.value(), 0.1);
+    EXPECT_DOUBLE_EQ(mram.writeLatencyNs.value(), 2.0);
     EXPECT_DOUBLE_EQ(mram.cellSizeF2, 89.0);
 
     const TechParams &snm = techParams(MemTech::Snm);
-    EXPECT_DOUBLE_EQ(snm.writeLatencyNs, 3.0);
+    EXPECT_DOUBLE_EQ(snm.writeLatencyNs.value(), 3.0);
     EXPECT_TRUE(snm.destructiveRead);
     EXPECT_DOUBLE_EQ(snm.cellSizeF2, 54.0);
 }
@@ -137,7 +137,7 @@ TEST(ShiftArray, LaneStepEnergyMatchesFig16)
 TEST(ShiftArray, NoLeakage)
 {
     ShiftArrayConfig cfg;
-    EXPECT_DOUBLE_EQ(ShiftArray(cfg).leakageW(), 0.0);
+    EXPECT_DOUBLE_EQ(ShiftArray(cfg).leakageW().value(), 0.0);
 }
 
 TEST(RandomArray, ShiftHasNoRandomAccess)
@@ -154,8 +154,8 @@ TEST(RandomArray, JcsSramLatencyInPaperRange)
     RandomArrayConfig cfg;
     cfg.tech = MemTech::JcsSram;
     RandomArrayModel arr(cfg);
-    EXPECT_GE(arr.readLatencyNs(), 2.0);
-    EXPECT_LE(arr.readLatencyNs(), 4.0);
+    EXPECT_GE(arr.readLatencyNs().value(), 2.0);
+    EXPECT_LE(arr.readLatencyNs().value(), 4.0);
 }
 
 TEST(RandomArray, Fig9HtreeDominance)
@@ -178,7 +178,7 @@ TEST(RandomArray, SnmReadsAreDestructive)
     cfg.tech = MemTech::Snm;
     RandomArrayModel arr(cfg);
     // Bank busy on read includes the 3 ns restore write.
-    EXPECT_GE(arr.bankBusyReadNs(), 3.0);
+    EXPECT_GE(arr.bankBusyReadNs().value(), 3.0);
     // Energy includes the restore.
     EXPECT_GT(arr.readEnergyJ(),
               techParams(MemTech::Snm).readEnergyJ);

@@ -22,18 +22,18 @@ TEST(CmosSfq, PipelineFrequencyNearPaper)
     // quotes 9.7 GHz operation and 0.11 ns per byte per bank.
     CmosSfqArrayConfig cfg;
     CmosSfqArrayModel arr(cfg);
-    EXPECT_NEAR(arr.pipelineFreqGhz(), 9.7, 0.2);
-    EXPECT_NEAR(arr.stageTimePs(), 103.02, 1.0);
+    EXPECT_NEAR(arr.pipelineFreqGhz().value(), 9.7, 0.2);
+    EXPECT_NEAR(arr.stageTimePs().value(), 103.02, 1.0);
 }
 
 TEST(CmosSfq, NtronIsTheBottleneck)
 {
     CmosSfqArrayConfig cfg;
     CmosSfqArrayModel arr(cfg);
-    EXPECT_LE(units::nsToPs(arr.subbank().readLatencyNs()),
-              arr.stageTimePs() + 1e-9);
-    EXPECT_LE(arr.requestTree().maxStageLatencyPs,
-              arr.stageTimePs() + 1e-9);
+    EXPECT_LE(units::nsToPs(arr.subbank().readLatencyNs()).value(),
+              arr.stageTimePs().value() + 1e-9);
+    EXPECT_LE(arr.requestTree().maxStageLatencyPs.value(),
+              arr.stageTimePs().value() + 1e-9);
 }
 
 TEST(CmosSfq, ReadLatencyCoversWholePipe)
@@ -41,12 +41,13 @@ TEST(CmosSfq, ReadLatencyCoversWholePipe)
     CmosSfqArrayConfig cfg;
     CmosSfqArrayModel arr(cfg);
     const auto &b = arr.breakdown();
-    EXPECT_GT(b.requestTreePs, 0.0);
-    EXPECT_DOUBLE_EQ(b.ntronPs, 103.02);
-    EXPECT_GT(b.subbankPs, 0.0);
-    EXPECT_GT(b.replyTreePs, 0.0);
-    EXPECT_NEAR(units::nsToPs(arr.readLatencyNs()), b.totalPs(), 1e-9);
-    EXPECT_LT(arr.writeLatencyNs(), arr.readLatencyNs());
+    EXPECT_GT(b.requestTreePs.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.ntronPs.value(), 103.02);
+    EXPECT_GT(b.subbankPs.value(), 0.0);
+    EXPECT_GT(b.replyTreePs.value(), 0.0);
+    EXPECT_NEAR(units::nsToPs(arr.readLatencyNs()).value(),
+                b.totalPs().value(), 1e-9);
+    EXPECT_LT(arr.writeLatencyNs().value(), arr.readLatencyNs().value());
 }
 
 TEST(CmosSfq, NoSfqDecoders)
@@ -55,8 +56,8 @@ TEST(CmosSfq, NoSfqDecoders)
     // decoder area.
     CmosSfqArrayConfig cfg;
     CmosSfqArrayModel arr(cfg);
-    EXPECT_DOUBLE_EQ(arr.area().sfqDecoderUm2, 0.0);
-    EXPECT_GT(arr.area().htreeUm2, 0.0);
+    EXPECT_DOUBLE_EQ(arr.area().sfqDecoderUm2.value(), 0.0);
+    EXPECT_GT(arr.area().htreeUm2.value(), 0.0);
 }
 
 TEST(CmosSfq, LeakageNearPaperValue)
@@ -84,7 +85,7 @@ TEST(CmosSfq, PipelineDepthCoversLatency)
 
 TEST(Dse, MaxFrequencySetByNtron)
 {
-    EXPECT_NEAR(maxPipelineFreqGhz(), 9.707, 0.01);
+    EXPECT_NEAR(maxPipelineFreqGhz().value(), 9.707, 0.01);
 }
 
 TEST(Dse, SweepShapesMatchFig14)
@@ -97,9 +98,9 @@ TEST(Dse, SweepShapesMatchFig14)
     // Feasible up to the nTron limit, infeasible beyond.
     for (const auto &p : points) {
         if (p.targetFreqGhz <= maxPipelineFreqGhz())
-            EXPECT_TRUE(p.feasible) << p.targetFreqGhz;
+            EXPECT_TRUE(p.feasible) << p.targetFreqGhz.value();
         else
-            EXPECT_FALSE(p.feasible) << p.targetFreqGhz;
+            EXPECT_FALSE(p.feasible) << p.targetFreqGhz.value();
     }
 
     // Overheads grow monotonically with frequency (Fig. 14): more MATs

@@ -17,7 +17,7 @@ namespace
 using namespace smart;
 using namespace smart::cryo;
 
-/** Fig. 12 chip reference points (see EXPERIMENTS.md for provenance). */
+/** Fig. 12 chip reference points, transcribed from the paper. */
 struct ChipPoint
 {
     std::uint64_t capacityBytes;
@@ -50,7 +50,7 @@ class Fig12Validation : public ::testing::TestWithParam<ChipPoint>
 TEST_P(Fig12Validation, LatencyWithin3To8PercentAboveChip)
 {
     const ChipPoint p = GetParam();
-    const double model_ns = chipModel(p).readLatencyNs();
+    const double model_ns = chipModel(p).readLatencyNs().value();
     const double err = (model_ns - p.latencyNs) / p.latencyNs;
     EXPECT_GE(err, 0.02) << "model " << model_ns << " vs chip "
                          << p.latencyNs;
@@ -102,7 +102,7 @@ TEST(Subbank, SmartSubbankFitsPipelineStage)
     cfg.capacityBytes = 112 * 1024;
     cfg.mats = 16;
     SubbankModel sub(cfg);
-    EXPECT_LE(units::nsToPs(sub.readLatencyNs()), 103.02);
+    EXPECT_LE(units::nsToPs(sub.readLatencyNs()).value(), 103.02);
 }
 
 TEST(Subbank, SmartSubbankEnergyAnchor)
@@ -134,7 +134,8 @@ TEST(Subbank, WriteEqualsReadForSram)
 {
     SubbankConfig cfg;
     SubbankModel sub(cfg);
-    EXPECT_DOUBLE_EQ(sub.readLatencyNs(), sub.writeLatencyNs());
+    EXPECT_DOUBLE_EQ(sub.readLatencyNs().value(),
+                     sub.writeLatencyNs().value());
 }
 
 TEST(Subbank, AreaExceedsPureCellArea)
@@ -144,9 +145,9 @@ TEST(Subbank, AreaExceedsPureCellArea)
     cfg.mats = 16;
     SubbankModel sub(cfg);
     const double cells =
-        112.0 * 1024 * 8 * units::f2ToUm2(146.0, 28.0);
-    EXPECT_GT(sub.areaUm2(), cells);
-    EXPECT_LT(sub.areaUm2(), cells * 2.0);
+        112.0 * 1024 * 8 * units::f2ToUm2(146.0, 28.0).value();
+    EXPECT_GT(sub.areaUm2().value(), cells);
+    EXPECT_LT(sub.areaUm2().value(), cells * 2.0);
 }
 
 TEST(Subbank, RejectsDegenerateConfigs)

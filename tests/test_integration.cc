@@ -35,7 +35,7 @@ run(Scheme s, const std::string &model_name, bool batch)
               : 1;
     auto r = runInference(cfg, model, b);
     auto e = computeEnergy(cfg, r);
-    return {r.throughputTmacs(), e.totalJ(cfg.coolingFactor) / b};
+    return {r.throughputTmacs(), e.totalJ(cfg.coolingFactor).value() / b};
 }
 
 TEST(Integration, HeadlineSpeedupsEmergeAcrossModels)
@@ -102,8 +102,8 @@ TEST(Integration, PipelinedArrayMatchesPaperOperatingPoint)
     cryo::CmosSfqArrayConfig cfg;
     cryo::CmosSfqArrayModel arr(cfg);
     // Sec. 4.4: 256-bank 28 MB array at ~9.7 GHz, byte per 0.11 ns.
-    EXPECT_NEAR(arr.pipelineFreqGhz(), 9.7, 0.2);
-    EXPECT_NEAR(arr.stageTimePs() / 1e3, 0.103, 0.01);
+    EXPECT_NEAR(arr.pipelineFreqGhz().value(), 9.7, 0.2);
+    EXPECT_NEAR(arr.stageTimePs().value() / 1e3, 0.103, 0.01);
 }
 
 TEST(Integration, IlpCompilerEngagesOnRealModels)
@@ -134,7 +134,7 @@ TEST(Integration, SensitivityShapesFig22to25)
     // Fig. 25: 3 ns writes are catastrophic vs 0.11 ns.
     auto model = cnn::convLayersOnly(cnn::makeAlexNet());
     auto slow_writes = makeSmart();
-    slow_writes.randomWriteLatencyNsOverride = 3.0;
+    slow_writes.randomWriteLatencyNsOverride = Nanoseconds{3.0};
     EXPECT_LT(runInference(slow_writes, model, 1).throughputTmacs(),
               runInference(base, model, 1).throughputTmacs());
 }

@@ -71,7 +71,7 @@ TEST(RequestHash, EveryConfigFieldIsKeyed)
             [](auto &c) { c.scheme = accel::Scheme::Pipe; },
             [](auto &c) { c.pe.rows += 1; },
             [](auto &c) { c.pe.cols += 1; },
-            [](auto &c) { c.clockGhz += 0.1; },
+            [](auto &c) { c.clockGhz += Gigahertz{0.1}; },
             [](auto &c) { c.temperatureK += 1.0; },
             [](auto &c) { c.coolingFactor += 1.0; },
             [](auto &c) { c.inputSpm.capacityBytes += 1; },
@@ -84,7 +84,7 @@ TEST(RequestHash, EveryConfigFieldIsKeyed)
             [](auto &c) { c.randomArray.capacityBytes += 1; },
             [](auto &c) { c.randomArray.banks += 1; },
             [](auto &c) { c.randomTech = cryo::MemTech::JcsSram; },
-            [](auto &c) { c.randomWriteLatencyNsOverride = 1.5; },
+            [](auto &c) { c.randomWriteLatencyNsOverride = Nanoseconds{1.5}; },
             [](auto &c) { c.prefetchIterations += 1; },
             [](auto &c) { c.useIlpCompiler = !c.useIlpCompiler; },
             [](auto &c) { c.dramBandwidthGBs += 1.0; },

@@ -16,18 +16,18 @@ using namespace smart::sfq;
 
 TEST(Devices, Table2Latencies)
 {
-    EXPECT_DOUBLE_EQ(splitterParams().latencyPs, 7.0);
-    EXPECT_DOUBLE_EQ(driverParams().latencyPs, 3.5);
-    EXPECT_DOUBLE_EQ(receiverParams().latencyPs, 5.25);
-    EXPECT_DOUBLE_EQ(ntronParams().latencyPs, 103.02);
+    EXPECT_DOUBLE_EQ(splitterParams().latencyPs.value(), 7.0);
+    EXPECT_DOUBLE_EQ(driverParams().latencyPs.value(), 3.5);
+    EXPECT_DOUBLE_EQ(receiverParams().latencyPs.value(), 5.25);
+    EXPECT_DOUBLE_EQ(ntronParams().latencyPs.value(), 103.02);
 }
 
 TEST(Devices, Table2Leakage)
 {
-    EXPECT_DOUBLE_EQ(splitterParams().leakageW, 0.0);
-    EXPECT_NEAR(driverParams().leakageW, 0.874e-6, 1e-12);
-    EXPECT_DOUBLE_EQ(receiverParams().leakageW, 0.0);
-    EXPECT_NEAR(ntronParams().leakageW, 8.8e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(splitterParams().leakageW.value(), 0.0);
+    EXPECT_NEAR(driverParams().leakageW.value(), 0.874e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(receiverParams().leakageW.value(), 0.0);
+    EXPECT_NEAR(ntronParams().leakageW.value(), 8.8e-6, 1e-12);
 }
 
 TEST(Devices, JjCountsFollowSchematics)
@@ -45,39 +45,39 @@ TEST(Devices, EnergyPerOpAtLeastJjFloor)
     // switching energy of the component.
     for (const auto *p : {&splitterParams(), &driverParams(),
                           &receiverParams()}) {
-        EXPECT_GE(p->energyPerOpJ(),
-                  p->jjCount * constants::jjSwitchEnergyJ);
+        EXPECT_GE(p->energyPerOpJ().value(),
+                  (p->jjCount * constants::jjSwitchEnergyJ).value());
     }
 }
 
 TEST(Devices, EnergyPerOpFromDynamicPower)
 {
     // The nTron quote (13 nW at 9.6 GHz) dominates its JJ floor.
-    const double expected = 13e-9 / (refPipelineFreqGhz * 1e9);
-    EXPECT_NEAR(ntronParams().energyPerOpJ(), expected, 1e-22);
+    const double expected = 13e-9 / (refPipelineFreqGhz.value() * 1e9);
+    EXPECT_NEAR(ntronParams().energyPerOpJ().value(), expected, 1e-22);
 }
 
 TEST(SplitterUnit, ComposesReceiverSplitterTwoDrivers)
 {
-    EXPECT_DOUBLE_EQ(SplitterUnit::latencyPs(), 5.25 + 7.0 + 3.5);
+    EXPECT_DOUBLE_EQ(SplitterUnit::latencyPs().value(), 5.25 + 7.0 + 3.5);
     EXPECT_EQ(SplitterUnit::jjCount(), 3 + 3 + 2 * 2);
     // Two biased drivers dominate the unit's static power.
-    EXPECT_NEAR(SplitterUnit::leakageW(), 2 * 0.874e-6, 1e-12);
-    EXPECT_GT(SplitterUnit::energyPerPulseJ(), 0.0);
-    EXPECT_GT(SplitterUnit::areaUm2(), 0.0);
+    EXPECT_NEAR(SplitterUnit::leakageW().value(), 2 * 0.874e-6, 1e-12);
+    EXPECT_GT(SplitterUnit::energyPerPulseJ().value(), 0.0);
+    EXPECT_GT(SplitterUnit::areaUm2().value(), 0.0);
 }
 
 TEST(Repeater, ComposesDriverReceiver)
 {
-    EXPECT_DOUBLE_EQ(Repeater::latencyPs(), 3.5 + 5.25);
+    EXPECT_DOUBLE_EQ(Repeater::latencyPs().value(), 3.5 + 5.25);
     EXPECT_EQ(Repeater::jjCount(), 5);
-    EXPECT_NEAR(Repeater::leakageW(), 0.874e-6, 1e-12);
+    EXPECT_NEAR(Repeater::leakageW().value(), 0.874e-6, 1e-12);
 }
 
 TEST(Devices, DffIsASingleRing)
 {
     EXPECT_EQ(dffParams().jjCount, 2);
-    EXPECT_GT(dffParams().latencyPs, 0.0);
+    EXPECT_GT(dffParams().latencyPs.value(), 0.0);
 }
 
 } // namespace

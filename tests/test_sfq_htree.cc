@@ -12,6 +12,7 @@
 namespace
 {
 
+using namespace smart;
 using namespace smart::sfq;
 
 TEST(SfqHTree, BinaryTreeStructure)
@@ -44,8 +45,8 @@ TEST(SfqHTree, StageFitsNtronBudget)
     cfg.leaves = 256;
     cfg.arraySideUm = 6000.0;
     SfqHTree tree(cfg);
-    EXPECT_LE(tree.stats().maxStageLatencyPs,
-              ntronParams().latencyPs + 1e-9);
+    EXPECT_LE(tree.stats().maxStageLatencyPs.value(),
+              ntronParams().latencyPs.value() + 1e-9);
 }
 
 TEST(SfqHTree, HigherFrequencyNeedsMoreRepeaters)
@@ -53,9 +54,9 @@ TEST(SfqHTree, HigherFrequencyNeedsMoreRepeaters)
     SfqHTreeConfig slow;
     slow.leaves = 256;
     slow.arraySideUm = 8000.0;
-    slow.targetFreqGhz = 2.0;
+    slow.targetFreqGhz = Gigahertz{2.0};
     SfqHTreeConfig fast = slow;
-    fast.targetFreqGhz = 9.6;
+    fast.targetFreqGhz = Gigahertz{9.6};
     EXPECT_GE(SfqHTree(fast).stats().repeaters,
               SfqHTree(slow).stats().repeaters);
     EXPECT_GE(SfqHTree(fast).stats().leakageW,
@@ -81,9 +82,10 @@ TEST(SfqHTree, LeakageFromBiasedDrivers)
     SfqHTree tree(cfg);
     const auto &s = tree.stats();
     const double expected =
-        s.splitterUnits * SplitterUnit::leakageW() +
-        s.repeaters * Repeater::leakageW();
-    EXPECT_DOUBLE_EQ(s.leakageW, expected);
+        (s.splitterUnits * SplitterUnit::leakageW() +
+         s.repeaters * Repeater::leakageW())
+            .value();
+    EXPECT_DOUBLE_EQ(s.leakageW.value(), expected);
 }
 
 TEST(SfqHTree, LatencyGrowsWithArraySide)
@@ -100,7 +102,7 @@ TEST(SfqHTree, LatencyGrowsWithArraySide)
 TEST(SfqHTree, RejectsUnreachableFrequency)
 {
     SfqHTreeConfig cfg;
-    cfg.targetFreqGhz = 500.0; // beyond any PTL link resonance
+    cfg.targetFreqGhz = Gigahertz{500.0}; // beyond any PTL link resonance
     EXPECT_DEATH(SfqHTree tree(cfg), "unreachable");
 }
 
@@ -112,10 +114,10 @@ TEST(CmosHTree, PathShorterThanSide)
 
 TEST(CmosHTree, LatencyAndEnergyLinear)
 {
-    EXPECT_NEAR(CmosHTree::latencyPs(2000.0),
-                2.0 * CmosHTree::latencyPs(1000.0), 1e-9);
-    EXPECT_NEAR(CmosHTree::energyJ(1000.0, 64),
-                2.0 * CmosHTree::energyJ(1000.0, 32), 1e-24);
+    EXPECT_NEAR(CmosHTree::latencyPs(2000.0).value(),
+                2.0 * CmosHTree::latencyPs(1000.0).value(), 1e-9);
+    EXPECT_NEAR(CmosHTree::energyJ(1000.0, 64).value(),
+                2.0 * CmosHTree::energyJ(1000.0, 32).value(), 1e-24);
 }
 
 TEST(CmosHTree, TotalWireExceedsOnePath)
@@ -137,7 +139,7 @@ TEST_P(LeafSweep, SplittersAreLeavesMinusOne)
     SfqHTree tree(cfg);
     EXPECT_EQ(tree.stats().splitterUnits, GetParam() - 1);
     EXPECT_EQ(tree.stats().segments, 2 * GetParam() - 2);
-    EXPECT_GT(tree.stats().areaUm2, 0.0);
+    EXPECT_GT(tree.stats().areaUm2.value(), 0.0);
     EXPECT_GT(tree.stats().pipelineStages, 0);
 }
 

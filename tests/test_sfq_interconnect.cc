@@ -29,10 +29,10 @@ TEST(Ptl, VelocityIsFractionOfLightSpeed)
 TEST(Ptl, DelayLinearInLength)
 {
     PtlModel ptl;
-    const double d1 = ptl.delayPs(100.0);
-    const double d2 = ptl.delayPs(200.0);
+    const double d1 = ptl.delayPs(100.0).value();
+    const double d2 = ptl.delayPs(200.0).value();
     EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
-    EXPECT_DOUBLE_EQ(ptl.delayPs(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ptl.delayPs(0.0).value(), 0.0);
 }
 
 TEST(Ptl, ImpedanceFromLC)
@@ -59,19 +59,19 @@ TEST(Ptl, KineticInductanceRaisesL)
 TEST(Ptl, ResonanceFrequencyFallsWithLength)
 {
     PtlModel ptl;
-    const double f_short = ptl.resonanceFreqGhz(10.0);
-    const double f_long = ptl.resonanceFreqGhz(1000.0);
+    const double f_short = ptl.resonanceFreqGhz(10.0).value();
+    const double f_long = ptl.resonanceFreqGhz(1000.0).value();
     EXPECT_GT(f_short, f_long);
     // Max operating frequency is 90 % of resonance (Sec. 4.2.3).
-    EXPECT_NEAR(ptl.maxOperatingFreqGhz(500.0),
-                0.9 * ptl.resonanceFreqGhz(500.0), 1e-12);
+    EXPECT_NEAR(ptl.maxOperatingFreqGhz(500.0).value(),
+                0.9 * ptl.resonanceFreqGhz(500.0).value(), 1e-12);
 }
 
 TEST(Ptl, EnergyIndependentOfLength)
 {
     PtlModel ptl;
-    EXPECT_DOUBLE_EQ(ptl.energyPerPulseJ(10.0),
-                     ptl.energyPerPulseJ(1000.0));
+    EXPECT_DOUBLE_EQ(ptl.energyPerPulseJ(10.0).value(),
+                     ptl.energyPerPulseJ(1000.0).value());
 }
 
 TEST(Jtl, StagesCoverLength)
@@ -94,15 +94,17 @@ TEST(Fig2, LatencyOrderingPtlJtlCmos)
     // about two orders of magnitude faster than the CMOS wire.
     PtlModel ptl;
     for (double len : {50.0, 100.0, 150.0, 200.0}) {
-        const double t_ptl = ptl.delayPs(len);
-        const double t_jtl = JtlModel::delayPs(len);
-        const double t_cmos = CmosWireModel::delayPs(len);
+        const double t_ptl = ptl.delayPs(len).value();
+        const double t_jtl = JtlModel::delayPs(len).value();
+        const double t_cmos = CmosWireModel::delayPs(len).value();
         EXPECT_LT(t_ptl, t_jtl) << "at " << len << " um";
         EXPECT_LT(t_jtl, t_cmos) << "at " << len << " um";
     }
     EXPECT_GT(CmosWireModel::delayPs(200.0) / JtlModel::delayPs(200.0),
               5.0);
-    EXPECT_GT(CmosWireModel::delayPs(200.0) / ptl.delayPs(200.0), 100.0);
+    EXPECT_GT(CmosWireModel::delayPs(200.0).value() /
+                  ptl.delayPs(200.0).value(),
+              100.0);
 }
 
 TEST(Fig2, EnergyOrderingSixOrders)
@@ -110,17 +112,17 @@ TEST(Fig2, EnergyOrderingSixOrders)
     // Fig. 2(b): CMOS wire energy ~six orders above PTL; a long JTL
     // costs ~100x a PTL.
     PtlModel ptl;
-    const double e_cmos = CmosWireModel::energyPerBitJ(200.0);
-    const double e_ptl = ptl.energyPerPulseJ(200.0);
-    const double e_jtl = JtlModel::energyPerPulseJ(200.0);
+    const double e_cmos = CmosWireModel::energyPerBitJ(200.0).value();
+    const double e_ptl = ptl.energyPerPulseJ(200.0).value();
+    const double e_jtl = JtlModel::energyPerPulseJ(200.0).value();
     EXPECT_GT(e_cmos / e_ptl, 1e4);
     EXPECT_NEAR(e_jtl / e_ptl, 100.0, 60.0);
 }
 
 TEST(CmosWire, QuadraticDelay)
 {
-    const double d1 = CmosWireModel::delayPs(100.0);
-    const double d2 = CmosWireModel::delayPs(200.0);
+    const double d1 = CmosWireModel::delayPs(100.0).value();
+    const double d2 = CmosWireModel::delayPs(200.0).value();
     EXPECT_NEAR(d2 / d1, 4.0, 1e-9); // unrepeated RC is quadratic
 }
 
@@ -134,7 +136,7 @@ TEST_P(PtlLengthSweep, MaxFreqBelowResonance)
     PtlModel ptl;
     const double len = GetParam();
     EXPECT_LT(ptl.maxOperatingFreqGhz(len), ptl.resonanceFreqGhz(len));
-    EXPECT_GT(ptl.delayPs(len), 0.0);
+    EXPECT_GT(ptl.delayPs(len).value(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Lengths, PtlLengthSweep,

@@ -34,9 +34,10 @@ TEST(PulseSim, PulsePropagatesThroughChain)
     ASSERT_EQ(arr.size(), 1u);
 
     PtlModel model;
-    const double expected = driverParams().latencyPs +
-                            model.delayPs(100.0) * 1.000 +
-                            receiverParams().latencyPs;
+    const double expected = (driverParams().latencyPs +
+                             model.delayPs(100.0) * 1.000 +
+                             receiverParams().latencyPs)
+                                .value();
     // Dispersion adds a small positive term.
     EXPECT_GE(arr[0], expected);
     EXPECT_LT(arr[0], expected * 1.10);
@@ -115,8 +116,8 @@ TEST(PulseSim, EnergyGrowsWithActivity)
         net2.inject(fx2.source, i * 100.0);
     PulseSimResult ten = net2.run();
 
-    EXPECT_GT(ten.dynamicEnergyJ, one.dynamicEnergyJ * 5);
-    EXPECT_GT(one.staticPowerW, 0.0);
+    EXPECT_GT(ten.dynamicEnergyJ.value(), one.dynamicEnergyJ.value() * 5);
+    EXPECT_GT(one.staticPowerW.value(), 0.0);
     EXPECT_GT(one.pulseCount, 0u);
 }
 
@@ -176,7 +177,7 @@ TEST_P(FixtureLengthSweep, ArrivalAfterInjection)
     net.run();
     ASSERT_EQ(net.arrivals(fx.sinkLeft).size(), 1u);
     EXPECT_GT(net.arrivals(fx.sinkLeft)[0],
-              2 * PtlModel().delayPs(GetParam()));
+              (2 * PtlModel().delayPs(GetParam())).value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Lengths, FixtureLengthSweep,

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the typed unit quantities (common/units.hh): layout and
+ * triviality guarantees, literals, conversions, and the enumerated
+ * cross-dimension algebra the perf/energy model relies on.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace smart;
+using namespace smart::units::literals;
+
+// ----------------------------------------------------------------
+// Zero-overhead guarantees: a Quantity is exactly its representation,
+// trivially copyable, and usable in constant expressions.
+// ----------------------------------------------------------------
+
+static_assert(sizeof(Picoseconds) == sizeof(double));
+static_assert(sizeof(Nanoseconds) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Gigahertz) == sizeof(double));
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(SquareMicrons) == sizeof(double));
+static_assert(sizeof(ByteCount) == sizeof(std::uint64_t));
+
+static_assert(std::is_trivially_copyable_v<Picoseconds>);
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_copyable_v<Gigahertz>);
+static_assert(std::is_trivially_copyable_v<SquareMicrons>);
+static_assert(std::is_trivially_copyable_v<ByteCount>);
+
+static_assert((1.5_ps).value() == 1.5);
+static_assert((2_ghz).value() == 2.0);
+static_assert((64_kib).value() == 64 * 1024);
+static_assert((28_mib).value() == 28ull * 1024 * 1024);
+static_assert(1.0_ps + 2.0_ps == 3.0_ps);
+static_assert(2.0_ps < 3.0_ps);
+static_assert(constants::jjSwitchEnergyJ.value() == 1e-19);
+
+TEST(Units, LiteralsCoverTheVocabulary)
+{
+    EXPECT_DOUBLE_EQ((1.2_ps).value(), 1.2);
+    EXPECT_DOUBLE_EQ((0.02_ns).value(), 0.02);
+    EXPECT_DOUBLE_EQ((3_ghz).value(), 3.0);
+    EXPECT_DOUBLE_EQ((2.5_j).value(), 2.5);
+    EXPECT_DOUBLE_EQ((39.0_pj).value(), 39.0e-12);
+    EXPECT_DOUBLE_EQ((0.1_fj).value(), 0.1e-15);
+    EXPECT_DOUBLE_EQ((40_w).value(), 40.0);
+    EXPECT_DOUBLE_EQ((0.874_uw).value(), 0.874e-6);
+    EXPECT_DOUBLE_EQ((13.0_nw).value(), 13.0e-9);
+    EXPECT_DOUBLE_EQ((5.0_um2).value(), 5.0);
+    EXPECT_DOUBLE_EQ((2.0_mm2).value(), 2.0 * units::um2PerMm2);
+}
+
+TEST(Units, SameDimensionArithmetic)
+{
+    const Picoseconds a{7.0};
+    const Picoseconds b{3.5};
+    EXPECT_DOUBLE_EQ((a + b).value(), 10.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 3.5);
+    EXPECT_DOUBLE_EQ((-b).value(), -3.5);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 14.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 3.5);
+    EXPECT_DOUBLE_EQ(a / b, 2.0); // same-type ratio is dimensionless
+    EXPECT_TRUE(b < a);
+    EXPECT_TRUE(a >= b);
+    Picoseconds acc{};
+    acc += a;
+    acc -= b;
+    EXPECT_DOUBLE_EQ(acc.value(), 3.5);
+}
+
+TEST(Units, TypedTimeConversionsRoundTrip)
+{
+    const Nanoseconds ns{2.5};
+    const Picoseconds ps = units::nsToPs(ns);
+    EXPECT_DOUBLE_EQ(ps.value(), 2500.0);
+    EXPECT_DOUBLE_EQ(units::psToNs(ps).value(), 2.5);
+
+    const Seconds s = units::psToS(Picoseconds{1e12});
+    EXPECT_DOUBLE_EQ(s.value(), 1.0);
+    EXPECT_DOUBLE_EQ(units::sToPs(s).value(), 1e12);
+}
+
+TEST(Units, FrequencyCycleTimeDuality)
+{
+    // The typed overloads must agree with the legacy raw-double pair
+    // bit for bit (the model's figures depend on it).
+    const Gigahertz f{52.6};
+    const Picoseconds cycle = units::ghzToPs(f);
+    EXPECT_DOUBLE_EQ(cycle.value(), units::ghzToPs(52.6));
+    EXPECT_DOUBLE_EQ(units::psToGhz(cycle).value(), 52.6);
+
+    const Gigahertz f2 = units::psToGhz(Picoseconds{103.02});
+    EXPECT_NEAR(f2.value(), 9.707, 0.01);
+}
+
+TEST(Units, EnergyTimePowerAlgebra)
+{
+    // energy / time = power, power * time = energy.
+    const Joules e{8.0};
+    const Picoseconds t{2e12}; // 2 s
+    const Watts p = e / t;
+    EXPECT_DOUBLE_EQ(p.value(), 4.0);
+    EXPECT_DOUBLE_EQ((p * t).value(), 8.0);
+    EXPECT_DOUBLE_EQ((t * p).value(), 8.0);
+    EXPECT_DOUBLE_EQ((p * Seconds{2.0}).value(), 8.0);
+    EXPECT_DOUBLE_EQ((e / Seconds{2.0}).value(), 4.0);
+
+    // power / frequency = energy per operation (Table 2 accounting).
+    const Joules per_op = Watts{9.6} / Gigahertz{9.6};
+    EXPECT_DOUBLE_EQ(per_op.value(), 1e-9);
+
+    // frequency * time is a dimensionless cycle count.
+    EXPECT_DOUBLE_EQ(Gigahertz{1.0} * Picoseconds{1e3}, 1.0);
+    EXPECT_DOUBLE_EQ(Picoseconds{500.0} * Gigahertz{2.0}, 1.0);
+}
+
+TEST(Units, TypedEnergyAndAreaHelpers)
+{
+    EXPECT_DOUBLE_EQ(units::fjToJ(0.1).value(), 0.1e-15);
+    EXPECT_DOUBLE_EQ(units::pjToJ(39.0).value(), 39.0e-12);
+    EXPECT_DOUBLE_EQ(units::jToPj(Joules{1e-12}), 1.0);
+    EXPECT_DOUBLE_EQ(units::jToFj(Joules{1e-15}), 1.0);
+    EXPECT_DOUBLE_EQ(units::jToNj(Joules{1e-9}), 1.0);
+    EXPECT_DOUBLE_EQ(units::wToMw(Watts{0.25}), 250.0);
+
+    // A 39 F^2 cell at F = 28 nm, typed end to end.
+    const SquareMicrons cell = units::f2ToUm2(39.0, 28.0);
+    EXPECT_NEAR(cell.value(), 39.0 * 0.028 * 0.028, 1e-12);
+    EXPECT_DOUBLE_EQ(units::um2ToMm2(units::mm2ToUm2(2.0)), 2.0);
+}
+
+TEST(Units, ByteCountIsIntegerExact)
+{
+    const ByteCount cap = 28_mib;
+    EXPECT_EQ(cap.value(), 28ull * 1024 * 1024);
+    EXPECT_EQ((cap + 64_kib).value(), 28ull * 1024 * 1024 + 65536);
+    EXPECT_EQ((cap * 2).value(), 56ull * 1024 * 1024);
+    EXPECT_TRUE(64_kib < 1_mib);
+}
+
+} // namespace

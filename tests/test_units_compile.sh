@@ -1,0 +1,102 @@
+#!/bin/sh
+# Negative-compile test for the typed unit quantities: dimensionally
+# wrong arithmetic (adding Picoseconds to Joules, passing a Frequency
+# where a CycleTime is expected) must FAIL to compile, and a
+# well-typed twin of the same code must succeed (positive control,
+# proving the failure comes from the dimension system and not from a
+# broken compile line). Unlike the thread-safety check this needs no
+# special analysis pass — plain C++ overload resolution rejects the
+# mix-ups — so any C++17 compiler works. Skips (exit 77) only when no
+# compiler is found at all.
+
+set -eu
+
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+src="$here/../src"
+
+CXX=${SMART_UNITS_CXX:-${CXX:-}}
+if [ -z "$CXX" ]; then
+    for cand in c++ g++ clang++; do
+        if command -v "$cand" >/dev/null 2>&1; then
+            CXX=$cand
+            break
+        fi
+    done
+fi
+if [ -z "$CXX" ] || ! command -v "$CXX" >/dev/null 2>&1; then
+    echo "SKIP: no C++ compiler in PATH (set SMART_UNITS_CXX to override)"
+    exit 77
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+flags="-std=c++17 -fsyntax-only -I$src"
+
+# Positive control: dimensionally consistent code compiles clean.
+cat > "$tmp/well_typed.cc" <<'EOF'
+#include "common/units.hh"
+
+using namespace smart;
+using namespace smart::units::literals;
+
+Picoseconds cycleBudget(Picoseconds cycle_ps) { return cycle_ps * 2.0; }
+
+int main()
+{
+    const Picoseconds t = 1.2_ps + 3.5_ps;   // time + time is fine
+    const Joules e = 2.0_pj;
+    const Watts p = e / units::psToS(t);     // energy / time -> power
+    const Gigahertz f = 9.6_ghz;
+    const Picoseconds per_cycle = units::ghzToPs(f);
+    const Picoseconds total = 64 * per_cycle; // cycles x cycle time
+    (void)cycleBudget(per_cycle);
+    return (p.value() > 0 && total > t) ? 0 : 1;
+}
+EOF
+if ! "$CXX" $flags "$tmp/well_typed.cc"; then
+    echo "FAIL: well-typed control did not compile (broken control)"
+    exit 1
+fi
+
+# Negative 1: adding a time to an energy must be rejected.
+cat > "$tmp/time_plus_energy.cc" <<'EOF'
+#include "common/units.hh"
+
+using namespace smart;
+using namespace smart::units::literals;
+
+int main()
+{
+    auto nonsense = 1.2_ps + 2.0_pj; // time + energy: no such operator
+    (void)nonsense;
+    return 0;
+}
+EOF
+if "$CXX" $flags "$tmp/time_plus_energy.cc" 2>/dev/null; then
+    echo "FAIL: Picoseconds + Joules compiled"
+    exit 1
+fi
+
+# Negative 2: passing a frequency where a cycle time is expected.
+cat > "$tmp/freq_for_cycle_time.cc" <<'EOF'
+#include "common/units.hh"
+
+using namespace smart;
+using namespace smart::units::literals;
+
+Picoseconds cycleBudget(Picoseconds cycle_ps) { return cycle_ps * 2.0; }
+
+int main()
+{
+    (void)cycleBudget(9.6_ghz); // frequency is not a cycle time
+    return 0;
+}
+EOF
+if "$CXX" $flags "$tmp/freq_for_cycle_time.cc" 2>/dev/null; then
+    echo "FAIL: Gigahertz passed where Picoseconds expected compiled"
+    exit 1
+fi
+
+echo "PASS: unit mix-ups rejected, well-typed control accepted"
+exit 0
